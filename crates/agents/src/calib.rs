@@ -1,0 +1,145 @@
+//! Calibration constants.
+//!
+//! Every tunable that ties the simulator to the paper's measured numbers
+//! lives here, with the reasoning recorded next to it. The targets (paper
+//! §4, Figure 3 and Table 2):
+//!
+//! | quantity                    | paper        |
+//! |-----------------------------|--------------|
+//! | baseline makespan           | 283–285 s    |
+//! | Murakkab GPU makespan       | 77 s         |
+//! | Murakkab CPU makespan       | 83 s         |
+//! | Murakkab GPU+CPU makespan   | 77 s         |
+//! | baseline GPU energy         | 155 Wh       |
+//! | Murakkab CPU energy         | 34 Wh        |
+//! | Murakkab GPU energy         | 43 Wh        |
+//! | Murakkab GPU+CPU energy     | 42 Wh        |
+//!
+//! Absolute seconds are simulated seconds; EXPERIMENTS.md records the
+//! paper-vs-measured comparison for every cell.
+
+/// Scenes across the two evaluation videos (`cats.mov`: 6,
+/// `formula_1.mov`: 10). Sixteen scenes at ≈17.7 s of serial work per
+/// scene reproduce the ≈283 s baseline.
+pub const VIDEO_SCENES_CATS: u32 = 6;
+/// See [`VIDEO_SCENES_CATS`].
+pub const VIDEO_SCENES_F1: u32 = 10;
+
+/// Mean speech seconds per scene (jittered per scene by the workload seed).
+pub const AUDIO_SECONDS_PER_SCENE: f64 = 30.0;
+
+/// Frames sampled per scene (Listing 1's `sampling_rate: 15` over ~30 s
+/// scenes yields hundreds of raw frames; OmAgent-style pipelines keep a
+/// handful of representative frames per scene for the VLM).
+pub const FRAMES_PER_SCENE: u32 = 5;
+
+/// Whisper real-time factor on one A100: a 30 s scene transcribes in
+/// ≈3.8 s; sixteen scenes on the single provisioned GPU take ≈61 s, so
+/// GPU-config STT finishes just inside the LLM drain (~75 s) and both the
+/// GPU and hybrid configurations land near the paper's 77 s.
+pub const WHISPER_GPU_RTF: f64 = 0.12;
+
+/// Whisper real-time factor per CPU core. 9.0 core-seconds per audio
+/// second puts one 30 s scene at ≈37 s on 8 cores (with parallel
+/// efficiency), so 64 cores clear 16 scenes in two ≈37 s waves — the
+/// late last-scene transcript is what reproduces the 83 s vs 77 s gap.
+pub const WHISPER_CPU_RTF_PER_CORE: f64 = 9.0;
+
+/// Cores assigned to one CPU speech-to-text worker.
+pub const STT_CORES_PER_SCENE: u32 = 8;
+
+/// Parallel efficiency when a tool spreads across multiple cores/GPUs.
+pub const TOOL_PARALLEL_EFFICIENCY: f64 = 0.90;
+
+/// GPU utilization while a Whisper-class tool occupies a GPU.
+pub const STT_GPU_UTIL: f64 = 0.65;
+
+/// OpenCV frame extraction: core-seconds per video second. One ≈30 s
+/// scene costs ≈1.9 s on the single core Listing 1 provisions.
+pub const OPENCV_CORE_S_PER_VIDEO_S: f64 = 0.06;
+
+/// CLIP object detection: core-seconds per frame (CPU deployment, as in
+/// the paper's setup).
+pub const CLIP_CORE_S_PER_FRAME: f64 = 0.20;
+
+/// CLIP on GPU: seconds per frame on one full A100.
+pub const CLIP_GPU_S_PER_FRAME: f64 = 0.012;
+
+/// Per-frame summarisation prompt: image-patch tokens dominate (~2000
+/// tokens per frame for a VLM at moderate resolution).
+pub const FRAME_SUMMARY_PROMPT_TOKENS: u32 = 2000;
+/// Per-frame summary length.
+pub const FRAME_SUMMARY_OUTPUT_TOKENS: u32 = 110;
+
+/// Scene-level reduce call: transcript + detected objects + frame
+/// summaries in, scene summary out.
+pub const SCENE_SUMMARY_PROMPT_TOKENS: u32 = 1200;
+/// Scene summary length.
+pub const SCENE_SUMMARY_OUTPUT_TOKENS: u32 = 120;
+
+/// Embedding calls: one per frame summary plus one per scene summary.
+pub const EMBED_PROMPT_TOKENS: u32 = 400;
+/// Embedding "generation" is a single pooled forward pass.
+pub const EMBED_OUTPUT_TOKENS: u32 = 1;
+
+/// Maximum batch of the NVLM text endpoint. NVLM-D-72B is multimodal:
+/// image-token activations bound the practical batch well below what the
+/// KV pool allows. Small batches are also what keeps the parallel-frame
+/// summarisation from trivially collapsing the LLM phase — the paper's
+/// Figure 3 shows LLM (Text) busy for most of Murakkab's 77 s window.
+pub const NVLM_TEXT_MAX_BATCH: u32 = 3;
+
+/// GPUs held by the NVLM text endpoint (paper §4: "8 GPUs for text
+/// completion").
+pub const NVLM_TEXT_GPUS: u32 = 8;
+
+/// Maximum batch of the embedding endpoint.
+pub const EMBED_MAX_BATCH: u32 = 8;
+
+/// GPUs held by the embedding endpoint (paper §4: "2 GPUs for
+/// embeddings").
+pub const EMBED_GPUS: u32 = 2;
+
+/// Concurrent scene transcriptions one Whisper GPU worker sustains.
+pub const WHISPER_GPU_CONCURRENCY: u32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_count_matches_paper_videos() {
+        assert_eq!(VIDEO_SCENES_CATS + VIDEO_SCENES_F1, 16);
+    }
+
+    #[test]
+    fn cpu_stt_is_slower_than_gpu_stt() {
+        let gpu_s = AUDIO_SECONDS_PER_SCENE * WHISPER_GPU_RTF;
+        let cpu_s = AUDIO_SECONDS_PER_SCENE * WHISPER_CPU_RTF_PER_CORE
+            / (f64::from(STT_CORES_PER_SCENE) * TOOL_PARALLEL_EFFICIENCY);
+        assert!(cpu_s > gpu_s, "cpu {cpu_s} should exceed gpu {gpu_s}");
+        // But not catastrophically: the paper's CPU config loses only ~8%
+        // end-to-end.
+        assert!(cpu_s < 12.0 * gpu_s, "cpu {cpu_s} vs gpu {gpu_s}");
+    }
+
+    #[test]
+    fn per_scene_serial_work_matches_283s_baseline() {
+        // Rough serial per-scene budget (s): extraction + STT + detection +
+        // 10 frame summaries + scene reduce + embeds. The full-fidelity
+        // number comes from the simulator; this guards the order of
+        // magnitude so calibration drift is caught at the source.
+        let extraction = AUDIO_SECONDS_PER_SCENE * OPENCV_CORE_S_PER_VIDEO_S;
+        let stt = AUDIO_SECONDS_PER_SCENE * WHISPER_GPU_RTF;
+        let detection = f64::from(FRAMES_PER_SCENE) * CLIP_CORE_S_PER_FRAME / 2.0;
+        // ~1.6 s per frame summary on 8xA100 (prefill 2000 + 90 decode
+        // steps, batch 1) plus ~2.4 s for the scene-level reduce.
+        let llm = f64::from(FRAMES_PER_SCENE) * 1.6 + 2.4;
+        let per_scene = extraction + stt + detection + llm;
+        let total = per_scene * 16.0;
+        assert!(
+            (200.0..360.0).contains(&total),
+            "baseline budget {total:.0}s drifted away from ~283s"
+        );
+    }
+}

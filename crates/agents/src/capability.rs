@@ -1,0 +1,246 @@
+//! Agent capabilities and work quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// What a task needs done — the interface the orchestrator matches agents
+/// against. Multiple library agents can implement the same capability
+/// (§3.2 "Model/Tool Selection": Whisper, DeepSpeech, Fast Conformer all
+/// implement Speech-to-Text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Capability {
+    /// Extract sampled frames from a video segment.
+    FrameExtraction,
+    /// Transcribe speech audio to text.
+    SpeechToText,
+    /// Detect/label objects in frames.
+    ObjectDetection,
+    /// Summarise frames/transcripts with an LLM.
+    Summarization,
+    /// Produce vector embeddings for retrieval.
+    Embedding,
+    /// Classify sentiment of text items.
+    SentimentAnalysis,
+    /// Retrieve documents from the web (external call).
+    WebSearch,
+    /// Arithmetic / unit conversion tool.
+    Calculation,
+    /// Insert into / query a vector database.
+    VectorStore,
+    /// Rank a set of candidate items for a user.
+    Ranking,
+    /// Free-form LLM text generation (chain-of-thought, drafting, ...).
+    TextGeneration,
+}
+
+impl Capability {
+    /// All capabilities, for exhaustive registries/tests.
+    pub const ALL: [Capability; 11] = [
+        Capability::FrameExtraction,
+        Capability::SpeechToText,
+        Capability::ObjectDetection,
+        Capability::Summarization,
+        Capability::Embedding,
+        Capability::SentimentAnalysis,
+        Capability::WebSearch,
+        Capability::Calculation,
+        Capability::VectorStore,
+        Capability::Ranking,
+        Capability::TextGeneration,
+    ];
+
+    /// Human-readable lane name used in traces (Figure 3 legend).
+    pub fn lane_name(&self) -> &'static str {
+        match self {
+            Capability::FrameExtraction => "Frame Extraction",
+            Capability::SpeechToText => "Speech-to-Text",
+            Capability::ObjectDetection => "Object Detection",
+            Capability::Summarization => "LLM (Text)",
+            Capability::Embedding => "LLM (Embeddings)",
+            Capability::SentimentAnalysis => "Sentiment",
+            Capability::WebSearch => "Web Search",
+            Capability::Calculation => "Calculator",
+            Capability::VectorStore => "VectorDB",
+            Capability::Ranking => "Ranking",
+            Capability::TextGeneration => "LLM (Text)",
+        }
+    }
+}
+
+impl std::fmt::Display for Capability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The unit a rate-based cost model is denominated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkUnit {
+    /// Seconds of video.
+    VideoSeconds,
+    /// Seconds of speech audio.
+    AudioSeconds,
+    /// Individual frames/images.
+    Frames,
+    /// Generic countable items (documents, posts, queries, ...).
+    Items,
+    /// LLM tokens (prompt + output pairs) — served by `murakkab-llmsim`.
+    Tokens,
+}
+
+/// The amount of work a task instance carries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Work {
+    /// So many seconds of video.
+    VideoSeconds(f64),
+    /// So many seconds of audio.
+    AudioSeconds(f64),
+    /// So many frames.
+    Frames(u32),
+    /// So many items.
+    Items(u32),
+    /// An LLM call.
+    Tokens {
+        /// Prompt tokens.
+        prompt: u32,
+        /// Output tokens to generate.
+        output: u32,
+    },
+}
+
+impl Work {
+    /// The unit this work is measured in.
+    pub fn unit(&self) -> WorkUnit {
+        match self {
+            Work::VideoSeconds(_) => WorkUnit::VideoSeconds,
+            Work::AudioSeconds(_) => WorkUnit::AudioSeconds,
+            Work::Frames(_) => WorkUnit::Frames,
+            Work::Items(_) => WorkUnit::Items,
+            Work::Tokens { .. } => WorkUnit::Tokens,
+        }
+    }
+
+    /// Scalar number of units (token work counts prompt + output).
+    pub fn units(&self) -> f64 {
+        match *self {
+            Work::VideoSeconds(s) | Work::AudioSeconds(s) => s,
+            Work::Frames(n) | Work::Items(n) => f64::from(n),
+            Work::Tokens { prompt, output } => f64::from(prompt) + f64::from(output),
+        }
+    }
+
+    /// Splits the work into `n` near-equal chunks (for intra-task
+    /// parallelism — §3.2 "Execution Paths": `FrameExtractor` can split a
+    /// video into smaller chunks for parallel extraction).
+    ///
+    /// Token work is not splittable and returns a single chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn split(&self, n: u32) -> Vec<Work> {
+        assert!(n > 0, "cannot split into zero chunks");
+        match *self {
+            Work::VideoSeconds(s) => even_f64(s, n).into_iter().map(Work::VideoSeconds).collect(),
+            Work::AudioSeconds(s) => even_f64(s, n).into_iter().map(Work::AudioSeconds).collect(),
+            Work::Frames(k) => even_u32(k, n).into_iter().map(Work::Frames).collect(),
+            Work::Items(k) => even_u32(k, n).into_iter().map(Work::Items).collect(),
+            Work::Tokens { .. } => vec![*self],
+        }
+    }
+}
+
+fn even_f64(total: f64, n: u32) -> Vec<f64> {
+    let share = total / f64::from(n);
+    (0..n).map(|_| share).collect()
+}
+
+fn even_u32(total: u32, n: u32) -> Vec<u32> {
+    let n = n.min(total.max(1));
+    let base = total / n;
+    let rem = total % n;
+    (0..n).map(|i| base + u32::from(i < rem)).collect()
+}
+
+impl std::fmt::Display for Work {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Work::VideoSeconds(s) => write!(f, "{s:.1}s video"),
+            Work::AudioSeconds(s) => write!(f, "{s:.1}s audio"),
+            Work::Frames(n) => write!(f, "{n} frames"),
+            Work::Items(n) => write!(f, "{n} items"),
+            Work::Tokens { prompt, output } => write!(f, "{prompt}+{output} tokens"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_and_unit_kind() {
+        assert_eq!(Work::AudioSeconds(36.0).units(), 36.0);
+        assert_eq!(Work::Frames(10).unit(), WorkUnit::Frames);
+        assert_eq!(
+            Work::Tokens {
+                prompt: 100,
+                output: 28
+            }
+            .units(),
+            128.0
+        );
+    }
+
+    #[test]
+    fn split_conserves_total() {
+        let w = Work::Frames(10);
+        let parts = w.split(3);
+        assert_eq!(parts.len(), 3);
+        let total: f64 = parts.iter().map(Work::units).sum();
+        assert_eq!(total, 10.0);
+        // Near-equal: max-min <= 1 frame.
+        let counts: Vec<f64> = parts.iter().map(Work::units).collect();
+        assert!(counts.iter().cloned().fold(0.0, f64::max)
+            - counts.iter().cloned().fold(f64::MAX, f64::min)
+            <= 1.0);
+    }
+
+    #[test]
+    fn split_more_chunks_than_items_caps() {
+        let parts = Work::Frames(2).split(5);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn split_audio_evenly() {
+        let parts = Work::AudioSeconds(30.0).split(4);
+        assert_eq!(parts.len(), 4);
+        for p in &parts {
+            assert!((p.units() - 7.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn token_work_does_not_split() {
+        let w = Work::Tokens {
+            prompt: 10,
+            output: 5,
+        };
+        assert_eq!(w.split(4), vec![w]);
+    }
+
+    #[test]
+    fn lane_names_cover_figure3_legend() {
+        assert_eq!(Capability::Summarization.lane_name(), "LLM (Text)");
+        assert_eq!(Capability::SpeechToText.lane_name(), "Speech-to-Text");
+        assert_eq!(Capability::Embedding.lane_name(), "LLM (Embeddings)");
+        assert_eq!(Capability::ObjectDetection.lane_name(), "Object Detection");
+    }
+
+    #[test]
+    fn all_capabilities_have_lanes() {
+        for c in Capability::ALL {
+            assert!(!c.lane_name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Model/tool library, execution profiles and profiler for Murakkab.
+//!
+//! §3.2 of the paper: "Murakkab maintains a flexible library of agents,
+//! detailing their names, functionalities, and schemas" and "generates an
+//! execution profile for each model/tool and hardware resource pair when a
+//! new one is added to the library — the profile captures an efficiency vs
+//! quality tradeoff."
+//!
+//! This crate is that library:
+//!
+//! - [`capability`]: what an agent *does* ([`Capability`]) and how much
+//!   work a task carries ([`Work`]);
+//! - [`spec`]: agent descriptions — name, capability, quality, tool-call
+//!   schema, and a parametric cost backend ([`spec::Backend`]);
+//! - [`library`]: the stock registry with every agent the paper mentions
+//!   (OpenCV frame extraction; Whisper / FastConformer / DeepSpeech
+//!   speech-to-text; CLIP / SigLIP object detection; NVLM / Llama
+//!   summarisation; embeddings; plus newsfeed/tool agents);
+//! - [`profile`]: execution profiles per (agent, hardware target) and the
+//!   offline [`profile::Profiler`] that derives them;
+//! - [`toolcall`]: tool-call schemas and rendered calls (the orchestrator
+//!   LLM's "executable code snippet");
+//! - [`quality`]: end-to-end workflow quality composition;
+//! - [`vectordb`]: a real (exact-search) in-memory vector index backing
+//!   the `VectorDB` agent, so retrieval workflows return correct answers;
+//! - [`calib`]: every calibration constant, documented against the paper's
+//!   measured numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use murakkab_agents::{library, Capability};
+//!
+//! let lib = library::stock_library();
+//! let stt: Vec<_> = lib.candidates(Capability::SpeechToText).collect();
+//! assert!(stt.iter().any(|a| a.name == "Whisper"));
+//! assert!(stt.iter().any(|a| a.name == "FastConformer"));
+//! ```
+
+pub mod calib;
+pub mod capability;
+pub mod library;
+pub mod profile;
+pub mod quality;
+pub mod spec;
+pub mod toolcall;
+pub mod vectordb;
+
+pub use capability::{Capability, Work, WorkUnit};
+pub use library::AgentLibrary;
+pub use profile::{ExecutionProfile, ProfileStore, Profiler};
+pub use spec::{AgentSpec, Backend, RateCost};
+pub use toolcall::{ArgSpec, ArgType, ArgValue, ToolCall, ToolSchema};
+pub use vectordb::VectorIndex;

@@ -1,0 +1,610 @@
+//! The agent registry and the stock library.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_llmsim::model;
+use murakkab_sim::SimError;
+
+use crate::calib;
+use crate::capability::{Capability, WorkUnit};
+use crate::spec::{AgentSpec, Backend, RateCost};
+use crate::toolcall::{ArgSpec, ArgType, ToolSchema};
+
+/// The flexible library of agents the orchestrator selects from.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AgentLibrary {
+    agents: BTreeMap<String, AgentSpec>,
+}
+
+impl AgentLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        AgentLibrary::default()
+    }
+
+    /// Registers an agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidState`] if the name is already taken.
+    pub fn register(&mut self, spec: AgentSpec) -> Result<(), SimError> {
+        if self.agents.contains_key(&spec.name) {
+            return Err(SimError::InvalidState(format!(
+                "agent {} already registered",
+                spec.name
+            )));
+        }
+        self.agents.insert(spec.name.clone(), spec);
+        Ok(())
+    }
+
+    /// Looks up an agent by exact name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotFound`] for unknown names (the orchestrator's
+    /// hallucination guard relies on this).
+    pub fn get(&self, name: &str) -> Result<&AgentSpec, SimError> {
+        self.agents
+            .get(name)
+            .ok_or_else(|| SimError::not_found("agent", name))
+    }
+
+    /// All implementations of a capability, best quality first.
+    pub fn candidates(&self, capability: Capability) -> impl Iterator<Item = &AgentSpec> {
+        let mut v: Vec<&AgentSpec> = self
+            .agents
+            .values()
+            .filter(move |a| a.capability == capability)
+            .collect();
+        v.sort_by(|a, b| {
+            b.quality
+                .partial_cmp(&a.quality)
+                .expect("quality is never NaN")
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        v.into_iter()
+    }
+
+    /// All registered agents in name order.
+    pub fn all(&self) -> impl Iterator<Item = &AgentSpec> {
+        self.agents.values()
+    }
+
+    /// Number of registered agents.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// True if no agents are registered.
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// The system-prompt block listing every agent and schema (what §3.2
+    /// feeds the orchestrator LLM: "Murakkab provides the agent library
+    /// via the system prompt").
+    pub fn system_prompt(&self) -> String {
+        let mut out = String::from("You can call the following agents:\n");
+        for a in self.agents.values() {
+            out.push_str(&format!(
+                "- [{}] {}\n",
+                a.capability,
+                a.schema.prompt_line()
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the full stock library used throughout the reproduction.
+pub fn stock_library() -> AgentLibrary {
+    let mut lib = AgentLibrary::new();
+    for spec in stock_agents() {
+        lib.register(spec).expect("stock agent names are unique");
+    }
+    lib
+}
+
+/// Every stock agent.
+pub fn stock_agents() -> Vec<AgentSpec> {
+    vec![
+        // --- Frame extraction -------------------------------------------------
+        AgentSpec {
+            name: "OpenCV".into(),
+            capability: Capability::FrameExtraction,
+            quality: 0.98,
+            schema: ToolSchema::new(
+                "FrameExtractor",
+                "Extract sampled frames from a video segment",
+                vec![
+                    ArgSpec::required("file", ArgType::String),
+                    ArgSpec::required("num_frames", ArgType::Int),
+                    ArgSpec::optional("start_time", ArgType::Float),
+                    ArgSpec::optional("end_time", ArgType::Float),
+                ],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::VideoSeconds,
+                startup_s: 0.05,
+                gpu_unit_s: None,
+                cpu_core_s_per_unit: Some(calib::OPENCV_CORE_S_PER_VIDEO_S),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: 0.0,
+                max_gpus: 0,
+                max_cores: 4,
+            }),
+        },
+        AgentSpec {
+            name: "FFmpeg".into(),
+            capability: Capability::FrameExtraction,
+            quality: 0.96,
+            schema: ToolSchema::new(
+                "FfmpegExtract",
+                "Extract frames with ffmpeg (faster, keyframe-aligned)",
+                vec![
+                    ArgSpec::required("file", ArgType::String),
+                    ArgSpec::required("num_frames", ArgType::Int),
+                ],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::VideoSeconds,
+                startup_s: 0.10,
+                gpu_unit_s: None,
+                cpu_core_s_per_unit: Some(calib::OPENCV_CORE_S_PER_VIDEO_S * 0.6),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: 0.0,
+                max_gpus: 0,
+                max_cores: 4,
+            }),
+        },
+        // --- Speech-to-text ----------------------------------------------------
+        AgentSpec {
+            name: "Whisper".into(),
+            capability: Capability::SpeechToText,
+            quality: 0.97,
+            schema: ToolSchema::new(
+                "Transcribe",
+                "Transcribe speech audio to text with Whisper",
+                vec![
+                    ArgSpec::required("audio", ArgType::String),
+                    ArgSpec::optional("language", ArgType::String),
+                ],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::AudioSeconds,
+                startup_s: 0.20,
+                gpu_unit_s: Some(calib::WHISPER_GPU_RTF),
+                cpu_core_s_per_unit: Some(calib::WHISPER_CPU_RTF_PER_CORE),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: calib::STT_GPU_UTIL,
+                max_gpus: 1,
+                max_cores: 8,
+            }),
+        },
+        AgentSpec {
+            name: "FastConformer".into(),
+            capability: Capability::SpeechToText,
+            quality: 0.95,
+            schema: ToolSchema::new(
+                "FastConformerTranscribe",
+                "Transcribe speech with FastConformer (linearly scalable attention)",
+                vec![ArgSpec::required("audio", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::AudioSeconds,
+                startup_s: 0.15,
+                gpu_unit_s: Some(calib::WHISPER_GPU_RTF / 3.0),
+                cpu_core_s_per_unit: Some(calib::WHISPER_CPU_RTF_PER_CORE / 3.0),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: calib::STT_GPU_UTIL,
+                max_gpus: 1,
+                max_cores: 8,
+            }),
+        },
+        AgentSpec {
+            name: "DeepSpeech".into(),
+            capability: Capability::SpeechToText,
+            quality: 0.80,
+            schema: ToolSchema::new(
+                "DeepSpeechTranscribe",
+                "Transcribe speech with DeepSpeech (CPU-friendly, lower accuracy)",
+                vec![ArgSpec::required("audio", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::AudioSeconds,
+                startup_s: 0.10,
+                gpu_unit_s: None,
+                cpu_core_s_per_unit: Some(calib::WHISPER_CPU_RTF_PER_CORE / 4.0),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: 0.0,
+                max_gpus: 0,
+                max_cores: 4,
+            }),
+        },
+        // --- Object detection --------------------------------------------------
+        AgentSpec {
+            name: "CLIP".into(),
+            capability: Capability::ObjectDetection,
+            quality: 0.90,
+            schema: ToolSchema::new(
+                "DetectObjects",
+                "Detect and label objects in frames with CLIP",
+                vec![ArgSpec::required("frames", ArgType::Int)],
+            ),
+            multimodal: true,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::Frames,
+                startup_s: 0.10,
+                gpu_unit_s: Some(calib::CLIP_GPU_S_PER_FRAME),
+                cpu_core_s_per_unit: Some(calib::CLIP_CORE_S_PER_FRAME),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: 0.55,
+                max_gpus: 1,
+                max_cores: 8,
+            }),
+        },
+        AgentSpec {
+            name: "SigLIP".into(),
+            capability: Capability::ObjectDetection,
+            quality: 0.94,
+            schema: ToolSchema::new(
+                "SigLipDetect",
+                "Detect objects with SigLIP (higher accuracy, heavier)",
+                vec![ArgSpec::required("frames", ArgType::Int)],
+            ),
+            multimodal: true,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::Frames,
+                startup_s: 0.12,
+                gpu_unit_s: Some(calib::CLIP_GPU_S_PER_FRAME * 1.8),
+                cpu_core_s_per_unit: Some(calib::CLIP_CORE_S_PER_FRAME * 1.8),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: 0.60,
+                max_gpus: 1,
+                max_cores: 8,
+            }),
+        },
+        // --- Summarisation (LLM-served) ----------------------------------------
+        AgentSpec {
+            name: "NVLM".into(),
+            capability: Capability::Summarization,
+            quality: 0.93,
+            schema: ToolSchema::new(
+                "Summarize",
+                "Summarise scenes from frames, objects and transcripts",
+                vec![
+                    ArgSpec::required("context", ArgType::String),
+                    ArgSpec::optional("max_tokens", ArgType::Int),
+                ],
+            ),
+            multimodal: true,
+            backend: Backend::LlmServed {
+                model: model::nvlm_72b(),
+                default_gpus: calib::NVLM_TEXT_GPUS,
+                max_batch: calib::NVLM_TEXT_MAX_BATCH,
+            },
+        },
+        AgentSpec {
+            name: "Llama-70B".into(),
+            capability: Capability::Summarization,
+            quality: 0.92,
+            schema: ToolSchema::new(
+                "LlamaSummarize",
+                "Summarise text with Llama-3 70B (text-only)",
+                vec![ArgSpec::required("context", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::LlmServed {
+                model: model::llama3_70b(),
+                default_gpus: 8,
+                max_batch: 8,
+            },
+        },
+        AgentSpec {
+            name: "Llama-8B".into(),
+            capability: Capability::Summarization,
+            quality: 0.84,
+            schema: ToolSchema::new(
+                "LlamaSmallSummarize",
+                "Summarise text with Llama-3 8B (cheap, lower quality)",
+                vec![ArgSpec::required("context", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::LlmServed {
+                model: model::llama3_8b(),
+                default_gpus: 1,
+                max_batch: 16,
+            },
+        },
+        AgentSpec {
+            name: "GPT-4o".into(),
+            capability: Capability::Summarization,
+            quality: 0.97,
+            schema: ToolSchema::new(
+                "Gpt4oSummarize",
+                "Summarise via the OpenAI API (proprietary, external)",
+                vec![ArgSpec::required("context", ArgType::String)],
+            ),
+            multimodal: true,
+            backend: Backend::External {
+                latency_s: 2.8,
+                cost_per_call_usd: 0.024,
+            },
+        },
+        // --- Embeddings ---------------------------------------------------------
+        AgentSpec {
+            name: "NVLM-Embed".into(),
+            capability: Capability::Embedding,
+            quality: 0.90,
+            schema: ToolSchema::new(
+                "Embed",
+                "Embed text for vector search",
+                vec![ArgSpec::required("text", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::LlmServed {
+                model: model::embedder_7b(),
+                default_gpus: calib::EMBED_GPUS,
+                max_batch: calib::EMBED_MAX_BATCH,
+            },
+        },
+        // --- Newsfeed / tool agents ---------------------------------------------
+        AgentSpec {
+            name: "MiniSentiment".into(),
+            capability: Capability::SentimentAnalysis,
+            quality: 0.88,
+            schema: ToolSchema::new(
+                "AnalyzeSentiment",
+                "Classify sentiment of text items",
+                vec![ArgSpec::required("items", ArgType::Int)],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::Items,
+                startup_s: 0.05,
+                gpu_unit_s: Some(0.002),
+                cpu_core_s_per_unit: Some(0.05),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: 0.35,
+                max_gpus: 1,
+                max_cores: 8,
+            }),
+        },
+        AgentSpec {
+            name: "WebSearch".into(),
+            capability: Capability::WebSearch,
+            quality: 0.90,
+            schema: ToolSchema::new(
+                "SearchWeb",
+                "Retrieve documents from a web search index",
+                vec![ArgSpec::required("query", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::External {
+                latency_s: 0.8,
+                cost_per_call_usd: 0.005,
+            },
+        },
+        AgentSpec {
+            name: "Calculator".into(),
+            capability: Capability::Calculation,
+            quality: 1.0,
+            schema: ToolSchema::new(
+                "Calculate",
+                "Evaluate an arithmetic expression",
+                vec![ArgSpec::required("expression", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::Items,
+                startup_s: 0.0,
+                gpu_unit_s: None,
+                cpu_core_s_per_unit: Some(0.001),
+                parallel_efficiency: 1.0,
+                gpu_util: 0.0,
+                max_gpus: 0,
+                max_cores: 1,
+            }),
+        },
+        AgentSpec {
+            name: "VectorDB".into(),
+            capability: Capability::VectorStore,
+            quality: 0.95,
+            schema: ToolSchema::new(
+                "VectorUpsert",
+                "Insert embeddings into / query the vector database",
+                vec![ArgSpec::required("items", ArgType::Int)],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::Items,
+                startup_s: 0.01,
+                gpu_unit_s: None,
+                cpu_core_s_per_unit: Some(0.004),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: 0.0,
+                max_gpus: 0,
+                max_cores: 8,
+            }),
+        },
+        AgentSpec {
+            name: "FeedRanker".into(),
+            capability: Capability::Ranking,
+            quality: 0.90,
+            schema: ToolSchema::new(
+                "RankItems",
+                "Rank candidate items for a user's feed",
+                vec![ArgSpec::required("items", ArgType::Int)],
+            ),
+            multimodal: false,
+            backend: Backend::Tool(RateCost {
+                unit: WorkUnit::Items,
+                startup_s: 0.02,
+                gpu_unit_s: Some(0.001),
+                cpu_core_s_per_unit: Some(0.02),
+                parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+                gpu_util: 0.30,
+                max_gpus: 1,
+                max_cores: 16,
+            }),
+        },
+        AgentSpec {
+            name: "Llama-70B-Chat".into(),
+            capability: Capability::TextGeneration,
+            quality: 0.92,
+            schema: ToolSchema::new(
+                "LlamaGenerate",
+                "Free-form generation with Llama-3 70B (text-only)",
+                vec![ArgSpec::required("prompt", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::LlmServed {
+                model: model::llama3_70b(),
+                default_gpus: 8,
+                max_batch: 8,
+            },
+        },
+        AgentSpec {
+            name: "Llama-8B-Chat".into(),
+            capability: Capability::TextGeneration,
+            quality: 0.84,
+            schema: ToolSchema::new(
+                "LlamaSmallGenerate",
+                "Free-form generation with Llama-3 8B (cheap)",
+                vec![ArgSpec::required("prompt", ArgType::String)],
+            ),
+            multimodal: false,
+            backend: Backend::LlmServed {
+                model: model::llama3_8b(),
+                default_gpus: 1,
+                max_batch: 16,
+            },
+        },
+        AgentSpec {
+            name: "NVLM-Chat".into(),
+            capability: Capability::TextGeneration,
+            quality: 0.93,
+            schema: ToolSchema::new(
+                "Generate",
+                "Free-form LLM generation (reasoning, drafting)",
+                vec![
+                    ArgSpec::required("prompt", ArgType::String),
+                    ArgSpec::optional("max_tokens", ArgType::Int),
+                ],
+            ),
+            multimodal: true,
+            backend: Backend::LlmServed {
+                model: model::nvlm_72b(),
+                default_gpus: calib::NVLM_TEXT_GPUS,
+                max_batch: calib::NVLM_TEXT_MAX_BATCH,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murakkab_hardware::HardwareTarget;
+
+    #[test]
+    fn stock_library_registers_everything() {
+        let lib = stock_library();
+        assert_eq!(lib.len(), stock_agents().len());
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut lib = stock_library();
+        let dup = stock_agents().remove(0);
+        assert!(matches!(
+            lib.register(dup),
+            Err(SimError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_agent_is_not_found() {
+        let lib = stock_library();
+        assert!(matches!(
+            lib.get("MadeUpAgent9000"),
+            Err(SimError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn stt_has_three_implementations_sorted_by_quality() {
+        let lib = stock_library();
+        let names: Vec<&str> = lib
+            .candidates(Capability::SpeechToText)
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["Whisper", "FastConformer", "DeepSpeech"]);
+    }
+
+    #[test]
+    fn every_capability_in_paper_workflows_is_covered() {
+        let lib = stock_library();
+        for cap in [
+            Capability::FrameExtraction,
+            Capability::SpeechToText,
+            Capability::ObjectDetection,
+            Capability::Summarization,
+            Capability::Embedding,
+            Capability::SentimentAnalysis,
+            Capability::WebSearch,
+            Capability::VectorStore,
+            Capability::Ranking,
+            Capability::TextGeneration,
+        ] {
+            assert!(
+                lib.candidates(cap).next().is_some(),
+                "no agent for {cap:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn whisper_runs_on_both_sides_deepspeech_cpu_only() {
+        let lib = stock_library();
+        let whisper = lib.get("Whisper").unwrap();
+        assert!(whisper.supports_target(&HardwareTarget::ONE_GPU));
+        assert!(whisper.supports_target(&HardwareTarget::cpu_cores(64)));
+        let ds = lib.get("DeepSpeech").unwrap();
+        assert!(!ds.supports_target(&HardwareTarget::ONE_GPU));
+        assert!(ds.supports_target(&HardwareTarget::cpu_cores(8)));
+    }
+
+    #[test]
+    fn system_prompt_lists_schemas() {
+        let prompt = stock_library().system_prompt();
+        assert!(prompt.contains("FrameExtractor("));
+        assert!(prompt.contains("Transcribe("));
+        assert!(prompt.contains("[SpeechToText]"));
+    }
+
+    #[test]
+    fn quality_orderings_match_the_paper_narrative() {
+        let lib = stock_library();
+        // Whisper best STT quality; FastConformer faster but lower quality.
+        let whisper = lib.get("Whisper").unwrap();
+        let fc = lib.get("FastConformer").unwrap();
+        assert!(whisper.quality > fc.quality);
+        let Backend::Tool(w) = &whisper.backend else { panic!() };
+        let Backend::Tool(f) = &fc.backend else { panic!() };
+        assert!(f.gpu_unit_s.unwrap() < w.gpu_unit_s.unwrap());
+        // SigLIP beats CLIP on quality, costs more.
+        let clip = lib.get("CLIP").unwrap();
+        let siglip = lib.get("SigLIP").unwrap();
+        assert!(siglip.quality > clip.quality);
+    }
+}

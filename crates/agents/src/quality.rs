@@ -1,0 +1,117 @@
+//! End-to-end workflow quality composition.
+//!
+//! §5 "Quantifying and Controlling Quality": model interactions cause
+//! cascading effects — a weak early stage (e.g. a sloppy transcript)
+//! degrades everything downstream. We use the *weakest-link* rule with a
+//! mild cascade penalty: the workflow's quality is the minimum stage
+//! quality, discounted by how many other stages fall below a "clean"
+//! threshold. This is deliberately simple, monotone and explainable — the
+//! properties the configuration search needs.
+
+use serde::{Deserialize, Serialize};
+
+/// Stage qualities below this contribute a cascade penalty.
+pub const CLEAN_THRESHOLD: f64 = 0.90;
+
+/// Penalty multiplier per additional sub-threshold stage.
+pub const CASCADE_PENALTY: f64 = 0.97;
+
+/// Composes per-stage qualities into an end-to-end workflow quality.
+///
+/// Returns 1.0 for an empty workflow (nothing to get wrong).
+///
+/// # Examples
+///
+/// ```
+/// use murakkab_agents::quality::compose;
+///
+/// let q = compose(&[0.97, 0.93, 0.95]);
+/// assert!((q - 0.93).abs() < 1e-9); // weakest link, no cascade
+/// assert!(compose(&[0.97, 0.80, 0.80]) < 0.80); // cascading weak stages
+/// ```
+pub fn compose(stage_qualities: &[f64]) -> f64 {
+    if stage_qualities.is_empty() {
+        return 1.0;
+    }
+    let min = stage_qualities
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let weak = stage_qualities
+        .iter()
+        .filter(|&&q| q < CLEAN_THRESHOLD)
+        .count();
+    // The weakest stage sets the ceiling; every *additional* weak stage
+    // compounds the damage slightly.
+    let extra_weak = weak.saturating_sub(1);
+    min * CASCADE_PENALTY.powi(extra_weak as i32)
+}
+
+/// Whether a composed quality meets a target within tolerance.
+pub fn meets(composed: f64, target: f64) -> bool {
+    composed + 1e-9 >= target
+}
+
+/// A named quality requirement the orchestrator carries around.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityTarget {
+    /// Minimum acceptable end-to-end quality in `[0, 1]`.
+    pub min_quality: f64,
+}
+
+impl Default for QualityTarget {
+    /// The default bar: within 5% of the best available implementations
+    /// (the paper's evaluation holds output quality equal across configs).
+    fn default() -> Self {
+        QualityTarget { min_quality: 0.90 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_workflow_is_perfect() {
+        assert_eq!(compose(&[]), 1.0);
+    }
+
+    #[test]
+    fn single_stage_passes_through() {
+        assert!((compose(&[0.85]) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weakest_link_dominates() {
+        assert!((compose(&[0.99, 0.93, 0.99]) - 0.93).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade_penalty_applies_per_extra_weak_stage() {
+        let one_weak = compose(&[0.99, 0.80]);
+        let two_weak = compose(&[0.80, 0.80]);
+        let three_weak = compose(&[0.80, 0.80, 0.80]);
+        assert!((one_weak - 0.80).abs() < 1e-12);
+        assert!((two_weak - 0.80 * CASCADE_PENALTY).abs() < 1e-12);
+        assert!((three_weak - 0.80 * CASCADE_PENALTY * CASCADE_PENALTY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_is_monotone_in_each_stage() {
+        let lo = compose(&[0.95, 0.85, 0.9]);
+        let hi = compose(&[0.95, 0.90, 0.9]);
+        assert!(hi >= lo);
+    }
+
+    #[test]
+    fn meets_has_tolerance() {
+        assert!(meets(0.9, 0.9));
+        assert!(meets(0.8999999999, 0.9));
+        assert!(!meets(0.85, 0.9));
+    }
+
+    #[test]
+    fn default_target_is_90_percent() {
+        assert_eq!(QualityTarget::default().min_quality, 0.90);
+    }
+}

@@ -1,0 +1,390 @@
+//! Agent specifications and parametric cost backends.
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_hardware::HardwareTarget;
+use murakkab_llmsim::ModelSpec;
+use murakkab_sim::{SimDuration, SimError};
+
+use crate::capability::{Capability, Work, WorkUnit};
+use crate::toolcall::ToolSchema;
+
+/// How an agent's execution cost is modelled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Backend {
+    /// A rate-based tool/model executed directly on CPUs or GPUs
+    /// (frame extraction, STT, object detection, ...).
+    Tool(RateCost),
+    /// An LLM served by a `murakkab-llmsim` endpoint; the endpoint's
+    /// queueing/batching determines latency, so the spec only carries the
+    /// model and its deployment defaults.
+    LlmServed {
+        /// The served model.
+        model: ModelSpec,
+        /// Default GPUs per replica.
+        default_gpus: u32,
+        /// Iteration batch limit.
+        max_batch: u32,
+    },
+    /// A third-party API (§5 "Proprietary Models and Agents"): fixed
+    /// latency, per-call dollar cost, zero local resource usage.
+    External {
+        /// Mean response latency in seconds.
+        latency_s: f64,
+        /// Dollar cost per call.
+        cost_per_call_usd: f64,
+    },
+}
+
+/// Rate-based cost: `latency = startup + units · unit_cost / throughput`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateCost {
+    /// The unit the rates below are denominated in.
+    pub unit: WorkUnit,
+    /// Fixed startup overhead in seconds (model load, process spawn).
+    pub startup_s: f64,
+    /// Seconds per unit on one full GPU (`None` = cannot run on GPU).
+    pub gpu_unit_s: Option<f64>,
+    /// Core-seconds per unit on CPU (`None` = cannot run on CPU).
+    pub cpu_core_s_per_unit: Option<f64>,
+    /// Efficiency when fanning out across >1 core/GPU.
+    pub parallel_efficiency: f64,
+    /// GPU utilization fraction while running (drives power).
+    pub gpu_util: f64,
+    /// Most GPUs one work item can exploit (extra GPUs are wasted, which
+    /// is why the runtime fans out *items*, not devices).
+    pub max_gpus: u32,
+    /// Most CPU cores one work item can exploit.
+    pub max_cores: u32,
+}
+
+impl RateCost {
+    /// Latency of `work` on `target`.
+    ///
+    /// Hybrid targets split the work proportionally to each side's
+    /// throughput and finish together (the optimal static split).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] if the work unit does not match
+    /// or the target side is unsupported (e.g. GPU target for a CPU-only
+    /// tool).
+    pub fn latency(&self, work: &Work, target: &HardwareTarget) -> Result<SimDuration, SimError> {
+        if work.unit() != self.unit {
+            return Err(SimError::InvalidInput(format!(
+                "work unit {:?} does not match cost-model unit {:?}",
+                work.unit(),
+                self.unit
+            )));
+        }
+        let units = work.units();
+        let thr = self.throughput(target)?;
+        Ok(SimDuration::from_secs_f64(self.startup_s + units / thr))
+    }
+
+    /// Aggregate throughput (units/second) of `target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RateCost::latency`].
+    pub fn throughput(&self, target: &HardwareTarget) -> Result<f64, SimError> {
+        let gpu_thr = |gpu_units: f64| -> Result<f64, SimError> {
+            let per = self.gpu_unit_s.ok_or_else(|| {
+                SimError::InvalidInput("tool does not support GPU execution".into())
+            })?;
+            Ok(self.scaled(gpu_units.min(f64::from(self.max_gpus))) / per)
+        };
+        let cpu_thr = |cores: u32| -> Result<f64, SimError> {
+            let per = self.cpu_core_s_per_unit.ok_or_else(|| {
+                SimError::InvalidInput("tool does not support CPU execution".into())
+            })?;
+            Ok(self.scaled(f64::from(cores.min(self.max_cores))) / per)
+        };
+        match *target {
+            HardwareTarget::Gpu { count, share } => gpu_thr(f64::from(count) * share),
+            HardwareTarget::Cpu { cores } => cpu_thr(cores),
+            HardwareTarget::Hybrid {
+                gpus,
+                gpu_share,
+                cores,
+            } => Ok(gpu_thr(f64::from(gpus) * gpu_share)? + cpu_thr(cores)?),
+        }
+    }
+
+    /// Effective parallel capacity of `n` units (Amdahl-style discount for
+    /// anything beyond the first unit).
+    fn scaled(&self, n: f64) -> f64 {
+        if n <= 0.0 {
+            0.0
+        } else if n <= 1.0 {
+            n
+        } else {
+            1.0 + (n - 1.0) * self.parallel_efficiency
+        }
+    }
+
+    /// Whether the tool can run on the given target at all.
+    pub fn supports(&self, target: &HardwareTarget) -> bool {
+        match target {
+            HardwareTarget::Gpu { .. } => self.gpu_unit_s.is_some(),
+            HardwareTarget::Cpu { .. } => self.cpu_core_s_per_unit.is_some(),
+            HardwareTarget::Hybrid { .. } => {
+                self.gpu_unit_s.is_some() && self.cpu_core_s_per_unit.is_some()
+            }
+        }
+    }
+}
+
+/// A library entry: one concrete model or tool implementing a capability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentSpec {
+    /// Display name, e.g. `"Whisper"`.
+    pub name: String,
+    /// The capability it implements.
+    pub capability: Capability,
+    /// Output quality score in `[0, 1]` relative to the capability's best
+    /// known implementation.
+    pub quality: f64,
+    /// The tool-call schema the orchestrator uses to invoke it.
+    pub schema: ToolSchema,
+    /// Whether the agent accepts image inputs (frame summarisation needs
+    /// a multimodal model; text-only LLMs must not be selected for it).
+    pub multimodal: bool,
+    /// Cost backend.
+    pub backend: Backend,
+}
+
+impl AgentSpec {
+    /// Latency of `work` on `target` for tool backends; LLM-served agents
+    /// return an estimate assuming an idle endpoint (profiles use this),
+    /// and external agents return their fixed latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model errors (unit mismatch, unsupported target).
+    pub fn estimate_latency(
+        &self,
+        work: &Work,
+        target: &HardwareTarget,
+    ) -> Result<SimDuration, SimError> {
+        match &self.backend {
+            Backend::Tool(rate) => rate.latency(work, target),
+            Backend::LlmServed { model, .. } => {
+                let Work::Tokens { prompt, output } = *work else {
+                    return Err(SimError::InvalidInput(format!(
+                        "LLM agent {} needs token work, got {work}",
+                        self.name
+                    )));
+                };
+                let gpus = match *target {
+                    HardwareTarget::Gpu { count, .. } => count,
+                    _ => {
+                        return Err(SimError::InvalidInput(format!(
+                            "LLM agent {} only runs on GPUs",
+                            self.name
+                        )));
+                    }
+                };
+                let sku = murakkab_hardware::catalog::a100_80g();
+                let group = murakkab_llmsim::TpGroup::new(sku, gpus);
+                if group.kv_capacity_tokens(model) == 0 {
+                    return Err(SimError::InvalidInput(format!(
+                        "{} does not fit on {gpus} GPU(s)",
+                        model.name
+                    )));
+                }
+                Ok(murakkab_llmsim::cost::solo_latency(
+                    model, &group, prompt, output,
+                ))
+            }
+            Backend::External { latency_s, .. } => Ok(SimDuration::from_secs_f64(*latency_s)),
+        }
+    }
+
+    /// True if the agent can execute on `target`.
+    pub fn supports_target(&self, target: &HardwareTarget) -> bool {
+        match &self.backend {
+            Backend::Tool(rate) => rate.supports(target),
+            Backend::LlmServed { model, .. } => match *target {
+                HardwareTarget::Gpu { count, .. } => {
+                    let sku = murakkab_hardware::catalog::a100_80g();
+                    murakkab_llmsim::TpGroup::new(sku, count).kv_capacity_tokens(model) > 0
+                }
+                _ => false,
+            },
+            Backend::External { .. } => true,
+        }
+    }
+
+    /// GPU utilization while this agent runs on a GPU (power model input).
+    pub fn gpu_util(&self) -> f64 {
+        match &self.backend {
+            Backend::Tool(rate) => rate.gpu_util,
+            Backend::LlmServed { .. } => 1.0, // Managed by the endpoint.
+            Backend::External { .. } => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib;
+
+    fn whisper_rate() -> RateCost {
+        RateCost {
+            unit: WorkUnit::AudioSeconds,
+            startup_s: 0.2,
+            gpu_unit_s: Some(calib::WHISPER_GPU_RTF),
+            cpu_core_s_per_unit: Some(calib::WHISPER_CPU_RTF_PER_CORE),
+            parallel_efficiency: calib::TOOL_PARALLEL_EFFICIENCY,
+            gpu_util: calib::STT_GPU_UTIL,
+            max_gpus: 1,
+            max_cores: calib::STT_CORES_PER_SCENE,
+        }
+    }
+
+    #[test]
+    fn gpu_latency_matches_rtf() {
+        let r = whisper_rate();
+        let t = r
+            .latency(&Work::AudioSeconds(36.0), &HardwareTarget::ONE_GPU)
+            .unwrap();
+        let expect = 0.2 + 36.0 * calib::WHISPER_GPU_RTF;
+        assert!((t.as_secs_f64() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpu_latency_scales_with_cores_with_discount() {
+        let r = whisper_rate();
+        let one = r
+            .latency(&Work::AudioSeconds(36.0), &HardwareTarget::cpu_cores(1))
+            .unwrap()
+            .as_secs_f64();
+        let eight = r
+            .latency(&Work::AudioSeconds(36.0), &HardwareTarget::cpu_cores(8))
+            .unwrap()
+            .as_secs_f64();
+        assert!(eight < one / 6.0, "8 cores should be ~7.3x faster");
+        assert!(eight > one / 8.0, "parallel efficiency must discount");
+    }
+
+    #[test]
+    fn hybrid_combines_throughputs() {
+        let r = whisper_rate();
+        let gpu = r.throughput(&HardwareTarget::ONE_GPU).unwrap();
+        let cpu = r.throughput(&HardwareTarget::cpu_cores(64)).unwrap();
+        let hybrid = r
+            .throughput(&HardwareTarget::Hybrid {
+                gpus: 1,
+                gpu_share: 1.0,
+                cores: 64,
+            })
+            .unwrap();
+        assert!((hybrid - (gpu + cpu)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_mismatch_is_rejected() {
+        let r = whisper_rate();
+        assert!(matches!(
+            r.latency(&Work::Frames(3), &HardwareTarget::ONE_GPU),
+            Err(SimError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn cpu_only_tool_rejects_gpu() {
+        let r = RateCost {
+            unit: WorkUnit::Frames,
+            startup_s: 0.0,
+            gpu_unit_s: None,
+            cpu_core_s_per_unit: Some(0.2),
+            parallel_efficiency: 0.9,
+            gpu_util: 0.0,
+            max_gpus: 0,
+            max_cores: 8,
+        };
+        assert!(!r.supports(&HardwareTarget::ONE_GPU));
+        assert!(r.supports(&HardwareTarget::cpu_cores(4)));
+        assert!(r.latency(&Work::Frames(10), &HardwareTarget::ONE_GPU).is_err());
+    }
+
+    #[test]
+    fn fractional_gpu_share_slows_down() {
+        let r = whisper_rate();
+        let full = r.throughput(&HardwareTarget::ONE_GPU).unwrap();
+        let half = r
+            .throughput(&HardwareTarget::Gpu {
+                count: 1,
+                share: 0.5,
+            })
+            .unwrap();
+        assert!((half - full / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llm_agent_estimates_only_token_work_on_gpus() {
+        let spec = AgentSpec {
+            name: "NVLM".into(),
+            capability: Capability::Summarization,
+            quality: 0.93,
+            schema: ToolSchema::new("Summarize", "summarise", vec![]),
+            multimodal: true,
+            backend: Backend::LlmServed {
+                model: murakkab_llmsim::model::nvlm_72b(),
+                default_gpus: 8,
+                max_batch: 4,
+            },
+        };
+        let ok = spec.estimate_latency(
+            &Work::Tokens {
+                prompt: 600,
+                output: 80,
+            },
+            &HardwareTarget::gpus(8),
+        );
+        assert!(ok.unwrap() > SimDuration::ZERO);
+        assert!(spec
+            .estimate_latency(&Work::Frames(1), &HardwareTarget::gpus(8))
+            .is_err());
+        assert!(spec
+            .estimate_latency(
+                &Work::Tokens {
+                    prompt: 1,
+                    output: 1
+                },
+                &HardwareTarget::cpu_cores(64)
+            )
+            .is_err());
+        // 72B does not fit on one GPU.
+        assert!(!spec.supports_target(&HardwareTarget::ONE_GPU));
+        assert!(spec.supports_target(&HardwareTarget::gpus(8)));
+    }
+
+    #[test]
+    fn external_agent_has_fixed_latency() {
+        let spec = AgentSpec {
+            name: "GPT-4o".into(),
+            capability: Capability::Summarization,
+            quality: 0.97,
+            schema: ToolSchema::new("Gpt4o", "external summariser", vec![]),
+            multimodal: true,
+            backend: Backend::External {
+                latency_s: 2.5,
+                cost_per_call_usd: 0.02,
+            },
+        };
+        let t = spec
+            .estimate_latency(
+                &Work::Tokens {
+                    prompt: 100,
+                    output: 100,
+                },
+                &HardwareTarget::cpu_cores(1),
+            )
+            .unwrap();
+        assert_eq!(t, SimDuration::from_secs_f64(2.5));
+        assert!(spec.supports_target(&HardwareTarget::ONE_GPU));
+    }
+}

@@ -1,0 +1,291 @@
+//! Tool-call schemas and rendered calls.
+//!
+//! §3.2: "Murakkab then supplies task metadata and input details to the
+//! LLM, requesting a tool call for the selected agent. The LLM generates an
+//! executable code snippet with the necessary arguments to invoke the agent
+//! directly", e.g.
+//! `FrameExtractor(start_time=0, end_time=60s, num_frames=10, file="cats.mov")`.
+//!
+//! [`ToolSchema`] is the library-side declaration; [`ToolCall`] is the
+//! orchestrator-side instantiation, validated against the schema (the
+//! hallucination guard: an LLM emitting an unknown agent or a bad argument
+//! is caught here, not at execution time).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::SimError;
+
+/// Argument value types a tool accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArgType {
+    /// UTF-8 string.
+    String,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean flag.
+    Bool,
+}
+
+/// A concrete argument value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArgValue {
+    /// String value.
+    String(String),
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl ArgValue {
+    /// The value's type tag.
+    pub fn arg_type(&self) -> ArgType {
+        match self {
+            ArgValue::String(_) => ArgType::String,
+            ArgValue::Int(_) => ArgType::Int,
+            ArgValue::Float(_) => ArgType::Float,
+            ArgValue::Bool(_) => ArgType::Bool,
+        }
+    }
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::String(s) => write!(f, "\"{s}\""),
+            ArgValue::Int(i) => write!(f, "{i}"),
+            ArgValue::Float(x) => write!(f, "{x}"),
+            ArgValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One declared argument of a tool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArgSpec {
+    /// Argument name.
+    pub name: String,
+    /// Expected type.
+    pub ty: ArgType,
+    /// Whether the orchestrator must supply it.
+    pub required: bool,
+}
+
+impl ArgSpec {
+    /// A required argument.
+    pub fn required(name: &str, ty: ArgType) -> Self {
+        ArgSpec {
+            name: name.to_string(),
+            ty,
+            required: true,
+        }
+    }
+
+    /// An optional argument.
+    pub fn optional(name: &str, ty: ArgType) -> Self {
+        ArgSpec {
+            name: name.to_string(),
+            ty,
+            required: false,
+        }
+    }
+}
+
+/// The callable interface an agent exposes to the orchestrator LLM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToolSchema {
+    /// Function name the LLM must emit, e.g. `"FrameExtractor"`.
+    pub function: String,
+    /// Declared arguments.
+    pub args: Vec<ArgSpec>,
+    /// One-line description included in the orchestrator system prompt.
+    pub description: String,
+}
+
+impl ToolSchema {
+    /// Creates a schema.
+    pub fn new(function: &str, description: &str, args: Vec<ArgSpec>) -> Self {
+        ToolSchema {
+            function: function.to_string(),
+            args,
+            description: description.to_string(),
+        }
+    }
+
+    /// Validates a call against this schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] for a function-name mismatch, a
+    /// missing required argument, an unknown argument, or a type mismatch.
+    pub fn validate(&self, call: &ToolCall) -> Result<(), SimError> {
+        if call.function != self.function {
+            return Err(SimError::InvalidInput(format!(
+                "tool call {} does not match schema {}",
+                call.function, self.function
+            )));
+        }
+        for spec in &self.args {
+            match call.args.get(&spec.name) {
+                None if spec.required => {
+                    return Err(SimError::InvalidInput(format!(
+                        "{}: missing required argument `{}`",
+                        self.function, spec.name
+                    )));
+                }
+                Some(v) if v.arg_type() != spec.ty => {
+                    return Err(SimError::InvalidInput(format!(
+                        "{}: argument `{}` has type {:?}, expected {:?}",
+                        self.function,
+                        spec.name,
+                        v.arg_type(),
+                        spec.ty
+                    )));
+                }
+                _ => {}
+            }
+        }
+        for name in call.args.keys() {
+            if !self.args.iter().any(|a| &a.name == name) {
+                return Err(SimError::InvalidInput(format!(
+                    "{}: unknown argument `{name}` (hallucinated?)",
+                    self.function
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the schema line used in the orchestrator's system prompt.
+    pub fn prompt_line(&self) -> String {
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|a| {
+                let opt = if a.required { "" } else { "?" };
+                format!("{}{}: {:?}", a.name, opt, a.ty)
+            })
+            .collect();
+        format!("{}({}) — {}", self.function, args.join(", "), self.description)
+    }
+}
+
+/// A concrete tool invocation produced by the orchestrator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToolCall {
+    /// Function name.
+    pub function: String,
+    /// Argument bindings (sorted map for deterministic rendering).
+    pub args: BTreeMap<String, ArgValue>,
+}
+
+impl ToolCall {
+    /// Creates an empty call for `function`.
+    pub fn new(function: &str) -> Self {
+        ToolCall {
+            function: function.to_string(),
+            args: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an argument (builder style).
+    #[must_use]
+    pub fn arg(mut self, name: &str, value: ArgValue) -> Self {
+        self.args.insert(name.to_string(), value);
+        self
+    }
+}
+
+impl fmt::Display for ToolCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        write!(f, "{}({})", self.function, args.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_extractor_schema() -> ToolSchema {
+        ToolSchema::new(
+            "FrameExtractor",
+            "Extract sampled frames from a video file",
+            vec![
+                ArgSpec::required("file", ArgType::String),
+                ArgSpec::required("num_frames", ArgType::Int),
+                ArgSpec::optional("start_time", ArgType::Float),
+                ArgSpec::optional("end_time", ArgType::Float),
+            ],
+        )
+    }
+
+    fn good_call() -> ToolCall {
+        ToolCall::new("FrameExtractor")
+            .arg("file", ArgValue::String("cats.mov".into()))
+            .arg("num_frames", ArgValue::Int(10))
+            .arg("start_time", ArgValue::Float(0.0))
+    }
+
+    #[test]
+    fn valid_call_passes() {
+        frame_extractor_schema().validate(&good_call()).unwrap();
+    }
+
+    #[test]
+    fn renders_like_the_paper_example() {
+        let s = good_call().to_string();
+        assert_eq!(
+            s,
+            "FrameExtractor(file=\"cats.mov\", num_frames=10, start_time=0)"
+        );
+    }
+
+    #[test]
+    fn missing_required_argument_fails() {
+        let call = ToolCall::new("FrameExtractor").arg("num_frames", ArgValue::Int(10));
+        let err = frame_extractor_schema().validate(&call).unwrap_err();
+        assert!(err.to_string().contains("missing required argument"));
+    }
+
+    #[test]
+    fn unknown_argument_fails() {
+        let call = good_call().arg("hallucinated", ArgValue::Bool(true));
+        let err = frame_extractor_schema().validate(&call).unwrap_err();
+        assert!(err.to_string().contains("unknown argument"));
+    }
+
+    #[test]
+    fn wrong_type_fails() {
+        let call = ToolCall::new("FrameExtractor")
+            .arg("file", ArgValue::Int(3))
+            .arg("num_frames", ArgValue::Int(10));
+        let err = frame_extractor_schema().validate(&call).unwrap_err();
+        assert!(err.to_string().contains("has type"));
+    }
+
+    #[test]
+    fn wrong_function_fails() {
+        let call = ToolCall::new("SomethingElse");
+        assert!(frame_extractor_schema().validate(&call).is_err());
+    }
+
+    #[test]
+    fn prompt_line_lists_args() {
+        let line = frame_extractor_schema().prompt_line();
+        assert!(line.starts_with("FrameExtractor("));
+        assert!(line.contains("file: String"));
+        assert!(line.contains("start_time?: Float"));
+    }
+}

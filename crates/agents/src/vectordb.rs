@@ -1,0 +1,266 @@
+//! An in-memory vector database.
+//!
+//! The paper's Video Understanding pipeline inserts scene embeddings
+//! "in a VectorDB for question/answering". The *scheduling* cost of those
+//! inserts is modelled by the `VectorDB` agent's [`crate::RateCost`]; this
+//! module provides the functional substrate — a real, exact-search vector
+//! index — so applications (and the doc-QA example/tests) can thread
+//! actual embeddings through the workflow and get correct answers back.
+//!
+//! Exact brute-force cosine search is plenty at workflow scale (hundreds
+//! of vectors); the point is correctness and determinism, not ANN tricks.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::SimError;
+
+/// A deterministic, exact-search vector index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VectorIndex {
+    dims: usize,
+    entries: BTreeMap<String, Vec<f32>>,
+}
+
+impl VectorIndex {
+    /// Creates an index for `dims`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        VectorIndex {
+            dims,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The index dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or replaces) `key`'s vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] on a dimensionality mismatch or
+    /// a zero-norm vector (cosine similarity undefined).
+    pub fn insert(&mut self, key: impl Into<String>, vector: Vec<f32>) -> Result<(), SimError> {
+        if vector.len() != self.dims {
+            return Err(SimError::InvalidInput(format!(
+                "vector has {} dims, index holds {}",
+                vector.len(),
+                self.dims
+            )));
+        }
+        if norm(&vector) == 0.0 {
+            return Err(SimError::InvalidInput(
+                "zero-norm vectors cannot be indexed under cosine similarity".into(),
+            ));
+        }
+        self.entries.insert(key.into(), vector);
+        Ok(())
+    }
+
+    /// Removes a key, returning whether it was present.
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Exact top-`k` cosine search. Results are sorted by descending
+    /// similarity; ties break by key (deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] on a dimensionality mismatch.
+    pub fn query(&self, vector: &[f32], k: usize) -> Result<Vec<(String, f32)>, SimError> {
+        if vector.len() != self.dims {
+            return Err(SimError::InvalidInput(format!(
+                "query has {} dims, index holds {}",
+                vector.len(),
+                self.dims
+            )));
+        }
+        let mut scored: Vec<(String, f32)> = self
+            .entries
+            .iter()
+            .map(|(key, v)| (key.clone(), cosine(vector, v)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("cosine of finite non-zero vectors is finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        Ok(scored)
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (zero-norm queries score
+/// zero against everything).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// A deterministic pseudo-embedding: hashes character trigrams into
+/// `dims` buckets. Not a semantic model — it is the offline stand-in that
+/// makes "similar strings embed similarly" hold well enough for tests and
+/// examples (shared trigrams ⇒ shared buckets ⇒ higher cosine).
+pub fn embed_text(text: &str, dims: usize) -> Vec<f32> {
+    assert!(dims > 0, "dimensionality must be positive");
+    let mut v = vec![0.0f32; dims];
+    let lower = text.to_lowercase();
+    let bytes = lower.as_bytes();
+    if bytes.is_empty() {
+        v[0] = 1.0;
+        return v;
+    }
+    for w in bytes.windows(3.min(bytes.len())) {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in w {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        v[(h % dims as u64) as usize] += 1.0;
+    }
+    let n = norm(&v);
+    if n > 0.0 {
+        for x in &mut v {
+            *x /= n;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let mut idx = VectorIndex::new(4);
+        idx.insert("a", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        idx.insert("b", vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        idx.insert("ab", vec![1.0, 1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(idx.len(), 3);
+
+        let hits = idx.query(&[1.0, 0.0, 0.0, 0.0], 2).unwrap();
+        assert_eq!(hits[0].0, "a");
+        assert!((hits[0].1 - 1.0).abs() < 1e-6, "self-similarity is 1");
+        assert_eq!(hits[1].0, "ab");
+        assert!((hits[1].1 - 0.70710677).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_vectors_score_zero() {
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut idx = VectorIndex::new(3);
+        assert!(idx.insert("x", vec![1.0, 2.0]).is_err());
+        idx.insert("x", vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(idx.query(&[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn zero_vectors_are_rejected() {
+        let mut idx = VectorIndex::new(2);
+        assert!(idx.insert("zero", vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut idx = VectorIndex::new(2);
+        idx.insert("k", vec![1.0, 0.0]).unwrap();
+        idx.insert("k", vec![0.0, 1.0]).unwrap();
+        assert_eq!(idx.len(), 1);
+        let hits = idx.query(&[0.0, 1.0], 1).unwrap();
+        assert!((hits[0].1 - 1.0).abs() < 1e-6);
+        assert!(idx.remove("k"));
+        assert!(!idx.remove("k"));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_truncated() {
+        let mut idx = VectorIndex::new(8);
+        for i in 0..20 {
+            idx.insert(format!("doc{i:02}"), embed_text(&format!("document {i}"), 8))
+                .unwrap();
+        }
+        let q = embed_text("document 7", 8);
+        let hits = idx.query(&q, 5).unwrap();
+        assert_eq!(hits.len(), 5);
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1, "descending scores");
+        }
+    }
+
+    #[test]
+    fn pseudo_embedding_prefers_similar_text() {
+        let dims = 64;
+        let apple1 = embed_text("the cat chased the red ball", dims);
+        let apple2 = embed_text("a cat chases a red ball", dims);
+        let other = embed_text("quarterly financial derivatives report", dims);
+        assert!(
+            cosine(&apple1, &apple2) > cosine(&apple1, &other),
+            "related sentences must score higher"
+        );
+    }
+
+    #[test]
+    fn pseudo_embedding_is_deterministic_and_normalized() {
+        let a = embed_text("hello world", 32);
+        let b = embed_text("hello world", 32);
+        assert_eq!(a, b);
+        assert!((norm(&a) - 1.0).abs() < 1e-5);
+        // Degenerate inputs still produce a valid vector.
+        let empty = embed_text("", 4);
+        assert!((norm(&empty) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn end_to_end_retrieval_answers_the_right_doc() {
+        let dims = 128;
+        let mut idx = VectorIndex::new(dims);
+        let corpus = [
+            ("cats", "cats are small carnivorous mammals kept as pets"),
+            ("f1", "formula one cars race at very high speeds on circuits"),
+            ("soup", "tomato soup is made from simmered tomatoes and stock"),
+        ];
+        for (key, text) in corpus {
+            idx.insert(key, embed_text(text, dims)).unwrap();
+        }
+        let hits = idx
+            .query(&embed_text("how fast do formula one race cars go", dims), 1)
+            .unwrap();
+        assert_eq!(hits[0].0, "f1");
+    }
+}

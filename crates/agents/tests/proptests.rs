@@ -1,0 +1,123 @@
+//! Property-based tests for cost models, profiles and quality.
+
+use murakkab_agents::library::stock_library;
+use murakkab_agents::quality;
+use murakkab_agents::{Capability, Profiler, RateCost, Work, WorkUnit};
+use murakkab_hardware::HardwareTarget;
+use proptest::prelude::*;
+
+fn rate(max_cores: u32) -> RateCost {
+    RateCost {
+        unit: WorkUnit::AudioSeconds,
+        startup_s: 0.1,
+        gpu_unit_s: Some(0.12),
+        cpu_core_s_per_unit: Some(9.0),
+        parallel_efficiency: 0.9,
+        gpu_util: 0.65,
+        max_gpus: 1,
+        max_cores,
+    }
+}
+
+proptest! {
+    /// Latency is monotone in work and antitone in cores (up to the cap).
+    #[test]
+    fn tool_latency_monotonicity(
+        w1 in 0.1f64..500.0,
+        w2 in 0.1f64..500.0,
+        c1 in 1u32..96,
+        c2 in 1u32..96,
+        cap in 1u32..16,
+    ) {
+        let r = rate(cap);
+        let (wlo, whi) = (w1.min(w2), w1.max(w2));
+        let t_lo = r.latency(&Work::AudioSeconds(wlo), &HardwareTarget::cpu_cores(c1)).unwrap();
+        let t_hi = r.latency(&Work::AudioSeconds(whi), &HardwareTarget::cpu_cores(c1)).unwrap();
+        prop_assert!(t_lo <= t_hi, "more work cannot be faster");
+
+        let (clo, chi) = (c1.min(c2), c1.max(c2));
+        let t_few = r.latency(&Work::AudioSeconds(w1), &HardwareTarget::cpu_cores(clo)).unwrap();
+        let t_many = r.latency(&Work::AudioSeconds(w1), &HardwareTarget::cpu_cores(chi)).unwrap();
+        prop_assert!(t_many <= t_few, "more cores cannot be slower");
+
+        // The cap binds: beyond max_cores, latency is flat.
+        let at_cap = r.latency(&Work::AudioSeconds(w1), &HardwareTarget::cpu_cores(cap)).unwrap();
+        let beyond = r.latency(&Work::AudioSeconds(w1), &HardwareTarget::cpu_cores(96)).unwrap();
+        prop_assert_eq!(at_cap, beyond);
+    }
+
+    /// Hybrid throughput equals the sum of its sides for any split.
+    #[test]
+    fn hybrid_is_additive(cores in 1u32..16, share in 0.1f64..1.0) {
+        let r = rate(16);
+        let gpu = r.throughput(&HardwareTarget::Gpu { count: 1, share }).unwrap();
+        let cpu = r.throughput(&HardwareTarget::cpu_cores(cores)).unwrap();
+        let hybrid = r
+            .throughput(&HardwareTarget::Hybrid { gpus: 1, gpu_share: share, cores })
+            .unwrap();
+        prop_assert!((hybrid - (gpu + cpu)).abs() < 1e-9);
+    }
+
+    /// Work splitting conserves total units for every work kind.
+    #[test]
+    fn split_conserves_units(
+        video in 0.0f64..1000.0,
+        frames in 0u32..500,
+        items in 0u32..500,
+        n in 1u32..32,
+    ) {
+        for w in [
+            Work::VideoSeconds(video),
+            Work::AudioSeconds(video),
+            Work::Frames(frames),
+            Work::Items(items),
+        ] {
+            let parts = w.split(n);
+            let total: f64 = parts.iter().map(Work::units).sum();
+            prop_assert!((total - w.units()).abs() < 1e-6, "{w}: {total}");
+        }
+    }
+
+    /// Quality composition: bounded by the weakest stage, monotone in
+    /// every stage, 1.0 for no stages.
+    #[test]
+    fn quality_compose_properties(stages in prop::collection::vec(0.0f64..1.0, 0..8)) {
+        let q = quality::compose(&stages);
+        prop_assert!((0.0..=1.0).contains(&q));
+        if let Some(min) = stages.iter().cloned().reduce(f64::min) {
+            prop_assert!(q <= min + 1e-12);
+        } else {
+            prop_assert_eq!(q, 1.0);
+        }
+        // Monotonicity: raising any one stage never lowers the composite.
+        for i in 0..stages.len() {
+            let mut better = stages.clone();
+            better[i] = (better[i] + 0.1).min(1.0);
+            prop_assert!(quality::compose(&better) + 1e-12 >= q);
+        }
+    }
+
+    /// Every stock-library profile is internally consistent: positive
+    /// latency, non-negative power/cost, quality in range, and the
+    /// agent's supports_target() agrees with the profile's existence.
+    #[test]
+    fn stock_profiles_are_consistent(_x in Just(())) {
+        let lib = stock_library();
+        let store = Profiler::default().profile_library(&lib);
+        prop_assert!(!store.all().is_empty());
+        for p in store.all() {
+            prop_assert!(p.latency.as_secs_f64() > 0.0, "{}", p.agent);
+            prop_assert!(p.power_w >= 0.0);
+            prop_assert!(p.cost_usd >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&p.quality));
+            let spec = lib.get(&p.agent).unwrap();
+            prop_assert_eq!(spec.capability, p.capability);
+        }
+        // Pareto fronts are subsets of the full candidate sets.
+        for cap in Capability::ALL {
+            let all = store.for_capability(cap).len();
+            let front = store.pareto_front(cap).len();
+            prop_assert!(front <= all);
+        }
+    }
+}

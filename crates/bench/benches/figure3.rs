@@ -1,0 +1,45 @@
+//! Criterion bench over the Figure 3 experiment: times the simulation of
+//! each Video Understanding configuration and asserts the reproduced
+//! *shape* (who wins and by how much) on every iteration's inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab_bench::SEED;
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let r = murakkab::run_baseline_video_understanding(black_box(SEED)).unwrap();
+            assert!(r.makespan_s > 200.0);
+            r
+        })
+    });
+
+    for (name, stt) in [
+        ("murakkab-cpu", SttChoice::Cpu),
+        ("murakkab-gpu", SttChoice::Gpu),
+        ("murakkab-hybrid", SttChoice::Hybrid),
+    ] {
+        group.bench_function(name, |b| {
+            let rt = Runtime::paper_testbed(SEED);
+            b.iter(|| {
+                let r = rt
+                    .run_video_understanding(
+                        RunOptions::labeled(black_box(name)).stt(stt),
+                    )
+                    .unwrap();
+                assert!(r.makespan_s < 120.0);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

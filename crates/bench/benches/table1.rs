@@ -1,0 +1,56 @@
+//! Criterion bench over the Table 1 levers: times each lever ablation and
+//! the greedy-vs-exhaustive configuration search (§3.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use murakkab::ablation;
+use murakkab_agents::library::stock_library;
+use murakkab_agents::Profiler;
+use murakkab_bench::SEED;
+use murakkab_orchestrator::{ConfigSearch, DemandModel, SearchMode};
+use murakkab_workflow::{Constraint, ConstraintSet};
+
+fn bench_levers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1-levers");
+    group.sample_size(10);
+
+    group.bench_function("cpu-vs-gpu", |b| {
+        b.iter(|| ablation::cpu_vs_gpu(black_box(SEED)).unwrap())
+    });
+    group.bench_function("task-parallelism", |b| {
+        b.iter(|| ablation::task_parallelism(black_box(SEED)).unwrap())
+    });
+    group.bench_function("execution-paths", |b| {
+        b.iter(|| ablation::execution_paths(black_box(SEED)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_config_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1-config-search");
+    group.sample_size(20);
+    let store = Profiler::default().profile_library(&stock_library());
+    let demand = DemandModel::video_understanding();
+    let constraints =
+        ConstraintSet::single(Constraint::MinCost).and(Constraint::QualityAtLeast(0.9));
+
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            ConfigSearch::new(SearchMode::Greedy)
+                .search(black_box(&demand), &store, &constraints)
+                .unwrap()
+        })
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            ConfigSearch::new(SearchMode::Exhaustive)
+                .search(black_box(&demand), &store, &constraints)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_levers, bench_config_search);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench over the Table 2 experiment: the full four-config
+//! sweep, asserting the paper's energy/latency ordering each iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use murakkab_bench::{headline_claims, run_table2_configs, SEED};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+
+    group.bench_function("four-config-sweep", |b| {
+        b.iter(|| {
+            let reports = run_table2_configs(black_box(SEED)).unwrap();
+            // Paper orderings must hold on every run: baseline slowest and
+            // most energy-hungry; CPU config the most energy-efficient;
+            // GPU config no slower than CPU config.
+            let (baseline, cpu, gpu, hybrid) =
+                (&reports[0], &reports[1], &reports[2], &reports[3]);
+            assert!(baseline.makespan_s > gpu.makespan_s * 3.0);
+            assert!(cpu.table2_energy_wh() < gpu.table2_energy_wh());
+            assert!(hybrid.table2_energy_wh() <= gpu.table2_energy_wh());
+            assert!(gpu.makespan_s <= cpu.makespan_s);
+            let (speedup, eff) = headline_claims(&reports);
+            assert!(speedup > 2.8 && eff > 3.0);
+            reports
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

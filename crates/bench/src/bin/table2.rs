@@ -1,0 +1,32 @@
+//! Regenerates Table 2 of the paper: energy and execution time of each
+//! Speech-to-Text configuration, paper vs measured.
+//!
+//! Run with `cargo run -p murakkab-bench --bin table2 [seed]`.
+
+use murakkab::report::render_table2;
+use murakkab_bench::{headline_claims, run_table2_configs, PAPER_TABLE2, SEED};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SEED);
+    let reports = run_table2_configs(seed).expect("table 2 runs succeed");
+
+    println!("Table 2: Energy and execution time of each configuration (seed {seed})\n");
+    let rows: Vec<_> = reports
+        .iter()
+        .zip(PAPER_TABLE2.iter())
+        .map(|(r, &(_, wh, s))| (r, wh, s))
+        .collect();
+    println!("{}", render_table2(&rows));
+
+    let (speedup, eff) = headline_claims(&reports);
+    println!("Headline (§4, Murakkab picks the CPU config under MIN_COST):");
+    println!("  speedup vs baseline:            {speedup:.2}x   (paper: ~3.4x)");
+    println!("  energy efficiency vs baseline:  {eff:.2}x   (paper: ~4.5x)");
+
+    let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+    std::fs::write("table2.json", json).ok();
+    println!("\n(wrote table2.json)");
+}

@@ -1,0 +1,227 @@
+//! Workflow-aware rebalancing.
+//!
+//! §3.2: "It exposes workflow DAGs to the Cluster Manager, providing
+//! visibility into completed and upcoming tasks. [...] For example, if no
+//! workflows are expected to require a Speech-To-Text agent soon, it can
+//! reallocate GPU resources from Whisper to Llama in anticipation of
+//! increased demand."
+//!
+//! The [`Rebalancer`] is advisory: it looks at DAG lookahead (pending task
+//! counts per capability) plus current endpoint placements and emits
+//! [`RebalanceAction`]s. The runtime decides whether and when to apply
+//! them — keeping policy (here) separate from mechanism (the manager).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_agents::Capability;
+
+use crate::telemetry::ResourceStats;
+
+/// A deployed serving endpoint / resident agent, as the rebalancer sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointView {
+    /// Allocation label ("whisper", "nvlm-text", ...).
+    pub label: String,
+    /// Capability it serves.
+    pub capability: Capability,
+    /// GPU units it holds.
+    pub gpus: f64,
+    /// Queued + running requests.
+    pub load: usize,
+}
+
+/// A recommended resource move.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RebalanceAction {
+    /// Release an idle agent's resources (no load, no upcoming demand).
+    ReleaseIdle {
+        /// The idle endpoint's label.
+        label: String,
+    },
+    /// Grow an overloaded endpoint using free GPUs.
+    ScaleUp {
+        /// The endpoint's label.
+        label: String,
+        /// Additional GPU units to grant.
+        add_gpus: f64,
+    },
+    /// Pre-provision an agent for upcoming demand that nothing serves yet.
+    Prewarm {
+        /// The capability about to be needed.
+        capability: Capability,
+        /// Pending task count driving the recommendation.
+        upcoming: usize,
+    },
+}
+
+/// Advisory rebalancing policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rebalancer {
+    /// Queue length per held GPU above which an endpoint counts as
+    /// overloaded.
+    pub overload_per_gpu: f64,
+}
+
+impl Default for Rebalancer {
+    fn default() -> Self {
+        Rebalancer {
+            overload_per_gpu: 4.0,
+        }
+    }
+}
+
+impl Rebalancer {
+    /// Plans actions from cluster stats, DAG lookahead and endpoint views.
+    ///
+    /// Deterministic: output ordering follows the (sorted) inputs.
+    pub fn plan(
+        &self,
+        stats: &ResourceStats,
+        upcoming: &BTreeMap<Capability, usize>,
+        endpoints: &[EndpointView],
+    ) -> Vec<RebalanceAction> {
+        let mut actions = Vec::new();
+
+        // 1. Idle agents with no upcoming demand: release (the paper's
+        //    Whisper example).
+        for ep in endpoints {
+            let demand = upcoming.get(&ep.capability).copied().unwrap_or(0);
+            if ep.load == 0 && demand == 0 && ep.gpus > 0.0 {
+                actions.push(RebalanceAction::ReleaseIdle {
+                    label: ep.label.clone(),
+                });
+            }
+        }
+
+        // 2. Overloaded endpoints: grow into free GPUs (plus whatever the
+        //    releases above will return to the pool).
+        let releasable: f64 = endpoints
+            .iter()
+            .filter(|ep| {
+                ep.load == 0
+                    && upcoming.get(&ep.capability).copied().unwrap_or(0) == 0
+                    && ep.gpus > 0.0
+            })
+            .map(|ep| ep.gpus)
+            .sum();
+        let mut budget = stats.gpus_free + releasable;
+        for ep in endpoints {
+            if ep.gpus == 0.0 {
+                continue;
+            }
+            let load_per_gpu = ep.load as f64 / ep.gpus;
+            if load_per_gpu > self.overload_per_gpu && budget >= 1.0 {
+                let want = ((load_per_gpu / self.overload_per_gpu).ceil() - 1.0)
+                    .max(1.0)
+                    .min(budget.floor());
+                actions.push(RebalanceAction::ScaleUp {
+                    label: ep.label.clone(),
+                    add_gpus: want,
+                });
+                budget -= want;
+            }
+        }
+
+        // 3. Upcoming demand with no resident agent: prewarm.
+        for (&cap, &count) in upcoming {
+            if count > 0 && !endpoints.iter().any(|ep| ep.capability == cap) {
+                actions.push(RebalanceAction::Prewarm {
+                    capability: cap,
+                    upcoming: count,
+                });
+            }
+        }
+
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murakkab_sim::SimTime;
+
+    fn stats(free: f64) -> ResourceStats {
+        ResourceStats {
+            at: SimTime::ZERO,
+            gpus_total: 16.0,
+            gpus_free: free,
+            cores_total: 192.0,
+            cores_free: 100.0,
+            gpu_units_by_label: BTreeMap::new(),
+            nodes_up: 2,
+            nodes_pending: 0,
+        }
+    }
+
+    fn ep(label: &str, cap: Capability, gpus: f64, load: usize) -> EndpointView {
+        EndpointView {
+            label: label.into(),
+            capability: cap,
+            gpus,
+            load,
+        }
+    }
+
+    #[test]
+    fn paper_example_whisper_to_llama() {
+        // Whisper idle with no upcoming STT; NVLM overloaded. The plan
+        // should release Whisper and scale up the LLM.
+        let upcoming = BTreeMap::from([(Capability::Summarization, 24usize)]);
+        let endpoints = vec![
+            ep("whisper", Capability::SpeechToText, 1.0, 0),
+            ep("nvlm-text", Capability::Summarization, 8.0, 48),
+        ];
+        let actions = Rebalancer::default().plan(&stats(0.0), &upcoming, &endpoints);
+        assert!(actions.contains(&RebalanceAction::ReleaseIdle {
+            label: "whisper".into()
+        }));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, RebalanceAction::ScaleUp { label, .. } if label == "nvlm-text")));
+    }
+
+    #[test]
+    fn busy_or_demanded_agents_are_kept() {
+        let upcoming = BTreeMap::from([(Capability::SpeechToText, 4usize)]);
+        let endpoints = vec![ep("whisper", Capability::SpeechToText, 1.0, 0)];
+        let actions = Rebalancer::default().plan(&stats(2.0), &upcoming, &endpoints);
+        assert!(actions.is_empty(), "{actions:?}");
+        // Same if it is loaded rather than demanded.
+        let endpoints = vec![ep("whisper", Capability::SpeechToText, 1.0, 2)];
+        let actions = Rebalancer::default().plan(&stats(2.0), &BTreeMap::new(), &endpoints);
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    #[test]
+    fn no_budget_no_scaleup() {
+        let endpoints = vec![ep("nvlm-text", Capability::Summarization, 8.0, 64)];
+        let actions = Rebalancer::default().plan(&stats(0.0), &BTreeMap::new(), &endpoints);
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    #[test]
+    fn prewarm_for_unserved_demand() {
+        let upcoming = BTreeMap::from([(Capability::Embedding, 16usize)]);
+        let actions = Rebalancer::default().plan(&stats(4.0), &upcoming, &[]);
+        assert_eq!(
+            actions,
+            vec![RebalanceAction::Prewarm {
+                capability: Capability::Embedding,
+                upcoming: 16
+            }]
+        );
+    }
+
+    #[test]
+    fn scale_up_is_bounded_by_budget() {
+        let endpoints = vec![ep("nvlm-text", Capability::Summarization, 2.0, 40)];
+        let actions = Rebalancer::default().plan(&stats(3.0), &BTreeMap::new(), &endpoints);
+        let RebalanceAction::ScaleUp { add_gpus, .. } = &actions[0] else {
+            panic!("expected scale-up, got {actions:?}");
+        };
+        assert!(*add_gpus >= 1.0 && *add_gpus <= 3.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Telemetry the cluster manager shares with the orchestrator.
+//!
+//! §3.2: "The Workflow Orchestrator continuously receives stats from the
+//! Cluster Manager including idle resources, per-model or tool resource
+//! consumption and any harvestable resources."
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::SimTime;
+
+/// A point-in-time snapshot of cluster capacity and usage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceStats {
+    /// Snapshot time.
+    pub at: SimTime,
+    /// Total GPU units on up nodes.
+    pub gpus_total: f64,
+    /// Free GPU units.
+    pub gpus_free: f64,
+    /// Total CPU cores on up nodes.
+    pub cores_total: f64,
+    /// Free CPU cores.
+    pub cores_free: f64,
+    /// Reserved GPU units per allocation label (per-model consumption).
+    pub gpu_units_by_label: BTreeMap<String, f64>,
+    /// Up node count.
+    pub nodes_up: usize,
+    /// Nodes still provisioning.
+    pub nodes_pending: usize,
+}
+
+impl ResourceStats {
+    /// Fraction of GPU units currently free.
+    pub fn gpu_free_fraction(&self) -> f64 {
+        if self.gpus_total == 0.0 {
+            0.0
+        } else {
+            self.gpus_free / self.gpus_total
+        }
+    }
+
+    /// Fraction of cores currently free.
+    pub fn core_free_fraction(&self) -> f64 {
+        if self.cores_total == 0.0 {
+            0.0
+        } else {
+            self.cores_free / self.cores_total
+        }
+    }
+
+    /// GPU units held under a label (zero if absent).
+    pub fn label_gpus(&self, label: &str) -> f64 {
+        self.gpu_units_by_label.get(label).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ResourceStats {
+        ResourceStats {
+            at: SimTime::ZERO,
+            gpus_total: 16.0,
+            gpus_free: 5.0,
+            cores_total: 192.0,
+            cores_free: 96.0,
+            gpu_units_by_label: BTreeMap::from([
+                ("nvlm-text".to_string(), 8.0),
+                ("whisper".to_string(), 1.0),
+            ]),
+            nodes_up: 2,
+            nodes_pending: 0,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let s = stats();
+        assert!((s.gpu_free_fraction() - 5.0 / 16.0).abs() < 1e-12);
+        assert!((s.core_free_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_lookup_defaults_to_zero() {
+        let s = stats();
+        assert_eq!(s.label_gpus("whisper"), 1.0);
+        assert_eq!(s.label_gpus("nonexistent"), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_is_not_nan() {
+        let mut s = stats();
+        s.gpus_total = 0.0;
+        s.cores_total = 0.0;
+        assert_eq!(s.gpu_free_fraction(), 0.0);
+        assert_eq!(s.core_free_fraction(), 0.0);
+    }
+}

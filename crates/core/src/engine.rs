@@ -1,0 +1,1186 @@
+//! The discrete-event execution engine.
+//!
+//! The engine runs one task graph to completion against:
+//!
+//! - **worker pools** for tool capabilities (frame extraction, STT, object
+//!   detection, ...): N workers, each holding an allocation from the
+//!   cluster manager and executing one task instance at a time;
+//! - **LLM endpoints** for served capabilities (summarisation, embedding,
+//!   generation): requests go through `murakkab-llmsim`'s continuous
+//!   batcher, so queueing and batching behaviour — the thing the paper's
+//!   parallel-summarisation optimisation exploits — is simulated
+//!   faithfully;
+//! - **external agents** (proprietary APIs): fixed latency, dollar cost,
+//!   no local resources.
+//!
+//! Everything advances on one deterministic event queue. The engine is
+//! policy-free: which agent/hardware serves each capability is decided by
+//! the caller (the Murakkab runtime or the imperative baseline executor)
+//! and passed in as [`RouteSpec`]s.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use murakkab_agents::{AgentLibrary, Backend, Capability, Work};
+use murakkab_cluster::{AllocationId, ClusterManager};
+use murakkab_hardware::{catalog, EnergyScope, HardwareTarget};
+use murakkab_llmsim::{Endpoint, Request, TpGroup};
+use murakkab_orchestrator::OrchestratorCost;
+use murakkab_sim::{EventQueue, SimDuration, SimError, SimTime, TraceLog};
+use murakkab_workflow::{TaskGraph, TaskId};
+
+/// How a capability's tasks are executed.
+#[derive(Debug, Clone)]
+pub enum RouteSpec {
+    /// A pool of tool workers (one entry per worker, so hybrid pools can
+    /// mix GPU and CPU workers — the paper's GPU+CPU STT configuration).
+    Pool {
+        /// Library agent name.
+        agent: String,
+        /// One hardware target per worker to try to allocate (≥1 must
+        /// succeed).
+        workers: Vec<HardwareTarget>,
+    },
+    /// A served-LLM endpoint (shared across capabilities that name the
+    /// same agent).
+    Endpoint {
+        /// Library agent name (must have an `LlmServed` backend).
+        agent: String,
+        /// GPUs for the tensor-parallel group.
+        gpus: u32,
+        /// Iteration batch limit.
+        max_batch: u32,
+    },
+    /// A third-party API call.
+    External {
+        /// Library agent name.
+        agent: String,
+    },
+}
+
+impl RouteSpec {
+    /// The library agent this route uses.
+    pub fn agent(&self) -> &str {
+        match self {
+            RouteSpec::Pool { agent, .. }
+            | RouteSpec::Endpoint { agent, .. }
+            | RouteSpec::External { agent } => agent,
+        }
+    }
+}
+
+/// Engine-level options.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Release tool pools as soon as the DAG shows no more work for them
+    /// (§3.2 workflow-aware cluster management). Off for the baseline.
+    pub workflow_aware: bool,
+    /// Orchestration LLM cost to charge before any task dispatches, and
+    /// the endpoint agent that serves it.
+    pub orchestration: Option<(OrchestratorCost, String)>,
+    /// Spot preemptions to inject: `(time, node index)` pairs. At each
+    /// instant the node dies; running tool tasks on it restart on
+    /// surviving workers, and endpoints re-place onto surviving nodes
+    /// (the run fails with a checked error if they cannot).
+    pub preemptions: Vec<(SimTime, usize)>,
+    /// GPU SKU of the cluster (drives endpoint roofline and prices).
+    pub gpu_sku: murakkab_hardware::GpuSku,
+    /// Speedup factor applied to tool work on pure-GPU targets relative
+    /// to the A100 calibration (≈ sqrt of the FLOPS ratio: media tools
+    /// are partly memory/IO bound, so they do not scale with raw FLOPS).
+    pub gpu_speed_factor: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            workflow_aware: true,
+            orchestration: None,
+            preemptions: Vec::new(),
+            gpu_sku: catalog::a100_80g(),
+            gpu_speed_factor: 1.0,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options for a cluster built from `sku` GPUs.
+    pub fn for_gpu(sku: murakkab_hardware::GpuSku) -> Self {
+        let factor = (sku.fp16_tflops / catalog::a100_80g().fp16_tflops).sqrt();
+        EngineOptions {
+            gpu_speed_factor: factor,
+            gpu_sku: sku,
+            ..EngineOptions::default()
+        }
+    }
+}
+
+/// What a finished run hands back for reporting.
+#[derive(Debug)]
+pub struct EngineOutcome {
+    /// The cluster (with full utilization history) after the run.
+    pub cluster: ClusterManager,
+    /// Per-task spans by component lane.
+    pub trace: TraceLog,
+    /// Start of execution (after orchestration).
+    pub started: SimTime,
+    /// Completion time of the last task.
+    pub makespan: SimTime,
+    /// Time spent in orchestration (DAG creation) before execution.
+    pub orchestration: SimDuration,
+    /// GPU energy of held allocations over their hold windows, in Wh
+    /// (Murakkab's Table 2 scope).
+    pub energy_allocated_wh: f64,
+    /// Dollar cost of held allocations plus external calls.
+    pub cost_usd: f64,
+    /// Tasks completed.
+    pub tasks_completed: usize,
+}
+
+impl EngineOutcome {
+    /// Whole-fleet GPU energy over the run window (the baseline's Table 2
+    /// scope: a rigid deployment strands the entire testbed).
+    pub fn energy_fleet_wh(&self) -> f64 {
+        self.cluster
+            .energy_wh_all(SimTime::ZERO, self.makespan, EnergyScope::GpuOnly)
+    }
+}
+
+#[derive(Debug)]
+enum EngineEvent {
+    ToolDone {
+        task: TaskId,
+        cap: Capability,
+        worker: usize,
+        gpu_util: f64,
+    },
+    LlmStep {
+        agent: String,
+        generation: u64,
+    },
+    ExternalDone {
+        task: TaskId,
+    },
+    Preempt {
+        node_idx: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Worker {
+    alloc: AllocationId,
+    target: HardwareTarget,
+    busy: bool,
+    dead: bool,
+}
+
+#[derive(Debug)]
+struct Pool {
+    caps: Vec<Capability>,
+    workers: Vec<Worker>,
+    queue: VecDeque<TaskId>,
+    released: bool,
+}
+
+#[derive(Debug)]
+struct EndpointHandle {
+    endpoint: Endpoint,
+    alloc: AllocationId,
+    pending: BTreeMap<u64, TaskId>,
+    orchestration_req: Option<u64>,
+    next_req: u64,
+    /// Bumped when the endpoint is re-placed after preemption; stale step
+    /// events armed for an earlier incarnation are dropped on arrival.
+    generation: u64,
+}
+
+/// The execution engine (one run per instance).
+#[derive(Debug)]
+pub struct Engine {
+    cluster: ClusterManager,
+    graph: TaskGraph,
+    routes: BTreeMap<Capability, RouteSpec>,
+    pools: BTreeMap<String, Pool>,
+    endpoints: BTreeMap<String, EndpointHandle>,
+    external_latency: BTreeMap<Capability, (f64, f64)>,
+    options: EngineOptions,
+    queue: EventQueue<EngineEvent>,
+    completed: BTreeSet<TaskId>,
+    scheduled: BTreeSet<TaskId>,
+    started_at: BTreeMap<TaskId, SimTime>,
+    alloc_meta: BTreeMap<AllocationId, (SimTime, HardwareTarget)>,
+    library_snapshot: BTreeMap<String, murakkab_agents::AgentSpec>,
+    trace: TraceLog,
+    energy_ledger: f64,
+    cost_ledger: f64,
+    orchestrated: bool,
+}
+
+/// On-demand dollar rate of a hardware target under a given GPU SKU
+/// (CPU cores billed at the EPYC catalog rate).
+pub fn target_hourly_usd(target: &HardwareTarget, gpu: &murakkab_hardware::GpuSku) -> f64 {
+    let core = catalog::epyc_7v12().hourly_usd_per_core;
+    target.gpu_units() * gpu.hourly_usd + f64::from(target.cpu_cores_used()) * core
+}
+
+impl Engine {
+    /// Builds an engine: allocates pools and endpoints on `cluster` at
+    /// `start`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a route's agent is unknown, a backend mismatches its
+    /// route kind, or the cluster cannot host even one worker / the
+    /// endpoint group.
+    pub fn new(
+        mut cluster: ClusterManager,
+        library: &AgentLibrary,
+        graph: TaskGraph,
+        routes: BTreeMap<Capability, RouteSpec>,
+        options: EngineOptions,
+        start: SimTime,
+    ) -> Result<Self, SimError> {
+        let mut pools: BTreeMap<String, Pool> = BTreeMap::new();
+        let mut endpoints: BTreeMap<String, EndpointHandle> = BTreeMap::new();
+        let mut external_latency = BTreeMap::new();
+        let mut alloc_meta = BTreeMap::new();
+        let library_snapshot = Self::snapshot_specs(library, &routes)?;
+
+        // Validate that every capability in the graph has a route.
+        for node in graph.tasks() {
+            if !routes.contains_key(&node.capability) {
+                return Err(SimError::InvalidInput(format!(
+                    "no route for capability {:?} (task {})",
+                    node.capability, node.name
+                )));
+            }
+        }
+
+        // Endpoints first: model deployments are long-lived and sized
+        // exactly; elastic tool pools then shrink into whatever remains
+        // (partial pools are accepted).
+        let ordered: Vec<(&Capability, &RouteSpec)> = routes
+            .iter()
+            .filter(|(_, r)| matches!(r, RouteSpec::Endpoint { .. }))
+            .chain(
+                routes
+                    .iter()
+                    .filter(|(_, r)| !matches!(r, RouteSpec::Endpoint { .. })),
+            )
+            .collect();
+        for (&cap, route) in ordered {
+            let spec = library.get(route.agent())?;
+            match route {
+                RouteSpec::Pool { agent, workers } => {
+                    let Backend::Tool(_) = &spec.backend else {
+                        return Err(SimError::InvalidInput(format!(
+                            "{agent} is not a tool; cannot serve {cap:?} from a pool"
+                        )));
+                    };
+                    if workers.is_empty() {
+                        return Err(SimError::InvalidInput(format!(
+                            "pool for {agent} has no workers"
+                        )));
+                    }
+                    let pool = pools.entry(agent.clone()).or_insert_with(|| Pool {
+                        caps: Vec::new(),
+                        workers: Vec::new(),
+                        queue: VecDeque::new(),
+                        released: false,
+                    });
+                    pool.caps.push(cap);
+                    if pool.workers.is_empty() {
+                        for per_worker in workers {
+                            match cluster.allocate(start, agent.clone(), *per_worker) {
+                                Ok(alloc) => {
+                                    alloc_meta.insert(alloc, (start, *per_worker));
+                                    pool.workers.push(Worker {
+                                        alloc,
+                                        target: *per_worker,
+                                        busy: false,
+                                        dead: false,
+                                    });
+                                }
+                                Err(e) => {
+                                    if pool.workers.is_empty() {
+                                        return Err(e);
+                                    }
+                                    break; // Partial pool: run with what fits.
+                                }
+                            }
+                        }
+                    }
+                }
+                RouteSpec::Endpoint {
+                    agent,
+                    gpus,
+                    max_batch,
+                } => {
+                    let Backend::LlmServed { model, .. } = &spec.backend else {
+                        return Err(SimError::InvalidInput(format!(
+                            "{agent} is not LLM-served; cannot serve {cap:?} from an endpoint"
+                        )));
+                    };
+                    if !endpoints.contains_key(agent) {
+                        let target = HardwareTarget::gpus(*gpus);
+                        let alloc = cluster.allocate(start, agent.clone(), target)?;
+                        alloc_meta.insert(alloc, (start, target));
+                        let group = TpGroup::new(options.gpu_sku.clone(), *gpus);
+                        endpoints.insert(
+                            agent.clone(),
+                            EndpointHandle {
+                                endpoint: Endpoint::new(
+                                    agent.clone(),
+                                    model.clone(),
+                                    group,
+                                    *max_batch,
+                                ),
+                                alloc,
+                                pending: BTreeMap::new(),
+                                orchestration_req: None,
+                                next_req: 0,
+                                generation: 0,
+                            },
+                        );
+                    }
+                }
+                RouteSpec::External { agent } => {
+                    let Backend::External {
+                        latency_s,
+                        cost_per_call_usd,
+                    } = &spec.backend
+                    else {
+                        return Err(SimError::InvalidInput(format!(
+                            "{agent} is not external; bad route for {cap:?}"
+                        )));
+                    };
+                    external_latency.insert(cap, (*latency_s, *cost_per_call_usd));
+                }
+            }
+        }
+
+        Ok(Engine {
+            cluster,
+            graph,
+            routes,
+            pools,
+            endpoints,
+            external_latency,
+            options,
+            queue: EventQueue::new(),
+            completed: BTreeSet::new(),
+            scheduled: BTreeSet::new(),
+            started_at: BTreeMap::new(),
+            alloc_meta,
+            library_snapshot,
+            trace: TraceLog::new(),
+            energy_ledger: 0.0,
+            cost_ledger: 0.0,
+            orchestrated: false,
+        })
+    }
+
+    /// Runs the graph to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidState`] if the run deadlocks (graph
+    /// incomplete with no pending events) — a routing/scheduling bug.
+    pub fn run(mut self, start: SimTime) -> Result<EngineOutcome, SimError> {
+        let mut now = start;
+        let mut orch_end = start;
+
+        for &(at, node_idx) in &self.options.preemptions.clone() {
+            self.queue
+                .schedule(at.max(start), EngineEvent::Preempt { node_idx });
+        }
+
+        // Charge orchestration (DAG creation) before any task dispatches.
+        if let Some((cost, agent)) = self.options.orchestration.clone() {
+            let h = self.endpoints.get_mut(&agent).ok_or_else(|| {
+                SimError::not_found("orchestrator endpoint", agent.clone())
+            })?;
+            let req = Request::new(
+                u64::MAX,
+                cost.prompt_tokens.max(1),
+                cost.output_tokens.max(1),
+            );
+            h.orchestration_req = Some(req.id);
+            if let Some(t) = h.endpoint.on_submit(req, now)? {
+                let generation = h.generation;
+                self.queue.schedule(
+                    t,
+                    EngineEvent::LlmStep {
+                        agent: agent.clone(),
+                        generation,
+                    },
+                );
+            }
+            self.sync_endpoint_activity(now, &agent)?;
+        } else {
+            self.orchestrated = true;
+            self.dispatch(now)?;
+        }
+
+        while let Some(ev) = self.queue.pop() {
+            now = ev.at;
+            match ev.payload {
+                EngineEvent::ToolDone {
+                    task,
+                    cap,
+                    worker,
+                    gpu_util,
+                } => {
+                    let route_agent = self.routes[&cap].agent().to_string();
+                    let (alloc, lost) = {
+                        let pool = self.pools.get_mut(&route_agent).expect("pool exists");
+                        let w = &mut pool.workers[worker];
+                        w.busy = false;
+                        (w.alloc, w.dead)
+                    };
+                    if lost {
+                        // The worker died mid-task: the work is lost and
+                        // the task goes back to the queue (activity was
+                        // zeroed when the node went down).
+                        let pool = self.pools.get_mut(&route_agent).expect("pool exists");
+                        pool.queue.push_front(task);
+                    } else {
+                        self.cluster.activity_end(now, alloc, gpu_util)?;
+                        self.finish_task(task, now)?;
+                    }
+                    self.dispatch(now)?;
+                }
+                EngineEvent::LlmStep { agent, generation } => {
+                    {
+                        let h = self.endpoints.get(&agent).expect("endpoint exists");
+                        if h.generation != generation {
+                            // Armed for an incarnation that died in a
+                            // preemption; the replacement has its own
+                            // step schedule.
+                            continue;
+                        }
+                    }
+                    let outcome = {
+                        let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
+                        h.endpoint.on_step(now)
+                    };
+                    for c in &outcome.completions {
+                        let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
+                        if h.orchestration_req == Some(c.id) {
+                            h.orchestration_req = None;
+                            self.trace.record(
+                                "Orchestrator",
+                                "dag-creation",
+                                c.submitted,
+                                c.finished,
+                            );
+                            orch_end = c.finished;
+                            self.orchestrated = true;
+                            continue;
+                        }
+                        let task = h
+                            .pending
+                            .remove(&c.id)
+                            .expect("completion matches a pending task");
+                        self.started_at.insert(task, c.started);
+                        self.finish_task(task, now)?;
+                    }
+                    if let Some(t) = outcome.next_step {
+                        self.queue.schedule(
+                            t,
+                            EngineEvent::LlmStep {
+                                agent: agent.clone(),
+                                generation,
+                            },
+                        );
+                    }
+                    self.sync_endpoint_activity(now, &agent)?;
+                    self.dispatch(now)?;
+                }
+                EngineEvent::ExternalDone { task } => {
+                    self.finish_task(task, now)?;
+                    self.dispatch(now)?;
+                }
+                EngineEvent::Preempt { node_idx } => {
+                    self.handle_preemption(now, node_idx)?;
+                    self.dispatch(now)?;
+                }
+            }
+        }
+
+        if self.completed.len() != self.graph.len() {
+            let stuck: Vec<String> = self
+                .graph
+                .tasks()
+                .filter(|t| !self.completed.contains(&t.id))
+                .take(5)
+                .map(|t| t.name.clone())
+                .collect();
+            return Err(SimError::InvalidState(format!(
+                "engine deadlock: {}/{} tasks done; stuck: {stuck:?}",
+                self.completed.len(),
+                self.graph.len()
+            )));
+        }
+
+        // The makespan is the last task completion — not `now`, which a
+        // trailing injected event (e.g. a post-completion preemption) may
+        // have advanced past it.
+        let makespan = self.trace.makespan().max(orch_end);
+        // Release everything still held, settling energy and cost.
+        let live: Vec<AllocationId> = self.alloc_meta.keys().copied().collect();
+        for alloc in live {
+            if self.cluster.allocation(alloc).is_ok() {
+                self.settle_allocation(alloc, makespan)?;
+            }
+        }
+
+        Ok(EngineOutcome {
+            cluster: self.cluster,
+            trace: self.trace,
+            started: orch_end,
+            makespan,
+            orchestration: orch_end.saturating_duration_since(start),
+            energy_allocated_wh: self.energy_ledger,
+            cost_usd: self.cost_ledger,
+            tasks_completed: self.completed.len(),
+        })
+    }
+
+    /// Marks a task complete and records its span.
+    fn finish_task(&mut self, task: TaskId, now: SimTime) -> Result<(), SimError> {
+        let node = self.graph.task(task)?;
+        let started = self.started_at.get(&task).copied().unwrap_or(now);
+        self.trace
+            .record(node.capability.lane_name(), node.name.clone(), started, now);
+        self.completed.insert(task);
+        Ok(())
+    }
+
+    /// Pushes ready tasks to their routes and pumps pools.
+    fn dispatch(&mut self, now: SimTime) -> Result<(), SimError> {
+        if !self.orchestrated {
+            return Ok(());
+        }
+        let ready: Vec<TaskId> = self
+            .graph
+            .ready(&self.completed)
+            .into_iter()
+            .filter(|t| !self.scheduled.contains(t))
+            .collect();
+        for tid in ready {
+            self.scheduled.insert(tid);
+            let node = self.graph.task(tid)?.clone();
+            let route = self.routes[&node.capability].clone();
+            match route {
+                RouteSpec::Pool { agent, .. } => {
+                    self.pools
+                        .get_mut(&agent)
+                        .expect("pool exists")
+                        .queue
+                        .push_back(tid);
+                }
+                RouteSpec::Endpoint { agent, .. } => {
+                    let Work::Tokens { prompt, output } = node.work else {
+                        return Err(SimError::InvalidInput(format!(
+                            "endpoint task {} carries non-token work {}",
+                            node.name, node.work
+                        )));
+                    };
+                    let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
+                    let req = Request::new(h.next_req, prompt, output.max(1));
+                    h.next_req += 1;
+                    h.pending.insert(req.id, tid);
+                    let generation = h.generation;
+                    if let Some(t) = h.endpoint.on_submit(req, now)? {
+                        self.queue.schedule(
+                            t,
+                            EngineEvent::LlmStep {
+                                agent: agent.clone(),
+                                generation,
+                            },
+                        );
+                    }
+                    self.sync_endpoint_activity(now, &agent)?;
+                }
+                RouteSpec::External { .. } => {
+                    let (latency_s, cost) = self.external_latency[&node.capability];
+                    self.cost_ledger += cost;
+                    self.started_at.insert(tid, now);
+                    self.queue.schedule(
+                        now + SimDuration::from_secs_f64(latency_s),
+                        EngineEvent::ExternalDone { task: tid },
+                    );
+                }
+            }
+        }
+        self.pump_pools(now)?;
+        if self.options.workflow_aware {
+            self.release_idle_pools(now)?;
+        }
+        Ok(())
+    }
+
+    /// Starts queued tasks on free workers.
+    fn pump_pools(&mut self, now: SimTime) -> Result<(), SimError> {
+        let agents: Vec<String> = self.pools.keys().cloned().collect();
+        for agent in agents {
+            loop {
+                let Some((tid, worker_idx, alloc, target, cap)) = ({
+                    let pool = self.pools.get_mut(&agent).expect("pool exists");
+                    match (
+                        pool.queue.front().copied(),
+                        pool.workers
+                            .iter()
+                            .position(|w| !w.busy && !w.dead && !pool.released),
+                    ) {
+                        (Some(tid), Some(i)) => {
+                            pool.queue.pop_front();
+                            pool.workers[i].busy = true;
+                            let node_cap = self.graph.task(tid)?.capability;
+                            Some((
+                                tid,
+                                i,
+                                pool.workers[i].alloc,
+                                pool.workers[i].target,
+                                node_cap,
+                            ))
+                        }
+                        _ => None,
+                    }
+                }) else {
+                    break;
+                };
+                let node = self.graph.task(tid)?.clone();
+                let spec_name = self.routes[&cap].agent().to_string();
+                // Borrow the library indirectly: the cost model lives on
+                // the spec; engines keep a private copy at routing time.
+                let (duration, gpu_util) = {
+                    let spec = self.agent_spec(&spec_name)?;
+                    let mut d = spec.estimate_latency(&node.work, &target)?;
+                    // Newer GPU generations speed up pure-GPU tool work.
+                    if matches!(target, HardwareTarget::Gpu { .. })
+                        && self.options.gpu_speed_factor > 1.0
+                    {
+                        d = d.mul_f64(1.0 / self.options.gpu_speed_factor);
+                    }
+                    (d, spec.gpu_util())
+                };
+                self.cluster.activity_start(now, alloc, gpu_util)?;
+                self.started_at.insert(tid, now);
+                self.queue.schedule(
+                    now + duration,
+                    EngineEvent::ToolDone {
+                        task: tid,
+                        cap,
+                        worker: worker_idx,
+                        gpu_util,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases pools whose capabilities have no remaining work.
+    fn release_idle_pools(&mut self, now: SimTime) -> Result<(), SimError> {
+        let upcoming = self.graph.upcoming_by_capability(&self.completed);
+        let agents: Vec<String> = self.pools.keys().cloned().collect();
+        for agent in agents {
+            let (done, workers): (bool, Vec<AllocationId>) = {
+                let pool = &self.pools[&agent];
+                let no_demand = pool
+                    .caps
+                    .iter()
+                    .all(|c| upcoming.get(c).copied().unwrap_or(0) == 0);
+                let idle = pool.queue.is_empty()
+                    && pool.workers.iter().all(|w| !w.busy || w.dead);
+                (
+                    !pool.released && no_demand && idle,
+                    pool.workers
+                        .iter()
+                        .filter(|w| !w.dead)
+                        .map(|w| w.alloc)
+                        .collect(),
+                )
+            };
+            if done {
+                for alloc in workers {
+                    self.settle_allocation(alloc, now)?;
+                }
+                self.pools.get_mut(&agent).expect("pool exists").released = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a spot preemption: settles the dying allocations' ledgers,
+    /// takes the node down, marks affected pool workers dead (their
+    /// in-flight tasks will requeue when their events fire), re-places
+    /// affected endpoints on surviving nodes and resubmits their pending
+    /// requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ResourceExhausted`] if a killed endpoint cannot
+    /// be re-placed (the workflow cannot continue without its LLM), and
+    /// propagates cluster errors.
+    fn handle_preemption(&mut self, now: SimTime, node_idx: usize) -> Result<(), SimError> {
+        let node_id = self
+            .cluster
+            .nodes()
+            .get(node_idx)
+            .ok_or_else(|| SimError::not_found("node", node_idx.to_string()))?
+            .id;
+
+        // Settle energy/cost for every live allocation on the node up to
+        // the preemption instant (the platform still bills for spot time
+        // used).
+        let dying: Vec<AllocationId> = self
+            .cluster
+            .allocations()
+            .filter(|a| a.node == node_id)
+            .map(|a| a.id)
+            .collect();
+        for alloc in &dying {
+            let (created, target) = self.alloc_meta[alloc];
+            self.energy_ledger += self.cluster.allocation_energy_wh(*alloc, created, now)?;
+            self.cost_ledger += target_hourly_usd(&target, &self.options.gpu_sku)
+                * now.saturating_duration_since(created).as_hours_f64();
+        }
+
+        let killed: BTreeSet<AllocationId> =
+            self.cluster.preempt_node(now, node_id)?.into_iter().collect();
+
+        // Pool workers on the dead node: mark dead and try to replace on
+        // surviving capacity; queued work continues on what remains.
+        let agents: Vec<String> = self.pools.keys().cloned().collect();
+        for agent in agents {
+            let mut replacements = Vec::new();
+            {
+                let pool = self.pools.get_mut(&agent).expect("pool exists");
+                for w in pool.workers.iter_mut() {
+                    if !w.dead && killed.contains(&w.alloc) {
+                        w.dead = true;
+                        replacements.push(w.target);
+                    }
+                }
+            }
+            for target in replacements {
+                if let Ok(alloc) = self.cluster.allocate(now, agent.clone(), target) {
+                    self.alloc_meta.insert(alloc, (now, target));
+                    self.pools
+                        .get_mut(&agent)
+                        .expect("pool exists")
+                        .workers
+                        .push(Worker {
+                            alloc,
+                            target,
+                            busy: false,
+                            dead: false,
+                        });
+                }
+            }
+        }
+
+        // Endpoints on the dead node: re-place and resubmit everything
+        // that was in flight (requests restart from scratch — the KV
+        // cache died with the GPUs).
+        let ep_agents: Vec<String> = self.endpoints.keys().cloned().collect();
+        for agent in ep_agents {
+            let (dead, gpus, model) = {
+                let h = &self.endpoints[&agent];
+                (
+                    killed.contains(&h.alloc),
+                    h.endpoint.gpu_count(),
+                    h.endpoint.model().clone(),
+                )
+            };
+            if !dead {
+                continue;
+            }
+            let max_batch = self
+                .routes
+                .values()
+                .find_map(|r| match r {
+                    RouteSpec::Endpoint {
+                        agent: a,
+                        max_batch,
+                        ..
+                    } if *a == agent => Some(*max_batch),
+                    _ => None,
+                })
+                .expect("endpoint came from a route");
+            let target = HardwareTarget::gpus(gpus);
+            let alloc = self.cluster.allocate(now, agent.clone(), target)?;
+            self.alloc_meta.insert(alloc, (now, target));
+            let group = TpGroup::new(self.options.gpu_sku.clone(), gpus);
+            let next_generation = self.endpoints[&agent].generation + 1;
+            let old = self
+                .endpoints
+                .insert(
+                    agent.clone(),
+                    EndpointHandle {
+                        endpoint: Endpoint::new(agent.clone(), model, group, max_batch),
+                        alloc,
+                        pending: BTreeMap::new(),
+                        orchestration_req: None,
+                        next_req: 0,
+                        generation: next_generation,
+                    },
+                )
+                .expect("endpoint existed");
+            // Resubmit lost work: pending tasks map to fresh request ids.
+            for (_, task) in old.pending {
+                let node = self.graph.task(task)?.clone();
+                let Work::Tokens { prompt, output } = node.work else {
+                    unreachable!("endpoint tasks carry token work");
+                };
+                let h = self.endpoints.get_mut(&agent).expect("just inserted");
+                let req = Request::new(h.next_req, prompt, output.max(1));
+                h.next_req += 1;
+                h.pending.insert(req.id, task);
+                let generation = h.generation;
+                if let Some(t) = h.endpoint.on_submit(req, now)? {
+                    self.queue.schedule(
+                        t,
+                        EngineEvent::LlmStep {
+                            agent: agent.clone(),
+                            generation,
+                        },
+                    );
+                }
+            }
+            if old.orchestration_req.is_some() {
+                let (cost, _) = self
+                    .options
+                    .orchestration
+                    .clone()
+                    .expect("orchestration was configured");
+                let h = self.endpoints.get_mut(&agent).expect("just inserted");
+                let req = Request::new(
+                    u64::MAX,
+                    cost.prompt_tokens.max(1),
+                    cost.output_tokens.max(1),
+                );
+                h.orchestration_req = Some(req.id);
+                let generation = h.generation;
+                if let Some(t) = h.endpoint.on_submit(req, now)? {
+                    self.queue.schedule(
+                        t,
+                        EngineEvent::LlmStep {
+                            agent: agent.clone(),
+                            generation,
+                        },
+                    );
+                }
+            }
+            self.sync_endpoint_activity(now, &agent)?;
+        }
+        Ok(())
+    }
+
+    /// Settles an allocation's energy/cost ledgers and releases it.
+    fn settle_allocation(&mut self, alloc: AllocationId, now: SimTime) -> Result<(), SimError> {
+        let (created, target) = self.alloc_meta[&alloc];
+        self.energy_ledger += self.cluster.allocation_energy_wh(alloc, created, now)?;
+        self.cost_ledger += target_hourly_usd(&target, &self.options.gpu_sku)
+            * now.saturating_duration_since(created).as_hours_f64();
+        self.cluster.release(now, alloc)?;
+        Ok(())
+    }
+
+    /// Mirrors an endpoint's utilization level onto its GPU devices.
+    fn sync_endpoint_activity(&mut self, now: SimTime, agent: &str) -> Result<(), SimError> {
+        let (alloc, level) = {
+            let h = &self.endpoints[agent];
+            (h.alloc, h.endpoint.util_series().last_value())
+        };
+        self.cluster.set_gpu_activity_level(now, alloc, level)
+    }
+
+    /// Looks up an agent spec by name (cloned out of the routes' library
+    /// snapshot held by the caller — engines only need cost models, which
+    /// are value types).
+    fn agent_spec(&self, name: &str) -> Result<murakkab_agents::AgentSpec, SimError> {
+        self.library_snapshot
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SimError::not_found("agent", name))
+    }
+}
+
+// The engine needs agent cost models during the run without holding a
+// borrow on the caller's library; it snapshots the specs it routes to.
+impl Engine {
+    /// Internal: the spec snapshot, filled by [`Engine::new`].
+    fn snapshot_specs(
+        library: &AgentLibrary,
+        routes: &BTreeMap<Capability, RouteSpec>,
+    ) -> Result<BTreeMap<String, murakkab_agents::AgentSpec>, SimError> {
+        let mut out = BTreeMap::new();
+        for route in routes.values() {
+            let spec = library.get(route.agent())?;
+            out.insert(spec.name.clone(), spec.clone());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murakkab_agents::library::stock_library;
+    use murakkab_cluster::PlacementPolicy;
+
+    fn tiny_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(
+            "stt/x/s0",
+            "stt",
+            Capability::SpeechToText,
+            Work::AudioSeconds(30.0),
+        );
+        let b = g.add_task(
+            "sum/x/s0",
+            "sum",
+            Capability::Summarization,
+            Work::Tokens {
+                prompt: 600,
+                output: 40,
+            },
+        );
+        g.add_edge(a, b).expect("acyclic");
+        g
+    }
+
+    fn routes() -> BTreeMap<Capability, RouteSpec> {
+        BTreeMap::from([
+            (
+                Capability::SpeechToText,
+                RouteSpec::Pool {
+                    agent: "Whisper".into(),
+                    workers: vec![HardwareTarget::ONE_GPU],
+                },
+            ),
+            (
+                Capability::Summarization,
+                RouteSpec::Endpoint {
+                    agent: "NVLM".into(),
+                    gpus: 8,
+                    max_batch: 3,
+                },
+            ),
+        ])
+    }
+
+    #[test]
+    fn minimal_graph_runs_to_completion() {
+        let engine = Engine::new(
+            ClusterManager::paper_testbed(),
+            &stock_library(),
+            tiny_graph(),
+            routes(),
+            EngineOptions::default(),
+            SimTime::ZERO,
+        )
+        .expect("engine builds");
+        let outcome = engine.run(SimTime::ZERO).expect("runs");
+        assert_eq!(outcome.tasks_completed, 2);
+        // STT ~3.8s then a summarisation call: well under a minute.
+        assert!(outcome.makespan.as_secs_f64() < 60.0);
+        assert!(outcome.energy_allocated_wh > 0.0);
+        assert!(outcome.cost_usd > 0.0);
+        assert_eq!(outcome.trace.lane_spans("Speech-to-Text").len(), 1);
+        assert_eq!(outcome.trace.lane_spans("LLM (Text)").len(), 1);
+    }
+
+    #[test]
+    fn missing_route_is_rejected_at_construction() {
+        let mut partial = routes();
+        partial.remove(&Capability::Summarization);
+        let err = Engine::new(
+            ClusterManager::paper_testbed(),
+            &stock_library(),
+            tiny_graph(),
+            partial,
+            EngineOptions::default(),
+            SimTime::ZERO,
+        )
+        .expect_err("graph has an unroutable capability");
+        assert!(err.to_string().contains("no route"));
+    }
+
+    #[test]
+    fn backend_route_mismatch_is_rejected() {
+        let mut bad = routes();
+        // NVLM is LLM-served; a pool route is a category error.
+        bad.insert(
+            Capability::Summarization,
+            RouteSpec::Pool {
+                agent: "NVLM".into(),
+                workers: vec![HardwareTarget::gpus(8)],
+            },
+        );
+        let err = Engine::new(
+            ClusterManager::paper_testbed(),
+            &stock_library(),
+            tiny_graph(),
+            bad,
+            EngineOptions::default(),
+            SimTime::ZERO,
+        )
+        .expect_err("category error");
+        assert!(err.to_string().contains("not a tool"));
+    }
+
+    #[test]
+    fn empty_pool_is_rejected() {
+        let mut bad = routes();
+        bad.insert(
+            Capability::SpeechToText,
+            RouteSpec::Pool {
+                agent: "Whisper".into(),
+                workers: vec![],
+            },
+        );
+        assert!(Engine::new(
+            ClusterManager::paper_testbed(),
+            &stock_library(),
+            tiny_graph(),
+            bad,
+            EngineOptions::default(),
+            SimTime::ZERO,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn partial_pools_degrade_gracefully() {
+        // Ask for 32 GPU workers on a 16-GPU cluster alongside an 8-GPU
+        // endpoint: the pool accepts what fits and the run completes.
+        let mut r = routes();
+        r.insert(
+            Capability::SpeechToText,
+            RouteSpec::Pool {
+                agent: "Whisper".into(),
+                workers: vec![HardwareTarget::ONE_GPU; 32],
+            },
+        );
+        let engine = Engine::new(
+            ClusterManager::paper_testbed(),
+            &stock_library(),
+            tiny_graph(),
+            r,
+            EngineOptions::default(),
+            SimTime::ZERO,
+        )
+        .expect("partial pool accepted");
+        assert_eq!(engine.run(SimTime::ZERO).expect("runs").tasks_completed, 2);
+    }
+
+    #[test]
+    fn hourly_rates_scale_with_target_and_sku() {
+        let a100 = catalog::a100_80g();
+        let h100 = catalog::h100_80g();
+        let gpu8 = HardwareTarget::gpus(8);
+        let cores64 = HardwareTarget::cpu_cores(64);
+        assert!(
+            (target_hourly_usd(&gpu8, &a100) - 8.0 * a100.hourly_usd).abs() < 1e-9
+        );
+        assert!(target_hourly_usd(&gpu8, &h100) > target_hourly_usd(&gpu8, &a100));
+        assert!(
+            (target_hourly_usd(&cores64, &a100)
+                - 64.0 * catalog::epyc_7v12().hourly_usd_per_core)
+                .abs()
+                < 1e-9
+        );
+        let hybrid = HardwareTarget::Hybrid {
+            gpus: 1,
+            gpu_share: 0.5,
+            cores: 8,
+        };
+        let expect = 0.5 * a100.hourly_usd + 8.0 * catalog::epyc_7v12().hourly_usd_per_core;
+        assert!((target_hourly_usd(&hybrid, &a100) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_gpu_speed_factor_is_sublinear_in_flops() {
+        let h100 = EngineOptions::for_gpu(catalog::h100_80g());
+        let ratio = catalog::h100_80g().fp16_tflops / catalog::a100_80g().fp16_tflops;
+        assert!((h100.gpu_speed_factor - ratio.sqrt()).abs() < 1e-9);
+        let a100 = EngineOptions::for_gpu(catalog::a100_80g());
+        assert!((a100.gpu_speed_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workflow_blind_holds_pools_to_the_end() {
+        let run = |aware: bool| {
+            let mut opts = EngineOptions::default();
+            opts.workflow_aware = aware;
+            let engine = Engine::new(
+                ClusterManager::paper_testbed(),
+                &stock_library(),
+                tiny_graph(),
+                routes(),
+                opts,
+                SimTime::ZERO,
+            )
+            .expect("builds");
+            engine.run(SimTime::ZERO).expect("runs")
+        };
+        let aware = run(true);
+        let blind = run(false);
+        assert_eq!(aware.tasks_completed, blind.tasks_completed);
+        // Releasing the whisper GPU after STT saves allocated energy.
+        assert!(aware.energy_allocated_wh < blind.energy_allocated_wh);
+    }
+
+    #[test]
+    fn deadlock_reports_stuck_tasks() {
+        // An endpoint task with non-token work can never dispatch.
+        let mut g = TaskGraph::new();
+        g.add_task("bad", "bad", Capability::Summarization, Work::Items(3));
+        let engine = Engine::new(
+            ClusterManager::paper_testbed(),
+            &stock_library(),
+            g,
+            routes(),
+            EngineOptions::default(),
+            SimTime::ZERO,
+        )
+        .expect("builds");
+        let err = engine.run(SimTime::ZERO).expect_err("cannot run items on an LLM");
+        assert!(err.to_string().contains("non-token work"), "{err}");
+    }
+
+    #[test]
+    fn routes_report_their_agents() {
+        for (_, r) in routes() {
+            assert!(!r.agent().is_empty());
+        }
+        assert_eq!(
+            RouteSpec::External {
+                agent: "GPT-4o".into()
+            }
+            .agent(),
+            "GPT-4o"
+        );
+    }
+
+    #[test]
+    fn cluster_shortage_at_construction_is_checked() {
+        let mut small = ClusterManager::new(PlacementPolicy::BestFit);
+        small.add_node(catalog::cpu_only_f64s());
+        assert!(matches!(
+            Engine::new(
+                small,
+                &stock_library(),
+                tiny_graph(),
+                routes(),
+                EngineOptions::default(),
+                SimTime::ZERO,
+            ),
+            Err(SimError::ResourceExhausted { .. })
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! Murakkab: an adaptive runtime for resource-efficient Compound AI
+//! Systems.
+//!
+//! This is the paper's primary contribution, assembled from the substrate
+//! crates:
+//!
+//! - [`workloads`] — seeded synthetic workloads, including the paper's
+//!   Video Understanding evaluation (two videos, sixteen scenes) plus the
+//!   newsfeed, chain-of-thought and document-QA jobs the vision motivates;
+//! - [`engine`] — the discrete-event execution engine that runs a task
+//!   graph against the cluster manager, worker pools and LLM endpoints;
+//! - [`runtime`] — the Murakkab runtime: decompose → expand → select
+//!   configs → execute adaptively, with the orchestrator and cluster
+//!   manager exchanging telemetry;
+//! - [`baseline`] — the imperative (Listing 1 / OmAgent-style) executor:
+//!   fixed agents, fixed resources, fully serialized execution;
+//! - [`report`] — run reports: makespan, energy (both scopes), cost,
+//!   traces and utilization curves, plus table/figure rendering;
+//! - [`ablation`] — lever sweeps behind the Table 1 bench.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use murakkab::runtime::{Runtime, RunOptions, SttChoice};
+//!
+//! let mut rt = Runtime::paper_testbed(42);
+//! let report = rt
+//!     .run_video_understanding(RunOptions::labeled("murakkab-gpu").stt(SttChoice::Gpu))
+//!     .unwrap();
+//! println!("{}", report.summary_line());
+//! ```
+
+pub mod ablation;
+pub mod baseline;
+pub mod engine;
+pub mod report;
+pub mod runtime;
+pub mod workloads;
+
+pub use baseline::run_baseline_video_understanding;
+pub use report::RunReport;
+pub use runtime::{RunOptions, Runtime, SttChoice};

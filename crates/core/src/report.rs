@@ -1,0 +1,200 @@
+//! Run reports: the quantities the paper's tables and figures are made of.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::TraceLog;
+
+/// Everything measured from one workflow run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Configuration label ("baseline", "murakkab-cpu", ...).
+    pub label: String,
+    /// End-to-end completion time in seconds.
+    pub makespan_s: f64,
+    /// Orchestration (DAG creation) time in seconds.
+    pub orchestration_s: f64,
+    /// GPU energy of held allocations over their hold windows (Wh) — the
+    /// Murakkab rows of Table 2.
+    pub energy_allocated_wh: f64,
+    /// GPU energy of the whole testbed over the run window (Wh) — the
+    /// baseline row of Table 2 (a rigid deployment strands both VMs).
+    pub energy_fleet_wh: f64,
+    /// Dollar cost of held allocations plus external calls.
+    pub cost_usd: f64,
+    /// Composed end-to-end quality of the selected agents.
+    pub quality: f64,
+    /// Tasks completed.
+    pub tasks: usize,
+    /// Whether this run is a rigid (baseline) deployment; decides which
+    /// energy scope [`RunReport::table2_energy_wh`] reports.
+    pub rigid_deployment: bool,
+    /// Per-component execution spans (Figure 3 timelines).
+    pub trace: TraceLog,
+    /// Cluster-wide GPU utilization samples `(t_s, percent)` (Figure 3).
+    pub gpu_util: Vec<(f64, f64)>,
+    /// Cluster-wide CPU utilization samples `(t_s, percent)` (Figure 3).
+    pub cpu_util: Vec<(f64, f64)>,
+    /// Agent/target selected per capability.
+    pub selections: BTreeMap<String, String>,
+}
+
+impl RunReport {
+    /// The energy number Table 2 reports for this configuration.
+    pub fn table2_energy_wh(&self) -> f64 {
+        if self.rigid_deployment {
+            self.energy_fleet_wh
+        } else {
+            self.energy_allocated_wh
+        }
+    }
+
+    /// Wall-clock speedup of `self` relative to `other`.
+    pub fn speedup_vs(&self, other: &RunReport) -> f64 {
+        other.makespan_s / self.makespan_s
+    }
+
+    /// Energy-efficiency gain of `self` relative to `other` (Table 2
+    /// scope on both sides).
+    pub fn energy_efficiency_vs(&self, other: &RunReport) -> f64 {
+        other.table2_energy_wh() / self.table2_energy_wh()
+    }
+
+    /// Orchestration overhead as a fraction of the makespan (§3.3 claims
+    /// this is below 1%).
+    pub fn orchestration_fraction(&self) -> f64 {
+        if self.makespan_s == 0.0 {
+            0.0
+        } else {
+            self.orchestration_s / self.makespan_s
+        }
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<22} {:>8.1} s  {:>8.1} Wh  {:>8.3} $  quality {:.3}  ({} tasks)",
+            self.label,
+            self.makespan_s,
+            self.table2_energy_wh(),
+            self.cost_usd,
+            self.quality,
+            self.tasks
+        )
+    }
+
+    /// Renders the Figure 3 block for this configuration: the component
+    /// timeline plus GPU/CPU utilization sparklines.
+    pub fn figure3_block(&self, width: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ({:.0}s) ==\n", self.label, self.makespan_s));
+        out.push_str(&self.trace.render_ascii(width));
+        out.push_str(&render_util_row("GPU%", &self.gpu_util, width));
+        out.push_str(&render_util_row("CPU%", &self.cpu_util, width));
+        out
+    }
+}
+
+/// Renders a utilization series as a one-row block sparkline.
+fn render_util_row(name: &str, samples: &[(f64, f64)], width: usize) -> String {
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if samples.is_empty() {
+        return format!("{name:>6} (no samples)\n");
+    }
+    let mut row = String::new();
+    for i in 0..width {
+        let idx = i * samples.len() / width;
+        let v = samples[idx.min(samples.len() - 1)].1.clamp(0.0, 100.0);
+        let lvl = ((v / 100.0) * (LEVELS.len() - 1) as f64).round() as usize;
+        row.push(LEVELS[lvl]);
+    }
+    format!("{name:>6} {row}\n")
+}
+
+/// Renders Table 2 (energy and execution time per configuration) with
+/// paper reference values alongside measured values.
+pub fn render_table2(rows: &[(&RunReport, f64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("Speech-to-Text Config.      | Energy (Wh)      | Time (s)\n");
+    out.push_str("                            | paper | measured | paper | measured\n");
+    out.push_str("----------------------------+-------+----------+-------+---------\n");
+    for (report, paper_wh, paper_s) in rows {
+        out.push_str(&format!(
+            "{:<27} | {:>5.0} | {:>8.1} | {:>5.0} | {:>7.1}\n",
+            report.label,
+            paper_wh,
+            report.table2_energy_wh(),
+            paper_s,
+            report.makespan_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(label: &str, makespan: f64, alloc_wh: f64, fleet_wh: f64, rigid: bool) -> RunReport {
+        RunReport {
+            label: label.into(),
+            makespan_s: makespan,
+            orchestration_s: 0.5,
+            energy_allocated_wh: alloc_wh,
+            energy_fleet_wh: fleet_wh,
+            cost_usd: 1.0,
+            quality: 0.93,
+            tasks: 100,
+            rigid_deployment: rigid,
+            trace: TraceLog::new(),
+            gpu_util: vec![(0.0, 50.0), (1.0, 100.0)],
+            cpu_util: vec![(0.0, 0.0)],
+            selections: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn table2_scope_follows_deployment_kind() {
+        let rigid = report("baseline", 283.0, 60.0, 155.0, true);
+        let flexible = report("murakkab", 83.0, 34.0, 60.0, false);
+        assert_eq!(rigid.table2_energy_wh(), 155.0);
+        assert_eq!(flexible.table2_energy_wh(), 34.0);
+        assert!((flexible.speedup_vs(&rigid) - 283.0 / 83.0).abs() < 1e-9);
+        assert!((flexible.energy_efficiency_vs(&rigid) - 155.0 / 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orchestration_fraction() {
+        let r = report("x", 100.0, 1.0, 1.0, false);
+        assert!((r.orchestration_fraction() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_contain_labels() {
+        let r = report("murakkab-gpu", 77.0, 43.0, 60.0, false);
+        assert!(r.summary_line().contains("murakkab-gpu"));
+        let block = r.figure3_block(60);
+        assert!(block.contains("murakkab-gpu"));
+        assert!(block.contains("GPU%"));
+        let t2 = render_table2(&[(&r, 43.0, 77.0)]);
+        assert!(t2.contains("murakkab-gpu"));
+        assert!(t2.contains("43"));
+    }
+
+    #[test]
+    fn util_sparkline_levels() {
+        let row = render_util_row("GPU%", &[(0.0, 0.0), (1.0, 100.0)], 10);
+        assert!(row.contains('█'));
+        let empty = render_util_row("GPU%", &[], 10);
+        assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let r = report("x", 1.0, 2.0, 3.0, false);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label, "x");
+    }
+}

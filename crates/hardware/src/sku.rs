@@ -1,0 +1,154 @@
+//! GPU and CPU SKU definitions.
+//!
+//! Ratings come from public datasheets (FP16 *dense* tensor TFLOPS; HBM
+//! bandwidth; TDP). They feed the roofline cost models in `murakkab-llmsim`
+//! and the power curves in [`crate::power`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::power::PowerCurve;
+
+/// GPU architectural generation, ordered oldest to newest.
+///
+/// Table 1 of the paper lists "GPU Generation" as a scheduling lever:
+/// newer generations cost more, draw more power, and are no slower.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum GpuGeneration {
+    /// NVIDIA Volta (V100).
+    Volta,
+    /// NVIDIA Turing (T4).
+    Turing,
+    /// NVIDIA Ampere (A100).
+    Ampere,
+    /// NVIDIA Hopper (H100).
+    Hopper,
+}
+
+/// A GPU stock-keeping unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSku {
+    /// Marketing name, e.g. `"A100-80G"`.
+    pub name: String,
+    /// Architectural generation.
+    pub generation: GpuGeneration,
+    /// Dense FP16 tensor throughput in TFLOPS.
+    pub fp16_tflops: f64,
+    /// On-device memory in GiB.
+    pub mem_gb: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Board power limit (TDP) in watts.
+    pub tdp_w: f64,
+    /// Idle draw in watts.
+    pub idle_w: f64,
+    /// On-demand price per device-hour in dollars.
+    pub hourly_usd: f64,
+}
+
+impl GpuSku {
+    /// The SKU's power curve (idle→TDP, near-linear in utilization).
+    pub fn power_curve(&self) -> PowerCurve {
+        PowerCurve::new(self.idle_w, self.tdp_w, 1.0)
+    }
+
+    /// Effective FLOPS (in raw FLOP/s) at a parallel efficiency factor.
+    pub fn flops(&self) -> f64 {
+        self.fp16_tflops * 1e12
+    }
+}
+
+/// A CPU stock-keeping unit (modeled per *vCPU pool*, not per socket).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSku {
+    /// Marketing name, e.g. `"EPYC-7V12"`.
+    pub name: String,
+    /// Base clock in GHz.
+    pub base_ghz: f64,
+    /// Usable FP32 GFLOPS per core (with vector units).
+    pub gflops_per_core: f64,
+    /// Package power attributed to the full vCPU pool of one VM, in watts.
+    ///
+    /// The paper sizes GPU power at "16× higher than the CPU power"; with
+    /// 8 × 400 W of GPUs per VM that puts the CPU pool at 200 W, which is
+    /// what the stock catalog uses for the 96-vCPU EPYC pool.
+    pub pool_tdp_w: f64,
+    /// Idle draw of the pool in watts.
+    pub pool_idle_w: f64,
+    /// On-demand price per core-hour in dollars.
+    pub hourly_usd_per_core: f64,
+}
+
+impl CpuSku {
+    /// Power curve of the whole pool (scaled by pool utilization).
+    pub fn power_curve(&self) -> PowerCurve {
+        PowerCurve::new(self.pool_idle_w, self.pool_tdp_w, 1.0)
+    }
+
+    /// Usable FLOP/s of `cores` cores.
+    pub fn flops(&self, cores: u32) -> f64 {
+        self.gflops_per_core * 1e9 * f64::from(cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn generations_are_ordered() {
+        assert!(GpuGeneration::Hopper > GpuGeneration::Ampere);
+        assert!(GpuGeneration::Ampere > GpuGeneration::Turing);
+        assert!(GpuGeneration::Turing > GpuGeneration::Volta);
+    }
+
+    #[test]
+    fn catalog_skus_have_sane_ratings() {
+        for sku in [
+            catalog::a100_80g(),
+            catalog::h100_80g(),
+            catalog::v100_32g(),
+            catalog::t4(),
+        ] {
+            assert!(sku.fp16_tflops > 0.0, "{}", sku.name);
+            assert!(sku.idle_w < sku.tdp_w, "{}", sku.name);
+            assert!(sku.hourly_usd > 0.0, "{}", sku.name);
+            assert!(sku.mem_bw_gbps > 0.0, "{}", sku.name);
+        }
+    }
+
+    #[test]
+    fn newer_generation_is_faster_and_hungrier() {
+        let a100 = catalog::a100_80g();
+        let h100 = catalog::h100_80g();
+        assert!(h100.generation > a100.generation);
+        assert!(h100.fp16_tflops > a100.fp16_tflops);
+        assert!(h100.tdp_w > a100.tdp_w);
+        assert!(h100.hourly_usd > a100.hourly_usd);
+    }
+
+    #[test]
+    fn gpu_power_curve_spans_idle_to_tdp() {
+        let sku = catalog::a100_80g();
+        let pc = sku.power_curve();
+        assert_eq!(pc.watts(0.0), sku.idle_w);
+        assert_eq!(pc.watts(1.0), sku.tdp_w);
+    }
+
+    #[test]
+    fn cpu_flops_scale_with_cores() {
+        let cpu = catalog::epyc_7v12();
+        assert_eq!(cpu.flops(64), 64.0 * cpu.flops(1));
+    }
+
+    #[test]
+    fn paper_power_ratio_holds() {
+        // §4: GPU power "rated 16× higher than the CPU power" per VM.
+        let vm_gpu_w = 8.0 * catalog::a100_80g().tdp_w;
+        let vm_cpu_w = catalog::epyc_7v12().pool_tdp_w;
+        let ratio = vm_gpu_w / vm_cpu_w;
+        assert!((15.0..=17.0).contains(&ratio), "ratio {ratio}");
+    }
+}

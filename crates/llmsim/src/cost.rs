@@ -1,0 +1,212 @@
+//! Roofline cost model for prefill and decode.
+//!
+//! Prefill is compute-bound (the whole prompt's FLOPs in one pass); decode
+//! is memory-bandwidth-bound (weights and the batch's KV cache are streamed
+//! once per generated token). The model follows the standard serving
+//! roofline: each phase takes `max(compute_time, memory_time)` on the
+//! tensor-parallel group.
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_hardware::GpuSku;
+use murakkab_sim::SimDuration;
+
+use crate::model::ModelSpec;
+
+/// Fraction of peak FLOPS achieved during prefill (large GEMMs).
+pub const MFU_PREFILL: f64 = 0.55;
+/// Fraction of peak FLOPS achieved during decode (small GEMMs).
+pub const MFU_DECODE: f64 = 0.35;
+/// Fraction of peak memory bandwidth achieved when streaming weights/KV.
+pub const MBU: f64 = 0.70;
+
+/// A tensor-parallel group of identical GPUs serving one model replica.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpGroup {
+    /// GPU SKU of every member.
+    pub sku: GpuSku,
+    /// Number of GPUs in the group.
+    pub n: u32,
+    /// Parallel efficiency in `(0, 1]` (all-reduce overhead).
+    pub efficiency: f64,
+}
+
+impl TpGroup {
+    /// Creates a group with the default efficiency model
+    /// (`0.95^(log2 n)` — each doubling costs 5%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(sku: GpuSku, n: u32) -> Self {
+        assert!(n > 0, "TP group needs at least one GPU");
+        let doublings = (f64::from(n)).log2();
+        TpGroup {
+            sku,
+            n,
+            efficiency: 0.95_f64.powf(doublings),
+        }
+    }
+
+    /// Aggregate usable FLOP/s of the group.
+    pub fn flops(&self) -> f64 {
+        self.sku.flops() * f64::from(self.n) * self.efficiency
+    }
+
+    /// Aggregate usable memory bandwidth in bytes/s.
+    pub fn mem_bw(&self) -> f64 {
+        self.sku.mem_bw_gbps * 1e9 * f64::from(self.n) * self.efficiency
+    }
+
+    /// Aggregate GPU memory in bytes.
+    pub fn mem_bytes(&self) -> f64 {
+        self.sku.mem_gb * 1e9 * f64::from(self.n)
+    }
+
+    /// KV-cache token capacity left after weights and a 10% workspace.
+    pub fn kv_capacity_tokens(&self, model: &ModelSpec) -> u64 {
+        let free = self.mem_bytes() * 0.9 - model.weight_bytes();
+        if free <= 0.0 {
+            0
+        } else {
+            (free / model.kv_bytes_per_token) as u64
+        }
+    }
+}
+
+/// Time to prefill `prompt_tokens` of `model` on `group`.
+pub fn prefill_time(model: &ModelSpec, group: &TpGroup, prompt_tokens: u32) -> SimDuration {
+    let flops_needed = model.flops_per_token() * f64::from(prompt_tokens);
+    let compute = flops_needed / (group.flops() * MFU_PREFILL);
+    // Prefill also reads weights once; usually negligible next to compute
+    // for long prompts but it lower-bounds short prompts.
+    let memory = model.weight_bytes() / (group.mem_bw() * MBU);
+    SimDuration::from_secs_f64(compute.max(memory))
+}
+
+/// Time for one decode iteration of a batch.
+///
+/// * `batch` — number of sequences decoding this step;
+/// * `kv_tokens` — total resident KV tokens across the batch.
+pub fn decode_step_time(
+    model: &ModelSpec,
+    group: &TpGroup,
+    batch: u32,
+    kv_tokens: u64,
+) -> SimDuration {
+    if batch == 0 {
+        return SimDuration::ZERO;
+    }
+    let compute =
+        model.flops_per_token() * f64::from(batch) / (group.flops() * MFU_DECODE);
+    let bytes = model.weight_bytes() + model.kv_bytes_per_token * kv_tokens as f64;
+    let memory = bytes / (group.mem_bw() * MBU);
+    SimDuration::from_secs_f64(compute.max(memory))
+}
+
+/// End-to-end latency of a single request run alone on the group
+/// (no batching): prefill plus `output_tokens` decode steps.
+pub fn solo_latency(
+    model: &ModelSpec,
+    group: &TpGroup,
+    prompt_tokens: u32,
+    output_tokens: u32,
+) -> SimDuration {
+    let mut t = prefill_time(model, group, prompt_tokens);
+    let mut kv = u64::from(prompt_tokens);
+    for _ in 0..output_tokens {
+        kv += 1;
+        t += decode_step_time(model, group, 1, kv);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murakkab_hardware::catalog;
+    use crate::model;
+
+    fn group8() -> TpGroup {
+        TpGroup::new(catalog::a100_80g(), 8)
+    }
+
+    #[test]
+    fn tp_efficiency_decreases_with_size() {
+        let g1 = TpGroup::new(catalog::a100_80g(), 1);
+        let g8 = group8();
+        assert_eq!(g1.efficiency, 1.0);
+        assert!(g8.efficiency < 1.0 && g8.efficiency > 0.8);
+        assert!(g8.flops() > g1.flops());
+    }
+
+    #[test]
+    fn prefill_is_linear_in_prompt_for_long_prompts() {
+        let m = model::nvlm_72b();
+        let g = group8();
+        let t1 = prefill_time(&m, &g, 4_000).as_secs_f64();
+        let t2 = prefill_time(&m, &g, 8_000).as_secs_f64();
+        assert!((t2 / t1 - 2.0).abs() < 0.05, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn short_prompt_prefill_floor_is_weight_read() {
+        let m = model::nvlm_72b();
+        let g = group8();
+        let t = prefill_time(&m, &g, 1);
+        let weight_read = m.weight_bytes() / (g.mem_bw() * MBU);
+        // SimDuration rounds to whole microseconds.
+        assert!((t.as_secs_f64() - weight_read).abs() < 1e-5);
+    }
+
+    #[test]
+    fn decode_is_memory_bound_at_small_batch() {
+        let m = model::nvlm_72b();
+        let g = group8();
+        // Batch of 1 with modest KV: dominated by streaming 144 GB weights.
+        let t = decode_step_time(&m, &g, 1, 2_048).as_secs_f64();
+        let weight_stream = m.weight_bytes() / (g.mem_bw() * MBU);
+        assert!(t >= weight_stream);
+        // Batching is nearly free at small batch sizes.
+        let t8 = decode_step_time(&m, &g, 8, 8 * 2_048).as_secs_f64();
+        assert!(t8 < 2.0 * t, "batch of 8 should cost much less than 8x");
+    }
+
+    #[test]
+    fn decode_empty_batch_is_free() {
+        assert_eq!(
+            decode_step_time(&model::nvlm_72b(), &group8(), 0, 0),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn solo_latency_is_positive_and_monotone() {
+        let m = model::llama3_8b();
+        let g = TpGroup::new(catalog::a100_80g(), 1);
+        let short = solo_latency(&m, &g, 128, 64);
+        let long = solo_latency(&m, &g, 128, 256);
+        assert!(short > SimDuration::ZERO);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn kv_capacity_accounts_for_weights() {
+        let m = model::nvlm_72b();
+        let g8 = group8();
+        let g3 = TpGroup::new(catalog::a100_80g(), 3);
+        assert!(g8.kv_capacity_tokens(&m) > g3.kv_capacity_tokens(&m));
+        // 1 GPU cannot even hold the 72B weights.
+        let g1 = TpGroup::new(catalog::a100_80g(), 1);
+        assert_eq!(g1.kv_capacity_tokens(&m), 0);
+    }
+
+    #[test]
+    fn h100_is_faster_than_a100() {
+        let m = model::nvlm_72b();
+        let a = TpGroup::new(catalog::a100_80g(), 8);
+        let h = TpGroup::new(catalog::h100_80g(), 8);
+        assert!(prefill_time(&m, &h, 4_000) < prefill_time(&m, &a, 4_000));
+        assert!(decode_step_time(&m, &h, 4, 8_192) < decode_step_time(&m, &a, 4, 8_192));
+    }
+}

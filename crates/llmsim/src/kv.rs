@@ -1,0 +1,169 @@
+//! KV-cache pool accounting.
+//!
+//! The pool tracks resident KV tokens per request with strict
+//! no-overcommit semantics: admission control in the batching engine must
+//! reserve a request's *full* footprint (prompt + max output) before the
+//! request starts, which is what production servers do to avoid mid-stream
+//! eviction.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::SimError;
+
+/// A fixed-capacity token pool with per-request reservations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KvCachePool {
+    capacity: u64,
+    reserved: BTreeMap<u64, u64>,
+    total_reserved: u64,
+    peak_reserved: u64,
+}
+
+impl KvCachePool {
+    /// Creates a pool holding at most `capacity` tokens.
+    pub fn new(capacity: u64) -> Self {
+        KvCachePool {
+            capacity,
+            reserved: BTreeMap::new(),
+            total_reserved: 0,
+            peak_reserved: 0,
+        }
+    }
+
+    /// Reserves `tokens` for request `req`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ResourceExhausted`] when the pool cannot hold the
+    /// reservation, and [`SimError::InvalidState`] if `req` already holds
+    /// one.
+    pub fn reserve(&mut self, req: u64, tokens: u64) -> Result<(), SimError> {
+        if self.reserved.contains_key(&req) {
+            return Err(SimError::InvalidState(format!(
+                "request {req} already holds a KV reservation"
+            )));
+        }
+        if self.total_reserved + tokens > self.capacity {
+            return Err(SimError::exhausted(
+                "kv-cache tokens",
+                tokens,
+                self.capacity - self.total_reserved,
+            ));
+        }
+        self.reserved.insert(req, tokens);
+        self.total_reserved += tokens;
+        self.peak_reserved = self.peak_reserved.max(self.total_reserved);
+        Ok(())
+    }
+
+    /// Releases request `req`'s reservation, returning the freed tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotFound`] if `req` holds no reservation.
+    pub fn release(&mut self, req: u64) -> Result<u64, SimError> {
+        let tokens = self
+            .reserved
+            .remove(&req)
+            .ok_or_else(|| SimError::not_found("kv reservation", req.to_string()))?;
+        self.total_reserved -= tokens;
+        Ok(tokens)
+    }
+
+    /// Whether a reservation of `tokens` would fit right now.
+    pub fn fits(&self, tokens: u64) -> bool {
+        self.total_reserved + tokens <= self.capacity
+    }
+
+    /// Pool capacity in tokens.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently reserved tokens.
+    pub fn used(&self) -> u64 {
+        self.total_reserved
+    }
+
+    /// Free tokens.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.total_reserved
+    }
+
+    /// High-water mark of reservations.
+    pub fn peak(&self) -> u64 {
+        self.peak_reserved
+    }
+
+    /// Current occupancy fraction (zero for a zero-capacity pool).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.total_reserved as f64 / self.capacity as f64
+        }
+    }
+
+    /// Number of live reservations.
+    pub fn live_requests(&self) -> usize {
+        self.reserved.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut pool = KvCachePool::new(1_000);
+        pool.reserve(1, 400).unwrap();
+        pool.reserve(2, 600).unwrap();
+        assert_eq!(pool.used(), 1_000);
+        assert_eq!(pool.free(), 0);
+        assert!(!pool.fits(1));
+        assert_eq!(pool.release(1).unwrap(), 400);
+        assert_eq!(pool.used(), 600);
+        assert!(pool.fits(400));
+        assert_eq!(pool.peak(), 1_000);
+        assert_eq!(pool.live_requests(), 1);
+    }
+
+    #[test]
+    fn overcommit_is_rejected() {
+        let mut pool = KvCachePool::new(100);
+        pool.reserve(1, 60).unwrap();
+        let err = pool.reserve(2, 50).unwrap_err();
+        assert!(matches!(err, SimError::ResourceExhausted { .. }));
+        // Failed reservation must not leak accounting.
+        assert_eq!(pool.used(), 60);
+        assert_eq!(pool.live_requests(), 1);
+    }
+
+    #[test]
+    fn double_reserve_is_rejected() {
+        let mut pool = KvCachePool::new(100);
+        pool.reserve(1, 10).unwrap();
+        assert!(matches!(
+            pool.reserve(1, 10),
+            Err(SimError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn release_unknown_is_error() {
+        let mut pool = KvCachePool::new(100);
+        assert!(matches!(pool.release(9), Err(SimError::NotFound { .. })));
+    }
+
+    #[test]
+    fn occupancy_math() {
+        let mut pool = KvCachePool::new(200);
+        assert_eq!(pool.occupancy(), 0.0);
+        pool.reserve(1, 50).unwrap();
+        assert_eq!(pool.occupancy(), 0.25);
+        assert_eq!(KvCachePool::new(0).occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,497 @@
+//! Configuration search over the Table 1 levers.
+//!
+//! §3.3: "The search space across the levers mentioned in Table 1 can
+//! easily explode. Therefore, we are working on strategies to prune the
+//! space with greedy search using hierarchy of optimization functions."
+//!
+//! [`ConfigSearch`] implements both the exhaustive cross-product (ground
+//! truth, exponential) and the greedy hierarchy (the paper's pruning:
+//! settle the agent/hardware choice per capability first, then task
+//! parallelism, then execution paths). The `table1` bench compares the
+//! two on solution score and configurations evaluated.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_agents::profile::{ExecutionProfile, Objective, ProfileStore};
+use murakkab_agents::{quality, Capability};
+use murakkab_hardware::HardwareTarget;
+use murakkab_sim::SimError;
+use murakkab_workflow::ConstraintSet;
+
+use crate::paths::{path_cost_factor, path_quality};
+
+/// Search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchMode {
+    /// Greedy with the objective hierarchy (the paper's pruning).
+    Greedy,
+    /// Full cross product (ground truth; explodes combinatorially).
+    Exhaustive,
+}
+
+/// A complete lever assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeverSettings {
+    /// Agent + hardware per capability.
+    pub choices: BTreeMap<Capability, (String, HardwareTarget)>,
+    /// Instances of one stage run concurrently (task parallelism lever).
+    pub parallelism: u32,
+    /// Chain-of-thought execution paths (1 = single path).
+    pub paths: u32,
+}
+
+/// Predicted end-to-end metrics of a lever assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Predicted makespan in seconds.
+    pub latency_s: f64,
+    /// Predicted energy in watt-hours.
+    pub energy_wh: f64,
+    /// Predicted dollar cost.
+    pub cost_usd: f64,
+    /// Predicted end-to-end quality.
+    pub quality: f64,
+}
+
+impl Estimate {
+    /// Scalar score under an objective (lower is better).
+    pub fn score(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Cost => self.cost_usd,
+            Objective::Power => self.energy_wh,
+            Objective::Latency => self.latency_s,
+            Objective::Quality => -self.quality,
+        }
+    }
+}
+
+/// The workload's demand shape the estimator needs: instance counts per
+/// capability and the capability order of the serial chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandModel {
+    /// Task-instance counts per capability.
+    pub counts: BTreeMap<Capability, u32>,
+    /// Capabilities on the critical chain, in order.
+    pub chain: Vec<Capability>,
+}
+
+impl DemandModel {
+    /// Demand of the paper's Video Understanding workload (16 scenes,
+    /// 10 frames each).
+    pub fn video_understanding() -> Self {
+        DemandModel {
+            counts: BTreeMap::from([
+                (Capability::FrameExtraction, 16),
+                (Capability::SpeechToText, 16),
+                (Capability::ObjectDetection, 16),
+                (Capability::Summarization, 176), // 160 frame + 16 scene
+                (Capability::Embedding, 16),
+                (Capability::VectorStore, 16),
+            ]),
+            chain: vec![
+                Capability::FrameExtraction,
+                Capability::SpeechToText,
+                Capability::Summarization,
+                Capability::Embedding,
+                Capability::VectorStore,
+            ],
+        }
+    }
+}
+
+/// The lever search engine.
+#[derive(Debug, Clone)]
+pub struct ConfigSearch {
+    /// Strategy.
+    pub mode: SearchMode,
+    /// Task-parallelism menu.
+    pub parallelism_options: Vec<u32>,
+    /// Execution-path menu.
+    pub path_options: Vec<u32>,
+}
+
+impl ConfigSearch {
+    /// A search with the default lever menus.
+    pub fn new(mode: SearchMode) -> Self {
+        ConfigSearch {
+            mode,
+            parallelism_options: vec![1, 2, 4, 8, 16],
+            path_options: vec![1, 2, 4],
+        }
+    }
+
+    /// Finds lever settings for `demand` under `constraints`.
+    ///
+    /// Returns the settings, their estimate, and how many configurations
+    /// were evaluated (the §3.3 pruning metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsatisfiable`] when no assignment meets the
+    /// quality floor.
+    pub fn search(
+        &self,
+        demand: &DemandModel,
+        store: &ProfileStore,
+        constraints: &ConstraintSet,
+    ) -> Result<(LeverSettings, Estimate, usize), SimError> {
+        match self.mode {
+            SearchMode::Greedy => self.greedy(demand, store, constraints),
+            SearchMode::Exhaustive => self.exhaustive(demand, store, constraints),
+        }
+    }
+
+    fn candidates<'a>(
+        store: &'a ProfileStore,
+        cap: Capability,
+        floor: f64,
+    ) -> Vec<&'a ExecutionProfile> {
+        let mut v: Vec<&ExecutionProfile> = store
+            .for_capability(cap)
+            .into_iter()
+            .filter(|p| p.quality + 1e-9 >= floor)
+            .collect();
+        v.sort_by(|a, b| {
+            a.agent
+                .cmp(&b.agent)
+                .then_with(|| a.target.short_label().cmp(&b.target.short_label()))
+        });
+        v
+    }
+
+    /// Predicts end-to-end metrics for one assignment.
+    fn estimate(
+        demand: &DemandModel,
+        assignment: &BTreeMap<Capability, &ExecutionProfile>,
+        parallelism: u32,
+        paths: u32,
+    ) -> Estimate {
+        let mut energy = 0.0;
+        let mut cost = 0.0;
+        let mut qualities = Vec::new();
+        for (cap, &count) in &demand.counts {
+            let Some(p) = assignment.get(cap) else {
+                continue;
+            };
+            let reps = if *cap == Capability::TextGeneration {
+                f64::from(count) * path_cost_factor(paths)
+            } else {
+                f64::from(count)
+            };
+            energy += reps * p.energy_wh;
+            cost += reps * p.cost_usd;
+            let q = if *cap == Capability::TextGeneration {
+                path_quality(p.quality, paths)
+            } else {
+                p.quality
+            };
+            qualities.push(q);
+        }
+        let mut latency = 0.0;
+        for cap in &demand.chain {
+            let (Some(p), Some(&count)) = (assignment.get(cap), demand.counts.get(cap)) else {
+                continue;
+            };
+            let waves = (f64::from(count) / f64::from(parallelism)).ceil();
+            latency += waves * p.latency.as_secs_f64();
+        }
+        Estimate {
+            latency_s: latency,
+            energy_wh: energy,
+            cost_usd: cost,
+            quality: quality::compose(&qualities),
+        }
+    }
+
+    fn greedy(
+        &self,
+        demand: &DemandModel,
+        store: &ProfileStore,
+        constraints: &ConstraintSet,
+    ) -> Result<(LeverSettings, Estimate, usize), SimError> {
+        let objective = constraints.primary_objective();
+        let floor = constraints.quality_floor();
+        let mut evaluated = 0usize;
+
+        // Hierarchy level 1: per-capability agent/hardware, independently.
+        let mut assignment: BTreeMap<Capability, &ExecutionProfile> = BTreeMap::new();
+        for &cap in demand.counts.keys() {
+            let candidates = Self::candidates(store, cap, floor);
+            evaluated += candidates.len();
+            let best = candidates
+                .into_iter()
+                .min_by(|a, b| {
+                    a.score(objective)
+                        .partial_cmp(&b.score(objective))
+                        .expect("scores are never NaN")
+                        .then_with(|| a.agent.cmp(&b.agent))
+                })
+                .ok_or_else(|| {
+                    SimError::Unsatisfiable(format!(
+                        "no {cap:?} profile meets quality >= {floor:.2}"
+                    ))
+                })?;
+            assignment.insert(cap, best);
+        }
+
+        // Level 2: task parallelism, given the fixed assignment.
+        let mut best_par = self.parallelism_options[0];
+        let mut best_par_score = f64::INFINITY;
+        for &par in &self.parallelism_options {
+            let est = Self::estimate(demand, &assignment, par, 1);
+            evaluated += 1;
+            // Parallelism trades latency against nothing in this model
+            // (same total work), so under cost/power objectives prefer
+            // the smallest parallelism that does not hurt the objective.
+            let score = est.score(objective) + f64::from(par) * 1e-9;
+            if score < best_par_score {
+                best_par_score = score;
+                best_par = par;
+            }
+        }
+
+        // Level 3: execution paths.
+        let mut best_paths = self.path_options[0];
+        let mut best_paths_score = f64::INFINITY;
+        for &k in &self.path_options {
+            let est = Self::estimate(demand, &assignment, best_par, k);
+            evaluated += 1;
+            if est.quality + 1e-9 < floor && demand.counts.contains_key(&Capability::TextGeneration)
+            {
+                continue;
+            }
+            let score = est.score(objective) + f64::from(k) * 1e-9;
+            if score < best_paths_score {
+                best_paths_score = score;
+                best_paths = k;
+            }
+        }
+
+        let est = Self::estimate(demand, &assignment, best_par, best_paths);
+        let settings = LeverSettings {
+            choices: assignment
+                .iter()
+                .map(|(&c, p)| (c, (p.agent.clone(), p.target)))
+                .collect(),
+            parallelism: best_par,
+            paths: best_paths,
+        };
+        Ok((settings, est, evaluated))
+    }
+
+    fn exhaustive(
+        &self,
+        demand: &DemandModel,
+        store: &ProfileStore,
+        constraints: &ConstraintSet,
+    ) -> Result<(LeverSettings, Estimate, usize), SimError> {
+        let objective = constraints.primary_objective();
+        let floor = constraints.quality_floor();
+        let caps: Vec<Capability> = demand.counts.keys().copied().collect();
+        let cand: Vec<Vec<&ExecutionProfile>> = caps
+            .iter()
+            .map(|&c| Self::candidates(store, c, floor))
+            .collect();
+        for (i, c) in cand.iter().enumerate() {
+            if c.is_empty() {
+                return Err(SimError::Unsatisfiable(format!(
+                    "no {:?} profile meets quality >= {floor:.2}",
+                    caps[i]
+                )));
+            }
+        }
+
+        let mut evaluated = 0usize;
+        let mut best: Option<(LeverSettings, Estimate, f64)> = None;
+        let mut idx = vec![0usize; caps.len()];
+        loop {
+            let assignment: BTreeMap<Capability, &ExecutionProfile> = caps
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, cand[i][idx[i]]))
+                .collect();
+            for &par in &self.parallelism_options {
+                for &k in &self.path_options {
+                    evaluated += 1;
+                    let est = Self::estimate(demand, &assignment, par, k);
+                    if est.quality + 1e-9 < floor {
+                        continue;
+                    }
+                    let score = est.score(objective);
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, s)) => score < *s - 1e-12,
+                    };
+                    if better {
+                        best = Some((
+                            LeverSettings {
+                                choices: assignment
+                                    .iter()
+                                    .map(|(&c, p)| (c, (p.agent.clone(), p.target)))
+                                    .collect(),
+                                parallelism: par,
+                                paths: k,
+                            },
+                            est,
+                            score,
+                        ));
+                    }
+                }
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == caps.len() {
+                    let (s, e, _) = best.ok_or_else(|| {
+                        SimError::Unsatisfiable("no assignment meets the quality floor".into())
+                    })?;
+                    return Ok((s, e, evaluated));
+                }
+                idx[i] += 1;
+                if idx[i] < cand[i].len() {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murakkab_agents::library::stock_library;
+    use murakkab_agents::Profiler;
+    use murakkab_workflow::Constraint;
+
+    fn store() -> ProfileStore {
+        Profiler::default().profile_library(&stock_library())
+    }
+
+    fn constraints(c: Constraint) -> ConstraintSet {
+        ConstraintSet::single(c)
+    }
+
+    #[test]
+    fn greedy_explores_far_fewer_configs_than_exhaustive() {
+        let s = store();
+        let demand = DemandModel::video_understanding();
+        let (_, g_est, g_n) = ConfigSearch::new(SearchMode::Greedy)
+            .search(&demand, &s, &constraints(Constraint::MinCost))
+            .unwrap();
+        let (_, e_est, e_n) = ConfigSearch::new(SearchMode::Exhaustive)
+            .search(&demand, &s, &constraints(Constraint::MinCost))
+            .unwrap();
+        assert!(
+            e_n > 20 * g_n,
+            "exhaustive {e_n} should dwarf greedy {g_n}"
+        );
+        // Greedy must be close to the exhaustive optimum on this demand
+        // (levers are near-independent here).
+        assert!(
+            g_est.cost_usd <= e_est.cost_usd * 1.25 + 1e-9,
+            "greedy {g:.4} vs exhaustive {e:.4}",
+            g = g_est.cost_usd,
+            e = e_est.cost_usd
+        );
+    }
+
+    #[test]
+    fn objectives_steer_the_choice() {
+        let s = store();
+        let demand = DemandModel::video_understanding();
+        let (lat_set, lat_est, _) = ConfigSearch::new(SearchMode::Greedy)
+            .search(&demand, &s, &constraints(Constraint::MinLatency))
+            .unwrap();
+        let (pow_set, pow_est, _) = ConfigSearch::new(SearchMode::Greedy)
+            .search(&demand, &s, &constraints(Constraint::MinPower))
+            .unwrap();
+        assert!(lat_est.latency_s <= pow_est.latency_s + 1e-9);
+        assert!(pow_est.energy_wh <= lat_est.energy_wh + 1e-9);
+        // Latency search maxes the parallelism menu; power search does not
+        // need to.
+        assert_eq!(lat_set.parallelism, 16);
+        // STT choice differs between speed and power.
+        let lat_stt = &lat_set.choices[&Capability::SpeechToText];
+        let pow_stt = &pow_set.choices[&Capability::SpeechToText];
+        assert!(lat_stt.1.needs_gpu());
+        assert!(!pow_stt.1.needs_gpu());
+    }
+
+    #[test]
+    fn quality_floor_is_respected() {
+        let s = store();
+        let demand = DemandModel::video_understanding();
+        let (set, est, _) = ConfigSearch::new(SearchMode::Greedy)
+            .search(
+                &demand,
+                &s,
+                &constraints(Constraint::MinCost).and(Constraint::QualityAtLeast(0.9)),
+            )
+            .unwrap();
+        assert!(est.quality + 1e-9 >= 0.9);
+        for (cap, (agent, _)) in &set.choices {
+            assert_ne!(agent, "DeepSpeech", "{cap:?} picked a sub-floor agent");
+        }
+    }
+
+    #[test]
+    fn impossible_floor_is_unsatisfiable_in_both_modes() {
+        let s = store();
+        let demand = DemandModel::video_understanding();
+        for mode in [SearchMode::Greedy, SearchMode::Exhaustive] {
+            let err = ConfigSearch::new(mode)
+                .search(
+                    &demand,
+                    &s,
+                    &constraints(Constraint::MinCost).and(Constraint::QualityAtLeast(1.5)),
+                )
+                .unwrap_err();
+            assert!(matches!(err, SimError::Unsatisfiable(_)), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn paths_lever_engages_for_reasoning_demand() {
+        let s = store();
+        let demand = DemandModel {
+            counts: BTreeMap::from([(Capability::TextGeneration, 1)]),
+            chain: vec![Capability::TextGeneration],
+        };
+        // Quality objective: more paths help.
+        let (set, est, _) = ConfigSearch::new(SearchMode::Greedy)
+            .search(&demand, &s, &constraints(Constraint::MaxQuality))
+            .unwrap();
+        assert!(set.paths > 1, "quality objective should buy extra paths");
+        assert!(est.quality > 0.93);
+        // Cost objective: single path.
+        let (set, _, _) = ConfigSearch::new(SearchMode::Greedy)
+            .search(&demand, &s, &constraints(Constraint::MinCost))
+            .unwrap();
+        assert_eq!(set.paths, 1);
+    }
+
+    #[test]
+    fn estimate_latency_scales_inversely_with_parallelism() {
+        let s = store();
+        let demand = DemandModel::video_understanding();
+        let floor = 0.9;
+        let assignment: BTreeMap<Capability, &ExecutionProfile> = demand
+            .counts
+            .keys()
+            .map(|&c| {
+                (
+                    c,
+                    *ConfigSearch::candidates(&s, c, floor).first().unwrap(),
+                )
+            })
+            .collect();
+        let e1 = ConfigSearch::estimate(&demand, &assignment, 1, 1);
+        let e8 = ConfigSearch::estimate(&demand, &assignment, 8, 1);
+        assert!(e8.latency_s < e1.latency_s / 4.0);
+        assert!((e8.energy_wh - e1.energy_wh).abs() < 1e-9, "same total work");
+    }
+}

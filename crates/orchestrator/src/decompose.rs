@@ -1,0 +1,465 @@
+//! Job decomposition (simulated ReAct planning).
+//!
+//! The paper decomposes jobs with an orchestrator LLM "following the ReAct
+//! approach": the model reads the job description plus the agent library
+//! (system prompt) and emits tasks and their relationships. We substitute
+//! a deterministic archetype matcher producing the same stage graphs, for
+//! two reasons: (a) no model weights are available offline, and (b) the
+//! *scheduling* claims of the paper depend only on the DAG produced, not
+//! on how it was inferred. The matcher still *costs* what the LLM queries
+//! would (token counts returned in [`OrchestratorCost`]), so the §3.3
+//! overhead measurement stays honest.
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_agents::{AgentLibrary, Capability};
+use murakkab_sim::SimError;
+use murakkab_workflow::Job;
+
+/// How many instances a stage fans into at expansion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One instance for the whole job.
+    Job,
+    /// One instance per input video.
+    PerVideo,
+    /// One instance per scene.
+    PerScene,
+    /// One instance per extracted frame.
+    PerFrame,
+    /// One instance per generic item.
+    PerItem,
+}
+
+/// One logical stage of a decomposed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Stage name (stable key, e.g. `"stt"`).
+    pub name: String,
+    /// Capability the stage needs.
+    pub capability: Capability,
+    /// Fan-out granularity.
+    pub granularity: Granularity,
+    /// Indices of stages this one consumes from.
+    pub deps: Vec<usize>,
+}
+
+/// A decomposed job: logical stages in dependency order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalPlan {
+    /// The recognised archetype (for reporting).
+    pub archetype: String,
+    /// Stages; `deps` index into this vector (always backwards).
+    pub stages: Vec<Stage>,
+}
+
+impl LogicalPlan {
+    /// Validates the stage graph: deps in range and strictly backwards
+    /// (which makes the stage list a topological order by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] on a malformed plan.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (i, s) in self.stages.iter().enumerate() {
+            for &d in &s.deps {
+                if d >= i {
+                    return Err(SimError::InvalidInput(format!(
+                        "stage {} ({}) depends forward on stage {}",
+                        i, s.name, d
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The distinct capabilities the plan needs.
+    pub fn capabilities(&self) -> Vec<Capability> {
+        let mut caps: Vec<Capability> = self.stages.iter().map(|s| s.capability).collect();
+        caps.sort();
+        caps.dedup();
+        caps
+    }
+}
+
+/// Token cost of the orchestration LLM queries (decomposition + one
+/// mapping/tool-call round per stage), to be charged to the orchestrator
+/// endpoint before workflow execution starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrchestratorCost {
+    /// Prompt tokens across all planning queries.
+    pub prompt_tokens: u32,
+    /// Output tokens across all planning queries.
+    pub output_tokens: u32,
+}
+
+/// The simulated planner.
+#[derive(Debug, Clone, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Decomposes a job into a logical plan plus the LLM cost of doing so.
+    ///
+    /// Recognition order: explicit task hints are honoured first (§3.1:
+    /// "the programmer may optionally assist the system by specifying
+    /// sub-tasks"); when hints are missing or insufficient, the job
+    /// description's archetype decides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] when neither the description nor
+    /// the hints map to anything the library can serve.
+    pub fn decompose(
+        &self,
+        job: &Job,
+        library: &AgentLibrary,
+    ) -> Result<(LogicalPlan, OrchestratorCost), SimError> {
+        let desc = job.description.to_lowercase();
+        let plan = if is_video_understanding(&desc, &job.task_hints) {
+            video_understanding_plan()
+        } else if desc.contains("newsfeed") || desc.contains("news feed") {
+            newsfeed_plan()
+        } else if desc.contains("solve") || desc.contains("reason") || desc.contains("prove") {
+            cot_plan()
+        } else if desc.contains("question") || desc.contains("answer") {
+            doc_qa_plan()
+        } else {
+            chain_from_hints(&job.task_hints)?
+        };
+        plan.validate()?;
+
+        // Every stage capability must be servable, or the plan is junk
+        // (the hallucination guard at planning time).
+        for cap in plan.capabilities() {
+            if library.candidates(cap).next().is_none() {
+                return Err(SimError::InvalidInput(format!(
+                    "decomposition requires {cap:?} but the library has no such agent"
+                )));
+            }
+        }
+
+        // LLM cost: one decomposition query (system prompt = agent
+        // library, user prompt = description + hints) plus one short
+        // tool-call synthesis query per stage.
+        let system = library.system_prompt().len() as u32 / 4; // ~4 chars/token
+        let user = (job.description.len() as u32
+            + job.task_hints.iter().map(|h| h.len() as u32).sum::<u32>())
+            / 4;
+        // Decomposition emits a terse DAG spec (§3.3: "short input and
+        // short output queries" totalling <1% of workflow time).
+        let cost = OrchestratorCost {
+            prompt_tokens: system + user + plan.stages.len() as u32 * 120,
+            output_tokens: 16 + plan.stages.len() as u32 * 2,
+        };
+        Ok((plan, cost))
+    }
+}
+
+fn is_video_understanding(desc: &str, hints: &[String]) -> bool {
+    let h = hints.join(" ").to_lowercase();
+    (desc.contains("video") || h.contains("video"))
+        && (desc.contains("object") || desc.contains("scene") || h.contains("frame"))
+}
+
+/// The Video Understanding stage graph (OmAgent-derived, §4):
+/// extraction fans per scene; frame summaries fan per frame; a scene-level
+/// reduce consumes transcript + objects + frame summaries; embeddings feed
+/// the VectorDB for later question answering.
+pub fn video_understanding_plan() -> LogicalPlan {
+    LogicalPlan {
+        archetype: "video-understanding".into(),
+        stages: vec![
+            Stage {
+                name: "extract".into(),
+                capability: Capability::FrameExtraction,
+                granularity: Granularity::PerScene,
+                deps: vec![],
+            },
+            Stage {
+                name: "stt".into(),
+                capability: Capability::SpeechToText,
+                granularity: Granularity::PerScene,
+                deps: vec![0],
+            },
+            Stage {
+                name: "detect".into(),
+                capability: Capability::ObjectDetection,
+                granularity: Granularity::PerScene,
+                deps: vec![0],
+            },
+            Stage {
+                name: "frame-summarize".into(),
+                capability: Capability::Summarization,
+                granularity: Granularity::PerFrame,
+                deps: vec![0],
+            },
+            Stage {
+                name: "scene-summarize".into(),
+                capability: Capability::Summarization,
+                granularity: Granularity::PerScene,
+                deps: vec![1, 2, 3],
+            },
+            Stage {
+                name: "embed".into(),
+                capability: Capability::Embedding,
+                granularity: Granularity::PerScene,
+                deps: vec![4],
+            },
+            Stage {
+                name: "vector-insert".into(),
+                capability: Capability::VectorStore,
+                granularity: Granularity::PerScene,
+                deps: vec![5],
+            },
+        ],
+    }
+}
+
+/// The "Generate social media newsfeed for Alice" workflow (Figure 2,
+/// Workflow B).
+pub fn newsfeed_plan() -> LogicalPlan {
+    LogicalPlan {
+        archetype: "newsfeed".into(),
+        stages: vec![
+            Stage {
+                name: "fetch".into(),
+                capability: Capability::WebSearch,
+                granularity: Granularity::PerItem,
+                deps: vec![],
+            },
+            Stage {
+                name: "sentiment".into(),
+                capability: Capability::SentimentAnalysis,
+                granularity: Granularity::PerItem,
+                deps: vec![0],
+            },
+            Stage {
+                name: "summarize".into(),
+                capability: Capability::Summarization,
+                granularity: Granularity::PerItem,
+                deps: vec![0],
+            },
+            Stage {
+                name: "rank".into(),
+                capability: Capability::Ranking,
+                granularity: Granularity::Job,
+                deps: vec![1, 2],
+            },
+            Stage {
+                name: "compose".into(),
+                capability: Capability::TextGeneration,
+                granularity: Granularity::Job,
+                deps: vec![3],
+            },
+        ],
+    }
+}
+
+/// Chain-of-thought reasoning: k parallel paths then a top-k vote
+/// (§3.2 "Execution Paths"). Expansion decides k from the lever settings;
+/// the logical plan carries one path stage and one vote stage.
+pub fn cot_plan() -> LogicalPlan {
+    LogicalPlan {
+        archetype: "chain-of-thought".into(),
+        stages: vec![
+            Stage {
+                name: "reason-path".into(),
+                capability: Capability::TextGeneration,
+                granularity: Granularity::PerItem,
+                deps: vec![],
+            },
+            Stage {
+                name: "vote".into(),
+                capability: Capability::TextGeneration,
+                granularity: Granularity::Job,
+                deps: vec![0],
+            },
+        ],
+    }
+}
+
+/// Document question answering: embed the corpus, retrieve, generate.
+pub fn doc_qa_plan() -> LogicalPlan {
+    LogicalPlan {
+        archetype: "doc-qa".into(),
+        stages: vec![
+            Stage {
+                name: "embed-docs".into(),
+                capability: Capability::Embedding,
+                granularity: Granularity::PerItem,
+                deps: vec![],
+            },
+            Stage {
+                name: "vector-query".into(),
+                capability: Capability::VectorStore,
+                granularity: Granularity::Job,
+                deps: vec![0],
+            },
+            Stage {
+                name: "answer".into(),
+                capability: Capability::TextGeneration,
+                granularity: Granularity::Job,
+                deps: vec![1],
+            },
+        ],
+    }
+}
+
+/// Fallback: build a linear chain from explicit task hints.
+fn chain_from_hints(hints: &[String]) -> Result<LogicalPlan, SimError> {
+    if hints.is_empty() {
+        return Err(SimError::InvalidInput(
+            "cannot decompose: unrecognised job description and no task hints".into(),
+        ));
+    }
+    let mut stages = Vec::new();
+    for (i, hint) in hints.iter().enumerate() {
+        let capability = hint_capability(hint).ok_or_else(|| {
+            SimError::InvalidInput(format!("task hint not understood: {hint:?}"))
+        })?;
+        stages.push(Stage {
+            name: format!("hint-{i}"),
+            capability,
+            granularity: Granularity::Job,
+            deps: if i == 0 { vec![] } else { vec![i - 1] },
+        });
+    }
+    Ok(LogicalPlan {
+        archetype: "hint-chain".into(),
+        stages,
+    })
+}
+
+/// Keyword mapping from a natural-language hint to a capability.
+pub fn hint_capability(hint: &str) -> Option<Capability> {
+    let h = hint.to_lowercase();
+    if h.contains("frame") && (h.contains("extract") || h.contains("sample")) {
+        Some(Capability::FrameExtraction)
+    } else if h.contains("speech") || h.contains("transcribe") || h.contains("transcription") {
+        Some(Capability::SpeechToText)
+    } else if h.contains("object") || h.contains("detect") {
+        Some(Capability::ObjectDetection)
+    } else if h.contains("embed") {
+        Some(Capability::Embedding)
+    } else if h.contains("summar") {
+        Some(Capability::Summarization)
+    } else if h.contains("sentiment") {
+        Some(Capability::SentimentAnalysis)
+    } else if h.contains("search") || h.contains("fetch") {
+        Some(Capability::WebSearch)
+    } else if h.contains("rank") {
+        Some(Capability::Ranking)
+    } else if h.contains("calculat") || h.contains("arithmetic") {
+        Some(Capability::Calculation)
+    } else if h.contains("vector") || h.contains("store") || h.contains("index") {
+        Some(Capability::VectorStore)
+    } else if h.contains("reason") || h.contains("solve") || h.contains("generate") {
+        Some(Capability::TextGeneration)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murakkab_agents::library::stock_library;
+    use murakkab_workflow::declarative::listing2_video_understanding;
+
+    #[test]
+    fn listing2_decomposes_to_video_understanding() {
+        let lib = stock_library();
+        let (plan, cost) = Planner.decompose(&listing2_video_understanding(), &lib).unwrap();
+        assert_eq!(plan.archetype, "video-understanding");
+        assert_eq!(plan.stages.len(), 7);
+        assert!(cost.prompt_tokens > 0 && cost.output_tokens > 0);
+        // STT depends on extraction; the scene reduce consumes stt,
+        // detection and frame summaries.
+        assert_eq!(plan.stages[1].deps, vec![0]);
+        assert_eq!(plan.stages[4].deps, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn newsfeed_and_cot_and_qa_archetypes() {
+        let lib = stock_library();
+        let nf = Job::describe("Generate social media newsfeed for Alice")
+            .input("alice")
+            .build()
+            .unwrap();
+        let (plan, _) = Planner.decompose(&nf, &lib).unwrap();
+        assert_eq!(plan.archetype, "newsfeed");
+
+        let cot = Job::describe("Solve these competition math problems step by step")
+            .input("problems.json")
+            .build()
+            .unwrap();
+        let (plan, _) = Planner.decompose(&cot, &lib).unwrap();
+        assert_eq!(plan.archetype, "chain-of-thought");
+
+        let qa = Job::describe("Answer questions about the provided contracts")
+            .input("contracts/")
+            .build()
+            .unwrap();
+        let (plan, _) = Planner.decompose(&qa, &lib).unwrap();
+        assert_eq!(plan.archetype, "doc-qa");
+    }
+
+    #[test]
+    fn hints_build_a_chain_when_description_is_opaque() {
+        let lib = stock_library();
+        let job = Job::describe("do the usual pipeline")
+            .task("Transcribe the audio")
+            .task("Summarize the transcript")
+            .task("Embed the summary")
+            .build()
+            .unwrap();
+        let (plan, _) = Planner.decompose(&job, &lib).unwrap();
+        assert_eq!(plan.archetype, "hint-chain");
+        assert_eq!(
+            plan.stages.iter().map(|s| s.capability).collect::<Vec<_>>(),
+            vec![
+                Capability::SpeechToText,
+                Capability::Summarization,
+                Capability::Embedding
+            ]
+        );
+        assert_eq!(plan.stages[2].deps, vec![1]);
+    }
+
+    #[test]
+    fn ununderstandable_job_is_rejected() {
+        let lib = stock_library();
+        let job = Job::describe("frobnicate the quux").build().unwrap();
+        assert!(Planner.decompose(&job, &lib).is_err());
+        let job = Job::describe("frobnicate the quux")
+            .task("reticulate splines")
+            .build()
+            .unwrap();
+        let err = Planner.decompose(&job, &lib).unwrap_err();
+        assert!(err.to_string().contains("not understood"));
+    }
+
+    #[test]
+    fn plan_validation_catches_forward_deps() {
+        let bad = LogicalPlan {
+            archetype: "bad".into(),
+            stages: vec![Stage {
+                name: "s".into(),
+                capability: Capability::Summarization,
+                granularity: Granularity::Job,
+                deps: vec![0],
+            }],
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn capabilities_are_deduped() {
+        let caps = video_understanding_plan().capabilities();
+        let mut sorted = caps.clone();
+        sorted.dedup();
+        assert_eq!(caps, sorted);
+        assert!(caps.contains(&Capability::Summarization));
+    }
+}

@@ -1,0 +1,37 @@
+//! Workflow orchestrator: job decomposition, agent mapping, configuration
+//! search.
+//!
+//! §3.2 of the paper describes four orchestrator responsibilities, each a
+//! module here:
+//!
+//! - **Job Decomposition** ([`decompose`]) — lower a natural-language job
+//!   into a logical stage graph, ReAct-style. The paper uses an
+//!   orchestrator LLM (NVLM); we substitute a deterministic pattern
+//!   planner that recognises the job archetypes the paper motivates
+//!   (video understanding, newsfeed generation, chain-of-thought
+//!   reasoning, document QA) and emits the same DAG an LLM would, while
+//!   *charging* the LLM queries' token cost so the §3.3 overhead claim
+//!   can be measured.
+//! - **Expansion** ([`expand`]) — instantiate the logical stages against
+//!   concrete inputs (scenes, frames, items) into a
+//!   [`murakkab_workflow::TaskGraph`] with instance-level dataflow edges.
+//! - **Task-to-Agent Mapping** ([`mapping`]) — pick an agent and hardware
+//!   target per capability from execution profiles under the job's
+//!   constraints, preferring already-resident agents (resource-aware
+//!   orchestration), and synthesise validated tool calls.
+//! - **Configuration Search** ([`config_search`]) — the Table 1 levers
+//!   (model/tool choice, task parallelism, execution paths) searched
+//!   greedily with an objective hierarchy, with an exhaustive mode for the
+//!   ablation; [`paths`] models the quality/cost effect of exploring
+//!   multiple chain-of-thought paths.
+
+pub mod config_search;
+pub mod decompose;
+pub mod expand;
+pub mod mapping;
+pub mod paths;
+
+pub use config_search::{ConfigSearch, DemandModel, Estimate, LeverSettings, SearchMode};
+pub use decompose::{Granularity, LogicalPlan, OrchestratorCost, Planner, Stage};
+pub use expand::{expand, JobInputs, MediaInfo, SceneInfo};
+pub use mapping::{select_config, synthesize_call, SelectedConfig};

@@ -1,0 +1,323 @@
+//! Task-to-agent mapping and tool-call synthesis.
+//!
+//! Given a capability, the execution profiles, the job's constraints and
+//! the cluster's live stats, pick an agent + hardware target. Then render
+//! the validated tool call the paper's orchestrator LLM would emit.
+//!
+//! Resource-aware preference (§3.2): "The Orchestrator prefers selecting
+//! models/tools that are already running or for which there are enough
+//! resources available to handle incoming requests."
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_agents::profile::{ExecutionProfile, ProfileStore};
+use murakkab_agents::toolcall::{ArgType, ArgValue, ToolCall};
+use murakkab_agents::{AgentSpec, Capability, Work};
+use murakkab_cluster::ResourceStats;
+use murakkab_hardware::HardwareTarget;
+use murakkab_sim::SimError;
+use murakkab_workflow::{ConstraintSet, TaskNode};
+
+/// Profiles within this factor of the best score are "close enough" that
+/// residency breaks the tie.
+const RESIDENT_TOLERANCE: f64 = 1.15;
+
+/// The orchestrator's choice for one capability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectedConfig {
+    /// Chosen agent name.
+    pub agent: String,
+    /// Chosen hardware target.
+    pub target: HardwareTarget,
+    /// The agent's quality score.
+    pub quality: f64,
+}
+
+impl From<&ExecutionProfile> for SelectedConfig {
+    fn from(p: &ExecutionProfile) -> Self {
+        SelectedConfig {
+            agent: p.agent.clone(),
+            target: p.target,
+            quality: p.quality,
+        }
+    }
+}
+
+/// Selects an agent + target for `capability`.
+///
+/// Candidates must meet the constraint set's quality floor; they are
+/// ranked by the primary objective. If live `stats` are provided,
+/// candidates whose target cannot fit in free capacity are dropped unless
+/// the agent is already `resident`. Among candidates within
+/// [`RESIDENT_TOLERANCE`] of the best score, resident agents win. An
+/// optional `allowed` set restricts agents (e.g. multimodal-only for
+/// frame summarisation).
+///
+/// # Errors
+///
+/// Returns [`SimError::Unsatisfiable`] when no candidate passes the
+/// filters.
+pub fn select_config(
+    capability: Capability,
+    store: &ProfileStore,
+    constraints: &ConstraintSet,
+    stats: Option<&ResourceStats>,
+    resident: &BTreeSet<String>,
+    allowed: Option<&BTreeSet<String>>,
+) -> Result<SelectedConfig, SimError> {
+    let objective = constraints.primary_objective();
+    let floor = constraints.quality_floor();
+    let mut candidates: Vec<&ExecutionProfile> = store
+        .for_capability(capability)
+        .into_iter()
+        .filter(|p| p.quality + 1e-9 >= floor)
+        .filter(|p| allowed.is_none_or(|set| set.contains(&p.agent)))
+        .filter(|p| match stats {
+            None => true,
+            Some(s) => {
+                resident.contains(&p.agent)
+                    || (p.target.gpu_units() <= s.gpus_free + 1e-9
+                        && f64::from(p.target.cpu_cores_used()) <= s.cores_free + 1e-9)
+            }
+        })
+        .collect();
+    if candidates.is_empty() {
+        return Err(SimError::Unsatisfiable(format!(
+            "no {capability:?} agent meets quality >= {floor:.2} within available resources"
+        )));
+    }
+    candidates.sort_by(|a, b| {
+        a.score(objective)
+            .partial_cmp(&b.score(objective))
+            .expect("scores are never NaN")
+            .then_with(|| a.agent.cmp(&b.agent))
+            .then_with(|| a.target.short_label().cmp(&b.target.short_label()))
+    });
+    let best_score = candidates[0].score(objective);
+    let chosen = candidates
+        .iter()
+        .find(|p| {
+            resident.contains(&p.agent) && close_enough(p.score(objective), best_score)
+        })
+        .unwrap_or(&candidates[0]);
+    Ok(SelectedConfig::from(*chosen))
+}
+
+fn close_enough(score: f64, best: f64) -> bool {
+    if best >= 0.0 {
+        score <= best * RESIDENT_TOLERANCE + 1e-12
+    } else {
+        // Negative scores (quality objective): closer to best means
+        // within tolerance of its magnitude.
+        score <= best * (2.0 - RESIDENT_TOLERANCE) + 1e-12
+    }
+}
+
+/// Synthesises the executable tool call for `task` against `spec`'s
+/// schema — the paper's
+/// `FrameExtractor(start_time=0, end_time=60s, num_frames=10, file="cats.mov")`
+/// step — and validates it (the hallucination guard).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidInput`] if a required argument cannot be
+/// derived from the task or validation fails.
+pub fn synthesize_call(spec: &AgentSpec, task: &TaskNode) -> Result<ToolCall, SimError> {
+    let mut call = ToolCall::new(&spec.schema.function);
+    for arg in &spec.schema.args {
+        if !arg.required {
+            continue;
+        }
+        let value = derive_arg(&arg.name, arg.ty, task).ok_or_else(|| {
+            SimError::InvalidInput(format!(
+                "cannot derive required argument `{}` of {} for task {}",
+                arg.name, spec.schema.function, task.name
+            ))
+        })?;
+        call = call.arg(&arg.name, value);
+    }
+    spec.schema.validate(&call)?;
+    Ok(call)
+}
+
+/// Derives an argument value from task metadata by conventional names.
+fn derive_arg(name: &str, ty: ArgType, task: &TaskNode) -> Option<ArgValue> {
+    match (name, ty) {
+        // String-ish handles: the task name encodes file/scene scoping.
+        (
+            "file" | "audio" | "text" | "context" | "query" | "expression" | "prompt",
+            ArgType::String,
+        ) => Some(ArgValue::String(task.name.clone())),
+        ("num_frames" | "frames", ArgType::Int) => match task.work {
+            Work::Frames(n) => Some(ArgValue::Int(i64::from(n))),
+            _ => Some(ArgValue::Int(10)),
+        },
+        ("items", ArgType::Int) => match task.work {
+            Work::Items(n) => Some(ArgValue::Int(i64::from(n))),
+            _ => Some(ArgValue::Int(1)),
+        },
+        ("max_tokens", ArgType::Int) => match task.work {
+            Work::Tokens { output, .. } => Some(ArgValue::Int(i64::from(output))),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murakkab_agents::library::stock_library;
+    use murakkab_agents::Profiler;
+    use murakkab_sim::SimTime;
+    use murakkab_workflow::Constraint;
+    use std::collections::BTreeMap;
+
+    fn store() -> ProfileStore {
+        Profiler::default().profile_library(&stock_library())
+    }
+
+    fn stats(gpus_free: f64, cores_free: f64) -> ResourceStats {
+        ResourceStats {
+            at: SimTime::ZERO,
+            gpus_total: 16.0,
+            gpus_free,
+            cores_total: 192.0,
+            cores_free,
+            gpu_units_by_label: BTreeMap::new(),
+            nodes_up: 2,
+            nodes_pending: 0,
+        }
+    }
+
+    #[test]
+    fn min_cost_picks_cheap_stt_min_latency_picks_gpu() {
+        let s = store();
+        let cheap = select_config(
+            Capability::SpeechToText,
+            &s,
+            &ConstraintSet::single(Constraint::MinCost),
+            None,
+            &BTreeSet::new(),
+            None,
+        )
+        .unwrap();
+        let fast = select_config(
+            Capability::SpeechToText,
+            &s,
+            &ConstraintSet::single(Constraint::MinLatency),
+            None,
+            &BTreeSet::new(),
+            None,
+        )
+        .unwrap();
+        assert!(fast.target.needs_gpu(), "latency winner should be on GPU");
+        assert!(
+            !cheap.target.needs_gpu() || cheap.agent != fast.agent,
+            "cost winner should differ from latency winner"
+        );
+    }
+
+    #[test]
+    fn resource_pressure_excludes_unfit_targets() {
+        let s = store();
+        // No free GPUs at all: STT must land on CPU.
+        let pick = select_config(
+            Capability::SpeechToText,
+            &s,
+            &ConstraintSet::single(Constraint::MinLatency),
+            Some(&stats(0.0, 100.0)),
+            &BTreeSet::new(),
+            None,
+        )
+        .unwrap();
+        assert!(!pick.target.needs_gpu());
+    }
+
+    #[test]
+    fn resident_agent_wins_close_calls() {
+        let s = store();
+        let resident: BTreeSet<String> = [String::from("FastConformer")].into();
+        let pick = select_config(
+            Capability::SpeechToText,
+            &s,
+            &ConstraintSet::single(Constraint::MinLatency).and(Constraint::QualityAtLeast(0.9)),
+            None,
+            &resident,
+            None,
+        )
+        .unwrap();
+        // FastConformer is already the latency winner — residency must
+        // not change a clear winner.
+        assert_eq!(pick.agent, "FastConformer");
+        // Now make Whisper resident: it is within tolerance of the best
+        // only if scores are close; with 3x rate difference it is not, so
+        // the faster agent still wins.
+        let resident: BTreeSet<String> = [String::from("Whisper")].into();
+        let pick = select_config(
+            Capability::SpeechToText,
+            &s,
+            &ConstraintSet::single(Constraint::MinLatency).and(Constraint::QualityAtLeast(0.9)),
+            None,
+            &resident,
+            None,
+        )
+        .unwrap();
+        assert_eq!(pick.agent, "FastConformer");
+    }
+
+    #[test]
+    fn impossible_floor_is_unsatisfiable() {
+        let s = store();
+        let err = select_config(
+            Capability::SpeechToText,
+            &s,
+            &ConstraintSet::single(Constraint::QualityAtLeast(0.999)),
+            None,
+            &BTreeSet::new(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Unsatisfiable(_)));
+    }
+
+    #[test]
+    fn synthesizes_the_paper_example_call() {
+        let lib = stock_library();
+        let spec = lib.get("OpenCV").unwrap();
+        let mut g = murakkab_workflow::TaskGraph::new();
+        let id = g.add_task(
+            "extract/cats.mov/s0",
+            "extract",
+            Capability::FrameExtraction,
+            Work::VideoSeconds(36.0),
+        );
+        let task = g.task(id).unwrap();
+        let call = synthesize_call(spec, task).unwrap();
+        assert_eq!(
+            call.to_string(),
+            "FrameExtractor(file=\"extract/cats.mov/s0\", num_frames=10)"
+        );
+    }
+
+    #[test]
+    fn llm_call_gets_max_tokens_omitted_but_context_filled() {
+        let lib = stock_library();
+        let spec = lib.get("NVLM").unwrap();
+        let mut g = murakkab_workflow::TaskGraph::new();
+        let id = g.add_task(
+            "frame-summarize/cats.mov/s0/f1",
+            "frame-summarize",
+            Capability::Summarization,
+            Work::Tokens {
+                prompt: 600,
+                output: 80,
+            },
+        );
+        let call = synthesize_call(spec, g.task(id).unwrap()).unwrap();
+        // `context` is required, `max_tokens` optional (not emitted).
+        assert!(call.to_string().starts_with("Summarize(context="));
+    }
+}

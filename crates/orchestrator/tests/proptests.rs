@@ -1,0 +1,152 @@
+//! Property-based tests for decomposition, expansion and the
+//! configuration search.
+
+use murakkab_agents::library::stock_library;
+use murakkab_agents::{Capability, Profiler};
+use murakkab_orchestrator::{
+    decompose, expand, ConfigSearch, DemandModel, JobInputs, MediaInfo, SceneInfo, SearchMode,
+};
+use murakkab_workflow::{Constraint, ConstraintSet};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn inputs_strategy() -> impl Strategy<Value = JobInputs> {
+    (
+        prop::collection::vec(
+            (
+                prop::collection::vec((5.0f64..90.0, 1u32..12), 1..8), // scenes
+            ),
+            1..4, // videos
+        ),
+    )
+        .prop_map(|(videos,)| {
+            JobInputs::videos(
+                videos
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (scenes,))| MediaInfo {
+                        file: format!("v{i}.mov"),
+                        scenes: scenes
+                            .into_iter()
+                            .map(|(audio, frames)| SceneInfo {
+                                duration_s: audio,
+                                audio_s: audio,
+                                frames,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    /// Expansion of the video-understanding plan over arbitrary media:
+    /// the instance count follows the closed form, the graph is acyclic,
+    /// and every frame-summary instance has exactly one predecessor.
+    #[test]
+    fn vu_expansion_counts_and_shape(inputs in inputs_strategy()) {
+        let plan = decompose::video_understanding_plan();
+        let g = expand(&plan, &inputs).expect("expands");
+        let scenes = inputs.total_scenes();
+        let frames = inputs.total_frames() as usize;
+        prop_assert_eq!(g.len(), scenes * 6 + frames);
+        g.topo_sort().expect("acyclic");
+        for t in g.tasks() {
+            match t.stage.as_str() {
+                "frame-summarize" => {
+                    prop_assert_eq!(g.predecessors(t.id).count(), 1);
+                }
+                "extract" => {
+                    prop_assert_eq!(g.predecessors(t.id).count(), 0);
+                }
+                "embed" | "vector-insert" => {
+                    prop_assert_eq!(g.predecessors(t.id).count(), 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The newsfeed/cot/doc-qa plans expand to their closed-form sizes
+    /// for any item count.
+    #[test]
+    fn item_plans_expand_linearly(items in 1u32..200) {
+        let inputs = JobInputs::items(items);
+        let nf = expand(&decompose::newsfeed_plan(), &inputs).unwrap();
+        prop_assert_eq!(nf.len() as u32, 3 * items + 2);
+        let cot = expand(&decompose::cot_plan(), &inputs).unwrap();
+        prop_assert_eq!(cot.len() as u32, items + 1);
+        let qa = expand(&decompose::doc_qa_plan(), &inputs).unwrap();
+        prop_assert_eq!(qa.len() as u32, items + 2);
+    }
+
+}
+
+proptest! {
+    // The exhaustive search evaluates ~200k configurations per case;
+    // a handful of cases is plenty and keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Greedy search never violates the quality floor, never evaluates
+    /// more configurations than exhaustive, and its objective value is
+    /// never better than the exhaustive optimum (sanity of "exhaustive").
+    #[test]
+    fn greedy_is_sound_and_cheaper(
+        floor in 0.80f64..0.95,
+        objective in prop_oneof![
+            Just(Constraint::MinCost),
+            Just(Constraint::MinPower),
+            Just(Constraint::MinLatency),
+        ],
+    ) {
+        let store = Profiler::default().profile_library(&stock_library());
+        let demand = DemandModel::video_understanding();
+        let constraints =
+            ConstraintSet::single(objective).and(Constraint::QualityAtLeast(floor));
+        let greedy = ConfigSearch::new(SearchMode::Greedy).search(&demand, &store, &constraints);
+        let exhaustive =
+            ConfigSearch::new(SearchMode::Exhaustive).search(&demand, &store, &constraints);
+        let (Ok((_, g_est, g_n)), Ok((_, e_est, e_n))) = (greedy, exhaustive) else {
+            // Both must agree on unsatisfiability.
+            return Ok(());
+        };
+        prop_assert!(g_est.quality + 1e-9 >= floor);
+        prop_assert!(e_est.quality + 1e-9 >= floor);
+        prop_assert!(g_n < e_n);
+        let obj = constraints.primary_objective();
+        prop_assert!(
+            e_est.score(obj) <= g_est.score(obj) + 1e-9,
+            "exhaustive {:.4} must lower-bound greedy {:.4}",
+            e_est.score(obj),
+            g_est.score(obj)
+        );
+    }
+
+    /// Demand scaling: estimates are monotone in instance counts (more
+    /// work never gets cheaper/faster).
+    #[test]
+    fn estimates_monotone_in_demand(scale in 2u32..6) {
+        let store = Profiler::default().profile_library(&stock_library());
+        let constraints =
+            ConstraintSet::single(Constraint::MinLatency).and(Constraint::QualityAtLeast(0.9));
+        let base = DemandModel::video_understanding();
+        let scaled = DemandModel {
+            counts: base
+                .counts
+                .iter()
+                .map(|(&c, &n)| (c, n * scale))
+                .collect::<BTreeMap<Capability, u32>>(),
+            chain: base.chain.clone(),
+        };
+        let (_, e1, _) = ConfigSearch::new(SearchMode::Greedy)
+            .search(&base, &store, &constraints)
+            .unwrap();
+        let (_, e2, _) = ConfigSearch::new(SearchMode::Greedy)
+            .search(&scaled, &store, &constraints)
+            .unwrap();
+        prop_assert!(e2.latency_s + 1e-9 >= e1.latency_s);
+        prop_assert!(e2.energy_wh + 1e-9 >= e1.energy_wh);
+        prop_assert!(e2.cost_usd + 1e-9 >= e1.cost_usd);
+    }
+}

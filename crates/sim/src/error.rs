@@ -1,0 +1,101 @@
+//! Simulation-layer error type.
+
+use std::fmt;
+
+/// Errors raised by the simulation substrate and the layers above it.
+///
+/// Higher-level crates define their own domain errors but typically wrap or
+/// convert to `SimError` when crossing layer boundaries (the runtime's event
+/// loop handles only this type).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An entity (device, node, agent, endpoint) was not found by id/name.
+    NotFound {
+        /// Kind of entity looked up (e.g. `"node"`, `"agent"`).
+        kind: &'static str,
+        /// The identifier that failed to resolve.
+        id: String,
+    },
+    /// A resource request could not be satisfied.
+    ResourceExhausted {
+        /// What ran out (e.g. `"gpu"`, `"kv-cache tokens"`).
+        resource: String,
+        /// Amount requested.
+        requested: u64,
+        /// Amount available at the time of the request.
+        available: u64,
+    },
+    /// An operation was attempted in a state that does not permit it.
+    InvalidState(String),
+    /// Input failed validation (cycles in a DAG, bad parameters, ...).
+    InvalidInput(String),
+    /// An operation exceeded a configured deadline or budget.
+    DeadlineExceeded(String),
+    /// A constraint set was unsatisfiable (no feasible configuration).
+    Unsatisfiable(String),
+}
+
+impl SimError {
+    /// Shorthand constructor for [`SimError::NotFound`].
+    pub fn not_found(kind: &'static str, id: impl Into<String>) -> Self {
+        SimError::NotFound {
+            kind,
+            id: id.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`SimError::ResourceExhausted`].
+    pub fn exhausted(resource: impl Into<String>, requested: u64, available: u64) -> Self {
+        SimError::ResourceExhausted {
+            resource: resource.into(),
+            requested,
+            available,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotFound { kind, id } => write!(f, "{kind} not found: {id}"),
+            SimError::ResourceExhausted {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "resource exhausted: {resource} (requested {requested}, available {available})"
+            ),
+            SimError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            SimError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SimError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            SimError::Unsatisfiable(msg) => write!(f, "unsatisfiable constraints: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            SimError::not_found("node", "n3").to_string(),
+            "node not found: n3"
+        );
+        assert_eq!(
+            SimError::exhausted("gpu", 4, 1).to_string(),
+            "resource exhausted: gpu (requested 4, available 1)"
+        );
+        assert!(SimError::InvalidState("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&SimError::InvalidInput("bad".into()));
+    }
+}

@@ -1,0 +1,515 @@
+//! Metrics recording over simulated time.
+//!
+//! The evaluation artifacts (Figure 3 utilization curves, Table 2 energy
+//! integrals) are all derived from *step-function time series*: a value that
+//! holds constant until the next recorded change. [`TimeSeries`] stores
+//! those changes; integrals and window averages fall out exactly (no
+//! sampling error), and fixed-interval samples are produced only for
+//! plotting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A right-continuous step function of simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use murakkab_sim::{SimTime, TimeSeries};
+///
+/// let mut ts = TimeSeries::new("gpu_util");
+/// ts.record(SimTime::ZERO, 0.0);
+/// ts.record(SimTime::from_secs(10), 1.0);
+/// ts.record(SimTime::from_secs(20), 0.0);
+/// // Integral of utilization over [0, 30): 10 seconds at 1.0.
+/// let area = ts.integral(SimTime::ZERO, SimTime::from_secs(30));
+/// assert!((area - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    /// Change points `(t, v)`: value is `v` on `[t, next_t)`.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records that the value becomes `v` at time `t`.
+    ///
+    /// Recording at a time equal to the last change overwrites it (the
+    /// value "at" an instant is the latest write). Recording identical
+    /// consecutive values is a no-op to keep the series compact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last recorded change.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last_t, last_v)) = self.points.last() {
+            assert!(t >= last_t, "time series {} went backwards", self.name);
+            if t == last_t {
+                self.points.last_mut().expect("non-empty").1 = v;
+                return;
+            }
+            if (last_v - v).abs() < f64::EPSILON {
+                return;
+            }
+        }
+        self.points.push((t, v));
+    }
+
+    /// The value at instant `t` (zero before the first change point).
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The last recorded value (zero if empty).
+    pub fn last_value(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Exact integral `∫ v dt` over `[from, to)` in value·seconds.
+    pub fn integral(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut cursor = from;
+        let mut value = self.value_at(from);
+        // Walk change points strictly inside (from, to).
+        let start = self
+            .points
+            .partition_point(|&(pt, _)| pt <= from);
+        for &(pt, v) in &self.points[start..] {
+            if pt >= to {
+                break;
+            }
+            acc += value * (pt - cursor).as_secs_f64();
+            cursor = pt;
+            value = v;
+        }
+        acc += value * (to - cursor).as_secs_f64();
+        acc
+    }
+
+    /// Time-weighted average over `[from, to)`; zero for empty windows.
+    pub fn average(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.saturating_duration_since(from).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.integral(from, to) / span
+        }
+    }
+
+    /// Samples the series at a fixed interval over `[from, to]` (inclusive
+    /// of both endpoints), for plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn sample(&self, from: SimTime, to: SimTime, interval: SimDuration) -> Vec<(f64, f64)> {
+        assert!(!interval.is_zero(), "sample interval must be non-zero");
+        let mut out = Vec::new();
+        let mut t = from;
+        loop {
+            out.push((t.as_secs_f64(), self.value_at(t)));
+            if t >= to {
+                break;
+            }
+            t = (t + interval).min(to);
+        }
+        out
+    }
+
+    /// The maximum recorded value (zero if empty).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Raw change points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// True if no change points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Tracks busy capacity of a multi-unit resource (e.g. a 96-core CPU pool or
+/// a bank of GPUs) and exposes a utilization [`TimeSeries`] in `[0, 1]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilizationTracker {
+    capacity: f64,
+    busy: f64,
+    series: TimeSeries,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker for a resource with the given total capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive.
+    pub fn new(name: impl Into<String>, capacity: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        let mut series = TimeSeries::new(name);
+        series.record(SimTime::ZERO, 0.0);
+        UtilizationTracker {
+            capacity,
+            busy: 0.0,
+            series,
+        }
+    }
+
+    /// Marks `amount` units busy at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the busy amount would exceed capacity (over-commit is a
+    /// scheduler bug, not a runtime condition).
+    pub fn acquire(&mut self, t: SimTime, amount: f64) {
+        let next = self.busy + amount;
+        assert!(
+            next <= self.capacity + 1e-9,
+            "{}: over-commit ({next} > {})",
+            self.series.name(),
+            self.capacity
+        );
+        self.busy = next.min(self.capacity);
+        self.series.record(t, self.busy / self.capacity);
+    }
+
+    /// Sets the busy level to an absolute `units` value at time `t`
+    /// (used when an external component — e.g. an LLM serving engine —
+    /// reports its own utilization level rather than deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` exceeds capacity.
+    pub fn set_level(&mut self, t: SimTime, units: f64) {
+        assert!(
+            units <= self.capacity + 1e-9,
+            "{}: level over capacity ({units} > {})",
+            self.series.name(),
+            self.capacity
+        );
+        self.busy = units.clamp(0.0, self.capacity);
+        self.series.record(t, self.busy / self.capacity);
+    }
+
+    /// Releases `amount` units at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if releasing more than is busy.
+    pub fn release(&mut self, t: SimTime, amount: f64) {
+        assert!(
+            amount <= self.busy + 1e-9,
+            "{}: release underflow ({amount} > {})",
+            self.series.name(),
+            self.busy
+        );
+        self.busy = (self.busy - amount).max(0.0);
+        self.series.record(t, self.busy / self.capacity);
+    }
+
+    /// Current busy amount.
+    pub fn busy(&self) -> f64 {
+        self.busy
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Free capacity.
+    pub fn free(&self) -> f64 {
+        (self.capacity - self.busy).max(0.0)
+    }
+
+    /// Current utilization fraction in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.busy / self.capacity
+    }
+
+    /// The utilization series (fraction of capacity over time).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A fixed-boundary histogram of `f64` observations.
+///
+/// Used for queueing-delay and latency distributions in endpoint stats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds;
+    /// an implicit overflow bucket captures everything above the last bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            sum: 0.0,
+            count: 0,
+            max: 0.0,
+        }
+    }
+
+    /// Histogram with exponentially growing bounds, handy for latencies.
+    pub fn exponential(start: f64, factor: f64, buckets: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && buckets > 0);
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut b = start;
+        for _ in 0..buckets {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (zero if none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest observation seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) using bucket upper bounds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn series_value_and_integral() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(0), 2.0);
+        ts.record(t(10), 4.0);
+        assert_eq!(ts.value_at(t(0)), 2.0);
+        assert_eq!(ts.value_at(t(9)), 2.0);
+        assert_eq!(ts.value_at(t(10)), 4.0);
+        assert_eq!(ts.value_at(t(100)), 4.0);
+        // 10s at 2 + 10s at 4 = 60.
+        assert!((ts.integral(t(0), t(20)) - 60.0).abs() < 1e-9);
+        assert!((ts.average(t(0), t(20)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_value_before_first_point_is_zero() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(5), 7.0);
+        assert_eq!(ts.value_at(t(0)), 0.0);
+        assert!((ts.integral(t(0), t(10)) - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_same_time_overwrites_and_dedups() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(0), 1.0);
+        ts.record(t(0), 2.0);
+        assert_eq!(ts.points().len(), 1);
+        assert_eq!(ts.value_at(t(0)), 2.0);
+        ts.record(t(5), 2.0); // no change: dropped
+        assert_eq!(ts.points().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn series_rejects_time_regression() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(10), 1.0);
+        ts.record(t(5), 2.0);
+    }
+
+    #[test]
+    fn series_integral_partial_windows() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(0), 1.0);
+        ts.record(t(10), 0.0);
+        assert!((ts.integral(t(5), t(15)) - 5.0).abs() < 1e-9);
+        assert_eq!(ts.integral(t(15), t(5)), 0.0);
+        assert_eq!(ts.integral(t(20), t(30)), 0.0);
+    }
+
+    #[test]
+    fn series_sampling() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(0), 1.0);
+        ts.record(t(2), 3.0);
+        let s = ts.sample(t(0), t(4), SimDuration::from_secs(1));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], (0.0, 1.0));
+        assert_eq!(s[2], (2.0, 3.0));
+        assert_eq!(s[4], (4.0, 3.0));
+    }
+
+    #[test]
+    fn utilization_tracker_acquire_release() {
+        let mut u = UtilizationTracker::new("cpu", 96.0);
+        u.acquire(t(0), 48.0);
+        assert_eq!(u.utilization(), 0.5);
+        assert_eq!(u.free(), 48.0);
+        u.acquire(t(5), 48.0);
+        assert_eq!(u.utilization(), 1.0);
+        u.release(t(10), 96.0);
+        assert_eq!(u.busy(), 0.0);
+        assert!((u.series().average(t(0), t(10)) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-commit")]
+    fn utilization_tracker_rejects_overcommit() {
+        let mut u = UtilizationTracker::new("gpu", 8.0);
+        u.acquire(t(0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release underflow")]
+    fn utilization_tracker_rejects_underflow() {
+        let mut u = UtilizationTracker::new("gpu", 8.0);
+        u.release(t(0), 1.0);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 138.875).abs() < 1e-9);
+        assert_eq!(h.max(), 500.0);
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(1.0), 500.0);
+    }
+
+    #[test]
+    fn histogram_exponential_bounds() {
+        let h = Histogram::exponential(0.001, 10.0, 4);
+        assert_eq!(h.bounds, vec![0.001, 0.01, 0.1, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_bad_bounds() {
+        Histogram::new(vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over [`BinaryHeap`] that breaks timestamp ties by a
+//! monotonically increasing sequence number. Determinism matters: two events
+//! scheduled for the same instant must always pop in insertion order, or the
+//! same seed could produce different traces across runs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event: a payload tagged with its due time and sequence.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    /// The instant at which the event fires.
+    pub at: SimTime,
+    /// Insertion sequence number (unique per queue; breaks ties).
+    pub seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timed events.
+///
+/// # Examples
+///
+/// ```
+/// use murakkab_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "b");
+/// q.schedule(SimTime::from_secs(1), "a");
+/// q.schedule(SimTime::from_secs(1), "a2"); // same time: FIFO within tie
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+/// assert_eq!(order, vec!["a", "a2", "b"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at` and returns its sequence number.
+    pub fn schedule(&mut self, at: SimTime, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event would be popped before the previously popped
+    /// event's time — that would mean something scheduled into the past,
+    /// which is a simulation logic error.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let ev = self.heap.pop()?;
+        assert!(
+            ev.at >= self.last_popped,
+            "event queue time went backwards: {} < {}",
+            ev.at,
+            self.last_popped
+        );
+        self.last_popped = ev.at;
+        Some(ev)
+    }
+
+    /// The due time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the last popped event (the queue's notion of "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+
+    /// Drains every pending event in firing order (useful in tests).
+    pub fn drain_ordered(&mut self) -> Vec<Event<T>> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3u32);
+        q.schedule(SimTime::from_secs(1), 1u32);
+        q.schedule(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = q.drain_ordered().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = q.drain_ordered().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_now_track_state() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn scheduling_into_the_past_is_caught_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+        q.pop();
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, "a");
+        // Schedule relative to the popped time, as the engine does.
+        q.schedule(e.at + SimDuration::from_secs(1), "b");
+        assert_eq!(q.pop().unwrap().at, SimTime::from_secs(2));
+    }
+}

@@ -1,0 +1,168 @@
+//! The declarative (Listing 2) programming model.
+//!
+//! The developer supplies a natural-language job description, the inputs,
+//! optional sub-task hints and high-level constraints — and nothing else.
+//! Model, tool and hardware choices are *absent by design*: they belong to
+//! the orchestrator at runtime.
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::SimError;
+
+use crate::constraint::{Constraint, ConstraintSet};
+
+/// A declaratively specified job (Listing 2).
+///
+/// # Examples
+///
+/// ```
+/// use murakkab_workflow::{Constraint, Job};
+///
+/// let job = Job::describe("List objects shown/mentioned in the videos")
+///     .input("cats.mov")
+///     .input("formula_1.mov")
+///     .task("Extract frames from each video")
+///     .task("Run speech-to-text on all scenes")
+///     .task("Detect objects in the frames")
+///     .constraint(Constraint::MinCost)
+///     .build()
+///     .unwrap();
+/// assert_eq!(job.inputs.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Natural-language job description (`desc` in Listing 2).
+    pub description: String,
+    /// Input handles (file names, user ids, queries...).
+    pub inputs: Vec<String>,
+    /// Optional sub-task hints (`tasks=[t1, t2, t3]`).
+    pub task_hints: Vec<String>,
+    /// High-level constraints in priority order.
+    pub constraints: ConstraintSet,
+}
+
+impl Job {
+    /// Starts building a job from its description.
+    pub fn describe(description: &str) -> JobBuilder {
+        JobBuilder {
+            description: description.to_string(),
+            inputs: Vec::new(),
+            task_hints: Vec::new(),
+            constraints: ConstraintSet::new(),
+        }
+    }
+}
+
+/// Builder for [`Job`].
+#[derive(Debug, Clone)]
+pub struct JobBuilder {
+    description: String,
+    inputs: Vec<String>,
+    task_hints: Vec<String>,
+    constraints: ConstraintSet,
+}
+
+impl JobBuilder {
+    /// Adds an input handle.
+    #[must_use]
+    pub fn input(mut self, handle: &str) -> Self {
+        self.inputs.push(handle.to_string());
+        self
+    }
+
+    /// Adds several input handles.
+    #[must_use]
+    pub fn inputs<I: IntoIterator<Item = S>, S: Into<String>>(mut self, handles: I) -> Self {
+        self.inputs.extend(handles.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds a sub-task hint.
+    #[must_use]
+    pub fn task(mut self, hint: &str) -> Self {
+        self.task_hints.push(hint.to_string());
+        self
+    }
+
+    /// Appends a constraint (priority = insertion order).
+    #[must_use]
+    pub fn constraint(mut self, c: Constraint) -> Self {
+        self.constraints = self.constraints.and(c);
+        self
+    }
+
+    /// Finishes the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] if the description is blank —
+    /// the orchestrator LLM has nothing to decompose otherwise.
+    pub fn build(self) -> Result<Job, SimError> {
+        if self.description.trim().is_empty() {
+            return Err(SimError::InvalidInput(
+                "job description must not be empty".into(),
+            ));
+        }
+        Ok(Job {
+            description: self.description,
+            inputs: self.inputs,
+            task_hints: self.task_hints,
+            constraints: self.constraints,
+        })
+    }
+}
+
+/// The paper's Listing 2: the same Video Understanding job, declaratively.
+pub fn listing2_video_understanding() -> Job {
+    Job::describe("List objects shown/mentioned in the videos")
+        .input("cats.mov")
+        .input("formula_1.mov")
+        .task("Extract frames from each video")
+        .task("Run speech-to-text on all scenes")
+        .task("Detect objects in the frames")
+        .constraint(Constraint::MinCost)
+        .build()
+        .expect("listing 2 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murakkab_agents::profile::Objective;
+
+    #[test]
+    fn listing2_matches_paper() {
+        let job = listing2_video_understanding();
+        assert_eq!(job.description, "List objects shown/mentioned in the videos");
+        assert_eq!(job.inputs, vec!["cats.mov", "formula_1.mov"]);
+        assert_eq!(job.task_hints.len(), 3);
+        assert_eq!(job.constraints.primary_objective(), Objective::Cost);
+    }
+
+    #[test]
+    fn blank_description_rejected() {
+        assert!(Job::describe("  ").build().is_err());
+    }
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let job = Job::describe("do things")
+            .inputs(["a", "b"])
+            .task("t1")
+            .constraint(Constraint::QualityAtLeast(0.95))
+            .constraint(Constraint::MinPower)
+            .build()
+            .unwrap();
+        assert_eq!(job.inputs, vec!["a", "b"]);
+        assert_eq!(job.constraints.primary_objective(), Objective::Power);
+        assert_eq!(job.constraints.quality_floor(), 0.95);
+    }
+
+    #[test]
+    fn jobs_serialize() {
+        let job = listing2_video_understanding();
+        let json = serde_json::to_string(&job).unwrap();
+        let back: Job = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, job);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workflow programming models and DAG intermediate representation.
+//!
+//! The paper contrasts two ways of writing the same Video Understanding
+//! application:
+//!
+//! - **Listing 1 (imperative, today)** — the developer picks concrete
+//!   models ("Whisper"), providers (API keys), resources (`GPUs: 1`,
+//!   `PTUs: 4`) and wires the dataflow by hand. Reproduced by
+//!   [`imperative`].
+//! - **Listing 2 (declarative, Murakkab)** — the developer states the job
+//!   in natural language, optionally hints sub-tasks, and attaches
+//!   high-level constraints (`MIN_COST`). Reproduced by [`declarative`].
+//!
+//! Both lower to the same intermediate representation: a [`graph::TaskGraph`]
+//! DAG whose nodes are task instances (capability + work amount) and whose
+//! edges are dataflow. Imperative workflows arrive with every node *pinned*
+//! to an agent and hardware config; declarative ones leave those choices to
+//! the orchestrator.
+
+pub mod constraint;
+pub mod data;
+pub mod declarative;
+pub mod graph;
+pub mod imperative;
+
+pub use constraint::{Constraint, ConstraintSet};
+pub use data::DataItem;
+pub use declarative::Job;
+pub use graph::{PinnedConfig, TaskGraph, TaskId, TaskNode};
+pub use imperative::{Component, ImperativeWorkflow, ResourceSpec};

@@ -1,0 +1,53 @@
+//! Figure 2's "Workflow B": generate a social-media newsfeed, showing how
+//! the same declarative job adapts to different constraints — and how the
+//! orchestrator multiplexes one LLM endpoint across summarisation and
+//! composition.
+//!
+//! ```text
+//! cargo run --example newsfeed
+//! ```
+
+use murakkab::runtime::{RunOptions, Runtime};
+use murakkab_orchestrator::JobInputs;
+use murakkab_workflow::{Constraint, Job};
+
+fn run(rt: &Runtime, label: &str, constraints: &[Constraint]) {
+    let mut builder = Job::describe("Generate social media newsfeed for Alice").input("alice");
+    for &c in constraints {
+        builder = builder.constraint(c);
+    }
+    let job = builder.build().expect("valid job");
+    let report = rt
+        .run_job(
+            &job,
+            &JobInputs::items(24),
+            RunOptions::labeled(label).pin_paper_agents(false),
+        )
+        .expect("job runs");
+    println!("{}", report.summary_line());
+    for (capability, choice) in &report.selections {
+        println!("    {capability:<18} -> {choice}");
+    }
+}
+
+fn main() {
+    let rt = Runtime::paper_testbed(11);
+    println!("Newsfeed generation for Alice (24 candidate posts)\n");
+
+    println!("-- MIN_LATENCY (quality >= 0.85):");
+    run(
+        &rt,
+        "newsfeed/latency",
+        &[Constraint::QualityAtLeast(0.85), Constraint::MinLatency],
+    );
+
+    println!("\n-- MIN_COST (quality >= 0.80): smaller models, CPU placements:");
+    run(
+        &rt,
+        "newsfeed/cost",
+        &[Constraint::QualityAtLeast(0.80), Constraint::MinCost],
+    );
+
+    println!("\n-- MAX_QUALITY: the orchestrator may pay for the external API:");
+    run(&rt, "newsfeed/quality", &[Constraint::MaxQuality]);
+}

@@ -1,0 +1,45 @@
+//! Quickstart: declare a job (Listing 2 style), run it on the Murakkab
+//! runtime, and inspect the report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use murakkab::runtime::{RunOptions, Runtime};
+use murakkab_orchestrator::JobInputs;
+use murakkab_workflow::{Constraint, Job};
+
+fn main() {
+    // 1. Declare WHAT you want, not HOW to run it: no model names, no API
+    //    keys, no GPU counts (contrast with Listing 1 of the paper, which
+    //    the `murakkab::baseline` module reproduces).
+    let job = Job::describe("Generate social media newsfeed for Alice")
+        .input("alice")
+        .constraint(Constraint::QualityAtLeast(0.85))
+        .constraint(Constraint::MinLatency)
+        .build()
+        .expect("valid job");
+
+    // 2. Concrete inputs: 12 candidate posts for the feed.
+    let inputs = JobInputs::items(12);
+
+    // 3. The runtime decomposes the job, picks agents and hardware from
+    //    execution profiles under the constraints, and executes on the
+    //    simulated two-VM testbed.
+    let rt = Runtime::paper_testbed(7);
+    let report = rt
+        .run_job(
+            &job,
+            &inputs,
+            RunOptions::labeled("quickstart").pin_paper_agents(false),
+        )
+        .expect("job runs");
+
+    println!("{}", report.summary_line());
+    println!("\nAgent/hardware selections the orchestrator made:");
+    for (capability, choice) in &report.selections {
+        println!("  {capability:<18} -> {choice}");
+    }
+    println!("\nExecution timeline:");
+    println!("{}", report.trace.render_ascii(80));
+}

@@ -1,0 +1,141 @@
+//! End-to-end runs across every workload archetype the decomposer knows,
+//! plus cross-crate wiring checks (profiles → selection → engine →
+//! report).
+
+use murakkab::runtime::{RunOptions, Runtime};
+use murakkab::workloads;
+use murakkab_orchestrator::JobInputs;
+use murakkab_workflow::{Constraint, Job};
+
+#[test]
+fn video_understanding_completes_all_tasks_with_full_lanes() {
+    let rt = Runtime::paper_testbed(42);
+    let report = rt
+        .run_video_understanding(RunOptions::labeled("vu"))
+        .expect("runs");
+    // 16 scenes x 6 per-scene tasks + 80 frame summaries.
+    assert_eq!(report.tasks, 176);
+    // Figure 3's lanes all show up, plus the orchestrator lane.
+    let lanes = report.trace.lanes();
+    for lane in [
+        "Orchestrator",
+        "Frame Extraction",
+        "Speech-to-Text",
+        "Object Detection",
+        "LLM (Text)",
+        "LLM (Embeddings)",
+        "VectorDB",
+    ] {
+        assert!(lanes.contains(&lane), "missing lane {lane}: {lanes:?}");
+    }
+    // The LLM lane carries 96 spans (80 frame + 16 scene summaries).
+    assert_eq!(report.trace.lane_spans("LLM (Text)").len(), 96);
+}
+
+#[test]
+fn newsfeed_cot_and_docqa_archetypes_run() {
+    let rt = Runtime::paper_testbed(42);
+
+    let (job, inputs) = workloads::newsfeed_job("Alice", 12);
+    let nf = rt
+        .run_job(&job, &inputs, RunOptions::labeled("nf").pin_paper_agents(false))
+        .expect("newsfeed runs");
+    assert_eq!(nf.tasks, 3 * 12 + 2);
+
+    let (job, inputs) = workloads::cot_job(4);
+    let cot = rt
+        .run_job(&job, &inputs, RunOptions::labeled("cot"))
+        .expect("cot runs");
+    assert_eq!(cot.tasks, 5); // 4 paths + 1 vote.
+
+    let (job, inputs) = workloads::doc_qa_job(20);
+    let qa = rt
+        .run_job(&job, &inputs, RunOptions::labeled("qa"))
+        .expect("doc-qa runs");
+    assert_eq!(qa.tasks, 20 + 2); // 20 embeds + query + answer.
+}
+
+#[test]
+fn selections_respect_constraints_across_objectives() {
+    let rt = Runtime::paper_testbed(42);
+    let mk = |c: Constraint| -> murakkab::RunReport {
+        let job = Job::describe("Generate social media newsfeed for Alice")
+            .input("alice")
+            .constraint(Constraint::QualityAtLeast(0.85))
+            .constraint(c)
+            .build()
+            .expect("valid");
+        rt.run_job(
+            &job,
+            &JobInputs::items(12),
+            RunOptions::labeled("sel").pin_paper_agents(false),
+        )
+        .expect("runs")
+    };
+    let cheap = mk(Constraint::MinCost);
+    let fast = mk(Constraint::MinLatency);
+    assert!(cheap.cost_usd <= fast.cost_usd + 1e-9);
+    assert!(fast.makespan_s <= cheap.makespan_s + 1e-9);
+    // Quality floor held in both.
+    assert!(cheap.quality >= 0.85 - 1e-9);
+    assert!(fast.quality >= 0.85 - 1e-9);
+}
+
+#[test]
+fn larger_workloads_scale_without_deadlock() {
+    // 4 videos x 16 scenes: four times the paper's workload on the same
+    // testbed must still complete (queueing, not failure).
+    use murakkab_orchestrator::{MediaInfo, SceneInfo};
+    let scenes = vec![
+        SceneInfo {
+            duration_s: 30.0,
+            audio_s: 30.0,
+            frames: 5,
+        };
+        16
+    ];
+    let media = (0..4)
+        .map(|i| MediaInfo {
+            file: format!("video{i}.mov"),
+            scenes: scenes.clone(),
+        })
+        .collect();
+    let inputs = JobInputs::videos(media);
+    let job = workloads::paper_video_job();
+    let rt = Runtime::paper_testbed(42);
+    let report = rt
+        .run_job(&job, &inputs, RunOptions::labeled("4x"))
+        .expect("scaled run completes");
+    assert_eq!(report.tasks, 4 * 16 * 6 + 4 * 16 * 5);
+    assert!(report.makespan_s > 100.0, "4x work should take > 100s");
+}
+
+#[test]
+fn unknown_jobs_fail_cleanly_not_catastrophically() {
+    let rt = Runtime::paper_testbed(42);
+    let job = Job::describe("reticulate the splines with vigor")
+        .build()
+        .expect("syntactically valid");
+    let err = rt
+        .run_job(&job, &JobInputs::items(1), RunOptions::labeled("junk"))
+        .expect_err("nonsense job must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("cannot decompose") || msg.contains("not understood"),
+        "unhelpful error: {msg}"
+    );
+}
+
+#[test]
+fn impossible_quality_floor_is_reported_as_unsatisfiable() {
+    let rt = Runtime::paper_testbed(42);
+    let job = Job::describe("Generate social media newsfeed for Alice")
+        .input("alice")
+        .constraint(Constraint::QualityAtLeast(0.999))
+        .build()
+        .expect("valid");
+    let err = rt
+        .run_job(&job, &JobInputs::items(4), RunOptions::labeled("impossible"))
+        .expect_err("no agent is that good");
+    assert!(err.to_string().contains("unsatisfiable"), "{err}");
+}

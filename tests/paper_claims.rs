@@ -1,0 +1,134 @@
+//! The paper's §4 claims, asserted end to end.
+//!
+//! These are the headline numbers of the reproduction: if they drift, the
+//! calibration (murakkab-agents::calib) has been broken.
+
+use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::RunReport;
+use murakkab_repro::EXPERIMENT_SEED;
+
+fn configs() -> (RunReport, RunReport, RunReport, RunReport) {
+    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
+    let baseline =
+        murakkab::run_baseline_video_understanding(EXPERIMENT_SEED).expect("baseline runs");
+    let cpu = rt
+        .run_video_understanding(RunOptions::labeled("cpu").stt(SttChoice::Cpu))
+        .expect("cpu runs");
+    let gpu = rt
+        .run_video_understanding(RunOptions::labeled("gpu").stt(SttChoice::Gpu))
+        .expect("gpu runs");
+    let hybrid = rt
+        .run_video_understanding(RunOptions::labeled("hybrid").stt(SttChoice::Hybrid))
+        .expect("hybrid runs");
+    (baseline, cpu, gpu, hybrid)
+}
+
+#[test]
+fn table2_times_within_paper_bands() {
+    let (baseline, cpu, gpu, hybrid) = configs();
+    // Paper: 285 s baseline; 83 / 77 / 77 s for Murakkab. Allow ±10%.
+    assert!(
+        (256.0..=314.0).contains(&baseline.makespan_s),
+        "baseline {:.1}s",
+        baseline.makespan_s
+    );
+    assert!((74.0..=92.0).contains(&cpu.makespan_s), "cpu {:.1}s", cpu.makespan_s);
+    assert!((69.0..=85.0).contains(&gpu.makespan_s), "gpu {:.1}s", gpu.makespan_s);
+    assert!(
+        (69.0..=85.0).contains(&hybrid.makespan_s),
+        "hybrid {:.1}s",
+        hybrid.makespan_s
+    );
+}
+
+#[test]
+fn table2_energy_within_paper_bands() {
+    let (baseline, cpu, gpu, hybrid) = configs();
+    // Paper: 155 Wh baseline; 34 / 43 / 42 Wh for Murakkab. Allow ±20%
+    // on the Murakkab rows (the CPU row runs ~18% hot; EXPERIMENTS.md
+    // discusses why).
+    assert!(
+        (132.0..=178.0).contains(&baseline.table2_energy_wh()),
+        "baseline {:.1}Wh",
+        baseline.table2_energy_wh()
+    );
+    assert!(
+        (27.0..=43.0).contains(&cpu.table2_energy_wh()),
+        "cpu {:.1}Wh",
+        cpu.table2_energy_wh()
+    );
+    assert!(
+        (34.0..=52.0).contains(&gpu.table2_energy_wh()),
+        "gpu {:.1}Wh",
+        gpu.table2_energy_wh()
+    );
+    assert!(
+        (34.0..=50.0).contains(&hybrid.table2_energy_wh()),
+        "hybrid {:.1}Wh",
+        hybrid.table2_energy_wh()
+    );
+}
+
+#[test]
+fn headline_speedup_and_efficiency() {
+    let (baseline, cpu, gpu, _) = configs();
+    // "speedups up to ~3.4x": the fastest config vs baseline.
+    let speedup = gpu.speedup_vs(&baseline).max(cpu.speedup_vs(&baseline));
+    assert!((3.0..=4.2).contains(&speedup), "speedup {speedup:.2}");
+    // "~4.5x higher energy efficiency": MIN_COST picks the CPU config.
+    let eff = cpu.energy_efficiency_vs(&baseline);
+    assert!((3.2..=5.2).contains(&eff), "efficiency {eff:.2}");
+}
+
+#[test]
+fn paper_orderings_hold() {
+    let (baseline, cpu, gpu, hybrid) = configs();
+    // GPU config is the fastest pure config; CPU the most energy-frugal;
+    // hybrid sits between on energy; baseline dominates nothing.
+    assert!(gpu.makespan_s <= cpu.makespan_s);
+    assert!(cpu.table2_energy_wh() <= gpu.table2_energy_wh());
+    assert!(cpu.table2_energy_wh() <= hybrid.table2_energy_wh() + 1.0);
+    assert!(hybrid.table2_energy_wh() <= gpu.table2_energy_wh() + 1.0);
+    assert!(baseline.makespan_s > 3.0 * gpu.makespan_s);
+    assert!(baseline.table2_energy_wh() > 3.0 * gpu.table2_energy_wh());
+}
+
+#[test]
+fn min_cost_constraint_selects_the_cpu_configuration() {
+    // §4: "Murakkab selects the CPU configuration to satisfy the MIN_COST
+    // constraint" (Listing 2 carries MIN_COST).
+    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
+    let auto = rt
+        .run_video_understanding(RunOptions::labeled("auto"))
+        .expect("auto runs");
+    let cpu = rt
+        .run_video_understanding(RunOptions::labeled("cpu").stt(SttChoice::Cpu))
+        .expect("cpu runs");
+    assert_eq!(auto.makespan_s, cpu.makespan_s);
+    assert_eq!(auto.energy_allocated_wh, cpu.energy_allocated_wh);
+}
+
+#[test]
+fn orchestration_overhead_is_about_one_percent() {
+    // §3.3: DAG creation "takes less than 1% of the execution time".
+    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
+    let report = rt
+        .run_video_understanding(RunOptions::labeled("gpu").stt(SttChoice::Gpu))
+        .expect("runs");
+    assert!(report.orchestration_s > 0.0, "orchestration must be charged");
+    assert!(
+        report.orchestration_fraction() < 0.015,
+        "orchestration is {:.2}% of the run",
+        100.0 * report.orchestration_fraction()
+    );
+}
+
+#[test]
+fn quality_is_equal_across_all_configurations() {
+    // §4: "The execution output and accuracy are the same in all
+    // comparisons."
+    let (baseline, cpu, gpu, hybrid) = configs();
+    assert_eq!(baseline.quality, cpu.quality);
+    assert_eq!(cpu.quality, gpu.quality);
+    assert_eq!(gpu.quality, hybrid.quality);
+}
