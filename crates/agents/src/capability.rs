@@ -200,9 +200,11 @@ mod tests {
         assert_eq!(total, 10.0);
         // Near-equal: max-min <= 1 frame.
         let counts: Vec<f64> = parts.iter().map(Work::units).collect();
-        assert!(counts.iter().cloned().fold(0.0, f64::max)
-            - counts.iter().cloned().fold(f64::MAX, f64::min)
-            <= 1.0);
+        assert!(
+            counts.iter().cloned().fold(0.0, f64::max)
+                - counts.iter().cloned().fold(f64::MAX, f64::min)
+                <= 1.0
+        );
     }
 
     #[test]

@@ -526,10 +526,7 @@ mod tests {
     fn duplicate_registration_fails() {
         let mut lib = stock_library();
         let dup = stock_agents().remove(0);
-        assert!(matches!(
-            lib.register(dup),
-            Err(SimError::InvalidState(_))
-        ));
+        assert!(matches!(lib.register(dup), Err(SimError::InvalidState(_))));
     }
 
     #[test]
@@ -566,10 +563,7 @@ mod tests {
             Capability::Ranking,
             Capability::TextGeneration,
         ] {
-            assert!(
-                lib.candidates(cap).next().is_some(),
-                "no agent for {cap:?}"
-            );
+            assert!(lib.candidates(cap).next().is_some(), "no agent for {cap:?}");
         }
     }
 
@@ -599,8 +593,12 @@ mod tests {
         let whisper = lib.get("Whisper").unwrap();
         let fc = lib.get("FastConformer").unwrap();
         assert!(whisper.quality > fc.quality);
-        let Backend::Tool(w) = &whisper.backend else { panic!() };
-        let Backend::Tool(f) = &fc.backend else { panic!() };
+        let Backend::Tool(w) = &whisper.backend else {
+            panic!()
+        };
+        let Backend::Tool(f) = &fc.backend else {
+            panic!()
+        };
         assert!(f.gpu_unit_s.unwrap() < w.gpu_unit_s.unwrap());
         // SigLIP beats CLIP on quality, costs more.
         let clip = lib.get("CLIP").unwrap();

@@ -323,7 +323,9 @@ mod tests {
     fn profiling_covers_stt_on_gpu_and_cpu() {
         let s = store();
         let stt = s.for_capability(Capability::SpeechToText);
-        assert!(stt.iter().any(|p| p.agent == "Whisper" && p.target.needs_gpu()));
+        assert!(stt
+            .iter()
+            .any(|p| p.agent == "Whisper" && p.target.needs_gpu()));
         assert!(stt
             .iter()
             .any(|p| p.agent == "Whisper" && !p.target.needs_gpu()));
@@ -409,7 +411,12 @@ mod tests {
             assert!(!front.is_empty(), "{cap:?}");
             for a in &front {
                 for b in &front {
-                    assert!(!a.dominates(b), "{cap:?}: {} dominates {}", a.agent, b.agent);
+                    assert!(
+                        !a.dominates(b),
+                        "{cap:?}: {} dominates {}",
+                        a.agent,
+                        b.agent
+                    );
                 }
             }
         }

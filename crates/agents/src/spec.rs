@@ -307,7 +307,9 @@ mod tests {
         };
         assert!(!r.supports(&HardwareTarget::ONE_GPU));
         assert!(r.supports(&HardwareTarget::cpu_cores(4)));
-        assert!(r.latency(&Work::Frames(10), &HardwareTarget::ONE_GPU).is_err());
+        assert!(r
+            .latency(&Work::Frames(10), &HardwareTarget::ONE_GPU)
+            .is_err());
     }
 
     #[test]

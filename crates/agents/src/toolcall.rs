@@ -173,7 +173,12 @@ impl ToolSchema {
                 format!("{}{}: {:?}", a.name, opt, a.ty)
             })
             .collect();
-        format!("{}({}) — {}", self.function, args.join(", "), self.description)
+        format!(
+            "{}({}) — {}",
+            self.function,
+            args.join(", "),
+            self.description
+        )
     }
 }
 
@@ -205,11 +210,7 @@ impl ToolCall {
 
 impl fmt::Display for ToolCall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let args: Vec<String> = self
-            .args
-            .iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect();
+        let args: Vec<String> = self.args.iter().map(|(k, v)| format!("{k}={v}")).collect();
         write!(f, "{}({})", self.function, args.join(", "))
     }
 }

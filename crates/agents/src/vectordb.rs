@@ -212,8 +212,11 @@ mod tests {
     fn top_k_is_sorted_and_truncated() {
         let mut idx = VectorIndex::new(8);
         for i in 0..20 {
-            idx.insert(format!("doc{i:02}"), embed_text(&format!("document {i}"), 8))
-                .unwrap();
+            idx.insert(
+                format!("doc{i:02}"),
+                embed_text(&format!("document {i}"), 8),
+            )
+            .unwrap();
         }
         let q = embed_text("document 7", 8);
         let hits = idx.query(&q, 5).unwrap();
@@ -252,8 +255,14 @@ mod tests {
         let mut idx = VectorIndex::new(dims);
         let corpus = [
             ("cats", "cats are small carnivorous mammals kept as pets"),
-            ("f1", "formula one cars race at very high speeds on circuits"),
-            ("soup", "tomato soup is made from simmered tomatoes and stock"),
+            (
+                "f1",
+                "formula one cars race at very high speeds on circuits",
+            ),
+            (
+                "soup",
+                "tomato soup is made from simmered tomatoes and stock",
+            ),
         ];
         for (key, text) in corpus {
             idx.insert(key, embed_text(text, dims)).unwrap();

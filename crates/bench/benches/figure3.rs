@@ -29,9 +29,7 @@ fn bench_figure3(c: &mut Criterion) {
             let rt = Runtime::paper_testbed(SEED);
             b.iter(|| {
                 let r = rt
-                    .run_video_understanding(
-                        RunOptions::labeled(black_box(name)).stt(stt),
-                    )
+                    .run_video_understanding(RunOptions::labeled(black_box(name)).stt(stt))
                     .unwrap();
                 assert!(r.makespan_s < 120.0);
                 r

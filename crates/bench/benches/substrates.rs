@@ -36,7 +36,8 @@ fn bench_llm_engine(c: &mut Criterion) {
                 8,
             );
             for i in 0..64 {
-                ep.on_submit(Request::new(i, 512, 64), SimTime::ZERO).unwrap();
+                ep.on_submit(Request::new(i, 512, 64), SimTime::ZERO)
+                    .unwrap();
             }
             let (done, _) = ep.drain(SimTime::ZERO);
             assert_eq!(done.len(), 64);

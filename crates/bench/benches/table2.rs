@@ -16,8 +16,7 @@ fn bench_table2(c: &mut Criterion) {
             // Paper orderings must hold on every run: baseline slowest and
             // most energy-hungry; CPU config the most energy-efficient;
             // GPU config no slower than CPU config.
-            let (baseline, cpu, gpu, hybrid) =
-                (&reports[0], &reports[1], &reports[2], &reports[3]);
+            let (baseline, cpu, gpu, hybrid) = (&reports[0], &reports[1], &reports[2], &reports[3]);
             assert!(baseline.makespan_s > gpu.makespan_s * 3.0);
             assert!(cpu.table2_energy_wh() < gpu.table2_energy_wh());
             assert!(hybrid.table2_energy_wh() <= gpu.table2_energy_wh());

@@ -26,10 +26,16 @@ fn main() {
     println!("{}", "-".repeat(100));
 
     let paper = [
-        ("GPU Generation", "Higher, Higher, Lower/No Change, No Change"),
+        (
+            "GPU Generation",
+            "Higher, Higher, Lower/No Change, No Change",
+        ),
         ("CPU vs GPU", "Lower, Lower, Lower, No Change"),
         ("Task Parallelism", "Higher, Higher, Lower, No Change"),
-        ("Execution Paths", "Higher, Higher, Higher/No Change, Higher/No Change"),
+        (
+            "Execution Paths",
+            "Higher, Higher, Higher/No Change, Higher/No Change",
+        ),
         ("Model/Tool", "Higher, Higher, Higher, Higher/No Change"),
     ];
     let rows = ablation::all_rows(seed).expect("lever runs succeed");
@@ -57,7 +63,11 @@ fn main() {
     let lib = stock_library();
     let store = Profiler::default().profile_library(&lib);
     let demand = DemandModel::video_understanding();
-    for objective in [Constraint::MinCost, Constraint::MinPower, Constraint::MinLatency] {
+    for objective in [
+        Constraint::MinCost,
+        Constraint::MinPower,
+        Constraint::MinLatency,
+    ] {
         let constraints = ConstraintSet::single(objective).and(Constraint::QualityAtLeast(0.9));
         let (_, g_est, g_n) = ConfigSearch::new(SearchMode::Greedy)
             .search(&demand, &store, &constraints)

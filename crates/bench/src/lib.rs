@@ -31,12 +31,8 @@ pub fn run_table2_configs(seed: u64) -> Result<Vec<RunReport>, SimError> {
     let rt = Runtime::paper_testbed(seed);
     Ok(vec![
         murakkab::run_baseline_video_understanding(seed)?,
-        rt.run_video_understanding(
-            RunOptions::labeled("Murakkab CPU").stt(SttChoice::Cpu),
-        )?,
-        rt.run_video_understanding(
-            RunOptions::labeled("Murakkab GPU").stt(SttChoice::Gpu),
-        )?,
+        rt.run_video_understanding(RunOptions::labeled("Murakkab CPU").stt(SttChoice::Cpu))?,
+        rt.run_video_understanding(RunOptions::labeled("Murakkab GPU").stt(SttChoice::Gpu))?,
         rt.run_video_understanding(
             RunOptions::labeled("Murakkab GPU + CPU").stt(SttChoice::Hybrid),
         )?,

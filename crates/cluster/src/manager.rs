@@ -100,10 +100,14 @@ impl ClusterManager {
     /// Materialises any pending nodes whose provisioning completed by
     /// `now`; returns the new node ids.
     pub fn process_provisioning(&mut self, now: SimTime) -> Vec<NodeId> {
-        let (ready, still): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.pending).into_iter().partition(|(t, _)| *t <= now);
+        let (ready, still): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|(t, _)| *t <= now);
         self.pending = still;
-        ready.into_iter().map(|(_, shape)| self.add_node(shape)).collect()
+        ready
+            .into_iter()
+            .map(|(_, shape)| self.add_node(shape))
+            .collect()
     }
 
     /// Grants an allocation for `target`, choosing a node by policy.
@@ -327,7 +331,11 @@ impl ClusterManager {
     ///
     /// Returns [`SimError::NotFound`] for unknown nodes and
     /// [`SimError::InvalidState`] if the node is already down.
-    pub fn preempt_node(&mut self, now: SimTime, id: NodeId) -> Result<Vec<AllocationId>, SimError> {
+    pub fn preempt_node(
+        &mut self,
+        now: SimTime,
+        id: NodeId,
+    ) -> Result<Vec<AllocationId>, SimError> {
         let node = self
             .nodes
             .iter_mut()
@@ -380,9 +388,7 @@ impl ClusterManager {
             .find(|n| n.id == id)
             .ok_or_else(|| SimError::not_found("node", id.to_string()))?;
         let murakkab_hardware::VmPricing::Harvest { min_cores, .. } = node.shape.pricing else {
-            return Err(SimError::InvalidState(format!(
-                "{id} is not a harvest VM"
-            )));
+            return Err(SimError::InvalidState(format!("{id} is not a harvest VM")));
         };
         if new_cores < min_cores {
             return Err(SimError::InvalidInput(format!(
@@ -459,7 +465,12 @@ impl ClusterManager {
         }
         ResourceStats {
             at: now,
-            gpus_total: self.nodes.iter().filter(|n| n.up).map(Node::total_gpu_units).sum(),
+            gpus_total: self
+                .nodes
+                .iter()
+                .filter(|n| n.up)
+                .map(Node::total_gpu_units)
+                .sum(),
             gpus_free: self.free_gpu_units(),
             cores_total: self
                 .nodes
@@ -618,8 +629,12 @@ mod tests {
     #[test]
     fn allocate_release_roundtrip() {
         let mut cm = ClusterManager::paper_testbed();
-        let a = cm.allocate(t(0), "nvlm-text", HardwareTarget::gpus(8)).unwrap();
-        let b = cm.allocate(t(0), "whisper", HardwareTarget::ONE_GPU).unwrap();
+        let a = cm
+            .allocate(t(0), "nvlm-text", HardwareTarget::gpus(8))
+            .unwrap();
+        let b = cm
+            .allocate(t(0), "whisper", HardwareTarget::ONE_GPU)
+            .unwrap();
         assert_eq!(cm.free_gpu_units(), 7.0);
         let stats = cm.stats(t(0));
         assert_eq!(stats.gpu_units_by_label["nvlm-text"], 8.0);
@@ -677,7 +692,9 @@ mod tests {
     #[test]
     fn full_scope_counts_cpu_pools() {
         let mut cm = ClusterManager::paper_testbed();
-        let a = cm.allocate(t(0), "clip", HardwareTarget::cpu_cores(48)).unwrap();
+        let a = cm
+            .allocate(t(0), "clip", HardwareTarget::cpu_cores(48))
+            .unwrap();
         cm.activity_start(t(0), a, 0.0).unwrap();
         cm.activity_end(t(3600), a, 0.0).unwrap();
         let gpu_only = cm.energy_wh(t(0), t(3600), EnergyScope::GpuOnly);

@@ -23,9 +23,7 @@ impl PlacementPolicy {
     /// Chooses a node for `target` among `nodes`, or `None` if nothing
     /// fits. Deterministic: ties break toward the lower node id.
     pub fn choose(&self, nodes: &[Node], target: &HardwareTarget) -> Option<NodeId> {
-        let fits = |n: &Node| -> bool {
-            n.up && node_fits(n, target)
-        };
+        let fits = |n: &Node| -> bool { n.up && node_fits(n, target) };
         let leftover = |n: &Node| -> f64 {
             // Leftover capacity after placement, in GPU-equivalents
             // (1 GPU ~ 12 cores for comparability).
@@ -64,7 +62,11 @@ impl PlacementPolicy {
 /// needs two devices with ≥0.5 free each, not 1.0 spread anywhere.
 pub fn node_fits(node: &Node, target: &HardwareTarget) -> bool {
     let gpu_fit = |count: u32, share: f64| -> bool {
-        node.gpus.iter().filter(|d| d.free() + 1e-9 >= share).count() >= count as usize
+        node.gpus
+            .iter()
+            .filter(|d| d.free() + 1e-9 >= share)
+            .count()
+            >= count as usize
     };
     match *target {
         HardwareTarget::Gpu { count, share } => gpu_fit(count, share),

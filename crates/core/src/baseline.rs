@@ -34,14 +34,8 @@ use crate::workloads;
 /// Returns [`SimError::NotFound`] if the graph does not contain the
 /// expected task names (it must come from the video-understanding plan
 /// expanded over `inputs`).
-pub fn serialize_video_graph(
-    graph: &mut TaskGraph,
-    inputs: &JobInputs,
-) -> Result<(), SimError> {
-    let by_name: BTreeMap<String, TaskId> = graph
-        .tasks()
-        .map(|t| (t.name.clone(), t.id))
-        .collect();
+pub fn serialize_video_graph(graph: &mut TaskGraph, inputs: &JobInputs) -> Result<(), SimError> {
+    let by_name: BTreeMap<String, TaskId> = graph.tasks().map(|t| (t.name.clone(), t.id)).collect();
     let lookup = |name: &str| -> Result<TaskId, SimError> {
         by_name
             .get(name)
@@ -224,8 +218,7 @@ mod tests {
         };
         assert_eq!(agent, "Whisper");
         assert_eq!(workers, &vec![HardwareTarget::ONE_GPU]);
-        let RouteSpec::Endpoint { agent, gpus, .. } = &routes[&Capability::Summarization]
-        else {
+        let RouteSpec::Endpoint { agent, gpus, .. } = &routes[&Capability::Summarization] else {
             panic!("summarisation must be an endpoint");
         };
         assert_eq!(agent, "NVLM");

@@ -396,9 +396,10 @@ impl Engine {
 
         // Charge orchestration (DAG creation) before any task dispatches.
         if let Some((cost, agent)) = self.options.orchestration.clone() {
-            let h = self.endpoints.get_mut(&agent).ok_or_else(|| {
-                SimError::not_found("orchestrator endpoint", agent.clone())
-            })?;
+            let h = self
+                .endpoints
+                .get_mut(&agent)
+                .ok_or_else(|| SimError::not_found("orchestrator endpoint", agent.clone()))?;
             let req = Request::new(
                 u64::MAX,
                 cost.prompt_tokens.max(1),
@@ -692,8 +693,7 @@ impl Engine {
                     .caps
                     .iter()
                     .all(|c| upcoming.get(c).copied().unwrap_or(0) == 0);
-                let idle = pool.queue.is_empty()
-                    && pool.workers.iter().all(|w| !w.busy || w.dead);
+                let idle = pool.queue.is_empty() && pool.workers.iter().all(|w| !w.busy || w.dead);
                 (
                     !pool.released && no_demand && idle,
                     pool.workers
@@ -748,8 +748,11 @@ impl Engine {
                 * now.saturating_duration_since(created).as_hours_f64();
         }
 
-        let killed: BTreeSet<AllocationId> =
-            self.cluster.preempt_node(now, node_id)?.into_iter().collect();
+        let killed: BTreeSet<AllocationId> = self
+            .cluster
+            .preempt_node(now, node_id)?
+            .into_iter()
+            .collect();
 
         // Pool workers on the dead node: mark dead and try to replace on
         // surviving capacity; queued work continues on what remains.
@@ -1084,13 +1087,10 @@ mod tests {
         let h100 = catalog::h100_80g();
         let gpu8 = HardwareTarget::gpus(8);
         let cores64 = HardwareTarget::cpu_cores(64);
-        assert!(
-            (target_hourly_usd(&gpu8, &a100) - 8.0 * a100.hourly_usd).abs() < 1e-9
-        );
+        assert!((target_hourly_usd(&gpu8, &a100) - 8.0 * a100.hourly_usd).abs() < 1e-9);
         assert!(target_hourly_usd(&gpu8, &h100) > target_hourly_usd(&gpu8, &a100));
         assert!(
-            (target_hourly_usd(&cores64, &a100)
-                - 64.0 * catalog::epyc_7v12().hourly_usd_per_core)
+            (target_hourly_usd(&cores64, &a100) - 64.0 * catalog::epyc_7v12().hourly_usd_per_core)
                 .abs()
                 < 1e-9
         );
@@ -1149,7 +1149,9 @@ mod tests {
             SimTime::ZERO,
         )
         .expect("builds");
-        let err = engine.run(SimTime::ZERO).expect_err("cannot run items on an LLM");
+        let err = engine
+            .run(SimTime::ZERO)
+            .expect_err("cannot run items on an LLM");
         assert!(err.to_string().contains("non-token work"), "{err}");
     }
 

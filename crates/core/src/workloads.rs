@@ -89,10 +89,7 @@ mod tests {
         assert_eq!(inputs.media.len(), 2);
         assert_eq!(inputs.media[0].file, "cats.mov");
         assert_eq!(inputs.total_scenes(), 16);
-        assert_eq!(
-            inputs.total_frames(),
-            16 * calib::FRAMES_PER_SCENE
-        );
+        assert_eq!(inputs.total_frames(), 16 * calib::FRAMES_PER_SCENE);
         // Audio jitter stays near the 30 s mean.
         let total_audio: f64 = inputs
             .media

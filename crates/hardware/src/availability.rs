@@ -44,15 +44,17 @@ impl SpotTrace {
         mean_up: SimDuration,
         mean_down: SimDuration,
     ) -> Self {
-        assert!(!mean_up.is_zero() && !mean_down.is_zero(), "zero mean interval");
+        assert!(
+            !mean_up.is_zero() && !mean_down.is_zero(),
+            "zero mean interval"
+        );
         let mut events = Vec::new();
         let mut t = SimTime::ZERO;
         let mut up = true;
         loop {
             let mean = if up { mean_up } else { mean_down };
-            let gap = SimDuration::from_secs_f64(
-                rng.exponential(1.0 / mean.as_secs_f64()).max(1e-6),
-            );
+            let gap =
+                SimDuration::from_secs_f64(rng.exponential(1.0 / mean.as_secs_f64()).max(1e-6));
             t = t + gap;
             if t >= horizon {
                 break;

@@ -318,8 +318,13 @@ mod tests {
         d.set_activity_level(SimTime::ZERO, 0.4);
         d.set_activity_level(SimTime::from_secs(10), 0.9);
         d.set_activity_level(SimTime::from_secs(20), 0.0);
-        assert!((d.util_series().average(SimTime::ZERO, SimTime::from_secs(20)) - 0.65).abs()
-            < 1e-9);
+        assert!(
+            (d.util_series()
+                .average(SimTime::ZERO, SimTime::from_secs(20))
+                - 0.65)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

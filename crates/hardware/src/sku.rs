@@ -12,9 +12,7 @@ use crate::power::PowerCurve;
 ///
 /// Table 1 of the paper lists "GPU Generation" as a scheduling lever:
 /// newer generations cost more, draw more power, and are no slower.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GpuGeneration {
     /// NVIDIA Volta (V100).
     Volta,

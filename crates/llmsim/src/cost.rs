@@ -97,8 +97,7 @@ pub fn decode_step_time(
     if batch == 0 {
         return SimDuration::ZERO;
     }
-    let compute =
-        model.flops_per_token() * f64::from(batch) / (group.flops() * MFU_DECODE);
+    let compute = model.flops_per_token() * f64::from(batch) / (group.flops() * MFU_DECODE);
     let bytes = model.weight_bytes() + model.kv_bytes_per_token * kv_tokens as f64;
     let memory = bytes / (group.mem_bw() * MBU);
     SimDuration::from_secs_f64(compute.max(memory))
@@ -124,8 +123,8 @@ pub fn solo_latency(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use murakkab_hardware::catalog;
     use crate::model;
+    use murakkab_hardware::catalog;
 
     fn group8() -> TpGroup {
         TpGroup::new(catalog::a100_80g(), 8)

@@ -255,7 +255,9 @@ impl Endpoint {
                     output_tokens: r.generated,
                 };
                 self.stats.completed.incr();
-                self.stats.queue_wait_s.observe(c.queue_wait().as_secs_f64());
+                self.stats
+                    .queue_wait_s
+                    .observe(c.queue_wait().as_secs_f64());
                 self.stats.latency_s.observe(c.latency().as_secs_f64());
                 completions.push(c);
             } else {
@@ -313,7 +315,8 @@ impl Endpoint {
         let dur = std::mem::take(&mut self.pending_prefill)
             + decode_step_time(&self.model, &self.group, batch, resident);
 
-        self.util.record(now, Self::active_util(batch, self.max_batch));
+        self.util
+            .record(now, Self::active_util(batch, self.max_batch));
         self.step_pending = true;
         let deadline = now + dur;
         self.armed_deadline = Some(deadline);
@@ -403,13 +406,16 @@ mod tests {
         // same instant and far sooner than 2x the solo latency.
         let solo = {
             let mut ep = endpoint(8);
-            ep.on_submit(Request::new(1, 256, 32), SimTime::ZERO).unwrap();
+            ep.on_submit(Request::new(1, 256, 32), SimTime::ZERO)
+                .unwrap();
             let (done, _) = ep.drain(SimTime::ZERO);
             done[0].latency()
         };
         let mut ep = endpoint(8);
-        ep.on_submit(Request::new(1, 256, 32), SimTime::ZERO).unwrap();
-        ep.on_submit(Request::new(2, 256, 32), SimTime::ZERO).unwrap();
+        ep.on_submit(Request::new(1, 256, 32), SimTime::ZERO)
+            .unwrap();
+        ep.on_submit(Request::new(2, 256, 32), SimTime::ZERO)
+            .unwrap();
         let (done, _) = ep.drain(SimTime::ZERO);
         assert_eq!(done.len(), 2);
         // The second request joins at the first iteration boundary, so it
@@ -430,8 +436,10 @@ mod tests {
     #[test]
     fn max_batch_limits_concurrency() {
         let mut ep = endpoint(1);
-        ep.on_submit(Request::new(1, 128, 16), SimTime::ZERO).unwrap();
-        ep.on_submit(Request::new(2, 128, 16), SimTime::ZERO).unwrap();
+        ep.on_submit(Request::new(1, 128, 16), SimTime::ZERO)
+            .unwrap();
+        ep.on_submit(Request::new(2, 128, 16), SimTime::ZERO)
+            .unwrap();
         let (done, _) = ep.drain(SimTime::ZERO);
         assert_eq!(done.len(), 2);
         // Serialized: the second strictly after the first.
@@ -452,9 +460,13 @@ mod tests {
     #[test]
     fn submit_while_running_returns_none() {
         let mut ep = endpoint(8);
-        let first = ep.on_submit(Request::new(1, 128, 16), SimTime::ZERO).unwrap();
+        let first = ep
+            .on_submit(Request::new(1, 128, 16), SimTime::ZERO)
+            .unwrap();
         assert!(first.is_some());
-        let second = ep.on_submit(Request::new(2, 128, 16), SimTime::ZERO).unwrap();
+        let second = ep
+            .on_submit(Request::new(2, 128, 16), SimTime::ZERO)
+            .unwrap();
         assert!(second.is_none(), "step already armed");
     }
 
@@ -469,7 +481,8 @@ mod tests {
     fn utilization_rises_with_batch_and_falls_idle() {
         let mut ep = endpoint(4);
         for i in 0..4 {
-            ep.on_submit(Request::new(i, 128, 8), SimTime::ZERO).unwrap();
+            ep.on_submit(Request::new(i, 128, 8), SimTime::ZERO)
+                .unwrap();
         }
         let (_, end) = ep.drain(SimTime::ZERO);
         assert_eq!(ep.util_series().value_at(end), 0.0, "idle after drain");
@@ -485,8 +498,10 @@ mod tests {
         let cap = g.kv_capacity_tokens(&m);
         let big = (cap as u32 / 3) * 2;
         let mut ep = Endpoint::new("kv", m, g, 8);
-        ep.on_submit(Request::new(1, big, 8), SimTime::ZERO).unwrap();
-        ep.on_submit(Request::new(2, big, 8), SimTime::ZERO).unwrap();
+        ep.on_submit(Request::new(1, big, 8), SimTime::ZERO)
+            .unwrap();
+        ep.on_submit(Request::new(2, big, 8), SimTime::ZERO)
+            .unwrap();
         let (done, _) = ep.drain(SimTime::ZERO);
         assert_eq!(done.len(), 2);
         // The second could not batch with the first (KV full): serialized.
@@ -498,7 +513,8 @@ mod tests {
         // 16 requests on max_batch 16 should take far less than 16x solo.
         let mk_reqs = |ep: &mut Endpoint| {
             for i in 0..16 {
-                ep.on_submit(Request::new(i, 128, 32), SimTime::ZERO).unwrap();
+                ep.on_submit(Request::new(i, 128, 32), SimTime::ZERO)
+                    .unwrap();
             }
         };
         let mut wide = endpoint(16);
@@ -508,6 +524,9 @@ mod tests {
         mk_reqs(&mut narrow);
         let (_, narrow_end) = narrow.drain(SimTime::ZERO);
         let speedup = narrow_end.as_secs_f64() / wide_end.as_secs_f64();
-        assert!(speedup > 4.0, "continuous batching speedup only {speedup:.1}x");
+        assert!(
+            speedup > 4.0,
+            "continuous batching speedup only {speedup:.1}x"
+        );
     }
 }

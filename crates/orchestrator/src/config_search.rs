@@ -385,10 +385,7 @@ mod tests {
         let (_, e_est, e_n) = ConfigSearch::new(SearchMode::Exhaustive)
             .search(&demand, &s, &constraints(Constraint::MinCost))
             .unwrap();
-        assert!(
-            e_n > 20 * g_n,
-            "exhaustive {e_n} should dwarf greedy {g_n}"
-        );
+        assert!(e_n > 20 * g_n, "exhaustive {e_n} should dwarf greedy {g_n}");
         // Greedy must be close to the exhaustive optimum on this demand
         // (levers are near-independent here).
         assert!(
@@ -482,16 +479,14 @@ mod tests {
         let assignment: BTreeMap<Capability, &ExecutionProfile> = demand
             .counts
             .keys()
-            .map(|&c| {
-                (
-                    c,
-                    *ConfigSearch::candidates(&s, c, floor).first().unwrap(),
-                )
-            })
+            .map(|&c| (c, *ConfigSearch::candidates(&s, c, floor).first().unwrap()))
             .collect();
         let e1 = ConfigSearch::estimate(&demand, &assignment, 1, 1);
         let e8 = ConfigSearch::estimate(&demand, &assignment, 8, 1);
         assert!(e8.latency_s < e1.latency_s / 4.0);
-        assert!((e8.energy_wh - e1.energy_wh).abs() < 1e-9, "same total work");
+        assert!(
+            (e8.energy_wh - e1.energy_wh).abs() < 1e-9,
+            "same total work"
+        );
     }
 }

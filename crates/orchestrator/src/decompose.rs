@@ -315,9 +315,8 @@ fn chain_from_hints(hints: &[String]) -> Result<LogicalPlan, SimError> {
     }
     let mut stages = Vec::new();
     for (i, hint) in hints.iter().enumerate() {
-        let capability = hint_capability(hint).ok_or_else(|| {
-            SimError::InvalidInput(format!("task hint not understood: {hint:?}"))
-        })?;
+        let capability = hint_capability(hint)
+            .ok_or_else(|| SimError::InvalidInput(format!("task hint not understood: {hint:?}")))?;
         stages.push(Stage {
             name: format!("hint-{i}"),
             capability,
@@ -370,7 +369,9 @@ mod tests {
     #[test]
     fn listing2_decomposes_to_video_understanding() {
         let lib = stock_library();
-        let (plan, cost) = Planner.decompose(&listing2_video_understanding(), &lib).unwrap();
+        let (plan, cost) = Planner
+            .decompose(&listing2_video_understanding(), &lib)
+            .unwrap();
         assert_eq!(plan.archetype, "video-understanding");
         assert_eq!(plan.stages.len(), 7);
         assert!(cost.prompt_tokens > 0 && cost.output_tokens > 0);

@@ -238,9 +238,7 @@ fn work_for(
     inputs: &JobInputs,
 ) -> Work {
     match capability {
-        Capability::FrameExtraction => {
-            Work::VideoSeconds(scene.map_or(30.0, |s| s.duration_s))
-        }
+        Capability::FrameExtraction => Work::VideoSeconds(scene.map_or(30.0, |s| s.duration_s)),
         Capability::SpeechToText => Work::AudioSeconds(scene.map_or(30.0, |s| s.audio_s)),
         Capability::ObjectDetection => Work::Frames(scene.map_or(10, |s| s.frames)),
         Capability::Summarization => match granularity {

@@ -98,9 +98,7 @@ pub fn select_config(
     let best_score = candidates[0].score(objective);
     let chosen = candidates
         .iter()
-        .find(|p| {
-            resident.contains(&p.agent) && close_enough(p.score(objective), best_score)
-        })
+        .find(|p| resident.contains(&p.agent) && close_enough(p.score(objective), best_score))
         .unwrap_or(&candidates[0]);
     Ok(SelectedConfig::from(*chosen))
 }

@@ -11,14 +11,12 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn inputs_strategy() -> impl Strategy<Value = JobInputs> {
-    (
-        prop::collection::vec(
-            (
-                prop::collection::vec((5.0f64..90.0, 1u32..12), 1..8), // scenes
-            ),
-            1..4, // videos
+    (prop::collection::vec(
+        (
+            prop::collection::vec((5.0f64..90.0, 1u32..12), 1..8), // scenes
         ),
-    )
+        1..4, // videos
+    ),)
         .prop_map(|(videos,)| {
             JobInputs::videos(
                 videos

@@ -93,9 +93,7 @@ impl TimeSeries {
         let mut cursor = from;
         let mut value = self.value_at(from);
         // Walk change points strictly inside (from, to).
-        let start = self
-            .points
-            .partition_point(|&(pt, _)| pt <= from);
+        let start = self.points.partition_point(|&(pt, _)| pt <= from);
         for &(pt, v) in &self.points[start..] {
             if pt >= to {
                 break;

@@ -169,7 +169,10 @@ mod tests {
         let mut sum = 0.0;
         for _ in 0..n {
             let v = r.normal(mu, sigma);
-            assert!((4.0..=16.0).contains(&v), "sample {v} outside 3-sigma clamp");
+            assert!(
+                (4.0..=16.0).contains(&v),
+                "sample {v} outside 3-sigma clamp"
+            );
             sum += v;
         }
         let mean = sum / n as f64;

@@ -126,9 +126,7 @@ impl TraceLog {
     /// thread ids so each component gets its own row.
     pub fn to_chrome_trace(&self) -> String {
         let lanes = self.lanes();
-        let tid = |lane: &str| -> usize {
-            lanes.iter().position(|l| *l == lane).unwrap_or(0) + 1
-        };
+        let tid = |lane: &str| -> usize { lanes.iter().position(|l| *l == lane).unwrap_or(0) + 1 };
         let mut events = Vec::with_capacity(self.spans.len() + lanes.len());
         for (i, lane) in lanes.iter().enumerate() {
             events.push(serde_json::json!({

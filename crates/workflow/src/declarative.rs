@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn listing2_matches_paper() {
         let job = listing2_video_understanding();
-        assert_eq!(job.description, "List objects shown/mentioned in the videos");
+        assert_eq!(
+            job.description,
+            "List objects shown/mentioned in the videos"
+        );
         assert_eq!(job.inputs, vec!["cats.mov", "formula_1.mov"]);
         assert_eq!(job.task_hints.len(), 3);
         assert_eq!(job.constraints.primary_objective(), Objective::Cost);

@@ -250,8 +250,7 @@ impl TaskGraph {
         let mut finish: BTreeMap<TaskId, SimDuration> = BTreeMap::new();
         let mut best = SimDuration::ZERO;
         for id in order {
-            let start = self
-                .pred[&id]
+            let start = self.pred[&id]
                 .iter()
                 .map(|p| finish[p])
                 .max()
@@ -288,11 +287,7 @@ impl TaskGraph {
     /// Merges `other` into `self` with `prefix` prepended to task and
     /// stage names (multi-tenant merges keep workflows distinguishable in
     /// traces and lookups).
-    pub fn absorb_prefixed(
-        &mut self,
-        other: &TaskGraph,
-        prefix: &str,
-    ) -> BTreeMap<TaskId, TaskId> {
+    pub fn absorb_prefixed(&mut self, other: &TaskGraph, prefix: &str) -> BTreeMap<TaskId, TaskId> {
         let mut map = BTreeMap::new();
         for node in other.nodes.values() {
             let new = self.add_task(
@@ -322,9 +317,24 @@ mod tests {
 
     fn diamond() -> (TaskGraph, [TaskId; 4]) {
         let mut g = TaskGraph::new();
-        let a = g.add_task("extract", "extract", Capability::FrameExtraction, Work::VideoSeconds(36.0));
-        let b = g.add_task("stt", "stt", Capability::SpeechToText, Work::AudioSeconds(36.0));
-        let c = g.add_task("detect", "detect", Capability::ObjectDetection, Work::Frames(10));
+        let a = g.add_task(
+            "extract",
+            "extract",
+            Capability::FrameExtraction,
+            Work::VideoSeconds(36.0),
+        );
+        let b = g.add_task(
+            "stt",
+            "stt",
+            Capability::SpeechToText,
+            Work::AudioSeconds(36.0),
+        );
+        let c = g.add_task(
+            "detect",
+            "detect",
+            Capability::ObjectDetection,
+            Work::Frames(10),
+        );
         let d = g.add_task(
             "summarize",
             "summarize",
@@ -355,14 +365,8 @@ mod tests {
     #[test]
     fn rejects_cycles_and_self_loops() {
         let (mut g, [a, _, _, d]) = diamond();
-        assert!(matches!(
-            g.add_edge(d, a),
-            Err(SimError::InvalidInput(_))
-        ));
-        assert!(matches!(
-            g.add_edge(a, a),
-            Err(SimError::InvalidInput(_))
-        ));
+        assert!(matches!(g.add_edge(d, a), Err(SimError::InvalidInput(_))));
+        assert!(matches!(g.add_edge(a, a), Err(SimError::InvalidInput(_))));
         assert!(matches!(
             g.add_edge(a, TaskId::from_raw(42)),
             Err(SimError::NotFound { .. })
@@ -388,8 +392,7 @@ mod tests {
     fn topo_sort_respects_edges() {
         let (g, _) = diamond();
         let order = g.topo_sort().unwrap();
-        let pos: BTreeMap<TaskId, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: BTreeMap<TaskId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for node in g.tasks() {
             for s in g.successors(node.id) {
                 assert!(pos[&node.id] < pos[&s]);

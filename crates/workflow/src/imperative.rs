@@ -253,8 +253,7 @@ pub fn listing1_video_understanding() -> ImperativeWorkflow {
         .system_prompt("You are an agent that can describe images in detail.")
         .user_prompt("Summarize the scenes using frames, detected objects and transcripts.")
         .build();
-    ImperativeWorkflow::chain(vec![frame_ext, stt, obj_det, summarize])
-        .expect("non-empty chain")
+    ImperativeWorkflow::chain(vec![frame_ext, stt, obj_det, summarize]).expect("non-empty chain")
 }
 
 #[cfg(test)]
@@ -270,7 +269,11 @@ mod tests {
         assert_eq!(stt.resources, ResourceSpec::Gpus { count: 1 });
         let llm = wf.component("NVLM").unwrap();
         assert_eq!(llm.resources, ResourceSpec::Gpus { count: 8 });
-        assert!(llm.system_prompt.as_ref().unwrap().contains("describe images"));
+        assert!(llm
+            .system_prompt
+            .as_ref()
+            .unwrap()
+            .contains("describe images"));
         assert_eq!(
             wf.component("OpenCV").unwrap().params["sampling_rate"],
             ArgValue::Int(15)

@@ -26,7 +26,8 @@ fn random_dag(n: usize, edges: &[(usize, usize)]) -> TaskGraph {
     for &(a, b) in edges {
         let (a, b) = (a % n, b % n);
         if a < b {
-            g.add_edge(ids[a], ids[b]).expect("forward edges are acyclic");
+            g.add_edge(ids[a], ids[b])
+                .expect("forward edges are acyclic");
         }
     }
     g

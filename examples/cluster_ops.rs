@@ -93,5 +93,8 @@ fn main() {
         cm.energy_wh(t(0), t(3600), EnergyScope::GpuOnly),
         cm.energy_wh_all(t(0), t(3600), EnergyScope::GpuOnly),
     );
-    println!("fleet cost for that hour: ${:.2}", cm.fleet_cost_usd(SimDuration::from_secs(3600)));
+    println!(
+        "fleet cost for that hour: ${:.2}",
+        cm.fleet_cost_usd(SimDuration::from_secs(3600))
+    );
 }

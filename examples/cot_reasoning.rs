@@ -22,11 +22,7 @@ fn main() {
     for k in [1u32, 2, 4, 8] {
         let (job, inputs) = workloads::cot_job(k);
         let report = rt
-            .run_job(
-                &job,
-                &inputs,
-                RunOptions::labeled(&format!("cot-{k}")),
-            )
+            .run_job(&job, &inputs, RunOptions::labeled(&format!("cot-{k}")))
             .expect("cot job runs");
         let quality = path_quality(0.84, k);
         println!(

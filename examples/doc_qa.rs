@@ -14,15 +14,32 @@ fn main() {
     // --- Functional substrate: index a small corpus. --------------------
     const DIMS: usize = 128;
     let corpus = [
-        ("lease-2023", "office lease agreement with monthly rent and termination clauses"),
-        ("nda-vendor", "mutual non-disclosure agreement covering vendor trade secrets"),
-        ("msa-cloud", "master services agreement for cloud infrastructure capacity"),
-        ("sow-ml", "statement of work for the machine learning platform migration"),
-        ("dpa-eu", "data processing addendum for european customer records"),
+        (
+            "lease-2023",
+            "office lease agreement with monthly rent and termination clauses",
+        ),
+        (
+            "nda-vendor",
+            "mutual non-disclosure agreement covering vendor trade secrets",
+        ),
+        (
+            "msa-cloud",
+            "master services agreement for cloud infrastructure capacity",
+        ),
+        (
+            "sow-ml",
+            "statement of work for the machine learning platform migration",
+        ),
+        (
+            "dpa-eu",
+            "data processing addendum for european customer records",
+        ),
     ];
     let mut index = VectorIndex::new(DIMS);
     for (key, text) in corpus {
-        index.insert(key, embed_text(text, DIMS)).expect("indexable");
+        index
+            .insert(key, embed_text(text, DIMS))
+            .expect("indexable");
     }
 
     // The stand-in embedding is lexical (character trigrams), not
@@ -33,7 +50,10 @@ fn main() {
         .query(&embed_text(question, DIMS), 2)
         .expect("query dims match");
     println!("question: {question}");
-    println!("retrieved: {} (score {:.3}), runner-up {}\n", hits[0].0, hits[0].1, hits[1].0);
+    println!(
+        "retrieved: {} (score {:.3}), runner-up {}\n",
+        hits[0].0, hits[0].1, hits[1].0
+    );
     assert_eq!(hits[0].0, "lease-2023", "retrieval must find the lease");
 
     // --- Scheduling substrate: what that pipeline costs to run. ---------
@@ -43,6 +63,9 @@ fn main() {
         .run_job(&job, &inputs, RunOptions::labeled("doc-qa"))
         .expect("doc-qa job runs");
     println!("{}", report.summary_line());
-    println!("\npipeline: {} embeddings -> vector query -> LLM answer", corpus.len());
+    println!(
+        "\npipeline: {} embeddings -> vector query -> LLM answer",
+        corpus.len()
+    );
     println!("{}", report.trace.render_ascii(72));
 }

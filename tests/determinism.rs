@@ -29,8 +29,7 @@ fn different_seeds_differ_but_stay_in_band() {
         makespans.push(r.makespan_s);
     }
     // The seeded audio jitter must actually change the runs...
-    let distinct: std::collections::BTreeSet<u64> =
-        makespans.iter().map(|m| m.to_bits()).collect();
+    let distinct: std::collections::BTreeSet<u64> = makespans.iter().map(|m| m.to_bits()).collect();
     assert!(distinct.len() > 1, "seeds should perturb the workload");
     // ...but only within a narrow band (the jitter is +-1.5 s per scene).
     for m in &makespans {

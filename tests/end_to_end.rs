@@ -38,7 +38,11 @@ fn newsfeed_cot_and_docqa_archetypes_run() {
 
     let (job, inputs) = workloads::newsfeed_job("Alice", 12);
     let nf = rt
-        .run_job(&job, &inputs, RunOptions::labeled("nf").pin_paper_agents(false))
+        .run_job(
+            &job,
+            &inputs,
+            RunOptions::labeled("nf").pin_paper_agents(false),
+        )
         .expect("newsfeed runs");
     assert_eq!(nf.tasks, 3 * 12 + 2);
 
@@ -135,7 +139,11 @@ fn impossible_quality_floor_is_reported_as_unsatisfiable() {
         .build()
         .expect("valid");
     let err = rt
-        .run_job(&job, &JobInputs::items(4), RunOptions::labeled("impossible"))
+        .run_job(
+            &job,
+            &JobInputs::items(4),
+            RunOptions::labeled("impossible"),
+        )
         .expect_err("no agent is that good");
     assert!(err.to_string().contains("unsatisfiable"), "{err}");
 }

@@ -16,13 +16,20 @@ use murakkab_sim::{SimDuration, SimError, SimRng, SimTime};
 fn preemption_mid_allocation_returns_killed_work_for_rescheduling() {
     let t = SimTime::from_secs;
     let mut cm = ClusterManager::paper_testbed();
-    let ep = cm.allocate(t(0), "nvlm", HardwareTarget::gpus(8)).expect("fits");
-    let stt = cm.allocate(t(0), "whisper", HardwareTarget::ONE_GPU).expect("fits");
+    let ep = cm
+        .allocate(t(0), "nvlm", HardwareTarget::gpus(8))
+        .expect("fits");
+    let stt = cm
+        .allocate(t(0), "whisper", HardwareTarget::ONE_GPU)
+        .expect("fits");
     cm.activity_start(t(0), stt, 0.65).expect("live");
 
     let victim = cm.allocation(ep).expect("live").node;
     let killed = cm.preempt_node(t(30), victim).expect("node was up");
-    assert!(killed.contains(&ep), "endpoint allocation must be reported dead");
+    assert!(
+        killed.contains(&ep),
+        "endpoint allocation must be reported dead"
+    );
 
     // Re-placement after preemption succeeds on the surviving node if it
     // fits, and errors (not panics) if it does not.
@@ -112,7 +119,10 @@ fn hallucinated_agents_and_arguments_are_caught() {
             ("confidence_boost".to_string(), ArgValue::Float(11.0)),
         ]),
     };
-    let err = whisper.schema.validate(&call).expect_err("must be rejected");
+    let err = whisper
+        .schema
+        .validate(&call)
+        .expect_err("must be rejected");
     assert!(err.to_string().contains("unknown argument"));
 }
 
@@ -153,13 +163,15 @@ fn workflow_needing_more_than_the_cluster_fails_with_exhaustion() {
 fn double_release_and_unknown_ids_error_cleanly() {
     let t = SimTime::from_secs;
     let mut cm = ClusterManager::paper_testbed();
-    let a = cm.allocate(t(0), "x", HardwareTarget::ONE_GPU).expect("fits");
+    let a = cm
+        .allocate(t(0), "x", HardwareTarget::ONE_GPU)
+        .expect("fits");
     cm.release(t(1), a).expect("first release");
-    assert!(matches!(cm.release(t(2), a), Err(SimError::NotFound { .. })));
     assert!(matches!(
-        cm.allocation(a),
+        cm.release(t(2), a),
         Err(SimError::NotFound { .. })
     ));
+    assert!(matches!(cm.allocation(a), Err(SimError::NotFound { .. })));
 }
 
 /// Checks the Capability enum is exhaustively served by the stock library

@@ -79,9 +79,18 @@ fn tenants_share_one_llm_deployment() {
     );
     // Spans from both tenants appear on the shared LLM lane.
     let llm_spans = both.trace.lane_spans("LLM (Text)");
-    let w0 = llm_spans.iter().filter(|s| s.label.starts_with("w0/")).count();
-    let w1 = llm_spans.iter().filter(|s| s.label.starts_with("w1/")).count();
-    assert!(w0 > 0 && w1 > 0, "both tenants must use the shared endpoint");
+    let w0 = llm_spans
+        .iter()
+        .filter(|s| s.label.starts_with("w0/"))
+        .count();
+    let w1 = llm_spans
+        .iter()
+        .filter(|s| s.label.starts_with("w1/"))
+        .count();
+    assert!(
+        w0 > 0 && w1 > 0,
+        "both tenants must use the shared endpoint"
+    );
 }
 
 #[test]
@@ -110,7 +119,5 @@ fn three_tenants_still_deterministic() {
 #[test]
 fn empty_tenant_list_is_rejected() {
     let rt = Runtime::paper_testbed(1);
-    assert!(rt
-        .run_concurrent(&[], RunOptions::labeled("none"))
-        .is_err());
+    assert!(rt.run_concurrent(&[], RunOptions::labeled("none")).is_err());
 }

@@ -32,8 +32,16 @@ fn table2_times_within_paper_bands() {
         "baseline {:.1}s",
         baseline.makespan_s
     );
-    assert!((74.0..=92.0).contains(&cpu.makespan_s), "cpu {:.1}s", cpu.makespan_s);
-    assert!((69.0..=85.0).contains(&gpu.makespan_s), "gpu {:.1}s", gpu.makespan_s);
+    assert!(
+        (74.0..=92.0).contains(&cpu.makespan_s),
+        "cpu {:.1}s",
+        cpu.makespan_s
+    );
+    assert!(
+        (69.0..=85.0).contains(&gpu.makespan_s),
+        "gpu {:.1}s",
+        gpu.makespan_s
+    );
     assert!(
         (69.0..=85.0).contains(&hybrid.makespan_s),
         "hybrid {:.1}s",
@@ -115,7 +123,10 @@ fn orchestration_overhead_is_about_one_percent() {
     let report = rt
         .run_video_understanding(RunOptions::labeled("gpu").stt(SttChoice::Gpu))
         .expect("runs");
-    assert!(report.orchestration_s > 0.0, "orchestration must be charged");
+    assert!(
+        report.orchestration_s > 0.0,
+        "orchestration must be charged"
+    );
     assert!(
         report.orchestration_fraction() < 0.015,
         "orchestration is {:.2}% of the run",

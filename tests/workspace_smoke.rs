@@ -1,0 +1,58 @@
+//! Workspace smoke test: the canonical paper testbed must run the Video
+//! Understanding workload end-to-end from a clean checkout and produce a
+//! sane, finite report. This is the first thing to check when a manifest
+//! or dependency change breaks the build — everything else (determinism,
+//! paper claims, equivalence) assumes this works.
+
+use murakkab::runtime::{RunOptions, Runtime};
+use murakkab_repro::EXPERIMENT_SEED;
+
+#[test]
+fn paper_testbed_runs_video_understanding_end_to_end() {
+    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
+    let report = rt
+        .run_video_understanding(RunOptions::labeled("workspace-smoke"))
+        .expect("video understanding runs on the paper testbed");
+
+    assert!(report.tasks > 0, "report must cover at least one task");
+    assert!(!report.trace.spans().is_empty(), "trace must be non-empty");
+    assert!(
+        !report.selections.is_empty(),
+        "orchestrator must select agents"
+    );
+
+    assert!(
+        report.makespan_s.is_finite() && report.makespan_s > 0.0,
+        "makespan must be positive and finite, got {}",
+        report.makespan_s
+    );
+    assert!(
+        report.energy_allocated_wh.is_finite() && report.energy_allocated_wh > 0.0,
+        "allocated energy must be positive and finite, got {}",
+        report.energy_allocated_wh
+    );
+    assert!(
+        report.energy_fleet_wh.is_finite() && report.energy_fleet_wh >= report.energy_allocated_wh,
+        "fleet energy ({}) must be finite and cover allocated energy ({})",
+        report.energy_fleet_wh,
+        report.energy_allocated_wh
+    );
+    assert!(
+        report.cost_usd.is_finite() && report.cost_usd > 0.0,
+        "cost must be positive and finite, got {}",
+        report.cost_usd
+    );
+    assert!(
+        report.quality.is_finite() && (0.0..=1.0).contains(&report.quality),
+        "quality must be a finite fraction, got {}",
+        report.quality
+    );
+
+    // The report renders a human-readable summary (used by examples and
+    // the bench binaries).
+    let summary = report.summary_line();
+    assert!(
+        summary.contains("workspace-smoke"),
+        "summary should carry the run label: {summary}"
+    );
+}

@@ -1,0 +1,477 @@
+//! Derive macros for the vendored `serde` shim, written against the bare
+//! `proc_macro` API (the offline build has no `syn`/`quote`).
+//!
+//! Supported input is intentionally the subset the workspace uses: plain
+//! non-generic structs and enums with no `#[serde(...)]` attributes.
+//! Conventions match real serde where observable: newtype structs are
+//! transparent, tuple structs serialize as arrays, enums are externally
+//! tagged (`"Variant"` for unit variants, `{"Variant": ...}` otherwise).
+//!
+//! Also hosts the function-like `json!` macro re-exported by the vendored
+//! `serde_json`, which needs a proc macro to allow arbitrary Rust
+//! expressions in value position.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Splits a token list on top-level commas. Commas inside groups are
+/// invisible (groups are single tokens); commas inside generic argument
+/// lists are skipped by tracking `<`/`>` depth.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from a peekable token iterator.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = group_tokens.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde shim derive: expected field name, got `{other}`"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type, up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(group_tokens: Vec<TokenTree>) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group_tokens.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde shim derive: expected variant name, got `{other}`"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level_commas(&tokens).len();
+                iter.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = parse_named_fields(tokens);
+                iter.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(split_top_level_commas(&tokens).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde shim derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream().into_iter().collect()))
+            }
+            other => panic!("serde shim derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    (name, shape)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl parses")
+}
+
+/// Generates the field-extraction expression for one named field of a
+/// struct or struct variant, reading from object `{obj}`.
+fn named_field_expr(field: &str, obj: &str) -> String {
+    format!(
+        "{field}: match {obj}.iter().find(|(k, _)| k.as_str() == \"{field}\") {{\n\
+         Some((_, fv)) => ::serde::Deserialize::from_value(fv)?,\n\
+         None => ::serde::Deserialize::from_missing_field(\"{field}\")?,\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let field_exprs: Vec<String> = fields
+                .iter()
+                .map(|f| named_field_expr(f, "pairs"))
+                .collect();
+            format!(
+                "let pairs = match v {{\n\
+                 ::serde::Value::Object(pairs) => pairs,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected object for {name}, got {{v:?}}\"))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                field_exprs.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])"))
+                .map(|e| format!("{e}?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected array for {name}, got {{v:?}}\")))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0})", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                                 if items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple arity for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let field_exprs: Vec<String> = fields
+                                .iter()
+                                .map(|f| named_field_expr(f, "pairs"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let pairs = inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                field_exprs.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected enum {name}, got {{v:?}}\"))),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                tagged = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// json! (re-exported by the vendored serde_json)
+// ---------------------------------------------------------------------------
+
+fn json_value_expr(tokens: &[TokenTree]) -> String {
+    if tokens.len() == 1 {
+        match &tokens[0] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let entries: Vec<String> = split_top_level_commas(&inner)
+                    .into_iter()
+                    .filter(|e| !e.is_empty())
+                    .map(|entry| {
+                        let key = match &entry[0] {
+                            TokenTree::Literal(lit) => lit.to_string(),
+                            other => panic!("json!: expected string literal key, got `{other}`"),
+                        };
+                        match entry.get(1) {
+                            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                            other => panic!("json!: expected `:` after key {key}, got {other:?}"),
+                        }
+                        let value = json_value_expr(&entry[2..]);
+                        format!("(::std::string::String::from({key}), {value})")
+                    })
+                    .collect();
+                return format!("::serde::Value::Object(vec![{}])", entries.join(", "));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let items: Vec<String> = split_top_level_commas(&inner)
+                    .into_iter()
+                    .filter(|e| !e.is_empty())
+                    .map(|item| json_value_expr(&item))
+                    .collect();
+                return format!("::serde::Value::Array(vec![{}])", items.join(", "));
+            }
+            TokenTree::Ident(id) if id.to_string() == "null" => {
+                return "::serde::Value::Null".to_string();
+            }
+            _ => {}
+        }
+    }
+    // Any other token run is a plain Rust expression.
+    let expr = TokenStream::from_iter(tokens.iter().cloned()).to_string();
+    format!("::serde::Serialize::to_value(&({expr}))")
+}
+
+/// Builds a `::serde::Value` from JSON-ish syntax; values may be
+/// arbitrary Rust expressions (serialized via the shim's `Serialize`).
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    json_value_expr(&tokens)
+        .parse()
+        .expect("json!: generated expression parses")
+}
