@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run -p murakkab-bench --bin figure3 [seed]`.
 
-use murakkab_bench::{run_table2_configs, SEED};
+use murakkab_bench::{run_table2_configs, write_bench_json, SEED};
 
 fn main() {
     let seed = std::env::args()
@@ -43,8 +43,7 @@ fn main() {
                 .fold(0.0, f64::max)
     );
 
-    let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
-    std::fs::write("figure3.json", json).ok();
+    let path = write_bench_json("figure3", &reports).expect("results file writes");
     for report in &reports {
         let name = format!(
             "figure3-{}.trace.json",
@@ -53,6 +52,8 @@ fn main() {
         std::fs::write(&name, report.trace.to_chrome_trace()).ok();
     }
     println!(
-        "(wrote figure3.json and per-config *.trace.json files — open the          latter in chrome://tracing or Perfetto)"
+        "(wrote {} and per-config *.trace.json files — open the latter in \
+         chrome://tracing or Perfetto)",
+        path.display()
     );
 }

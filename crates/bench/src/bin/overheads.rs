@@ -15,7 +15,24 @@ use std::time::Instant;
 use murakkab::runtime::{RunOptions, Runtime, SttChoice};
 use murakkab_agents::library::stock_library;
 use murakkab_agents::Profiler;
-use murakkab_bench::SEED;
+use murakkab_bench::{write_bench_json, SEED};
+use serde::Serialize;
+
+/// The overheads results file (profiling_ms is wall-clock and varies
+/// run-to-run; the simulated quantities are seed-deterministic).
+#[derive(Serialize)]
+struct OverheadResults {
+    seed: u64,
+    profiling_ms: f64,
+    profiles: usize,
+    agents: usize,
+    orchestration_s: f64,
+    orchestration_fraction: f64,
+    aware_energy_wh: f64,
+    blind_energy_wh: f64,
+    aware_makespan_s: f64,
+    blind_makespan_s: f64,
+}
 
 fn main() {
     let seed = std::env::args()
@@ -77,4 +94,22 @@ fn main() {
         "    makespans: aware {:.1}s, blind {:.1}s (release is off the critical path)",
         aware.makespan_s, blind.makespan_s
     );
+
+    let path = write_bench_json(
+        "overheads",
+        &OverheadResults {
+            seed,
+            profiling_ms,
+            profiles: store.all().len(),
+            agents: lib.len(),
+            orchestration_s: report.orchestration_s,
+            orchestration_fraction: report.orchestration_fraction(),
+            aware_energy_wh: aware.energy_allocated_wh,
+            blind_energy_wh: blind.energy_allocated_wh,
+            aware_makespan_s: aware.makespan_s,
+            blind_makespan_s: blind.makespan_s,
+        },
+    )
+    .expect("results file writes");
+    println!("\n(wrote {})", path.display());
 }

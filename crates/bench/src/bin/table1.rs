@@ -8,9 +8,27 @@
 use murakkab::ablation;
 use murakkab_agents::library::stock_library;
 use murakkab_agents::Profiler;
-use murakkab_bench::SEED;
+use murakkab_bench::{write_bench_json, SEED};
 use murakkab_orchestrator::{ConfigSearch, DemandModel, SearchMode};
 use murakkab_workflow::{Constraint, ConstraintSet};
+use serde::Serialize;
+
+/// One config-search ablation row of the emitted results file.
+#[derive(Serialize)]
+struct SearchRow {
+    objective: String,
+    greedy_configs: usize,
+    exhaustive_configs: usize,
+    greedy_over_exhaustive: f64,
+}
+
+/// The table1 results file: lever rows plus the search ablation.
+#[derive(Serialize)]
+struct Table1Results {
+    seed: u64,
+    levers: Vec<ablation::LeverRow>,
+    search: Vec<SearchRow>,
+}
 
 fn main() {
     let seed = std::env::args()
@@ -63,6 +81,7 @@ fn main() {
     let lib = stock_library();
     let store = Profiler::default().profile_library(&lib);
     let demand = DemandModel::video_understanding();
+    let mut search_rows = Vec::new();
     for objective in [
         Constraint::MinCost,
         Constraint::MinPower,
@@ -81,7 +100,24 @@ fn main() {
             e_n as f64 / g_n as f64,
             greedy_ratio(objective, g_est, e_est),
         );
+        search_rows.push(SearchRow {
+            objective: format!("{objective:?}"),
+            greedy_configs: g_n,
+            exhaustive_configs: e_n,
+            greedy_over_exhaustive: greedy_ratio(objective, g_est, e_est),
+        });
     }
+
+    let path = write_bench_json(
+        "table1",
+        &Table1Results {
+            seed,
+            levers: rows,
+            search: search_rows,
+        },
+    )
+    .expect("results file writes");
+    println!("\n(wrote {})", path.display());
 }
 
 fn greedy_ratio(

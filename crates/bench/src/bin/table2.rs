@@ -4,7 +4,7 @@
 //! Run with `cargo run -p murakkab-bench --bin table2 [seed]`.
 
 use murakkab::report::render_table2;
-use murakkab_bench::{headline_claims, run_table2_configs, PAPER_TABLE2, SEED};
+use murakkab_bench::{headline_claims, run_table2_configs, write_bench_json, PAPER_TABLE2, SEED};
 
 fn main() {
     let seed = std::env::args()
@@ -26,7 +26,6 @@ fn main() {
     println!("  speedup vs baseline:            {speedup:.2}x   (paper: ~3.4x)");
     println!("  energy efficiency vs baseline:  {eff:.2}x   (paper: ~4.5x)");
 
-    let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
-    std::fs::write("table2.json", json).ok();
-    println!("\n(wrote table2.json)");
+    let path = write_bench_json("table2", &reports).expect("results file writes");
+    println!("\n(wrote {})", path.display());
 }

@@ -1,13 +1,18 @@
 //! Shared harness for the benchmark binaries and criterion benches.
 //!
 //! One function per evaluation artifact: each returns the full set of
-//! [`RunReport`]s the corresponding table/figure is built from, so the
-//! `figure3`/`table2`/`table1`/`overheads` binaries and the criterion
-//! benches measure exactly the same runs.
+//! reports the corresponding table/figure is built from, so the
+//! `figure3`/`table2`/`table1`/`overheads`/`fleet` binaries and the
+//! criterion benches measure exactly the same runs. Every binary also
+//! writes its results to `BENCH_<name>.json` via [`write_bench_json`].
 
+use std::path::PathBuf;
+
+use murakkab::fleet::FleetOptions;
 use murakkab::runtime::{RunOptions, Runtime, SttChoice};
-use murakkab::RunReport;
+use murakkab::{FleetReport, RunReport};
 use murakkab_sim::SimError;
+use murakkab_traffic::ArrivalProcess;
 
 /// The default experiment seed (any seed reproduces the paper's shape;
 /// this one is used for the committed EXPERIMENTS.md numbers).
@@ -49,6 +54,160 @@ pub fn headline_claims(reports: &[RunReport]) -> (f64, f64) {
         chosen.speedup_vs(baseline),
         chosen.energy_efficiency_vs(baseline),
     )
+}
+
+/// The fleet sweep's base offered load (requests per second) and the
+/// multipliers swept over it — chosen so the low point is comfortably
+/// underloaded and the high point clearly overloads the paper testbed.
+pub const FLEET_BASE_RATE: f64 = 0.15;
+
+/// Offered-load multipliers of the fleet sweep.
+pub const FLEET_LOAD_FACTORS: [f64; 3] = [0.5, 1.0, 3.0];
+
+/// Arrival horizon of each fleet sweep point, seconds.
+pub const FLEET_HORIZON_S: f64 = 600.0;
+
+/// The arrival processes the fleet bench sweeps: smooth Poisson and a
+/// bursty MMPP with the same long-run rate.
+pub fn fleet_processes(rate_per_s: f64) -> Vec<(&'static str, ArrivalProcess)> {
+    vec![
+        ("poisson", ArrivalProcess::Poisson { rate_per_s }),
+        (
+            "bursty",
+            ArrivalProcess::Mmpp {
+                // Same mean rate, concentrated in ON bursts: 1/4 duty
+                // cycle at 4x the rate.
+                on_rate_per_s: rate_per_s * 4.0,
+                off_rate_per_s: 0.0,
+                mean_on_s: 30.0,
+                mean_off_s: 90.0,
+            },
+        ),
+    ]
+}
+
+/// Runs the full fleet sweep: every arrival process × every offered-load
+/// factor, admission control on.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_fleet_sweep(seed: u64) -> Result<Vec<FleetReport>, SimError> {
+    let rt = Runtime::paper_testbed(seed);
+    let mut reports = Vec::new();
+    for factor in FLEET_LOAD_FACTORS {
+        let rate = FLEET_BASE_RATE * factor;
+        for (name, process) in fleet_processes(rate) {
+            let label = format!("{name} x{factor}");
+            reports.push(rt.serve(FleetOptions::open_loop(&label, process, FLEET_HORIZON_S))?);
+        }
+    }
+    Ok(reports)
+}
+
+/// Writes a machine-readable results file `BENCH_<name>.json` next to the
+/// human-readable table every bench binary prints, so the perf trajectory
+/// accumulates across runs.
+///
+/// # Errors
+///
+/// Propagates serialization and IO failures.
+pub fn write_bench_json(
+    name: &str,
+    value: &impl serde::Serialize,
+) -> Result<PathBuf, std::io::Error> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// The fleet bench driver: prints the sweep, runs the admission-control
+/// ablation at the overload point and writes `BENCH_fleet.json`. Shared
+/// by the `murakkab_bench` and root `fleet` binaries.
+///
+/// # Panics
+///
+/// Panics if a sweep run or the results file fails — bench binaries want
+/// loud failures.
+pub fn fleet_main(seed: u64) {
+    use murakkab_traffic::AdmissionConfig;
+
+    println!(
+        "Fleet serving sweep (seed {seed}): {} load points x {} arrival processes, {}s horizon\n",
+        FLEET_LOAD_FACTORS.len(),
+        fleet_processes(FLEET_BASE_RATE).len(),
+        FLEET_HORIZON_S
+    );
+
+    let reports = run_fleet_sweep(seed).expect("fleet sweep runs");
+    for report in &reports {
+        println!(
+            "== {} ({:.3} req/s offered, admission {}) ==",
+            report.label,
+            report.offered_rate_per_s,
+            if report.admission_enabled {
+                "on"
+            } else {
+                "off"
+            }
+        );
+        println!("{}", report.summary_line());
+        println!("{}", report.class_table());
+        println!(
+            "  rejected: {} rate / {} deadline / {} queue-full | util GPU {:.1}% CPU {:.1}% | \
+             autoscale {}↑ {}↓ | rebalancer hints {}\n",
+            report.rejected_rate,
+            report.rejected_deadline,
+            report.rejected_queue_full,
+            report.gpu_util_avg_pct,
+            report.cpu_util_avg_pct,
+            report.pool_scale_ups,
+            report.pool_scale_downs,
+            report.rebalance_actions,
+        );
+    }
+
+    // Admission-control ablation at the overload point (the sweep's last
+    // load factor; labels derive from the same constants the sweep uses).
+    let rt = Runtime::paper_testbed(seed);
+    let top_factor = FLEET_LOAD_FACTORS[FLEET_LOAD_FACTORS.len() - 1];
+    let overload = FLEET_BASE_RATE * top_factor;
+    let (gated_name, process) = fleet_processes(overload).remove(0);
+    let open = rt
+        .serve(
+            FleetOptions::open_loop(
+                &format!("no-admission x{top_factor}"),
+                process,
+                FLEET_HORIZON_S,
+            )
+            .admission(AdmissionConfig::disabled()),
+        )
+        .expect("no-admission run");
+    let gated_label = format!("{gated_name} x{top_factor}");
+    let gated = reports
+        .iter()
+        .find(|r| r.label == gated_label)
+        .expect("overload point exists");
+    println!("Admission-control ablation at {overload:.3} req/s (poisson):");
+    println!(
+        "  with admission:    SLO attainment {:>5.1}%  ({} admitted, {} rejected)",
+        100.0 * gated.slo_attainment,
+        gated.admitted,
+        gated.rejections()
+    );
+    println!(
+        "  without admission: SLO attainment {:>5.1}%  ({} admitted, p95 worst-class {:.0}s)",
+        100.0 * open.slo_attainment,
+        open.admitted,
+        open.classes.iter().map(|c| c.p95_s).fold(0.0_f64, f64::max),
+    );
+
+    let mut all = reports;
+    all.push(open);
+    let path = write_bench_json("fleet", &all).expect("results file writes");
+    println!("\n(wrote {})", path.display());
 }
 
 #[cfg(test)]

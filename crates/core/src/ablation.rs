@@ -8,6 +8,7 @@
 use murakkab_hardware::catalog;
 use murakkab_sim::SimError;
 use murakkab_workflow::{Constraint, Job};
+use serde::Serialize;
 
 use crate::report::RunReport;
 use crate::runtime::{RunOptions, Runtime, SttChoice};
@@ -15,7 +16,7 @@ use crate::workloads;
 
 /// One Table 1 row: the lever, the two configurations compared, and the
 /// measured reports.
-#[derive(Debug)]
+#[derive(Debug, Serialize)]
 pub struct LeverRow {
     /// Lever name as printed in Table 1.
     pub lever: &'static str,

@@ -134,6 +134,11 @@ pub struct EngineOutcome {
     pub cost_usd: f64,
     /// Tasks completed.
     pub tasks_completed: usize,
+    /// Tool pools (re-)provisioned after an idle release (open-loop
+    /// autoscale-up events).
+    pub pool_scale_ups: u64,
+    /// Tool pools released on idleness (autoscale-down events).
+    pub pool_scale_downs: u64,
 }
 
 impl EngineOutcome {
@@ -177,6 +182,9 @@ struct Worker {
 struct Pool {
     caps: Vec<Capability>,
     workers: Vec<Worker>,
+    /// The originally requested worker targets — what a re-provision
+    /// after an idle release tries to get back (open-loop serving).
+    spec_workers: Vec<HardwareTarget>,
     queue: VecDeque<TaskId>,
     released: bool,
 }
@@ -206,6 +214,16 @@ pub struct Engine {
     queue: EventQueue<EngineEvent>,
     completed: BTreeSet<TaskId>,
     scheduled: BTreeSet<TaskId>,
+    /// Remaining-predecessor counts; a task drops to zero exactly when it
+    /// becomes schedulable (incremental ready tracking: dispatch is
+    /// O(newly ready), not O(graph) — the fleet mode's graphs grow to
+    /// thousands of tasks).
+    indegree: BTreeMap<TaskId, usize>,
+    /// Tasks whose last predecessor completed, awaiting dispatch.
+    ready_pending: BTreeSet<TaskId>,
+    /// Not-yet-completed task counts per capability (incrementally
+    /// maintained DAG lookahead for pool release and the rebalancer).
+    upcoming: BTreeMap<Capability, usize>,
     started_at: BTreeMap<TaskId, SimTime>,
     alloc_meta: BTreeMap<AllocationId, (SimTime, HardwareTarget)>,
     library_snapshot: BTreeMap<String, murakkab_agents::AgentSpec>,
@@ -213,6 +231,9 @@ pub struct Engine {
     energy_ledger: f64,
     cost_ledger: f64,
     orchestrated: bool,
+    orch_end: SimTime,
+    pool_scale_ups: u64,
+    pool_scale_downs: u64,
 }
 
 /// On-demand dollar rate of a hardware target under a given GPU SKU
@@ -284,6 +305,7 @@ impl Engine {
                     let pool = pools.entry(agent.clone()).or_insert_with(|| Pool {
                         caps: Vec::new(),
                         workers: Vec::new(),
+                        spec_workers: workers.clone(),
                         queue: VecDeque::new(),
                         released: false,
                     });
@@ -358,6 +380,18 @@ impl Engine {
             }
         }
 
+        let mut indegree = BTreeMap::new();
+        let mut ready_pending = BTreeSet::new();
+        let mut upcoming: BTreeMap<Capability, usize> = BTreeMap::new();
+        for node in graph.tasks() {
+            let preds = graph.predecessors(node.id).count();
+            indegree.insert(node.id, preds);
+            if preds == 0 {
+                ready_pending.insert(node.id);
+            }
+            *upcoming.entry(node.capability).or_insert(0) += 1;
+        }
+
         Ok(Engine {
             cluster,
             graph,
@@ -369,6 +403,9 @@ impl Engine {
             queue: EventQueue::new(),
             completed: BTreeSet::new(),
             scheduled: BTreeSet::new(),
+            indegree,
+            ready_pending,
+            upcoming,
             started_at: BTreeMap::new(),
             alloc_meta,
             library_snapshot,
@@ -376,6 +413,9 @@ impl Engine {
             energy_ledger: 0.0,
             cost_ledger: 0.0,
             orchestrated: false,
+            orch_end: start,
+            pool_scale_ups: 0,
+            pool_scale_downs: 0,
         })
     }
 
@@ -386,15 +426,28 @@ impl Engine {
     /// Returns [`SimError::InvalidState`] if the run deadlocks (graph
     /// incomplete with no pending events) — a routing/scheduling bug.
     pub fn run(mut self, start: SimTime) -> Result<EngineOutcome, SimError> {
-        let mut now = start;
-        let mut orch_end = start;
+        self.start(start)?;
+        while self.step()?.is_some() {}
+        self.finish(start)
+    }
+
+    /// Arms the engine at `start`: schedules injected preemptions, charges
+    /// orchestration (DAG creation) before any task dispatches, and
+    /// dispatches whatever is already ready. Drive the armed engine with
+    /// [`Engine::step`] (or let [`Engine::run`] do it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates endpoint/cluster errors.
+    pub fn start(&mut self, start: SimTime) -> Result<(), SimError> {
+        let now = start;
+        self.orch_end = start;
 
         for &(at, node_idx) in &self.options.preemptions.clone() {
             self.queue
                 .schedule(at.max(start), EngineEvent::Preempt { node_idx });
         }
 
-        // Charge orchestration (DAG creation) before any task dispatches.
         if let Some((cost, agent)) = self.options.orchestration.clone() {
             let h = self
                 .endpoints
@@ -421,93 +474,111 @@ impl Engine {
             self.orchestrated = true;
             self.dispatch(now)?;
         }
+        Ok(())
+    }
 
-        while let Some(ev) = self.queue.pop() {
-            now = ev.at;
-            match ev.payload {
-                EngineEvent::ToolDone {
-                    task,
-                    cap,
-                    worker,
-                    gpu_util,
-                } => {
-                    let route_agent = self.routes[&cap].agent().to_string();
-                    let (alloc, lost) = {
-                        let pool = self.pools.get_mut(&route_agent).expect("pool exists");
-                        let w = &mut pool.workers[worker];
-                        w.busy = false;
-                        (w.alloc, w.dead)
-                    };
-                    if lost {
-                        // The worker died mid-task: the work is lost and
-                        // the task goes back to the queue (activity was
-                        // zeroed when the node went down).
-                        let pool = self.pools.get_mut(&route_agent).expect("pool exists");
-                        pool.queue.push_front(task);
-                    } else {
-                        self.cluster.activity_end(now, alloc, gpu_util)?;
-                        self.finish_task(task, now)?;
-                    }
-                    self.dispatch(now)?;
-                }
-                EngineEvent::LlmStep { agent, generation } => {
-                    {
-                        let h = self.endpoints.get(&agent).expect("endpoint exists");
-                        if h.generation != generation {
-                            // Armed for an incarnation that died in a
-                            // preemption; the replacement has its own
-                            // step schedule.
-                            continue;
-                        }
-                    }
-                    let outcome = {
-                        let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
-                        h.endpoint.on_step(now)
-                    };
-                    for c in &outcome.completions {
-                        let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
-                        if h.orchestration_req == Some(c.id) {
-                            h.orchestration_req = None;
-                            self.trace.record(
-                                "Orchestrator",
-                                "dag-creation",
-                                c.submitted,
-                                c.finished,
-                            );
-                            orch_end = c.finished;
-                            self.orchestrated = true;
-                            continue;
-                        }
-                        let task = h
-                            .pending
-                            .remove(&c.id)
-                            .expect("completion matches a pending task");
-                        self.started_at.insert(task, c.started);
-                        self.finish_task(task, now)?;
-                    }
-                    if let Some(t) = outcome.next_step {
-                        self.queue.schedule(
-                            t,
-                            EngineEvent::LlmStep {
-                                agent: agent.clone(),
-                                generation,
-                            },
-                        );
-                    }
-                    self.sync_endpoint_activity(now, &agent)?;
-                    self.dispatch(now)?;
-                }
-                EngineEvent::ExternalDone { task } => {
+    /// Processes the next pending event and returns its instant, or `None`
+    /// when the queue is empty. The open-loop fleet driver interleaves
+    /// these steps with request admissions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates endpoint/cluster errors.
+    pub fn step(&mut self) -> Result<Option<SimTime>, SimError> {
+        let Some(ev) = self.queue.pop() else {
+            return Ok(None);
+        };
+        let now = ev.at;
+        match ev.payload {
+            EngineEvent::ToolDone {
+                task,
+                cap,
+                worker,
+                gpu_util,
+            } => {
+                let route_agent = self.routes[&cap].agent().to_string();
+                let (alloc, lost) = {
+                    let pool = self.pools.get_mut(&route_agent).expect("pool exists");
+                    let w = &mut pool.workers[worker];
+                    w.busy = false;
+                    (w.alloc, w.dead)
+                };
+                if lost {
+                    // The worker died mid-task: the work is lost and
+                    // the task goes back to the queue (activity was
+                    // zeroed when the node went down).
+                    let pool = self.pools.get_mut(&route_agent).expect("pool exists");
+                    pool.queue.push_front(task);
+                } else {
+                    self.cluster.activity_end(now, alloc, gpu_util)?;
                     self.finish_task(task, now)?;
-                    self.dispatch(now)?;
                 }
-                EngineEvent::Preempt { node_idx } => {
-                    self.handle_preemption(now, node_idx)?;
-                    self.dispatch(now)?;
+                self.dispatch(now)?;
+            }
+            EngineEvent::LlmStep { agent, generation } => {
+                {
+                    let h = self.endpoints.get(&agent).expect("endpoint exists");
+                    if h.generation != generation {
+                        // Armed for an incarnation that died in a
+                        // preemption; the replacement has its own
+                        // step schedule.
+                        return Ok(Some(now));
+                    }
                 }
+                let outcome = {
+                    let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
+                    h.endpoint.on_step(now)
+                };
+                for c in &outcome.completions {
+                    let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
+                    if h.orchestration_req == Some(c.id) {
+                        h.orchestration_req = None;
+                        self.trace
+                            .record("Orchestrator", "dag-creation", c.submitted, c.finished);
+                        self.orch_end = c.finished;
+                        self.orchestrated = true;
+                        continue;
+                    }
+                    let task = h
+                        .pending
+                        .remove(&c.id)
+                        .expect("completion matches a pending task");
+                    self.started_at.insert(task, c.started);
+                    self.finish_task(task, now)?;
+                }
+                if let Some(t) = outcome.next_step {
+                    self.queue.schedule(
+                        t,
+                        EngineEvent::LlmStep {
+                            agent: agent.clone(),
+                            generation,
+                        },
+                    );
+                }
+                self.sync_endpoint_activity(now, &agent)?;
+                self.dispatch(now)?;
+            }
+            EngineEvent::ExternalDone { task } => {
+                self.finish_task(task, now)?;
+                self.dispatch(now)?;
+            }
+            EngineEvent::Preempt { node_idx } => {
+                self.handle_preemption(now, node_idx)?;
+                self.dispatch(now)?;
             }
         }
+        Ok(Some(now))
+    }
 
+    /// Settles all ledgers after the queue has drained and hands back the
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidState`] if the run deadlocked (graph
+    /// incomplete with no pending events) — a routing/scheduling bug.
+    pub fn finish(mut self, start: SimTime) -> Result<EngineOutcome, SimError> {
+        let orch_end = self.orch_end;
         if self.completed.len() != self.graph.len() {
             let stuck: Vec<String> = self
                 .graph
@@ -544,16 +615,188 @@ impl Engine {
             energy_allocated_wh: self.energy_ledger,
             cost_usd: self.cost_ledger,
             tasks_completed: self.completed.len(),
+            pool_scale_ups: self.pool_scale_ups,
+            pool_scale_downs: self.pool_scale_downs,
         })
     }
 
-    /// Marks a task complete and records its span.
+    /// The due time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Tasks completed so far (the fleet driver matches these against
+    /// per-job id sets to detect workflow completions).
+    pub fn completed_tasks(&self) -> &BTreeSet<TaskId> {
+        &self.completed
+    }
+
+    /// Total tasks in the (possibly growing) graph.
+    pub fn task_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Not-yet-completed task counts per capability (the DAG lookahead the
+    /// rebalancer consumes; maintained incrementally).
+    pub fn upcoming_by_capability(&self) -> BTreeMap<Capability, usize> {
+        self.upcoming.clone()
+    }
+
+    /// Live cluster stats at `now`.
+    pub fn cluster_stats(&self, now: SimTime) -> murakkab_cluster::ResourceStats {
+        self.cluster.stats(now)
+    }
+
+    /// Per-endpoint `(agent, gpus, queued + running requests)` snapshots.
+    pub fn endpoint_loads(&self) -> Vec<(String, u32, usize)> {
+        self.endpoints
+            .iter()
+            .map(|(agent, h)| (agent.clone(), h.endpoint.gpu_count(), h.endpoint.load()))
+            .collect()
+    }
+
+    /// Per-pool `(agent, capability, GPU units held, queued + running
+    /// tasks)` snapshots of live (non-released) pools, one entry per
+    /// capability the pool serves — so advisory policies see tool agents
+    /// as resident, not just LLM endpoints.
+    pub fn pool_views(&self) -> Vec<(String, Capability, f64, usize)> {
+        let mut out = Vec::new();
+        for (agent, pool) in &self.pools {
+            if pool.released {
+                continue;
+            }
+            let gpus: f64 = pool
+                .workers
+                .iter()
+                .filter(|w| !w.dead)
+                .map(|w| w.target.gpu_units())
+                .sum();
+            let load = pool.queue.len() + pool.workers.iter().filter(|w| w.busy && !w.dead).count();
+            for &cap in &pool.caps {
+                out.push((agent.clone(), cap, gpus, load));
+            }
+        }
+        out
+    }
+
+    /// Admits a workflow's task graph mid-run (open-loop serving): merges
+    /// it under `prefix`, re-provisions any tool pools that were released
+    /// while idle and are needed again, and dispatches newly ready tasks
+    /// at `now`. Returns the old-id → new-id mapping so the caller can
+    /// track the job's completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] if a capability in `sub` has no
+    /// route, and [`SimError::ResourceExhausted`] if a required released
+    /// pool cannot get any worker back.
+    pub fn admit_graph(
+        &mut self,
+        now: SimTime,
+        sub: &TaskGraph,
+        prefix: &str,
+    ) -> Result<BTreeMap<TaskId, TaskId>, SimError> {
+        let mut caps_needed: BTreeSet<Capability> = BTreeSet::new();
+        for node in sub.tasks() {
+            if !self.routes.contains_key(&node.capability) {
+                return Err(SimError::InvalidInput(format!(
+                    "no route for capability {:?} (task {})",
+                    node.capability, node.name
+                )));
+            }
+            caps_needed.insert(node.capability);
+        }
+
+        // Autoscale-up: bring back released pools the new job needs.
+        let agents: Vec<String> = self.pools.keys().cloned().collect();
+        for agent in agents {
+            let (needed, targets) = {
+                let pool = &self.pools[&agent];
+                (
+                    pool.released && pool.caps.iter().any(|c| caps_needed.contains(c)),
+                    pool.spec_workers.clone(),
+                )
+            };
+            if !needed {
+                continue;
+            }
+            let mut fresh = Vec::new();
+            for target in &targets {
+                match self.cluster.allocate(now, agent.clone(), *target) {
+                    Ok(alloc) => {
+                        self.alloc_meta.insert(alloc, (now, *target));
+                        fresh.push(Worker {
+                            alloc,
+                            target: *target,
+                            busy: false,
+                            dead: false,
+                        });
+                    }
+                    Err(e) => {
+                        if fresh.is_empty() {
+                            return Err(e);
+                        }
+                        break; // Partial pool: serve with what fits.
+                    }
+                }
+            }
+            // Reuse idle dead slots (an idle dead worker can have no
+            // in-flight ToolDone carrying its index) so the worker list
+            // does not grow with every scale cycle of a long-running
+            // serve engine.
+            let pool = self.pools.get_mut(&agent).expect("pool exists");
+            let mut fresh = fresh.into_iter();
+            for w in pool.workers.iter_mut() {
+                if w.dead && !w.busy {
+                    match fresh.next() {
+                        Some(nw) => *w = nw,
+                        None => break,
+                    }
+                }
+            }
+            pool.workers.extend(fresh);
+            pool.released = false;
+            self.pool_scale_ups += 1;
+        }
+
+        let map = self.graph.absorb_prefixed(sub, prefix);
+        for &new_id in map.values() {
+            let preds = self.graph.predecessors(new_id).count();
+            self.indegree.insert(new_id, preds);
+            if preds == 0 {
+                self.ready_pending.insert(new_id);
+            }
+            let cap = self.graph.task(new_id)?.capability;
+            *self.upcoming.entry(cap).or_insert(0) += 1;
+        }
+        self.dispatch(now)?;
+        Ok(map)
+    }
+
+    /// Marks a task complete, records its span and advances the
+    /// incremental ready/lookahead state.
     fn finish_task(&mut self, task: TaskId, now: SimTime) -> Result<(), SimError> {
         let node = self.graph.task(task)?;
+        let capability = node.capability;
         let started = self.started_at.get(&task).copied().unwrap_or(now);
         self.trace
-            .record(node.capability.lane_name(), node.name.clone(), started, now);
-        self.completed.insert(task);
+            .record(capability.lane_name(), node.name.clone(), started, now);
+        if self.completed.insert(task) {
+            if let Some(n) = self.upcoming.get_mut(&capability) {
+                *n -= 1;
+                if *n == 0 {
+                    self.upcoming.remove(&capability);
+                }
+            }
+            let succs: Vec<TaskId> = self.graph.successors(task).collect();
+            for s in succs {
+                let d = self.indegree.get_mut(&s).expect("successor indexed");
+                *d -= 1;
+                if *d == 0 {
+                    self.ready_pending.insert(s);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -562,9 +805,7 @@ impl Engine {
         if !self.orchestrated {
             return Ok(());
         }
-        let ready: Vec<TaskId> = self
-            .graph
-            .ready(&self.completed)
+        let ready: Vec<TaskId> = std::mem::take(&mut self.ready_pending)
             .into_iter()
             .filter(|t| !self.scheduled.contains(t))
             .collect();
@@ -684,7 +925,7 @@ impl Engine {
 
     /// Releases pools whose capabilities have no remaining work.
     fn release_idle_pools(&mut self, now: SimTime) -> Result<(), SimError> {
-        let upcoming = self.graph.upcoming_by_capability(&self.completed);
+        let upcoming = self.upcoming.clone();
         let agents: Vec<String> = self.pools.keys().cloned().collect();
         for agent in agents {
             let (done, workers): (bool, Vec<AllocationId>) = {
@@ -707,7 +948,15 @@ impl Engine {
                 for alloc in workers {
                     self.settle_allocation(alloc, now)?;
                 }
-                self.pools.get_mut(&agent).expect("pool exists").released = true;
+                let pool = self.pools.get_mut(&agent).expect("pool exists");
+                pool.released = true;
+                // The settled workers' allocations are gone; mark them dead
+                // so a later re-provision (open-loop admission) never pumps
+                // work onto a stale allocation.
+                for w in pool.workers.iter_mut() {
+                    w.dead = true;
+                }
+                self.pool_scale_downs += 1;
             }
         }
         Ok(())

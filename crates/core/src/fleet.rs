@@ -1,0 +1,755 @@
+//! Open-loop fleet serving: [`Runtime::serve`].
+//!
+//! The closed-loop entry points ([`Runtime::run_job`],
+//! [`Runtime::run_concurrent`]) run a fixed set of workflows to
+//! completion and report a makespan. A production fleet lives in the
+//! open-loop regime instead: requests arrive on their own clock (the
+//! `murakkab_traffic` generators), an admission controller decides what
+//! gets in, admitted workflows are injected into one long-running engine
+//! mid-flight, and the figure of merit is latency percentiles and SLO
+//! attainment under offered load — not makespan.
+//!
+//! The serve loop interleaves two deterministic event sources: the
+//! engine's own event queue and the arrival stream. Tool pools autoscale
+//! (the engine releases them when the DAG lookahead shows no demand and
+//! re-provisions them on admission), long-lived LLM endpoints multiplex
+//! every tenant's token work, and the advisory [`Rebalancer`] is polled
+//! on a fixed cadence against live backlog telemetry.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_agents::{calib, Capability};
+use murakkab_cluster::{EndpointView, Rebalancer};
+use murakkab_hardware::{DeviceKind, HardwareTarget};
+use murakkab_orchestrator::{expand, JobInputs, MediaInfo, Planner, SceneInfo};
+use murakkab_sim::{SimDuration, SimError, SimRng, SimTime};
+use murakkab_traffic::{
+    AdmissionConfig, AdmissionController, Archetype, ArrivalProcess, JobMix, RequestSpec, SloClass,
+    TenantProfile, TrafficSpec,
+};
+use murakkab_workflow::{Job, TaskGraph};
+
+use crate::engine::{Engine, EngineOptions, RouteSpec};
+use crate::runtime::{RoutePlan, RunOptions, Runtime};
+use crate::workloads;
+
+/// Options for one open-loop serving run.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Report label.
+    pub label: String,
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// Arrival horizon in seconds (the run drains after the last
+    /// arrival; rates are normalized over this window).
+    pub horizon_s: f64,
+    /// Admission-control configuration.
+    pub admission: AdmissionConfig,
+    /// Workflows executing concurrently before admitted requests queue.
+    pub max_inflight: usize,
+    /// Per-stage worker fan-out inside each workflow.
+    pub parallelism: u32,
+    /// The tenant set (weights, mixes, SLO classes).
+    pub tenants: Vec<TenantProfile>,
+    /// Advisory rebalancer polling cadence in simulated seconds.
+    pub rebalance_every_s: f64,
+}
+
+impl FleetOptions {
+    /// Sensible defaults around a given arrival process.
+    pub fn open_loop(label: &str, process: ArrivalProcess, horizon_s: f64) -> Self {
+        FleetOptions {
+            label: label.into(),
+            process,
+            horizon_s,
+            admission: AdmissionConfig::default(),
+            max_inflight: 6,
+            parallelism: 8,
+            tenants: default_tenants(),
+            rebalance_every_s: 30.0,
+        }
+    }
+
+    /// Replaces the admission config.
+    #[must_use]
+    pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = cfg;
+        self
+    }
+
+    /// Replaces the tenant set.
+    #[must_use]
+    pub fn tenants(mut self, tenants: Vec<TenantProfile>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+}
+
+/// The stock three-tenant fleet: an interactive feeds tenant, a standard
+/// analytics tenant, and a batch video tenant.
+pub fn default_tenants() -> Vec<TenantProfile> {
+    vec![
+        TenantProfile {
+            name: "feeds".into(),
+            mix: JobMix::new(vec![(Archetype::Newsfeed, 0.8), (Archetype::DocQa, 0.2)]),
+            class: SloClass::interactive(),
+            weight: 3.0,
+        },
+        TenantProfile {
+            name: "analytics".into(),
+            mix: JobMix::new(vec![
+                (Archetype::DocQa, 0.5),
+                (Archetype::ChainOfThought, 0.5),
+            ]),
+            class: SloClass::standard(),
+            weight: 2.0,
+        },
+        TenantProfile {
+            name: "studio".into(),
+            mix: JobMix::new(vec![
+                (Archetype::VideoUnderstanding, 0.7),
+                (Archetype::Newsfeed, 0.3),
+            ]),
+            class: SloClass::batch(),
+            weight: 1.0,
+        },
+    ]
+}
+
+/// The canonical (size-independent) job for an archetype — used to derive
+/// constraints and capability demand for the shared route selection.
+pub fn canonical_job(archetype: Archetype) -> Job {
+    match archetype {
+        Archetype::VideoUnderstanding => workloads::paper_video_job(),
+        Archetype::Newsfeed => workloads::newsfeed_job("fleet", 1).0,
+        Archetype::ChainOfThought => workloads::cot_job(1).0,
+        Archetype::DocQa => workloads::doc_qa_job(1).0,
+    }
+}
+
+/// A concrete fleet job instance: the archetype's job with seeded sizes
+/// (short clips, small feeds — request-scale work, not the paper's
+/// two-video evaluation batch).
+pub fn fleet_job(archetype: Archetype, tenant: &str, rng: &mut SimRng) -> (Job, JobInputs) {
+    match archetype {
+        Archetype::VideoUnderstanding => {
+            let scenes = rng.int_range(1, 2);
+            let scenes = (0..scenes)
+                .map(|_| {
+                    let audio = rng.normal(12.0, 2.0);
+                    SceneInfo {
+                        duration_s: audio,
+                        audio_s: audio,
+                        frames: calib::FRAMES_PER_SCENE,
+                    }
+                })
+                .collect();
+            (
+                workloads::paper_video_job(),
+                JobInputs::videos(vec![MediaInfo {
+                    file: "clip.mov".into(),
+                    scenes,
+                }]),
+            )
+        }
+        Archetype::Newsfeed => workloads::newsfeed_job(tenant, rng.int_range(4, 10) as u32),
+        Archetype::ChainOfThought => workloads::cot_job(rng.int_range(2, 4) as u32),
+        Archetype::DocQa => workloads::doc_qa_job(rng.int_range(4, 12) as u32),
+    }
+}
+
+/// Per-SLO-class serving statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetClassReport {
+    /// Class name.
+    pub class: String,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Latency deadline in seconds.
+    pub deadline_s: f64,
+    /// Requests that arrived under this class.
+    pub offered: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completions within the deadline.
+    pub slo_met: u64,
+    /// `slo_met / admitted` (1.0 when nothing was admitted).
+    pub attainment: f64,
+    /// Median end-to-end latency (arrival → completion), seconds.
+    pub p50_s: f64,
+    /// 95th-percentile latency.
+    pub p95_s: f64,
+    /// 99th-percentile latency.
+    pub p99_s: f64,
+    /// Mean latency.
+    pub mean_s: f64,
+    /// Worst latency.
+    pub max_s: f64,
+}
+
+/// Everything measured from one open-loop serving run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Run label.
+    pub label: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Arrival process tag ("poisson", "mmpp", ...).
+    pub arrival_process: String,
+    /// Long-run offered rate (requests per second).
+    pub offered_rate_per_s: f64,
+    /// Arrival horizon in seconds.
+    pub horizon_s: f64,
+    /// Whether admission gating was active.
+    pub admission_enabled: bool,
+    /// Requests that arrived.
+    pub offered: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Rejections by the token bucket.
+    pub rejected_rate: u64,
+    /// Rejections by the deadline-feasibility gate.
+    pub rejected_deadline: u64,
+    /// Rejections because the bounded queue was full.
+    pub rejected_queue_full: u64,
+    /// Workflows completed.
+    pub completed: u64,
+    /// Completions within their class deadline.
+    pub slo_met: u64,
+    /// `slo_met / admitted` (1.0 when nothing was admitted).
+    pub slo_attainment: f64,
+    /// Completed workflows per minute of horizon.
+    pub throughput_per_min: f64,
+    /// Deadline-meeting workflows per minute of horizon (goodput).
+    pub goodput_per_min: f64,
+    /// Per-class statistics, highest priority first.
+    pub classes: Vec<FleetClassReport>,
+    /// Tasks executed across all workflows.
+    pub tasks_completed: u64,
+    /// Instant the last workflow finished (drain included), seconds.
+    pub makespan_s: f64,
+    /// Mean cluster GPU utilization over the run, percent.
+    pub gpu_util_avg_pct: f64,
+    /// Mean cluster CPU utilization over the run, percent.
+    pub cpu_util_avg_pct: f64,
+    /// GPU energy of held allocations, Wh.
+    pub energy_allocated_wh: f64,
+    /// Dollar cost of held allocations plus external calls.
+    pub cost_usd: f64,
+    /// Tool-pool autoscale-up events (re-provision on admission).
+    pub pool_scale_ups: u64,
+    /// Tool-pool autoscale-down events (idle release).
+    pub pool_scale_downs: u64,
+    /// Advisory rebalancer actions recommended over the run.
+    pub rebalance_actions: u64,
+}
+
+impl FleetReport {
+    /// Total rejections across all admission gates.
+    pub fn rejections(&self) -> u64 {
+        self.rejected_rate + self.rejected_deadline + self.rejected_queue_full
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<26} {:>5} arrived  {:>5} admitted  {:>5} done  SLO {:>5.1}%  {:>6.2}/min good  p95 {:>7.1}s",
+            self.label,
+            self.offered,
+            self.admitted,
+            self.completed,
+            100.0 * self.slo_attainment,
+            self.goodput_per_min,
+            self.classes
+                .iter()
+                .map(|c| c.p95_s)
+                .fold(0.0_f64, f64::max),
+        )
+    }
+
+    /// Renders the per-class latency/SLO table.
+    pub fn class_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "  class        prio  deadline | offered admitted done  met |   p50     p95     p99  | attainment\n",
+        );
+        for c in &self.classes {
+            out.push_str(&format!(
+                "  {:<12} {:>4} {:>8.0}s | {:>7} {:>8} {:>4} {:>4} | {:>6.1}s {:>6.1}s {:>6.1}s | {:>8.1}%\n",
+                c.class,
+                c.priority,
+                c.deadline_s,
+                c.offered,
+                c.admitted,
+                c.completed,
+                c.slo_met,
+                c.p50_s,
+                c.p95_s,
+                c.p99_s,
+                100.0 * c.attainment,
+            ));
+        }
+        out
+    }
+}
+
+/// A planned (decomposed + expanded) request waiting to execute.
+struct PlannedRequest {
+    req: RequestSpec,
+    graph: TaskGraph,
+    est_service_s: f64,
+}
+
+/// A workflow currently executing in the engine.
+struct InflightJob {
+    planned_idx: usize,
+    task_ids: Vec<murakkab_workflow::TaskId>,
+}
+
+#[derive(Default)]
+struct ClassAgg {
+    priority: u8,
+    deadline_s: f64,
+    offered: u64,
+    admitted: u64,
+    completed: u64,
+    slo_met: u64,
+    latencies: Vec<f64>,
+}
+
+impl Runtime {
+    /// Serves an open-loop request stream: generates arrivals from
+    /// `opts.process`, gates them through the admission controller,
+    /// injects admitted workflows into one long-running engine mid-flight
+    /// and measures per-class latency percentiles and SLO attainment.
+    ///
+    /// Deterministic: the same runtime seed and options produce a
+    /// bit-identical [`FleetReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, placement and execution errors, and fails on
+    /// a stalled serve loop (a scheduling bug).
+    pub fn serve(&self, opts: FleetOptions) -> Result<FleetReport, SimError> {
+        let horizon = SimDuration::from_secs_f64(opts.horizon_s);
+        let fleet_rng = SimRng::new(self.seed()).fork("fleet");
+
+        // 1. The request stream, then a concrete sized job per request.
+        let spec = TrafficSpec {
+            process: opts.process.clone(),
+            tenants: opts.tenants.clone(),
+        };
+        let requests = spec.requests(&fleet_rng, horizon);
+
+        // 2. Shared route selection over every archetype the tenant set
+        //    can emit (fleet deployments are long-lived: capacity is laid
+        //    out for the mix, not per request).
+        let archetypes: Vec<Archetype> = Archetype::ALL
+            .into_iter()
+            .filter(|a| {
+                opts.tenants
+                    .iter()
+                    .any(|t| t.mix.weights().iter().any(|&(m, w)| m == *a && w > 0.0))
+            })
+            .collect();
+        if archetypes.is_empty() {
+            return Err(SimError::InvalidInput("fleet tenant set is empty".into()));
+        }
+        let mut cap_archetypes: BTreeMap<Capability, Vec<String>> = BTreeMap::new();
+        let mut constraints = murakkab_workflow::ConstraintSet::new();
+        for &arch in &archetypes {
+            let job = canonical_job(arch);
+            let (plan, _) = Planner.decompose(&job, self.library())?;
+            for c in job.constraints.all() {
+                constraints = constraints.and(*c);
+            }
+            for cap in plan.capabilities() {
+                cap_archetypes
+                    .entry(cap)
+                    .or_default()
+                    .push(plan.archetype.clone());
+            }
+        }
+        let cluster = self.build_cluster();
+        let mut stats = cluster.stats(SimTime::ZERO);
+        let run_opts = RunOptions::labeled(&opts.label)
+            .parallelism(opts.parallelism)
+            .pin_paper_agents(false);
+        let RoutePlan {
+            routes,
+            selections: _,
+            orchestrator_agent: _,
+        } = self.select_routes(&cap_archetypes, &constraints, &mut stats, &run_opts)?;
+
+        // 3. Plan every request up front (decomposition is input-size
+        //    independent, so this is equivalent to planning on arrival and
+        //    keeps the loop allocation-free).
+        let mut planned = Vec::with_capacity(requests.len());
+        for req in requests {
+            let mut job_rng = fleet_rng.fork(&format!("job-{}", req.id));
+            let (job, inputs) = fleet_job(req.archetype, &req.tenant, &mut job_rng);
+            let (plan, _) = Planner.decompose(&job, self.library())?;
+            let graph = expand(&plan, &inputs)?;
+            let est_service_s = estimate_service_s(&graph, &routes, self.library())?;
+            planned.push(PlannedRequest {
+                req,
+                graph,
+                est_service_s,
+            });
+        }
+
+        // 4. The long-running engine: empty graph, full route set. No
+        //    per-request orchestration charge (§3.3 puts it under 1% of
+        //    workflow time; the closed-loop entry points measure it).
+        let mut engine_opts = EngineOptions::for_gpu(
+            self.shape()
+                .gpu
+                .clone()
+                .unwrap_or_else(murakkab_hardware::catalog::a100_80g),
+        );
+        engine_opts.workflow_aware = true;
+        let mut engine = Engine::new(
+            cluster,
+            self.library(),
+            TaskGraph::new(),
+            routes.clone(),
+            engine_opts,
+            SimTime::ZERO,
+        )?;
+        engine.start(SimTime::ZERO)?;
+
+        // 5. The serve loop: two merged deterministic event sources.
+        let mut ctrl: AdmissionController<usize> = AdmissionController::new(opts.admission.clone());
+        let rebalancer = Rebalancer::default();
+        let rebalance_every = SimDuration::from_secs_f64(opts.rebalance_every_s.max(1.0));
+        let mut next_rebalance = SimTime::ZERO + rebalance_every;
+        let mut rebalance_actions = 0u64;
+
+        let mut inflight: Vec<InflightJob> = Vec::new();
+        let mut classes: BTreeMap<String, ClassAgg> = BTreeMap::new();
+        for p in &planned {
+            let agg = classes.entry(p.req.class.name.clone()).or_default();
+            agg.priority = p.req.class.priority;
+            agg.deadline_s = p.req.class.deadline_s;
+            agg.offered += 1;
+        }
+
+        let mut now = SimTime::ZERO;
+        let mut arr_idx = 0usize;
+        loop {
+            // Inject queued work while execution slots are free.
+            while inflight.len() < opts.max_inflight.max(1) {
+                let Some(idx) = ctrl.pop() else { break };
+                let p = &planned[idx];
+                let map = engine.admit_graph(now, &p.graph, &format!("r{}/", p.req.id))?;
+                inflight.push(InflightJob {
+                    planned_idx: idx,
+                    task_ids: map.into_values().collect(),
+                });
+            }
+
+            let next_arr = planned.get(arr_idx).map(|p| p.req.at);
+            let stepped = match (next_arr, engine.peek_time()) {
+                (None, None) => {
+                    if inflight.is_empty() && ctrl.queue_len() == 0 {
+                        break;
+                    }
+                    // Loop-top injection already drained the queue into
+                    // any free slots, so reaching here with work left
+                    // means the engine stalled — a scheduling bug, not a
+                    // wait state.
+                    return Err(SimError::InvalidState(
+                        "fleet serve loop stalled with workflows pending".into(),
+                    ));
+                }
+                (Some(at), Some(ev)) if ev <= at => {
+                    now = engine.step()?.expect("peeked event exists");
+                    true
+                }
+                (Some(at), _) => {
+                    // Arrival: admission decision at the arrival instant.
+                    now = at;
+                    let p = &planned[arr_idx];
+                    let decision = ctrl.offer(
+                        at,
+                        p.req.class.priority,
+                        p.req.class.deadline_s,
+                        p.est_service_s,
+                        inflight.len(),
+                        arr_idx,
+                    );
+                    if decision == murakkab_traffic::AdmissionDecision::Admitted {
+                        let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
+                        agg.admitted += 1;
+                    }
+                    arr_idx += 1;
+                    false
+                }
+                (None, Some(_)) => {
+                    now = engine.step()?.expect("peeked event exists");
+                    true
+                }
+            };
+
+            // Harvest workflow completions after engine progress.
+            if stepped && !inflight.is_empty() {
+                let completed = engine.completed_tasks();
+                let mut i = 0;
+                while i < inflight.len() {
+                    if inflight[i].task_ids.iter().all(|t| completed.contains(t)) {
+                        let job = inflight.swap_remove(i);
+                        let p = &planned[job.planned_idx];
+                        let latency = now.saturating_duration_since(p.req.at).as_secs_f64();
+                        let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
+                        agg.completed += 1;
+                        if p.req.class.met_by(latency) {
+                            agg.slo_met += 1;
+                        }
+                        agg.latencies.push(latency);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // Advisory rebalancer on its cadence: plan against live
+            // backlog telemetry, count the recommendations. Resident
+            // views cover every capability an endpoint serves plus the
+            // live tool pools, so Prewarm hints fire only for genuinely
+            // unserved demand (e.g. a pool scaled down during a lull).
+            while now >= next_rebalance {
+                let upcoming = engine.upcoming_by_capability();
+                let mut views: Vec<EndpointView> = Vec::new();
+                for (agent, gpus, load) in engine.endpoint_loads() {
+                    for cap in endpoint_capabilities(&routes, &agent) {
+                        views.push(EndpointView {
+                            label: agent.clone(),
+                            capability: cap,
+                            gpus: f64::from(gpus),
+                            load,
+                        });
+                    }
+                }
+                for (agent, capability, gpus, load) in engine.pool_views() {
+                    views.push(EndpointView {
+                        label: agent,
+                        capability,
+                        gpus,
+                        load,
+                    });
+                }
+                let cluster_stats = engine.cluster_stats(next_rebalance);
+                rebalance_actions +=
+                    rebalancer.plan(&cluster_stats, &upcoming, &views).len() as u64;
+                next_rebalance = next_rebalance + rebalance_every;
+            }
+        }
+
+        let admission_stats = ctrl.stats();
+        let outcome = engine.finish(SimTime::ZERO)?;
+
+        // 6. Report assembly.
+        let makespan = outcome.makespan;
+        let sample = SimDuration::from_secs(1);
+        let gpu_samples =
+            outcome
+                .cluster
+                .aggregate_util(DeviceKind::Gpu, SimTime::ZERO, makespan, sample);
+        let cpu_samples =
+            outcome
+                .cluster
+                .aggregate_util(DeviceKind::CpuPool, SimTime::ZERO, makespan, sample);
+        let avg = |samples: &[(f64, f64)]| {
+            if samples.is_empty() {
+                0.0
+            } else {
+                samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64
+            }
+        };
+
+        let mut class_reports: Vec<FleetClassReport> = classes
+            .into_iter()
+            .map(|(name, mut agg)| {
+                // Every sample is retained, so percentiles are exact
+                // (nearest-rank), not histogram-bucket estimates.
+                agg.latencies.sort_by(f64::total_cmp);
+                let pct = |q: f64| {
+                    if agg.latencies.is_empty() {
+                        0.0
+                    } else {
+                        let rank = (q * agg.latencies.len() as f64).ceil() as usize;
+                        agg.latencies[rank.clamp(1, agg.latencies.len()) - 1]
+                    }
+                };
+                let mean = if agg.latencies.is_empty() {
+                    0.0
+                } else {
+                    agg.latencies.iter().sum::<f64>() / agg.latencies.len() as f64
+                };
+                FleetClassReport {
+                    class: name,
+                    priority: agg.priority,
+                    deadline_s: agg.deadline_s,
+                    offered: agg.offered,
+                    admitted: agg.admitted,
+                    completed: agg.completed,
+                    slo_met: agg.slo_met,
+                    attainment: if agg.admitted == 0 {
+                        1.0
+                    } else {
+                        agg.slo_met as f64 / agg.admitted as f64
+                    },
+                    p50_s: pct(0.5),
+                    p95_s: pct(0.95),
+                    p99_s: pct(0.99),
+                    mean_s: mean,
+                    max_s: agg.latencies.last().copied().unwrap_or(0.0),
+                }
+            })
+            .collect();
+        class_reports.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.class.cmp(&b.class)));
+
+        let offered = planned.len() as u64;
+        let admitted = admission_stats.admitted;
+        let completed: u64 = class_reports.iter().map(|c| c.completed).sum();
+        let slo_met: u64 = class_reports.iter().map(|c| c.slo_met).sum();
+        let horizon_min = (opts.horizon_s / 60.0).max(1e-9);
+        Ok(FleetReport {
+            label: opts.label,
+            seed: self.seed(),
+            arrival_process: opts.process.kind().into(),
+            offered_rate_per_s: opts.process.mean_rate_per_s(),
+            horizon_s: opts.horizon_s,
+            admission_enabled: opts.admission.enabled,
+            offered,
+            admitted,
+            rejected_rate: admission_stats.rejected_rate,
+            rejected_deadline: admission_stats.rejected_deadline,
+            rejected_queue_full: admission_stats.rejected_queue_full,
+            completed,
+            slo_met,
+            slo_attainment: if admitted == 0 {
+                1.0
+            } else {
+                slo_met as f64 / admitted as f64
+            },
+            throughput_per_min: completed as f64 / horizon_min,
+            goodput_per_min: slo_met as f64 / horizon_min,
+            classes: class_reports,
+            tasks_completed: outcome.tasks_completed as u64,
+            makespan_s: makespan.as_secs_f64(),
+            gpu_util_avg_pct: avg(&gpu_samples),
+            cpu_util_avg_pct: avg(&cpu_samples),
+            energy_allocated_wh: outcome.energy_allocated_wh,
+            cost_usd: outcome.cost_usd,
+            pool_scale_ups: outcome.pool_scale_ups,
+            pool_scale_downs: outcome.pool_scale_downs,
+            rebalance_actions,
+        })
+    }
+}
+
+/// Every capability a routed endpoint agent serves (endpoints are
+/// deduplicated per model, so one agent can cover several capabilities).
+fn endpoint_capabilities(routes: &BTreeMap<Capability, RouteSpec>, agent: &str) -> Vec<Capability> {
+    routes
+        .iter()
+        .filter_map(|(&cap, r)| match r {
+            RouteSpec::Endpoint { agent: a, .. } if a == agent => Some(cap),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Idle-system critical-path service estimate for a workflow under the
+/// fleet's routes (the admission controller's feasibility input).
+fn estimate_service_s(
+    graph: &TaskGraph,
+    routes: &BTreeMap<Capability, RouteSpec>,
+    library: &murakkab_agents::AgentLibrary,
+) -> Result<f64, SimError> {
+    let cp = graph.critical_path(|node| {
+        let Some(route) = routes.get(&node.capability) else {
+            return SimDuration::from_secs(5);
+        };
+        let target = match route {
+            RouteSpec::Pool { workers, .. } => workers
+                .first()
+                .copied()
+                .unwrap_or(HardwareTarget::cpu_cores(1)),
+            RouteSpec::Endpoint { gpus, .. } => HardwareTarget::gpus(*gpus),
+            RouteSpec::External { .. } => HardwareTarget::cpu_cores(1),
+        };
+        library
+            .get(route.agent())
+            .and_then(|spec| spec.estimate_latency(&node.work, &target))
+            .unwrap_or_else(|_| SimDuration::from_secs(5))
+    })?;
+    Ok(cp.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_jobs_decompose_to_their_archetypes() {
+        let rt = Runtime::paper_testbed(1);
+        for (arch, expect) in [
+            (Archetype::VideoUnderstanding, "video-understanding"),
+            (Archetype::Newsfeed, "newsfeed"),
+            (Archetype::ChainOfThought, "chain-of-thought"),
+            (Archetype::DocQa, "doc-qa"),
+        ] {
+            let (plan, _) = Planner
+                .decompose(&canonical_job(arch), rt.library())
+                .unwrap();
+            assert_eq!(plan.archetype, expect);
+        }
+    }
+
+    #[test]
+    fn fleet_jobs_are_request_scale() {
+        let mut rng = SimRng::new(5).fork("sizes");
+        for arch in Archetype::ALL {
+            let (job, inputs) = fleet_job(arch, "tenant", &mut rng);
+            let rt = Runtime::paper_testbed(1);
+            let (plan, _) = Planner.decompose(&job, rt.library()).unwrap();
+            let graph = expand(&plan, &inputs).unwrap();
+            assert!(
+                (1..60).contains(&graph.len()),
+                "{arch:?} produced {} tasks",
+                graph.len()
+            );
+        }
+    }
+
+    #[test]
+    fn small_fleet_run_completes_and_is_sane() {
+        let rt = Runtime::paper_testbed(42);
+        let opts =
+            FleetOptions::open_loop("smoke", ArrivalProcess::Poisson { rate_per_s: 0.04 }, 250.0);
+        let report = rt.serve(opts).expect("serves");
+        assert!(report.offered > 0);
+        assert_eq!(
+            report.admitted as usize + report.rejections() as usize,
+            report.offered as usize
+        );
+        assert_eq!(
+            report.completed, report.admitted,
+            "everything admitted finishes"
+        );
+        assert!(report.tasks_completed > 0);
+        assert!(report.makespan_s > 0.0);
+        assert!(report.slo_attainment > 0.0);
+        assert!(!report.classes.is_empty());
+        // Pools scaled down at t=0 (empty engine) and back up on the
+        // first admission.
+        assert!(report.pool_scale_ups >= 1);
+        assert!(report.pool_scale_downs >= 1);
+    }
+}

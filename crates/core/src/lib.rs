@@ -12,6 +12,9 @@
 //! - [`runtime`] — the Murakkab runtime: decompose → expand → select
 //!   configs → execute adaptively, with the orchestrator and cluster
 //!   manager exchanging telemetry;
+//! - [`fleet`] — the open-loop serving mode: [`Runtime::serve`] admits an
+//!   arriving request stream (`murakkab_traffic`) into one long-running
+//!   engine and reports per-SLO-class latency percentiles and attainment;
 //! - [`baseline`] — the imperative (Listing 1 / OmAgent-style) executor:
 //!   fixed agents, fixed resources, fully serialized execution;
 //! - [`report`] — run reports: makespan, energy (both scopes), cost,
@@ -33,10 +36,12 @@
 pub mod ablation;
 pub mod baseline;
 pub mod engine;
+pub mod fleet;
 pub mod report;
 pub mod runtime;
 pub mod workloads;
 
 pub use baseline::run_baseline_video_understanding;
+pub use fleet::{FleetOptions, FleetReport};
 pub use report::RunReport;
 pub use runtime::{RunOptions, Runtime, SttChoice};

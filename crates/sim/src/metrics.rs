@@ -359,24 +359,36 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate quantile (`q` in `[0,1]`) using bucket upper bounds.
+    /// Approximate quantile (`q` in `[0,1]`), linearly interpolated within
+    /// the winning bucket (observations are assumed uniform inside a
+    /// bucket, the usual Prometheus-style estimator). The overflow bucket
+    /// reports the largest observation, and no estimate exceeds it.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target.max(1) {
-                return if i < self.bounds.len() {
-                    self.bounds[i]
-                } else {
-                    self.max
-                };
+            if seen + c >= target {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: unbounded above, so report the max.
+                    return self.max;
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = (target - seen) as f64 / c as f64;
+                return (lower + frac * (upper - lower)).min(self.max);
             }
+            seen += c;
         }
         self.max
+    }
+
+    /// The quantile estimates for each `q` in `qs` (convenience for the
+    /// p50/p95/p99 triplets fleet reports are built from).
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
     }
 }
 
@@ -497,6 +509,38 @@ mod tests {
         assert_eq!(h.max(), 500.0);
         assert_eq!(h.quantile(0.25), 1.0);
         assert_eq!(h.quantile(1.0), 500.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_within_bucket() {
+        // 100 observations of 1..=100, one per unit, on decade buckets:
+        // the rank-r observation is r, so pXX should land within one
+        // bucket-width step of XX rather than snapping to an upper bound.
+        let mut h = Histogram::new(vec![10.0, 50.0, 100.0, 1000.0]);
+        for v in 1..=100 {
+            h.observe(f64::from(v));
+        }
+        let ps = h.percentiles(&[0.5, 0.95, 0.99]);
+        // p50: rank 50 is the last of the (10, 50] bucket -> exactly 50.
+        assert!((ps[0] - 50.0).abs() < 1e-9, "p50 {}", ps[0]);
+        // p95: rank 95 is 45/50 through the (50, 100] bucket -> 95.
+        assert!((ps[1] - 95.0).abs() < 1e-9, "p95 {}", ps[1]);
+        // p99: 49/50 through the same bucket -> 99.
+        assert!((ps[2] - 99.0).abs() < 1e-9, "p99 {}", ps[2]);
+        // Estimates never exceed the largest observation.
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn histogram_first_bucket_interpolates_from_zero() {
+        let mut h = Histogram::new(vec![8.0, 16.0]);
+        h.observe(2.0);
+        h.observe(6.0);
+        // Two observations in (0, 8]: p50 is half-way through the bucket,
+        // clamped by nothing (4.0 < max 6.0).
+        assert!((h.quantile(0.5) - 4.0).abs() < 1e-9);
+        // p100 interpolates to the bucket top but clamps to the max seen.
+        assert!((h.quantile(1.0) - 6.0).abs() < 1e-9);
     }
 
     #[test]

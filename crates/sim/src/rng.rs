@@ -101,6 +101,47 @@ impl SimRng {
         -u.ln() / rate
     }
 
+    /// Short alias for [`SimRng::exponential`] — the inter-arrival sampler
+    /// the open-loop traffic generators lean on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        self.exponential(rate)
+    }
+
+    /// Poisson sample with mean `lambda` (count of arrivals in a unit of
+    /// time under rate `lambda`).
+    ///
+    /// Uses Knuth's product-of-uniforms method for small means and a
+    /// rounded truncated-normal approximation for `lambda > 30` (where the
+    /// Poisson is near-Gaussian and the exact method would need `O(λ)`
+    /// draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "poisson: lambda must be non-negative");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            return self.normal(lambda, lambda.sqrt()).round().max(0.0) as u64;
+        }
+        let limit = (-lambda).exp();
+        let mut product = 1.0;
+        let mut count = 0u64;
+        loop {
+            product *= self.uniform();
+            if product <= limit {
+                return count;
+            }
+            count += 1;
+        }
+    }
+
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         self.uniform() < p.clamp(0.0, 1.0)
@@ -193,6 +234,47 @@ mod tests {
         let rate = 0.5;
         let mean: f64 = (0..n).map(|_| r.exponential(rate)).sum::<f64>() / n as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean} should be near 2.0");
+    }
+
+    #[test]
+    fn exp_matches_exponential_stream() {
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(11);
+        for _ in 0..32 {
+            assert_eq!(a.exp(0.25).to_bits(), b.exponential(0.25).to_bits());
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean_and_variance() {
+        let mut r = SimRng::new(12);
+        let n = 20_000;
+        let lambda = 4.0;
+        let samples: Vec<u64> = (0..n).map(|_| r.poisson(lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        // Poisson variance equals the mean.
+        assert!((var - lambda).abs() < 0.25, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_tail() {
+        let mut r = SimRng::new(13);
+        let n = 5_000;
+        let lambda = 200.0;
+        let mean = (0..n).map(|_| r.poisson(lambda)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - lambda).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut r = SimRng::new(14);
+        assert_eq!(r.poisson(0.0), 0);
     }
 
     #[test]

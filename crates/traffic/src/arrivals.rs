@@ -1,0 +1,331 @@
+//! Deterministic arrival-process generators.
+//!
+//! Every process turns a seeded [`SimRng`] stream plus a horizon into a
+//! sorted list of arrival instants. Generation is pure: the same process,
+//! seed and horizon always produce the identical instant list, which the
+//! fleet driver and the replay log rely on.
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::{SimDuration, SimRng, SimTime};
+
+use crate::replay::ArrivalLog;
+
+/// An open-loop arrival process over a finite horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at `rate_per_s`.
+    Poisson {
+        /// Mean arrivals per simulated second.
+        rate_per_s: f64,
+    },
+    /// Inhomogeneous Poisson with a sinusoidal day/night envelope:
+    /// `rate(t) = base · (1 + (peak − 1) · sin²(π t / period))`, sampled
+    /// by thinning against the peak rate.
+    Diurnal {
+        /// Trough arrival rate (arrivals per second).
+        base_rate_per_s: f64,
+        /// Peak-to-trough ratio (≥ 1).
+        peak_factor: f64,
+        /// Seconds from trough to trough.
+        period_s: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: exponential sojourns
+    /// alternate between an ON state (bursts at `on_rate_per_s`) and an
+    /// OFF state (background traffic at `off_rate_per_s`, possibly zero).
+    Mmpp {
+        /// Arrival rate while bursting.
+        on_rate_per_s: f64,
+        /// Arrival rate between bursts (zero silences the OFF state).
+        off_rate_per_s: f64,
+        /// Mean burst length in seconds.
+        mean_on_s: f64,
+        /// Mean gap length in seconds.
+        mean_off_s: f64,
+    },
+    /// Replays a previously recorded arrival log (trace-driven mode);
+    /// instants beyond the horizon are dropped.
+    Replay {
+        /// The recorded arrival instants.
+        log: ArrivalLog,
+    },
+}
+
+impl ArrivalProcess {
+    /// A short stable tag for report labels and JSON keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+            ArrivalProcess::Mmpp { .. } => "mmpp",
+            ArrivalProcess::Replay { .. } => "replay",
+        }
+    }
+
+    /// Scales the process's rates by `factor` (the offered-load sweep
+    /// lever). Replay logs have fixed timestamps and are returned as-is.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        assert!(factor > 0.0, "load factor must be positive");
+        match self.clone() {
+            ArrivalProcess::Poisson { rate_per_s } => ArrivalProcess::Poisson {
+                rate_per_s: rate_per_s * factor,
+            },
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_factor,
+                period_s,
+            } => ArrivalProcess::Diurnal {
+                base_rate_per_s: base_rate_per_s * factor,
+                peak_factor,
+                period_s,
+            },
+            ArrivalProcess::Mmpp {
+                on_rate_per_s,
+                off_rate_per_s,
+                mean_on_s,
+                mean_off_s,
+            } => ArrivalProcess::Mmpp {
+                on_rate_per_s: on_rate_per_s * factor,
+                off_rate_per_s: off_rate_per_s * factor,
+                mean_on_s,
+                mean_off_s,
+            },
+            replay @ ArrivalProcess::Replay { .. } => replay,
+        }
+    }
+
+    /// Generates the sorted arrival instants in `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates/periods (a configuration error).
+    pub fn generate(&self, rng: &mut SimRng, horizon: SimDuration) -> Vec<SimTime> {
+        let end = horizon.as_secs_f64();
+        let mut out = Vec::new();
+        match self {
+            ArrivalProcess::Poisson { rate_per_s } => {
+                assert!(*rate_per_s > 0.0, "poisson rate must be positive");
+                let mut t = 0.0;
+                loop {
+                    t += rng.exp(*rate_per_s);
+                    if t >= end {
+                        break;
+                    }
+                    out.push(SimTime::from_secs_f64(t));
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_factor,
+                period_s,
+            } => {
+                assert!(*base_rate_per_s > 0.0, "diurnal base rate must be positive");
+                assert!(*peak_factor >= 1.0, "peak factor must be >= 1");
+                assert!(*period_s > 0.0, "diurnal period must be positive");
+                // Thinning: draw at the peak rate, keep with probability
+                // rate(t) / peak_rate.
+                let peak_rate = base_rate_per_s * peak_factor;
+                let mut t = 0.0;
+                loop {
+                    t += rng.exp(peak_rate);
+                    if t >= end {
+                        break;
+                    }
+                    let phase = (std::f64::consts::PI * t / period_s).sin();
+                    let rate = base_rate_per_s * (1.0 + (peak_factor - 1.0) * phase * phase);
+                    if rng.chance(rate / peak_rate) {
+                        out.push(SimTime::from_secs_f64(t));
+                    }
+                }
+            }
+            ArrivalProcess::Mmpp {
+                on_rate_per_s,
+                off_rate_per_s,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                assert!(*on_rate_per_s > 0.0, "mmpp on-rate must be positive");
+                assert!(*off_rate_per_s >= 0.0, "mmpp off-rate must be non-negative");
+                assert!(
+                    *mean_on_s > 0.0 && *mean_off_s > 0.0,
+                    "mmpp sojourn means must be positive"
+                );
+                let mut t = 0.0;
+                let mut on = true; // Start bursting: deterministic choice.
+                while t < end {
+                    let sojourn = rng.exp(1.0 / if on { *mean_on_s } else { *mean_off_s });
+                    let phase_end = (t + sojourn).min(end);
+                    let rate = if on { *on_rate_per_s } else { *off_rate_per_s };
+                    if rate > 0.0 {
+                        let mut a = t;
+                        loop {
+                            a += rng.exp(rate);
+                            if a >= phase_end {
+                                break;
+                            }
+                            out.push(SimTime::from_secs_f64(a));
+                        }
+                    }
+                    t = phase_end;
+                    on = !on;
+                }
+            }
+            ArrivalProcess::Replay { log } => {
+                let cutoff = SimTime::ZERO + horizon;
+                out.extend(log.times().iter().copied().filter(|&t| t < cutoff));
+                out.sort_unstable();
+            }
+        }
+        out
+    }
+
+    /// The long-run mean arrival rate (arrivals per second), used for
+    /// offered-load labels. Replay logs report their empirical rate over
+    /// the log span (zero for empty logs).
+    pub fn mean_rate_per_s(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_per_s } => *rate_per_s,
+            // Average of the sin² envelope is (1 + peak) / 2 of base.
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_factor,
+                ..
+            } => base_rate_per_s * (1.0 + peak_factor) / 2.0,
+            ArrivalProcess::Mmpp {
+                on_rate_per_s,
+                off_rate_per_s,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                let total = mean_on_s + mean_off_s;
+                (on_rate_per_s * mean_on_s + off_rate_per_s * mean_off_s) / total
+            }
+            ArrivalProcess::Replay { log } => log.mean_rate_per_s(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizon(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn poisson_rate_and_determinism() {
+        let gen = |seed| {
+            let mut rng = SimRng::new(seed).fork("arrivals");
+            ArrivalProcess::Poisson { rate_per_s: 0.5 }.generate(&mut rng, horizon(4000))
+        };
+        let a = gen(1);
+        let b = gen(1);
+        assert_eq!(a, b, "same seed, same arrivals");
+        // ~2000 expected; allow generous slack.
+        assert!((1700..2300).contains(&a.len()), "{}", a.len());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert_ne!(a, gen(2));
+    }
+
+    #[test]
+    fn diurnal_mean_sits_between_base_and_peak() {
+        let p = ArrivalProcess::Diurnal {
+            base_rate_per_s: 0.2,
+            peak_factor: 4.0,
+            period_s: 600.0,
+        };
+        let mut rng = SimRng::new(3).fork("arrivals");
+        let arrivals = p.generate(&mut rng, horizon(6000));
+        let rate = arrivals.len() as f64 / 6000.0;
+        assert!(rate > 0.2 && rate < 0.8, "rate {rate}");
+        assert!((p.mean_rate_per_s() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_peaks_beat_troughs() {
+        let p = ArrivalProcess::Diurnal {
+            base_rate_per_s: 0.2,
+            peak_factor: 6.0,
+            period_s: 1000.0,
+        };
+        let mut rng = SimRng::new(4).fork("arrivals");
+        let arrivals = p.generate(&mut rng, horizon(1000));
+        // Peak of sin²(πt/1000) is at t=500: compare the middle 400 s
+        // (peak) with the two outer 200 s windows (troughs).
+        let count = |lo: f64, hi: f64| {
+            arrivals
+                .iter()
+                .filter(|t| (lo..hi).contains(&t.as_secs_f64()))
+                .count() as f64
+        };
+        let peak = count(300.0, 700.0) / 400.0;
+        let trough = (count(0.0, 200.0) + count(800.0, 1000.0)) / 400.0;
+        assert!(peak > trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn mmpp_bursts_cluster_arrivals() {
+        let p = ArrivalProcess::Mmpp {
+            on_rate_per_s: 2.0,
+            off_rate_per_s: 0.0,
+            mean_on_s: 30.0,
+            mean_off_s: 90.0,
+        };
+        let mut rng = SimRng::new(5).fork("arrivals");
+        let arrivals = p.generate(&mut rng, horizon(4000));
+        // Long-run rate = 2.0 * 30 / 120 = 0.5; allow slack.
+        let rate = arrivals.len() as f64 / 4000.0;
+        assert!((0.3..0.7).contains(&rate), "rate {rate}");
+        assert!((p.mean_rate_per_s() - 0.5).abs() < 1e-9);
+        // Burstiness: the squared coefficient of variation of
+        // inter-arrival gaps well above 1 (Poisson would be ≈ 1).
+        let gaps: Vec<f64> = arrivals
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv2 = var / (mean * mean);
+        assert!(cv2 > 1.5, "cv² {cv2} should show bursting");
+    }
+
+    #[test]
+    fn replay_respects_horizon_and_order() {
+        let log = ArrivalLog::from_secs(&[5.0, 1.0, 3.0, 99.0]);
+        let p = ArrivalProcess::Replay { log };
+        let mut rng = SimRng::new(6);
+        let arrivals = p.generate(&mut rng, horizon(10));
+        assert_eq!(
+            arrivals,
+            vec![
+                SimTime::from_secs_f64(1.0),
+                SimTime::from_secs_f64(3.0),
+                SimTime::from_secs_f64(5.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn scaling_scales_rates_not_replays() {
+        let p = ArrivalProcess::Poisson { rate_per_s: 0.25 }.scaled(4.0);
+        assert!((p.mean_rate_per_s() - 1.0).abs() < 1e-9);
+        let log = ArrivalLog::from_secs(&[1.0]);
+        let r = ArrivalProcess::Replay { log: log.clone() }.scaled(2.0);
+        assert_eq!(r, ArrivalProcess::Replay { log });
+    }
+
+    #[test]
+    fn processes_serialize() {
+        let p = ArrivalProcess::Mmpp {
+            on_rate_per_s: 1.0,
+            off_rate_per_s: 0.1,
+            mean_on_s: 10.0,
+            mean_off_s: 50.0,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ArrivalProcess = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

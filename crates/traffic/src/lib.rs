@@ -1,0 +1,38 @@
+//! Open-loop traffic for the Murakkab fleet-serving mode.
+//!
+//! The paper's runtime is evaluated closed-loop: one workflow (or a small
+//! fixed batch) runs to completion and the makespan is the result. A
+//! production fleet serving "heavy traffic from millions of users" lives
+//! in the open-loop regime instead — requests arrive on their own clock,
+//! latency percentiles under load are the figure of merit, and overload
+//! has to be handled, not assumed away. This crate provides the traffic
+//! side of that regime, all deterministic on [`murakkab_sim::SimRng`]:
+//!
+//! - [`arrivals`] — arrival-process generators: homogeneous Poisson,
+//!   diurnal-modulated (thinning), bursty MMPP on/off, and replay of a
+//!   recorded [`replay::ArrivalLog`] (the CGReplay-style capture/replay
+//!   mode);
+//! - [`slo`] — SLO classes: a latency deadline plus a scheduling
+//!   priority, with the stock interactive/standard/batch tiers;
+//! - [`mix`] — tenants and their job mixes over the workload
+//!   [`mix::Archetype`]s (video understanding, newsfeed, chain-of-thought,
+//!   document QA), expanded into a concrete [`mix::RequestSpec`] stream;
+//! - [`admission`] — the admission controller: token-bucket rate
+//!   limiting, deadline-feasibility rejection and a bounded
+//!   priority-ordered queue.
+//!
+//! The crate knows nothing about engines or clusters: it produces request
+//! streams and admission decisions, and `murakkab::fleet` turns them into
+//! scheduled work.
+
+pub mod admission;
+pub mod arrivals;
+pub mod mix;
+pub mod replay;
+pub mod slo;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats};
+pub use arrivals::ArrivalProcess;
+pub use mix::{Archetype, JobMix, RequestSpec, TenantProfile, TrafficSpec};
+pub use replay::ArrivalLog;
+pub use slo::SloClass;

@@ -1,0 +1,258 @@
+//! Tenants, job mixes and request streams.
+//!
+//! A tenant is a stream of jobs drawn from a weighted mix of workload
+//! archetypes under one SLO class. A [`TrafficSpec`] combines an arrival
+//! process with a weighted tenant set and expands into the concrete
+//! [`RequestSpec`] stream the fleet driver consumes — all deterministic
+//! from a forked [`SimRng`].
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::{SimDuration, SimRng, SimTime};
+
+use crate::arrivals::ArrivalProcess;
+use crate::slo::SloClass;
+
+/// The workload archetypes the runtime knows how to decompose (the
+/// traffic layer names them abstractly; `murakkab::fleet` maps each to a
+/// concrete job + inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Archetype {
+    /// The paper's Video Understanding pipeline (scaled-down clips).
+    VideoUnderstanding,
+    /// Newsfeed generation (Figure 2's workflow B).
+    Newsfeed,
+    /// Chain-of-thought reasoning with parallel paths.
+    ChainOfThought,
+    /// Document question answering.
+    DocQa,
+}
+
+impl Archetype {
+    /// All archetypes, in a fixed order.
+    pub const ALL: [Archetype; 4] = [
+        Archetype::VideoUnderstanding,
+        Archetype::Newsfeed,
+        Archetype::ChainOfThought,
+        Archetype::DocQa,
+    ];
+
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Archetype::VideoUnderstanding => "video",
+            Archetype::Newsfeed => "newsfeed",
+            Archetype::ChainOfThought => "cot",
+            Archetype::DocQa => "doc-qa",
+        }
+    }
+}
+
+/// A weighted mix over archetypes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMix {
+    weights: Vec<(Archetype, f64)>,
+}
+
+impl JobMix {
+    /// Builds a mix from `(archetype, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry has positive weight or any weight is negative.
+    pub fn new(weights: Vec<(Archetype, f64)>) -> Self {
+        assert!(
+            weights.iter().all(|&(_, w)| w >= 0.0),
+            "mix weights must be non-negative"
+        );
+        assert!(
+            weights.iter().any(|&(_, w)| w > 0.0),
+            "mix needs at least one positive weight"
+        );
+        JobMix { weights }
+    }
+
+    /// A single-archetype mix.
+    pub fn only(archetype: Archetype) -> Self {
+        JobMix::new(vec![(archetype, 1.0)])
+    }
+
+    /// The weighted entries.
+    pub fn weights(&self) -> &[(Archetype, f64)] {
+        &self.weights
+    }
+
+    /// Draws one archetype.
+    pub fn draw(&self, rng: &mut SimRng) -> Archetype {
+        let total: f64 = self.weights.iter().map(|&(_, w)| w).sum();
+        let mut u = rng.uniform() * total;
+        for &(arch, w) in &self.weights {
+            if u < w {
+                return arch;
+            }
+            u -= w;
+        }
+        self.weights.last().expect("non-empty mix").0
+    }
+}
+
+/// One tenant: a name, its job mix, its SLO class and its share of the
+/// fleet's arrivals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantProfile {
+    /// Tenant name (report key).
+    pub name: String,
+    /// Archetype mix this tenant submits.
+    pub mix: JobMix,
+    /// SLO class its requests are admitted under.
+    pub class: SloClass,
+    /// Relative share of fleet arrivals attributed to this tenant.
+    pub weight: f64,
+}
+
+/// One concrete request in the open-loop stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Stream-unique id (arrival order).
+    pub id: u64,
+    /// Arrival instant.
+    pub at: SimTime,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Drawn workload archetype.
+    pub archetype: Archetype,
+    /// SLO class (copied from the tenant).
+    pub class: SloClass,
+}
+
+/// An arrival process plus a weighted tenant set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// When requests arrive.
+    pub process: ArrivalProcess,
+    /// Who sends them and what they ask for.
+    pub tenants: Vec<TenantProfile>,
+}
+
+impl TrafficSpec {
+    /// Expands the spec into the concrete request stream over `horizon`.
+    ///
+    /// Arrival instants, tenant attribution and archetype draws each use
+    /// an independently forked stream, so e.g. swapping the arrival
+    /// process does not perturb the archetype sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant set is empty or has no positive weight.
+    pub fn requests(&self, rng: &SimRng, horizon: SimDuration) -> Vec<RequestSpec> {
+        assert!(!self.tenants.is_empty(), "traffic spec needs tenants");
+        let total_weight: f64 = self.tenants.iter().map(|t| t.weight).sum();
+        assert!(total_weight > 0.0, "tenant weights must sum positive");
+
+        let mut arrival_rng = rng.fork("arrivals");
+        let mut tenant_rng = rng.fork("tenants");
+        let mut mix_rng = rng.fork("mix");
+
+        let times = self.process.generate(&mut arrival_rng, horizon);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, at)| {
+                let mut u = tenant_rng.uniform() * total_weight;
+                let mut chosen = &self.tenants[self.tenants.len() - 1];
+                for t in &self.tenants {
+                    if u < t.weight {
+                        chosen = t;
+                        break;
+                    }
+                    u -= t.weight;
+                }
+                RequestSpec {
+                    id: i as u64,
+                    at,
+                    tenant: chosen.name.clone(),
+                    archetype: chosen.mix.draw(&mut mix_rng),
+                    class: chosen.class.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TrafficSpec {
+        TrafficSpec {
+            process: ArrivalProcess::Poisson { rate_per_s: 0.5 },
+            tenants: vec![
+                TenantProfile {
+                    name: "feeds".into(),
+                    mix: JobMix::new(vec![(Archetype::Newsfeed, 0.8), (Archetype::DocQa, 0.2)]),
+                    class: SloClass::interactive(),
+                    weight: 3.0,
+                },
+                TenantProfile {
+                    name: "studio".into(),
+                    mix: JobMix::only(Archetype::VideoUnderstanding),
+                    class: SloClass::batch(),
+                    weight: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_ordered() {
+        let rng = SimRng::new(42).fork("fleet");
+        let a = spec().requests(&rng, SimDuration::from_secs(2000));
+        let b = spec().requests(&rng, SimDuration::from_secs(2000));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.iter().enumerate().all(|(i, r)| r.id == i as u64));
+    }
+
+    #[test]
+    fn tenant_shares_follow_weights() {
+        let rng = SimRng::new(7).fork("fleet");
+        let reqs = spec().requests(&rng, SimDuration::from_secs(8000));
+        let feeds = reqs.iter().filter(|r| r.tenant == "feeds").count() as f64;
+        let share = feeds / reqs.len() as f64;
+        assert!((share - 0.75).abs() < 0.05, "share {share}");
+        // Studio only submits video jobs under the batch class.
+        assert!(reqs
+            .iter()
+            .filter(|r| r.tenant == "studio")
+            .all(|r| r.archetype == Archetype::VideoUnderstanding && r.class == SloClass::batch()));
+    }
+
+    #[test]
+    fn mix_draw_follows_weights() {
+        let mix = JobMix::new(vec![
+            (Archetype::ChainOfThought, 1.0),
+            (Archetype::DocQa, 3.0),
+        ]);
+        let mut rng = SimRng::new(9);
+        let n = 10_000;
+        let qa = (0..n)
+            .filter(|_| mix.draw(&mut rng) == Archetype::DocQa)
+            .count() as f64;
+        assert!((qa / f64::from(n) - 0.75).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_mix_rejected() {
+        JobMix::new(vec![(Archetype::Newsfeed, 0.0)]);
+    }
+
+    #[test]
+    fn archetype_labels_are_stable() {
+        assert_eq!(Archetype::ALL.len(), 4);
+        for a in Archetype::ALL {
+            assert!(!a.label().is_empty());
+        }
+    }
+}

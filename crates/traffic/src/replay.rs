@@ -1,0 +1,119 @@
+//! Recorded arrival logs for trace-driven replay.
+//!
+//! CGReplay-style capture/replay: record the arrival instants of one run
+//! (generated or observed), serialize them, and later replay the exact
+//! stream for a reproducible QoE/QoS assessment — across seeds, admission
+//! policies or cluster shapes.
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_sim::{SimDuration, SimError, SimRng, SimTime};
+
+/// A serialized list of arrival instants.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ArrivalLog {
+    times: Vec<SimTime>,
+}
+
+impl ArrivalLog {
+    /// Builds a log from raw instants (sorted on ingest).
+    pub fn from_times(mut times: Vec<SimTime>) -> Self {
+        times.sort_unstable();
+        ArrivalLog { times }
+    }
+
+    /// Builds a log from floating-point seconds.
+    pub fn from_secs(secs: &[f64]) -> Self {
+        Self::from_times(secs.iter().map(|&s| SimTime::from_secs_f64(s)).collect())
+    }
+
+    /// Records a fresh log by running `process` over `horizon` — the
+    /// capture half of capture/replay.
+    pub fn record(process: &crate::ArrivalProcess, rng: &mut SimRng, horizon: SimDuration) -> Self {
+        ArrivalLog {
+            times: process.generate(rng, horizon),
+        }
+    }
+
+    /// The recorded instants, ascending.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Empirical mean rate over the log span (zero when fewer than two
+    /// arrivals).
+    pub fn mean_rate_per_s(&self) -> f64 {
+        match (self.times.first(), self.times.last()) {
+            (Some(&a), Some(&b)) if b > a => (self.times.len() - 1) as f64 / (b - a).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Serializes the log to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors as [`SimError::InvalidInput`].
+    pub fn to_json(&self) -> Result<String, SimError> {
+        serde_json::to_string(self).map_err(|e| SimError::InvalidInput(e.to_string()))
+    }
+
+    /// Deserializes a log from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, SimError> {
+        serde_json::from_str(json).map_err(|e| SimError::InvalidInput(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArrivalProcess;
+
+    #[test]
+    fn ingest_sorts_and_reports_rate() {
+        let log = ArrivalLog::from_secs(&[9.0, 1.0, 5.0]);
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.times()[0], SimTime::from_secs_f64(1.0));
+        // Two gaps over 8 seconds.
+        assert!((log.mean_rate_per_s() - 0.25).abs() < 1e-9);
+        assert_eq!(ArrivalLog::default().mean_rate_per_s(), 0.0);
+    }
+
+    #[test]
+    fn record_then_replay_is_identity() {
+        let process = ArrivalProcess::Poisson { rate_per_s: 0.2 };
+        let horizon = SimDuration::from_secs(500);
+        let mut rng = SimRng::new(42).fork("capture");
+        let log = ArrivalLog::record(&process, &mut rng, horizon);
+        assert!(!log.is_empty());
+
+        let replay = ArrivalProcess::Replay { log: log.clone() };
+        // Replay ignores the RNG entirely.
+        let mut other_rng = SimRng::new(7);
+        let replayed = replay.generate(&mut other_rng, horizon);
+        assert_eq!(replayed, log.times());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let log = ArrivalLog::from_secs(&[0.5, 2.25]);
+        let back = ArrivalLog::from_json(&log.to_json().unwrap()).unwrap();
+        assert_eq!(back, log);
+        assert!(ArrivalLog::from_json("not json").is_err());
+    }
+}

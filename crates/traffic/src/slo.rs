@@ -1,0 +1,86 @@
+//! SLO classes: latency deadlines and scheduling priorities.
+
+use serde::{Deserialize, Serialize};
+
+/// A service-level objective class a request is admitted under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloClass {
+    /// Display name ("interactive", "standard", "batch", ...).
+    pub name: String,
+    /// End-to-end latency deadline in seconds, measured from arrival
+    /// (queueing included) to workflow completion.
+    pub deadline_s: f64,
+    /// Scheduling priority: larger values pop first from the admission
+    /// queue; ties fall back to arrival order.
+    pub priority: u8,
+}
+
+impl SloClass {
+    /// Builds a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive deadline.
+    pub fn new(name: impl Into<String>, deadline_s: f64, priority: u8) -> Self {
+        assert!(deadline_s > 0.0, "SLO deadline must be positive");
+        SloClass {
+            name: name.into(),
+            deadline_s,
+            priority,
+        }
+    }
+
+    /// The interactive tier: tight deadline, pops first.
+    pub fn interactive() -> Self {
+        SloClass::new("interactive", 60.0, 2)
+    }
+
+    /// The standard tier.
+    pub fn standard() -> Self {
+        SloClass::new("standard", 180.0, 1)
+    }
+
+    /// The batch tier: loose deadline, lowest priority.
+    pub fn batch() -> Self {
+        SloClass::new("batch", 900.0, 0)
+    }
+
+    /// Whether a measured end-to-end latency met this class's deadline.
+    pub fn met_by(&self, latency_s: f64) -> bool {
+        latency_s <= self.deadline_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_ordered() {
+        let i = SloClass::interactive();
+        let s = SloClass::standard();
+        let b = SloClass::batch();
+        assert!(i.deadline_s < s.deadline_s && s.deadline_s < b.deadline_s);
+        assert!(i.priority > s.priority && s.priority > b.priority);
+    }
+
+    #[test]
+    fn deadline_check_is_inclusive() {
+        let c = SloClass::new("x", 10.0, 0);
+        assert!(c.met_by(10.0));
+        assert!(!c.met_by(10.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_deadline_rejected() {
+        SloClass::new("bad", 0.0, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SloClass::interactive();
+        let back: SloClass = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back, c);
+    }
+}

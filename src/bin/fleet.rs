@@ -1,0 +1,14 @@
+//! Open-loop fleet serving sweep: offered load × arrival process, with
+//! an admission-control ablation at the overload point. The driver lives
+//! in `murakkab_bench::fleet_main`; the binary sits in the root package
+//! so `cargo run --release --bin fleet [seed]` resolves.
+
+use murakkab_bench::SEED;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SEED);
+    murakkab_bench::fleet_main(seed);
+}

@@ -117,6 +117,63 @@ fn three_tenants_still_deterministic() {
 }
 
 #[test]
+fn four_tenants_mixed_archetypes_complete_on_one_cluster() {
+    // Every workload archetype at once — the admission path the fleet
+    // driver reuses must handle the full mix, not just pairs.
+    let rt = Runtime::paper_testbed(11);
+    let vu = (
+        workloads::paper_video_job(),
+        workloads::paper_video_inputs(11),
+    );
+    let nf = workloads::newsfeed_job("Carol", 9);
+    let cot = workloads::cot_job(3);
+    let qa = workloads::doc_qa_job(7);
+
+    let report = rt
+        .run_concurrent(
+            &[vu.clone(), nf.clone(), cot.clone(), qa.clone()],
+            RunOptions::labeled("quad"),
+        )
+        .expect("four tenants run");
+
+    // Task accounting: VU (16 scenes x 6 + 80 frame summaries), newsfeed
+    // (3 per post + 2), CoT (paths + 1), doc-QA (docs + 2).
+    let expected = (16 * 6 + 80) + (3 * 9 + 2) + (3 + 1) + (7 + 2);
+    assert_eq!(report.tasks, expected);
+
+    // Each tenant's spans surface under its own prefix.
+    let spans = report.trace.spans();
+    for prefix in ["w0/", "w1/", "w2/", "w3/"] {
+        assert!(
+            spans.iter().any(|s| s.label.starts_with(prefix)),
+            "missing spans for tenant {prefix}"
+        );
+    }
+
+    // Composed end-to-end quality stays high even with every
+    // capability in play (per-selection floors hold; composition over
+    // more stages dilutes the product).
+    assert!(report.quality >= 0.85, "quality {}", report.quality);
+
+    // Concurrent beats the four sequential solo runs.
+    let solo_sum: f64 = [
+        rt.run_job(&vu.0, &vu.1, RunOptions::labeled("s0")),
+        rt.run_job(&nf.0, &nf.1, RunOptions::labeled("s1")),
+        rt.run_job(&cot.0, &cot.1, RunOptions::labeled("s2")),
+        rt.run_job(&qa.0, &qa.1, RunOptions::labeled("s3")),
+    ]
+    .into_iter()
+    .map(|r| r.expect("solo run").makespan_s)
+    .sum();
+    assert!(
+        report.makespan_s < solo_sum,
+        "multiplexed {:.1}s vs sequential {:.1}s",
+        report.makespan_s,
+        solo_sum
+    );
+}
+
+#[test]
 fn empty_tenant_list_is_rejected() {
     let rt = Runtime::paper_testbed(1);
     assert!(rt.run_concurrent(&[], RunOptions::labeled("none")).is_err());
