@@ -8,11 +8,11 @@
 
 use std::path::PathBuf;
 
-use murakkab::fleet::FleetOptions;
+use murakkab::fleet::{CellPolicy, FleetOptions};
 use murakkab::runtime::{RunOptions, Runtime, SttChoice};
 use murakkab::{FleetReport, RunReport};
-use murakkab_sim::SimError;
-use murakkab_traffic::ArrivalProcess;
+use murakkab_sim::{SimDuration, SimError, SimRng};
+use murakkab_traffic::{AdmissionConfig, ArrivalLog, ArrivalProcess};
 
 /// The default experiment seed (any seed reproduces the paper's shape;
 /// this one is used for the committed EXPERIMENTS.md numbers).
@@ -86,6 +86,30 @@ pub fn fleet_processes(rate_per_s: f64) -> Vec<(&'static str, ArrivalProcess)> {
     ]
 }
 
+/// Runs a fleet sweep over the given load factors and processes,
+/// admission control on.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_fleet_sweep_with(
+    seed: u64,
+    factors: &[f64],
+    horizon_s: f64,
+    processes_per_rate: usize,
+) -> Result<Vec<FleetReport>, SimError> {
+    let rt = Runtime::paper_testbed(seed);
+    let mut reports = Vec::new();
+    for &factor in factors {
+        let rate = FLEET_BASE_RATE * factor;
+        for (name, process) in fleet_processes(rate).into_iter().take(processes_per_rate) {
+            let label = format!("{name} x{factor}");
+            reports.push(rt.serve(FleetOptions::open_loop(&label, process, horizon_s))?);
+        }
+    }
+    Ok(reports)
+}
+
 /// Runs the full fleet sweep: every arrival process × every offered-load
 /// factor, admission control on.
 ///
@@ -93,16 +117,84 @@ pub fn fleet_processes(rate_per_s: f64) -> Vec<(&'static str, ArrivalProcess)> {
 ///
 /// Propagates simulation errors.
 pub fn run_fleet_sweep(seed: u64) -> Result<Vec<FleetReport>, SimError> {
-    let rt = Runtime::paper_testbed(seed);
-    let mut reports = Vec::new();
-    for factor in FLEET_LOAD_FACTORS {
-        let rate = FLEET_BASE_RATE * factor;
-        for (name, process) in fleet_processes(rate) {
-            let label = format!("{name} x{factor}");
-            reports.push(rt.serve(FleetOptions::open_loop(&label, process, FLEET_HORIZON_S))?);
-        }
+    run_fleet_sweep_with(seed, &FLEET_LOAD_FACTORS, FLEET_HORIZON_S, usize::MAX)
+}
+
+/// Nodes in the shard-scaling sweep's cluster — fixed across shard
+/// counts, so the sweep isolates the scheduler architecture (one
+/// monolithic engine vs N cells) on identical hardware. Sixteen nodes
+/// keep every cell at two nodes even at the widest shard count (a cell
+/// needs room for its own LLM serving stack next to its tool pools).
+pub const FLEET_SHARD_NODES: usize = 16;
+
+/// Shard counts swept at the overload point.
+pub const FLEET_SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Offered rate of the shard sweep (well past the single-cell knee).
+pub const FLEET_SHARD_RATE: f64 = 0.8;
+
+/// Admission config for the shard sweep: the front door is sized to the
+/// offered load so serving capacity — the thing sharding scales — is the
+/// binding constraint, not the token bucket.
+pub fn shard_sweep_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        enabled: true,
+        rate_per_s: FLEET_SHARD_RATE * 1.5,
+        burst: 16.0,
+        max_queue: 16,
+        slack_per_backlog: 0.5,
     }
-    Ok(reports)
+}
+
+/// Captures the shard sweep's overloaded Poisson stream as an
+/// [`ArrivalLog`] — the same fork path `Runtime::serve` uses, so a
+/// live [`FLEET_SHARD_RATE`] run and its replay see identical instants.
+pub fn shard_sweep_log(seed: u64, horizon_s: f64) -> ArrivalLog {
+    let process = ArrivalProcess::Poisson {
+        rate_per_s: FLEET_SHARD_RATE,
+    };
+    let mut rng = SimRng::new(seed).fork("fleet").fork("arrivals");
+    ArrivalLog::record(&process, &mut rng, SimDuration::from_secs_f64(horizon_s))
+}
+
+/// The shard sweep's serve options for one shard count: the captured
+/// log replayed with the front door from [`shard_sweep_admission`] and a
+/// fleet-wide in-flight budget that cells split between them.
+pub fn shard_sweep_options(log: &ArrivalLog, shards: usize, horizon_s: f64) -> FleetOptions {
+    FleetOptions::open_loop(
+        &format!("shards={shards}"),
+        ArrivalProcess::Replay { log: log.clone() },
+        horizon_s,
+    )
+    .shards(shards)
+    .router(CellPolicy::LeastLoaded)
+    .max_inflight(24)
+    .admission(shard_sweep_admission())
+}
+
+/// Runs the shard-scaling sweep: one overloaded Poisson stream is
+/// captured into an [`ArrivalLog`] and replayed at every shard count on
+/// the same [`FLEET_SHARD_NODES`]-node cluster, so every point sees
+/// byte-identical traffic.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_fleet_shard_sweep(
+    seed: u64,
+    shard_counts: &[usize],
+    horizon_s: f64,
+) -> Result<Vec<FleetReport>, SimError> {
+    let log = shard_sweep_log(seed, horizon_s);
+    let rt = Runtime::with_shape(
+        seed,
+        murakkab_hardware::catalog::nd96amsr_a100_v4(),
+        FLEET_SHARD_NODES,
+    );
+    shard_counts
+        .iter()
+        .map(|&shards| rt.serve(shard_sweep_options(&log, shards, horizon_s)))
+        .collect()
 }
 
 /// Writes a machine-readable results file `BENCH_<name>.json` next to the
@@ -123,25 +215,31 @@ pub fn write_bench_json(
     Ok(path)
 }
 
-/// The fleet bench driver: prints the sweep, runs the admission-control
-/// ablation at the overload point and writes `BENCH_fleet.json`. Shared
-/// by the `murakkab_bench` and root `fleet` binaries.
+/// The fleet bench driver: prints the load sweep, runs the
+/// admission-control ablation and the shard-scaling sweep at the
+/// overload point, and writes `BENCH_fleet.json` (`sweep` +
+/// `shard_scaling` sections). `quick` trims every axis to its smallest
+/// point (one load point, shards {1, 2}, short horizon) so CI can
+/// exercise the full path on every push.
 ///
 /// # Panics
 ///
 /// Panics if a sweep run or the results file fails — bench binaries want
 /// loud failures.
-pub fn fleet_main(seed: u64) {
-    use murakkab_traffic::AdmissionConfig;
-
+pub fn fleet_main(seed: u64, quick: bool) {
+    let (factors, horizon_s, processes_per_rate): (&[f64], f64, usize) = if quick {
+        (&FLEET_LOAD_FACTORS[..1], 240.0, 1)
+    } else {
+        (&FLEET_LOAD_FACTORS, FLEET_HORIZON_S, usize::MAX)
+    };
     println!(
-        "Fleet serving sweep (seed {seed}): {} load points x {} arrival processes, {}s horizon\n",
-        FLEET_LOAD_FACTORS.len(),
-        fleet_processes(FLEET_BASE_RATE).len(),
-        FLEET_HORIZON_S
+        "Fleet serving sweep (seed {seed}{}): {} load points, {horizon_s}s horizon\n",
+        if quick { ", quick" } else { "" },
+        factors.len(),
     );
 
-    let reports = run_fleet_sweep(seed).expect("fleet sweep runs");
+    let reports = run_fleet_sweep_with(seed, factors, horizon_s, processes_per_rate)
+        .expect("fleet sweep runs");
     for report in &reports {
         println!(
             "== {} ({:.3} req/s offered, admission {}) ==",
@@ -170,19 +268,16 @@ pub fn fleet_main(seed: u64) {
     }
 
     // Admission-control ablation at the overload point (the sweep's last
-    // load factor; labels derive from the same constants the sweep uses).
+    // run load factor; labels derive from the same constants the sweep
+    // uses).
     let rt = Runtime::paper_testbed(seed);
-    let top_factor = FLEET_LOAD_FACTORS[FLEET_LOAD_FACTORS.len() - 1];
+    let top_factor = factors[factors.len() - 1];
     let overload = FLEET_BASE_RATE * top_factor;
     let (gated_name, process) = fleet_processes(overload).remove(0);
     let open = rt
         .serve(
-            FleetOptions::open_loop(
-                &format!("no-admission x{top_factor}"),
-                process,
-                FLEET_HORIZON_S,
-            )
-            .admission(AdmissionConfig::disabled()),
+            FleetOptions::open_loop(&format!("no-admission x{top_factor}"), process, horizon_s)
+                .admission(AdmissionConfig::disabled()),
         )
         .expect("no-admission run");
     let gated_label = format!("{gated_name} x{top_factor}");
@@ -204,9 +299,50 @@ pub fn fleet_main(seed: u64) {
         open.classes.iter().map(|c| c.p95_s).fold(0.0_f64, f64::max),
     );
 
-    let mut all = reports;
-    all.push(open);
-    let path = write_bench_json("fleet", &all).expect("results file writes");
+    // Shard-scaling sweep at the overload point: the same captured
+    // arrival log replayed at every shard count on identical hardware.
+    let shard_counts: &[usize] = if quick {
+        &FLEET_SHARD_SWEEP[..2]
+    } else {
+        &FLEET_SHARD_SWEEP
+    };
+    println!(
+        "\nShard scaling at {FLEET_SHARD_RATE:.2} req/s on {FLEET_SHARD_NODES} nodes \
+         (replayed log, {horizon_s}s horizon):"
+    );
+    let shard_reports =
+        run_fleet_shard_sweep(seed, shard_counts, horizon_s).expect("shard sweep runs");
+    let base_goodput = shard_reports[0].goodput_per_min.max(1e-9);
+    for report in &shard_reports {
+        println!(
+            "  {:<10} {:>6.2}/min good ({:.2}x)  SLO {:>5.1}%  {} admitted  {} steals  GPU {:.1}%",
+            report.label,
+            report.goodput_per_min,
+            report.goodput_per_min / base_goodput,
+            100.0 * report.slo_attainment,
+            report.admitted,
+            report.steals,
+            report.gpu_util_avg_pct,
+        );
+        println!("{}", report.cell_table());
+    }
+
+    use serde::Serialize;
+    #[derive(Serialize)]
+    struct FleetBench {
+        sweep: Vec<FleetReport>,
+        shard_scaling: Vec<FleetReport>,
+    }
+    let mut sweep = reports;
+    sweep.push(open);
+    let path = write_bench_json(
+        "fleet",
+        &FleetBench {
+            sweep,
+            shard_scaling: shard_reports,
+        },
+    )
+    .expect("results file writes");
     println!("\n(wrote {})", path.display());
 }
 

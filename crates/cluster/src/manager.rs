@@ -445,6 +445,52 @@ impl ClusterManager {
         Ok(())
     }
 
+    /// Splits an idle cluster into `cells` disjoint sub-clusters, each
+    /// owning a contiguous slice of nodes (the sharded fleet's cells).
+    /// Node counts are balanced: the first `nodes % cells` cells get one
+    /// extra node. Every cell inherits the parent's placement policy and
+    /// provisioning delay; node and device ids are renumbered per cell
+    /// (cells are independent schedulers and never exchange ids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] when `cells` is zero or exceeds
+    /// the node count, and [`SimError::InvalidState`] when the cluster
+    /// has live allocations, down nodes, or pending provisioning —
+    /// partitioning is a deployment-time operation, not a live migration.
+    pub fn partition(self, cells: usize) -> Result<Vec<ClusterManager>, SimError> {
+        if cells == 0 || cells > self.nodes.len() {
+            return Err(SimError::InvalidInput(format!(
+                "cannot partition {} nodes into {cells} cells",
+                self.nodes.len()
+            )));
+        }
+        if !self.allocations.is_empty() {
+            return Err(SimError::InvalidState(
+                "cannot partition a cluster with live allocations".into(),
+            ));
+        }
+        if self.nodes.iter().any(|n| !n.up) || !self.pending.is_empty() {
+            return Err(SimError::InvalidState(
+                "cannot partition a cluster with down or pending nodes".into(),
+            ));
+        }
+        let base = self.nodes.len() / cells;
+        let extra = self.nodes.len() % cells;
+        let mut shapes = self.nodes.into_iter().map(|n| n.shape);
+        let mut out = Vec::with_capacity(cells);
+        for cell in 0..cells {
+            let take = base + usize::from(cell < extra);
+            let mut cm = ClusterManager::new(self.policy);
+            cm.set_provision_delay(self.provision_delay);
+            for _ in 0..take {
+                cm.add_node(shapes.next().expect("counts sum to node count"));
+            }
+            out.push(cm);
+        }
+        Ok(out)
+    }
+
     /// Total free GPU units across up nodes.
     pub fn free_gpu_units(&self) -> f64 {
         self.nodes.iter().map(Node::free_gpu_units).sum()
@@ -793,6 +839,55 @@ mod tests {
         let node = cm.nodes()[0].id;
         assert!(matches!(
             cm.resize_harvest_cores(t(0), node, 48),
+            Err(SimError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn partition_balances_nodes_and_preserves_capacity() {
+        let mut cm = ClusterManager::new(PlacementPolicy::Spread);
+        for _ in 0..5 {
+            cm.add_node(catalog::nd96amsr_a100_v4());
+        }
+        let cells = cm.partition(2).unwrap();
+        assert_eq!(cells.len(), 2);
+        // 5 nodes into 2 cells: 3 + 2.
+        assert_eq!(cells[0].nodes().len(), 3);
+        assert_eq!(cells[1].nodes().len(), 2);
+        let total: f64 = cells
+            .iter()
+            .map(|c| c.stats(SimTime::ZERO).gpus_total)
+            .sum();
+        assert_eq!(total, 40.0);
+        // Cells are independently allocatable and inherit the policy.
+        for mut cell in cells {
+            let a = cell.allocate(t(0), "x", HardwareTarget::gpus(8)).unwrap();
+            cell.release(t(1), a).unwrap();
+        }
+    }
+
+    #[test]
+    fn partition_rejects_bad_cell_counts_and_live_state() {
+        let cm = ClusterManager::paper_testbed();
+        assert!(matches!(
+            cm.clone().partition(0),
+            Err(SimError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            cm.clone().partition(3),
+            Err(SimError::InvalidInput(_))
+        ));
+        let mut busy = cm.clone();
+        busy.allocate(t(0), "x", HardwareTarget::ONE_GPU).unwrap();
+        assert!(matches!(busy.partition(2), Err(SimError::InvalidState(_))));
+        let mut down = cm.clone();
+        let node = down.nodes()[0].id;
+        down.preempt_node(t(0), node).unwrap();
+        assert!(matches!(down.partition(2), Err(SimError::InvalidState(_))));
+        let mut pending = cm;
+        pending.request_scale_out(t(0), catalog::cpu_only_f64s());
+        assert!(matches!(
+            pending.partition(2),
             Err(SimError::InvalidState(_))
         ));
     }

@@ -5,16 +5,28 @@
 //! completion and report a makespan. A production fleet lives in the
 //! open-loop regime instead: requests arrive on their own clock (the
 //! `murakkab_traffic` generators), an admission controller decides what
-//! gets in, admitted workflows are injected into one long-running engine
+//! gets in, admitted workflows are injected into long-running engines
 //! mid-flight, and the figure of merit is latency percentiles and SLO
 //! attainment under offered load — not makespan.
 //!
-//! The serve loop interleaves two deterministic event sources: the
-//! engine's own event queue and the arrival stream. Tool pools autoscale
-//! (the engine releases them when the DAG lookahead shows no demand and
+//! The fleet is **sharded**: the cluster is partitioned into
+//! [`FleetOptions::shards`] cells, each owning a slice of nodes and
+//! running its own incremental [`Engine`] (own LLM endpoints, own tool
+//! pools, own event queue). A fleet-level router ([`CellPolicy`])
+//! assigns each admitted workflow to a cell, and a periodic
+//! migration pass at the rebalancer cadence lets hot cells shed
+//! queued-but-unstarted workflows to cold ones (work stealing). One
+//! monolithic scheduler cannot grow past a single serving stack per
+//! model — cells scale the fleet out while the front door (admission)
+//! stays global.
+//!
+//! The serve loop interleaves deterministic event sources: every cell
+//! engine's own event queue and the arrival stream, merged by time with
+//! ties broken by cell index. Tool pools autoscale per cell (the engine
+//! releases them when the DAG lookahead shows no demand and
 //! re-provisions them on admission), long-lived LLM endpoints multiplex
 //! every tenant's token work, and the advisory [`Rebalancer`] is polled
-//! on a fixed cadence against live backlog telemetry.
+//! per cell on a fixed cadence against live backlog telemetry.
 
 use std::collections::BTreeMap;
 
@@ -35,6 +47,34 @@ use crate::engine::{Engine, EngineOptions, RouteSpec};
 use crate::runtime::{RoutePlan, RunOptions, Runtime};
 use crate::workloads;
 
+/// How the fleet router assigns admitted workflows to engine cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CellPolicy {
+    /// Stable multiplicative hash of the request id: stateless, load-
+    /// oblivious, and identical across runs (no process-random hashers).
+    Hashed,
+    /// The cell with the smallest backlog (queued + in-flight
+    /// workflows); ties go to the lowest cell index.
+    #[default]
+    LeastLoaded,
+    /// SLO-class-affine: cells are striped by scheduling priority
+    /// (highest-priority classes own the first stripe), so interactive
+    /// traffic never queues behind batch work on the same engine. Within
+    /// a stripe the least-loaded cell wins.
+    SloAffine,
+}
+
+impl CellPolicy {
+    /// A short stable tag for report labels and JSON keys.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CellPolicy::Hashed => "hashed",
+            CellPolicy::LeastLoaded => "least-loaded",
+            CellPolicy::SloAffine => "slo-affine",
+        }
+    }
+}
+
 /// Options for one open-loop serving run.
 #[derive(Debug, Clone)]
 pub struct FleetOptions {
@@ -47,14 +87,30 @@ pub struct FleetOptions {
     pub horizon_s: f64,
     /// Admission-control configuration.
     pub admission: AdmissionConfig,
-    /// Workflows executing concurrently before admitted requests queue.
+    /// Workflows executing concurrently across the whole fleet before
+    /// admitted requests queue; split evenly across cells (each cell's
+    /// slot budget is `ceil(max_inflight / shards)`, at least one).
     pub max_inflight: usize,
     /// Per-stage worker fan-out inside each workflow.
     pub parallelism: u32,
     /// The tenant set (weights, mixes, SLO classes).
     pub tenants: Vec<TenantProfile>,
-    /// Advisory rebalancer polling cadence in simulated seconds.
+    /// Advisory rebalancer polling cadence in simulated seconds (also
+    /// the work-stealing cadence).
     pub rebalance_every_s: f64,
+    /// Engine cells the cluster is partitioned into (each cell owns a
+    /// node slice and runs its own engine). Must be ≥ 1 and ≤ the node
+    /// count.
+    pub shards: usize,
+    /// How admitted workflows are assigned to cells.
+    pub router: CellPolicy,
+    /// Backlog gap (hot − cold, in queued + in-flight workflows) above
+    /// which the periodic migration pass moves the hottest cell's
+    /// last-to-run queued workflow (lowest priority, youngest) to the
+    /// coldest eligible cell, repeated until the gap closes. Under the
+    /// SLO-affine router, eligibility is confined to the workflow's
+    /// priority stripe.
+    pub steal_margin: usize,
 }
 
 impl FleetOptions {
@@ -69,6 +125,9 @@ impl FleetOptions {
             parallelism: 8,
             tenants: default_tenants(),
             rebalance_every_s: 30.0,
+            shards: 1,
+            router: CellPolicy::default(),
+            steal_margin: 2,
         }
     }
 
@@ -83,6 +142,27 @@ impl FleetOptions {
     #[must_use]
     pub fn tenants(mut self, tenants: Vec<TenantProfile>) -> Self {
         self.tenants = tenants;
+        self
+    }
+
+    /// Sets the cell count the cluster is partitioned into.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the cell-routing policy.
+    #[must_use]
+    pub fn router(mut self, policy: CellPolicy) -> Self {
+        self.router = policy;
+        self
+    }
+
+    /// Scales the fleet-wide in-flight budget.
+    #[must_use]
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n.max(1);
         self
     }
 }
@@ -191,6 +271,45 @@ pub struct FleetClassReport {
     pub max_s: f64,
 }
 
+/// Per-cell serving statistics from one sharded run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetCellReport {
+    /// Cell index (stable across same-seed runs).
+    pub cell: usize,
+    /// Cluster nodes this cell owns.
+    pub nodes: usize,
+    /// Workflows the router assigned to this cell at admission.
+    pub assigned: u64,
+    /// Queued workflows stolen *into* this cell by the migration pass.
+    pub stolen_in: u64,
+    /// Queued workflows this cell shed to colder cells.
+    pub migrated_out: u64,
+    /// Workflows this cell ran to completion.
+    pub completed: u64,
+    /// Tasks the cell's engine executed.
+    pub tasks_completed: u64,
+    /// Largest backlog (queued + in-flight workflows) observed.
+    pub peak_backlog: u64,
+    /// Mean GPU utilization of the cell's nodes over the fleet run,
+    /// percent.
+    pub gpu_util_avg_pct: f64,
+    /// Mean CPU utilization of the cell's nodes over the fleet run,
+    /// percent.
+    pub cpu_util_avg_pct: f64,
+    /// GPU energy of the cell's held allocations, Wh.
+    pub energy_allocated_wh: f64,
+    /// Dollar cost of the cell's allocations plus external calls.
+    pub cost_usd: f64,
+    /// Tool-pool autoscale-up events in this cell.
+    pub pool_scale_ups: u64,
+    /// Tool-pool autoscale-down events in this cell.
+    pub pool_scale_downs: u64,
+    /// Advisory rebalancer actions recommended for this cell.
+    pub rebalance_actions: u64,
+    /// Instant the cell's last workflow finished, seconds.
+    pub makespan_s: f64,
+}
+
 /// Everything measured from one open-loop serving run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -198,6 +317,10 @@ pub struct FleetReport {
     pub label: String,
     /// Workload seed.
     pub seed: u64,
+    /// Engine cells the cluster was partitioned into.
+    pub shards: usize,
+    /// Cell-routing policy tag.
+    pub router: String,
     /// Arrival process tag ("poisson", "mmpp", ...).
     pub arrival_process: String,
     /// Long-run offered rate (requests per second).
@@ -244,8 +367,12 @@ pub struct FleetReport {
     pub pool_scale_ups: u64,
     /// Tool-pool autoscale-down events (idle release).
     pub pool_scale_downs: u64,
-    /// Advisory rebalancer actions recommended over the run.
+    /// Advisory rebalancer actions recommended over the run (all cells).
     pub rebalance_actions: u64,
+    /// Queued workflows moved between cells by the migration pass.
+    pub steals: u64,
+    /// Per-cell breakdowns, in cell-index order.
+    pub cells: Vec<FleetCellReport>,
 }
 
 impl FleetReport {
@@ -295,6 +422,32 @@ impl FleetReport {
         }
         out
     }
+
+    /// Renders the per-cell breakdown table (one line per cell).
+    pub fn cell_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "  cell nodes | assigned stolen shed done | peak-bl | GPU%   CPU%  | scale ↑/↓ | hints\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "  {:>4} {:>5} | {:>8} {:>6} {:>4} {:>4} | {:>7} | {:>5.1} {:>5.1}  | {:>4}/{:<4}  | {:>5}\n",
+                c.cell,
+                c.nodes,
+                c.assigned,
+                c.stolen_in,
+                c.migrated_out,
+                c.completed,
+                c.peak_backlog,
+                c.gpu_util_avg_pct,
+                c.cpu_util_avg_pct,
+                c.pool_scale_ups,
+                c.pool_scale_downs,
+                c.rebalance_actions,
+            ));
+        }
+        out
+    }
 }
 
 /// A planned (decomposed + expanded) request waiting to execute.
@@ -304,10 +457,87 @@ struct PlannedRequest {
     est_service_s: f64,
 }
 
-/// A workflow currently executing in the engine.
+/// A workflow currently executing in a cell's engine.
 struct InflightJob {
     planned_idx: usize,
     task_ids: Vec<murakkab_workflow::TaskId>,
+}
+
+/// One engine cell: a node slice's engine plus its local queue (a
+/// [`PriorityFifo`] over planned-request indices, popping in exactly the
+/// admission queue's order) and running stats.
+struct Cell {
+    engine: Engine,
+    routes: BTreeMap<Capability, RouteSpec>,
+    nodes: usize,
+    queue: murakkab_traffic::PriorityFifo<usize>,
+    inflight: Vec<InflightJob>,
+    assigned: u64,
+    stolen_in: u64,
+    migrated_out: u64,
+    completed: u64,
+    peak_backlog: u64,
+    rebalance_actions: u64,
+}
+
+impl Cell {
+    /// Queued plus in-flight workflows — the router's and the stealing
+    /// pass's hotness signal.
+    fn backlog(&self) -> usize {
+        self.queue.len() + self.inflight.len()
+    }
+
+    fn note_backlog(&mut self) {
+        self.peak_backlog = self.peak_backlog.max(self.backlog() as u64);
+    }
+}
+
+/// The cell-index stripe owning a scheduling priority under the
+/// SLO-affine policy: `priority_ranks` (distinct priorities, highest
+/// first) carve the cell range into contiguous stripes, highest
+/// priority first.
+fn stripe_range(priority: u8, priority_ranks: &[u8], cells: usize) -> std::ops::Range<usize> {
+    let ranks = priority_ranks.len().max(1);
+    let rank = priority_ranks
+        .iter()
+        .position(|&p| p == priority)
+        .unwrap_or(ranks - 1);
+    let lo = (rank * cells / ranks).min(cells - 1);
+    let hi = (((rank + 1) * cells) / ranks).max(lo + 1).min(cells);
+    lo..hi.max(lo + 1)
+}
+
+/// Picks the cell for an arriving request under the routing policy.
+/// Deterministic: ties always resolve to the lowest cell index.
+fn route_cell(
+    policy: CellPolicy,
+    cells: &[Cell],
+    request_id: u64,
+    priority: u8,
+    priority_ranks: &[u8],
+) -> usize {
+    match policy {
+        // Fibonacci hashing on the request id: stable across runs and
+        // platforms (no process-random hasher state).
+        CellPolicy::Hashed => {
+            (request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) % cells.len() as u64) as usize
+        }
+        CellPolicy::LeastLoaded => least_loaded(cells, 0..cells.len()),
+        CellPolicy::SloAffine => {
+            least_loaded(cells, stripe_range(priority, priority_ranks, cells.len()))
+        }
+    }
+}
+
+/// The least-backlogged cell in `range`; ties go to the lowest index.
+fn least_loaded(cells: &[Cell], range: std::ops::Range<usize>) -> usize {
+    let mut best = range.start;
+    for i in range {
+        if cells[i].backlog() < cells[best].backlog() {
+            best = i;
+        }
+    }
+    best
 }
 
 #[derive(Default)]
@@ -323,18 +553,29 @@ struct ClassAgg {
 
 impl Runtime {
     /// Serves an open-loop request stream: generates arrivals from
-    /// `opts.process`, gates them through the admission controller,
-    /// injects admitted workflows into one long-running engine mid-flight
+    /// `opts.process`, gates them through the (global) admission
+    /// controller, routes admitted workflows to one of
+    /// [`FleetOptions::shards`] engine cells, injects them mid-flight
     /// and measures per-class latency percentiles and SLO attainment.
+    /// A periodic migration pass at the rebalancer cadence lets hot
+    /// cells shed queued-but-unstarted workflows to cold ones.
     ///
-    /// Deterministic: the same runtime seed and options produce a
-    /// bit-identical [`FleetReport`].
+    /// Deterministic: the same runtime seed and options (including the
+    /// shard count and router policy) produce a bit-identical
+    /// [`FleetReport`].
     ///
     /// # Errors
     ///
-    /// Propagates planning, placement and execution errors, and fails on
+    /// Propagates planning, placement and execution errors, rejects a
+    /// zero shard count or more shards than cluster nodes, and fails on
     /// a stalled serve loop (a scheduling bug).
     pub fn serve(&self, opts: FleetOptions) -> Result<FleetReport, SimError> {
+        let shards = opts.shards;
+        if shards == 0 {
+            return Err(SimError::InvalidInput(
+                "fleet needs at least one shard".into(),
+            ));
+        }
         let horizon = SimDuration::from_secs_f64(opts.horizon_s);
         let fleet_rng = SimRng::new(self.seed()).fork("fleet");
 
@@ -374,27 +615,81 @@ impl Runtime {
                     .push(plan.archetype.clone());
             }
         }
-        let cluster = self.build_cluster();
-        let mut stats = cluster.stats(SimTime::ZERO);
         let run_opts = RunOptions::labeled(&opts.label)
             .parallelism(opts.parallelism)
             .pin_paper_agents(false);
-        let RoutePlan {
-            routes,
-            selections: _,
-            orchestrator_agent: _,
-        } = self.select_routes(&cap_archetypes, &constraints, &mut stats, &run_opts)?;
 
-        // 3. Plan every request up front (decomposition is input-size
+        // 3. Partition the cluster into cells, each with its own
+        //    resource-aware route selection (against the cell's capacity,
+        //    not the fleet's) and its own long-running engine: empty
+        //    graph, full route set. No per-request orchestration charge
+        //    (§3.3 puts it under 1% of workflow time; the closed-loop
+        //    entry points measure it).
+        let clusters = self.build_cluster().partition(shards)?;
+        let mut cells: Vec<Cell> = Vec::with_capacity(shards);
+        // Selection only depends on the cell's capacity, and the fleet
+        // is homogeneous (one VM shape), so cells with the same node
+        // count share one selection pass.
+        let mut routes_by_nodes: BTreeMap<usize, BTreeMap<Capability, RouteSpec>> = BTreeMap::new();
+        for cluster in clusters {
+            let nodes = cluster.nodes().len();
+            let routes = match routes_by_nodes.get(&nodes) {
+                Some(routes) => routes.clone(),
+                None => {
+                    let mut stats = cluster.stats(SimTime::ZERO);
+                    let RoutePlan {
+                        routes,
+                        selections: _,
+                        orchestrator_agent: _,
+                    } = self.select_routes(&cap_archetypes, &constraints, &mut stats, &run_opts)?;
+                    routes_by_nodes.insert(nodes, routes.clone());
+                    routes
+                }
+            };
+            let mut engine_opts = EngineOptions::for_gpu(
+                self.shape()
+                    .gpu
+                    .clone()
+                    .unwrap_or_else(murakkab_hardware::catalog::a100_80g),
+            );
+            engine_opts.workflow_aware = true;
+            let mut engine = Engine::new(
+                cluster,
+                self.library(),
+                TaskGraph::new(),
+                routes.clone(),
+                engine_opts,
+                SimTime::ZERO,
+            )?;
+            engine.start(SimTime::ZERO)?;
+            cells.push(Cell {
+                engine,
+                routes,
+                nodes,
+                queue: murakkab_traffic::PriorityFifo::new(),
+                inflight: Vec::new(),
+                assigned: 0,
+                stolen_in: 0,
+                migrated_out: 0,
+                completed: 0,
+                peak_backlog: 0,
+                rebalance_actions: 0,
+            });
+        }
+
+        // 4. Plan every request up front (decomposition is input-size
         //    independent, so this is equivalent to planning on arrival and
-        //    keeps the loop allocation-free).
+        //    keeps the loop allocation-free). The admission estimate uses
+        //    cell 0's routes: equal node slices select identical routes,
+        //    and the estimate is a front-door heuristic either way.
+        let est_routes = cells[0].routes.clone();
         let mut planned = Vec::with_capacity(requests.len());
         for req in requests {
             let mut job_rng = fleet_rng.fork(&format!("job-{}", req.id));
             let (job, inputs) = fleet_job(req.archetype, &req.tenant, &mut job_rng);
             let (plan, _) = Planner.decompose(&job, self.library())?;
             let graph = expand(&plan, &inputs)?;
-            let est_service_s = estimate_service_s(&graph, &routes, self.library())?;
+            let est_service_s = estimate_service_s(&graph, &est_routes, self.library())?;
             planned.push(PlannedRequest {
                 req,
                 graph,
@@ -402,34 +697,26 @@ impl Runtime {
             });
         }
 
-        // 4. The long-running engine: empty graph, full route set. No
-        //    per-request orchestration charge (§3.3 puts it under 1% of
-        //    workflow time; the closed-loop entry points measure it).
-        let mut engine_opts = EngineOptions::for_gpu(
-            self.shape()
-                .gpu
-                .clone()
-                .unwrap_or_else(murakkab_hardware::catalog::a100_80g),
-        );
-        engine_opts.workflow_aware = true;
-        let mut engine = Engine::new(
-            cluster,
-            self.library(),
-            TaskGraph::new(),
-            routes.clone(),
-            engine_opts,
-            SimTime::ZERO,
-        )?;
-        engine.start(SimTime::ZERO)?;
-
-        // 5. The serve loop: two merged deterministic event sources.
-        let mut ctrl: AdmissionController<usize> = AdmissionController::new(opts.admission.clone());
+        // 5. The serve loop: every cell's event queue and the arrival
+        //    stream, merged deterministically (earliest first; engine
+        //    events beat simultaneous arrivals; ties across cells go to
+        //    the lowest cell index).
+        let mut ctrl: AdmissionController<()> = AdmissionController::new(opts.admission.clone())?;
         let rebalancer = Rebalancer::default();
         let rebalance_every = SimDuration::from_secs_f64(opts.rebalance_every_s.max(1.0));
         let mut next_rebalance = SimTime::ZERO + rebalance_every;
-        let mut rebalance_actions = 0u64;
+        let mut steals = 0u64;
+        let mut next_seq = 0u64;
+        let per_cell_inflight = opts.max_inflight.max(1).div_ceil(shards);
+        // Distinct scheduling priorities, highest first — the stripe
+        // table for the SLO-affine router.
+        let priority_ranks: Vec<u8> = {
+            let mut ps: Vec<u8> = opts.tenants.iter().map(|t| t.class.priority).collect();
+            ps.sort_unstable_by(|a, b| b.cmp(a));
+            ps.dedup();
+            ps
+        };
 
-        let mut inflight: Vec<InflightJob> = Vec::new();
         let mut classes: BTreeMap<String, ClassAgg> = BTreeMap::new();
         for p in &planned {
             let agg = classes.entry(p.req.class.name.clone()).or_default();
@@ -441,128 +728,251 @@ impl Runtime {
         let mut now = SimTime::ZERO;
         let mut arr_idx = 0usize;
         loop {
-            // Inject queued work while execution slots are free.
-            while inflight.len() < opts.max_inflight.max(1) {
-                let Some(idx) = ctrl.pop() else { break };
-                let p = &planned[idx];
-                let map = engine.admit_graph(now, &p.graph, &format!("r{}/", p.req.id))?;
-                inflight.push(InflightJob {
-                    planned_idx: idx,
-                    task_ids: map.into_values().collect(),
-                });
+            // Inject queued work while execution slots are free, cell by
+            // cell.
+            for cell in cells.iter_mut() {
+                while cell.inflight.len() < per_cell_inflight {
+                    let Some((_, _, idx)) = cell.queue.pop() else {
+                        break;
+                    };
+                    let p = &planned[idx];
+                    let map = cell
+                        .engine
+                        .admit_graph(now, &p.graph, &format!("r{}/", p.req.id))?;
+                    cell.inflight.push(InflightJob {
+                        planned_idx: idx,
+                        task_ids: map.into_values().collect(),
+                    });
+                }
             }
 
             let next_arr = planned.get(arr_idx).map(|p| p.req.at);
-            let stepped = match (next_arr, engine.peek_time()) {
+            let next_event = cells
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.engine.peek_time().map(|t| (t, i)))
+                .min();
+            let stepped = match (next_arr, next_event) {
                 (None, None) => {
-                    if inflight.is_empty() && ctrl.queue_len() == 0 {
+                    if cells
+                        .iter()
+                        .all(|c| c.inflight.is_empty() && c.queue.is_empty())
+                    {
                         break;
                     }
-                    // Loop-top injection already drained the queue into
+                    // Loop-top injection already drained the queues into
                     // any free slots, so reaching here with work left
-                    // means the engine stalled — a scheduling bug, not a
+                    // means an engine stalled — a scheduling bug, not a
                     // wait state.
                     return Err(SimError::InvalidState(
                         "fleet serve loop stalled with workflows pending".into(),
                     ));
                 }
-                (Some(at), Some(ev)) if ev <= at => {
-                    now = engine.step()?.expect("peeked event exists");
-                    true
+                (Some(at), Some((ev, i))) if ev <= at => {
+                    now = cells[i].engine.step()?.expect("peeked event exists");
+                    Some(i)
                 }
                 (Some(at), _) => {
-                    // Arrival: admission decision at the arrival instant.
+                    // Arrival: route to a cell, then the admission
+                    // decision at the arrival instant against that cell's
+                    // backlog.
                     now = at;
                     let p = &planned[arr_idx];
-                    let decision = ctrl.offer(
-                        at,
+                    let cell_idx = route_cell(
+                        opts.router,
+                        &cells,
+                        p.req.id,
                         p.req.class.priority,
+                        &priority_ranks,
+                    );
+                    let decision = ctrl.gate(
+                        at,
                         p.req.class.deadline_s,
                         p.est_service_s,
-                        inflight.len(),
-                        arr_idx,
+                        cells[cell_idx].backlog(),
+                        cells[cell_idx].queue.len(),
                     );
                     if decision == murakkab_traffic::AdmissionDecision::Admitted {
                         let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
                         agg.admitted += 1;
+                        let cell = &mut cells[cell_idx];
+                        cell.queue.push(p.req.class.priority, next_seq, arr_idx);
+                        next_seq += 1;
+                        cell.assigned += 1;
+                        cell.note_backlog();
                     }
                     arr_idx += 1;
-                    false
+                    None
                 }
-                (None, Some(_)) => {
-                    now = engine.step()?.expect("peeked event exists");
-                    true
+                (None, Some((_, i))) => {
+                    now = cells[i].engine.step()?.expect("peeked event exists");
+                    Some(i)
                 }
             };
 
-            // Harvest workflow completions after engine progress.
-            if stepped && !inflight.is_empty() {
-                let completed = engine.completed_tasks();
-                let mut i = 0;
-                while i < inflight.len() {
-                    if inflight[i].task_ids.iter().all(|t| completed.contains(t)) {
-                        let job = inflight.swap_remove(i);
-                        let p = &planned[job.planned_idx];
-                        let latency = now.saturating_duration_since(p.req.at).as_secs_f64();
-                        let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
-                        agg.completed += 1;
-                        if p.req.class.met_by(latency) {
-                            agg.slo_met += 1;
+            // Harvest workflow completions after the stepped cell's
+            // progress.
+            if let Some(i) = stepped {
+                let Cell {
+                    engine,
+                    inflight,
+                    completed: cell_completed,
+                    ..
+                } = &mut cells[i];
+                if !inflight.is_empty() {
+                    let done = engine.completed_tasks();
+                    let mut k = 0;
+                    while k < inflight.len() {
+                        if inflight[k].task_ids.iter().all(|t| done.contains(t)) {
+                            let job = inflight.swap_remove(k);
+                            let p = &planned[job.planned_idx];
+                            let latency = now.saturating_duration_since(p.req.at).as_secs_f64();
+                            let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
+                            agg.completed += 1;
+                            if p.req.class.met_by(latency) {
+                                agg.slo_met += 1;
+                            }
+                            agg.latencies.push(latency);
+                            *cell_completed += 1;
+                        } else {
+                            k += 1;
                         }
-                        agg.latencies.push(latency);
-                    } else {
-                        i += 1;
                     }
                 }
             }
 
-            // Advisory rebalancer on its cadence: plan against live
-            // backlog telemetry, count the recommendations. Resident
+            // Advisory rebalancer on its cadence, per cell: plan against
+            // live backlog telemetry, count the recommendations. Resident
             // views cover every capability an endpoint serves plus the
             // live tool pools, so Prewarm hints fire only for genuinely
             // unserved demand (e.g. a pool scaled down during a lull).
             while now >= next_rebalance {
-                let upcoming = engine.upcoming_by_capability();
-                let mut views: Vec<EndpointView> = Vec::new();
-                for (agent, gpus, load) in engine.endpoint_loads() {
-                    for cap in endpoint_capabilities(&routes, &agent) {
+                for cell in cells.iter_mut() {
+                    let upcoming = cell.engine.upcoming_by_capability();
+                    let mut views: Vec<EndpointView> = Vec::new();
+                    for (agent, gpus, load) in cell.engine.endpoint_loads() {
+                        for cap in endpoint_capabilities(&cell.routes, &agent) {
+                            views.push(EndpointView {
+                                label: agent.clone(),
+                                capability: cap,
+                                gpus: f64::from(gpus),
+                                load,
+                            });
+                        }
+                    }
+                    for (agent, capability, gpus, load) in cell.engine.pool_views() {
                         views.push(EndpointView {
-                            label: agent.clone(),
-                            capability: cap,
-                            gpus: f64::from(gpus),
+                            label: agent,
+                            capability,
+                            gpus,
                             load,
                         });
                     }
+                    let cluster_stats = cell.engine.cluster_stats(next_rebalance);
+                    cell.rebalance_actions +=
+                        rebalancer.plan(&cluster_stats, &upcoming, &views).len() as u64;
                 }
-                for (agent, capability, gpus, load) in engine.pool_views() {
-                    views.push(EndpointView {
-                        label: agent,
-                        capability,
-                        gpus,
-                        load,
-                    });
+
+                // The migration pass rides the same telemetry tick: hot
+                // cells shed queued-but-unstarted workflows to cold ones
+                // until no eligible gap exceeds the steal margin. The
+                // shed item is the hot cell's *last-to-run* queued
+                // workflow (lowest priority, youngest) — it gains the
+                // most from a colder queue and its class loses nothing.
+                // Under the SLO-affine router the cold-cell choice is
+                // confined to the item's priority stripe, so stealing
+                // never mixes interactive and batch traffic; a hot cell
+                // whose stripe is already balanced is skipped so other
+                // stripes still drain. Every move re-scores, so the pass
+                // converges (each steal shrinks some gap by two).
+                loop {
+                    // Hot candidates in descending backlog order, ties
+                    // to the lowest index; take the first that can shed.
+                    let mut order: Vec<usize> = (0..cells.len())
+                        .filter(|&i| !cells[i].queue.is_empty())
+                        .collect();
+                    order.sort_by_key(|&i| (std::cmp::Reverse(cells[i].backlog()), i));
+                    let mut moved = false;
+                    for &hot in &order {
+                        let priority = cells[hot]
+                            .queue
+                            .last_priority()
+                            .expect("hot cell has queued work");
+                        let eligible = match opts.router {
+                            CellPolicy::SloAffine => {
+                                stripe_range(priority, &priority_ranks, cells.len())
+                            }
+                            _ => 0..cells.len(),
+                        };
+                        let cold = least_loaded(&cells, eligible);
+                        if hot == cold
+                            || cells[hot].backlog()
+                                < cells[cold].backlog() + opts.steal_margin.max(1)
+                        {
+                            continue;
+                        }
+                        let (prio, seq, idx) = cells[hot]
+                            .queue
+                            .pop_last()
+                            .expect("hot cell has queued work");
+                        cells[hot].migrated_out += 1;
+                        cells[cold].queue.push(prio, seq, idx);
+                        cells[cold].stolen_in += 1;
+                        cells[cold].note_backlog();
+                        steals += 1;
+                        moved = true;
+                        break;
+                    }
+                    if !moved {
+                        break;
+                    }
                 }
-                let cluster_stats = engine.cluster_stats(next_rebalance);
-                rebalance_actions +=
-                    rebalancer.plan(&cluster_stats, &upcoming, &views).len() as u64;
                 next_rebalance = next_rebalance + rebalance_every;
             }
         }
 
         let admission_stats = ctrl.stats();
-        let outcome = engine.finish(SimTime::ZERO)?;
 
-        // 6. Report assembly.
-        let makespan = outcome.makespan;
+        // 6. Per-cell settlement, then fleet-level report assembly.
+        struct CellDone {
+            outcome: crate::engine::EngineOutcome,
+            nodes: usize,
+            assigned: u64,
+            stolen_in: u64,
+            migrated_out: u64,
+            completed: u64,
+            peak_backlog: u64,
+            rebalance_actions: u64,
+        }
+        let mut finished = Vec::with_capacity(cells.len());
+        let mut makespan = SimTime::ZERO;
+        for cell in cells {
+            let Cell {
+                engine,
+                nodes,
+                assigned,
+                stolen_in,
+                migrated_out,
+                completed,
+                peak_backlog,
+                rebalance_actions,
+                ..
+            } = cell;
+            let outcome = engine.finish(SimTime::ZERO)?;
+            makespan = makespan.max(outcome.makespan);
+            finished.push(CellDone {
+                outcome,
+                nodes,
+                assigned,
+                stolen_in,
+                migrated_out,
+                completed,
+                peak_backlog,
+                rebalance_actions,
+            });
+        }
+
         let sample = SimDuration::from_secs(1);
-        let gpu_samples =
-            outcome
-                .cluster
-                .aggregate_util(DeviceKind::Gpu, SimTime::ZERO, makespan, sample);
-        let cpu_samples =
-            outcome
-                .cluster
-                .aggregate_util(DeviceKind::CpuPool, SimTime::ZERO, makespan, sample);
         let avg = |samples: &[(f64, f64)]| {
             if samples.is_empty() {
                 0.0
@@ -570,6 +980,59 @@ impl Runtime {
                 samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64
             }
         };
+        // Utilization is sampled per cell over the *fleet* window so idle
+        // tails count against a cell, then capacity-weighted into the
+        // fleet aggregate.
+        let mut cell_reports: Vec<FleetCellReport> = Vec::with_capacity(finished.len());
+        let (mut gpu_w, mut gpu_cap, mut cpu_w, mut cpu_cap) = (0.0, 0.0, 0.0, 0.0);
+        let mut tasks_completed = 0u64;
+        let mut energy_allocated_wh = 0.0;
+        let mut cost_usd = 0.0;
+        let (mut pool_scale_ups, mut pool_scale_downs) = (0u64, 0u64);
+        let mut rebalance_actions = 0u64;
+        for (i, done) in finished.iter().enumerate() {
+            let gpu = avg(&done.outcome.cluster.aggregate_util(
+                DeviceKind::Gpu,
+                SimTime::ZERO,
+                makespan,
+                sample,
+            ));
+            let cpu = avg(&done.outcome.cluster.aggregate_util(
+                DeviceKind::CpuPool,
+                SimTime::ZERO,
+                makespan,
+                sample,
+            ));
+            let cap = done.outcome.cluster.stats(SimTime::ZERO);
+            gpu_w += gpu * cap.gpus_total;
+            gpu_cap += cap.gpus_total;
+            cpu_w += cpu * cap.cores_total;
+            cpu_cap += cap.cores_total;
+            tasks_completed += done.outcome.tasks_completed as u64;
+            energy_allocated_wh += done.outcome.energy_allocated_wh;
+            cost_usd += done.outcome.cost_usd;
+            pool_scale_ups += done.outcome.pool_scale_ups;
+            pool_scale_downs += done.outcome.pool_scale_downs;
+            rebalance_actions += done.rebalance_actions;
+            cell_reports.push(FleetCellReport {
+                cell: i,
+                nodes: done.nodes,
+                assigned: done.assigned,
+                stolen_in: done.stolen_in,
+                migrated_out: done.migrated_out,
+                completed: done.completed,
+                tasks_completed: done.outcome.tasks_completed as u64,
+                peak_backlog: done.peak_backlog,
+                gpu_util_avg_pct: gpu,
+                cpu_util_avg_pct: cpu,
+                energy_allocated_wh: done.outcome.energy_allocated_wh,
+                cost_usd: done.outcome.cost_usd,
+                pool_scale_ups: done.outcome.pool_scale_ups,
+                pool_scale_downs: done.outcome.pool_scale_downs,
+                rebalance_actions: done.rebalance_actions,
+                makespan_s: done.outcome.makespan.as_secs_f64(),
+            });
+        }
 
         let mut class_reports: Vec<FleetClassReport> = classes
             .into_iter()
@@ -621,6 +1084,8 @@ impl Runtime {
         Ok(FleetReport {
             label: opts.label,
             seed: self.seed(),
+            shards,
+            router: opts.router.tag().into(),
             arrival_process: opts.process.kind().into(),
             offered_rate_per_s: opts.process.mean_rate_per_s(),
             horizon_s: opts.horizon_s,
@@ -640,15 +1105,17 @@ impl Runtime {
             throughput_per_min: completed as f64 / horizon_min,
             goodput_per_min: slo_met as f64 / horizon_min,
             classes: class_reports,
-            tasks_completed: outcome.tasks_completed as u64,
+            tasks_completed,
             makespan_s: makespan.as_secs_f64(),
-            gpu_util_avg_pct: avg(&gpu_samples),
-            cpu_util_avg_pct: avg(&cpu_samples),
-            energy_allocated_wh: outcome.energy_allocated_wh,
-            cost_usd: outcome.cost_usd,
-            pool_scale_ups: outcome.pool_scale_ups,
-            pool_scale_downs: outcome.pool_scale_downs,
+            gpu_util_avg_pct: if gpu_cap > 0.0 { gpu_w / gpu_cap } else { 0.0 },
+            cpu_util_avg_pct: if cpu_cap > 0.0 { cpu_w / cpu_cap } else { 0.0 },
+            energy_allocated_wh,
+            cost_usd,
+            pool_scale_ups,
+            pool_scale_downs,
             rebalance_actions,
+            steals,
+            cells: cell_reports,
         })
     }
 }

@@ -42,6 +42,6 @@ pub mod runtime;
 pub mod workloads;
 
 pub use baseline::run_baseline_video_understanding;
-pub use fleet::{FleetOptions, FleetReport};
+pub use fleet::{CellPolicy, FleetCellReport, FleetOptions, FleetReport};
 pub use report::RunReport;
 pub use runtime::{RunOptions, Runtime, SttChoice};

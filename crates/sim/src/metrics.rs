@@ -543,6 +543,81 @@ mod tests {
         assert!((h.quantile(1.0) - 6.0).abs() < 1e-9);
     }
 
+    /// Exact nearest-rank quantile of a sorted sample (the reference the
+    /// histogram estimator is checked against).
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    #[test]
+    fn histogram_quantiles_track_exact_sample_quantiles() {
+        // Seeded pseudo-random inputs (LCG): the estimate must land in
+        // the same bucket as the exact nearest-rank quantile, i.e. within
+        // one bucket width below the next bound, for every probe.
+        let bounds: Vec<f64> = (1..=20).map(|i| f64::from(i) * 5.0).collect();
+        let mut h = Histogram::new(bounds.clone());
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut values = Vec::new();
+        for _ in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (state >> 11) as f64 / (1u64 << 53) as f64 * 99.0 + 0.5;
+            h.observe(v);
+            values.push(v);
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let est = h.quantile(q);
+            // Same bucket: the estimate may be off by at most the width
+            // of the bucket holding the exact quantile (5.0 here).
+            assert!(
+                (est - exact).abs() <= 5.0 + 1e-9,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+            assert!(est <= h.max() + 1e-9, "q={q}: estimate above max");
+        }
+        // percentiles() is elementwise quantile().
+        let qs = [0.5, 0.95, 0.99];
+        assert_eq!(h.percentiles(&qs), qs.map(|q| h.quantile(q)).to_vec());
+    }
+
+    #[test]
+    fn histogram_empty_is_all_zeros() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+        assert_eq!(h.percentiles(&[0.5, 0.99]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn histogram_single_bucket_edge_cases() {
+        // One bound: everything below it interpolates inside (0, b]; the
+        // implicit overflow bucket reports the largest observation.
+        let mut h = Histogram::new(vec![10.0]);
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            h.observe(v);
+        }
+        // Rank r of 4 → r/4 through the (0, 10] bucket, clamped to max.
+        assert!((h.quantile(0.25) - 2.5).abs() < 1e-9);
+        assert!((h.quantile(0.5) - 5.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 8.0).abs() < 1e-9, "clamped to max");
+        // All mass in the overflow bucket: every quantile is the max.
+        let mut o = Histogram::new(vec![1.0]);
+        for v in [50.0, 70.0, 90.0] {
+            o.observe(v);
+        }
+        for q in [0.1, 0.5, 1.0] {
+            assert_eq!(o.quantile(q), 90.0, "q={q}");
+        }
+    }
+
     #[test]
     fn histogram_exponential_bounds() {
         let h = Histogram::exponential(0.001, 10.0, 4);

@@ -100,4 +100,36 @@ proptest! {
         let top = h.quantile(1.0);
         prop_assert!(values.iter().all(|&v| v <= top + 1e-9));
     }
+
+    /// On uniform-width buckets, every quantile estimate lands within one
+    /// bucket width of the exact nearest-rank sample quantile, is
+    /// monotone in q, and never exceeds the largest observation.
+    #[test]
+    fn histogram_quantiles_bracket_exact_quantiles(
+        mut values in prop::collection::vec(0.0f64..100.0, 1..120),
+        probes in prop::collection::vec(0.0f64..1.0, 1..12),
+    ) {
+        const WIDTH: f64 = 10.0;
+        let bounds: Vec<f64> = (1..=10).map(|i| f64::from(i) * WIDTH).collect();
+        let mut h = Histogram::new(bounds);
+        for &v in &values {
+            h.observe(v);
+        }
+        values.sort_by(f64::total_cmp);
+        let mut sorted_probes = probes.clone();
+        sorted_probes.sort_by(f64::total_cmp);
+        let mut last = 0.0f64;
+        for &q in &sorted_probes {
+            let rank = (q * values.len() as f64).ceil().max(1.0) as usize;
+            let exact = values[rank.min(values.len()) - 1];
+            let est = h.quantile(q);
+            prop_assert!(
+                (est - exact).abs() <= WIDTH + 1e-9,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+            prop_assert!(est <= h.max() + 1e-9);
+            prop_assert!(est + 1e-9 >= last, "quantile must be monotone in q");
+            last = est;
+        }
+    }
 }

@@ -16,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use murakkab_sim::SimTime;
+use murakkab_sim::{SimError, SimTime};
 
 /// Token-bucket rate limiter over simulated time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,16 +33,38 @@ impl TokenBucket {
     ///
     /// # Panics
     ///
-    /// Panics on non-positive rate or burst.
+    /// Panics on invalid parameters; use [`TokenBucket::try_new`] for a
+    /// checked constructor.
     pub fn new(rate_per_s: f64, burst: f64) -> Self {
-        assert!(rate_per_s > 0.0, "token rate must be positive");
-        assert!(burst >= 1.0, "burst must admit at least one token");
-        TokenBucket {
+        Self::try_new(rate_per_s, burst).expect("valid token-bucket parameters")
+    }
+
+    /// Checked constructor: the rate must be a finite positive number and
+    /// the burst a finite value of at least one token. NaN, zero, negative
+    /// and infinite rates are configuration errors, not panics — the
+    /// refill arithmetic would otherwise silently poison every later
+    /// admission decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] naming the offending parameter.
+    pub fn try_new(rate_per_s: f64, burst: f64) -> Result<Self, SimError> {
+        if !rate_per_s.is_finite() || rate_per_s <= 0.0 {
+            return Err(SimError::InvalidInput(format!(
+                "token rate must be finite and positive, got {rate_per_s}"
+            )));
+        }
+        if !burst.is_finite() || burst < 1.0 {
+            return Err(SimError::InvalidInput(format!(
+                "token burst must be finite and admit at least one token, got {burst}"
+            )));
+        }
+        Ok(TokenBucket {
             rate_per_s,
             burst,
             tokens: burst,
             last: SimTime::ZERO,
-        }
+        })
     }
 
     /// Takes one token at `now` if available.
@@ -96,6 +118,28 @@ impl AdmissionConfig {
             ..AdmissionConfig::default()
         }
     }
+
+    /// Validates the gating parameters. A disabled config is always valid
+    /// (no gate ever runs, so its parameters are inert); an enabled one
+    /// needs a well-formed token bucket and a finite non-negative backlog
+    /// slack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        TokenBucket::try_new(self.rate_per_s, self.burst)?;
+        if !self.slack_per_backlog.is_finite() || self.slack_per_backlog < 0.0 {
+            return Err(SimError::InvalidInput(format!(
+                "backlog slack must be finite and non-negative, got {}",
+                self.slack_per_backlog
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Why a request was (not) admitted.
@@ -138,27 +182,161 @@ struct QueueEntry<T> {
     item: T,
 }
 
+/// A priority-FIFO buffer: pops the highest priority first, FIFO (by the
+/// caller-supplied sequence number) within a priority. Shared by the
+/// admission controller's internal queue and the sharded fleet's
+/// per-cell queues, so both pop in the identical order.
+#[derive(Debug, Clone)]
+pub struct PriorityFifo<T> {
+    entries: Vec<QueueEntry<T>>,
+}
+
+impl<T> Default for PriorityFifo<T> {
+    fn default() -> Self {
+        PriorityFifo {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T> PriorityFifo<T> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an item. `seq` must be unique and monotone across pushes
+    /// for the FIFO tie-break to mean arrival order.
+    pub fn push(&mut self, priority: u8, seq: u64, item: T) {
+        self.entries.push(QueueEntry {
+            priority,
+            seq,
+            item,
+        });
+    }
+
+    /// Index the next [`PriorityFifo::pop`] would take.
+    fn first_idx(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the entry `pop` would yield *last*.
+    fn last_idx(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+            .map(|(i, _)| i)
+    }
+
+    /// Removes the next entry: highest priority first, FIFO within a
+    /// priority.
+    pub fn pop(&mut self) -> Option<(u8, u64, T)> {
+        let i = self.first_idx()?;
+        let e = self.entries.remove(i);
+        Some((e.priority, e.seq, e.item))
+    }
+
+    /// Removes the entry `pop` would yield last (lowest priority,
+    /// youngest) — the best migration candidate when shedding work.
+    pub fn pop_last(&mut self) -> Option<(u8, u64, T)> {
+        let i = self.last_idx()?;
+        let e = self.entries.remove(i);
+        Some((e.priority, e.seq, e.item))
+    }
+
+    /// Priority of the entry `pop` would yield last.
+    pub fn last_priority(&self) -> Option<u8> {
+        self.last_idx().map(|i| self.entries[i].priority)
+    }
+
+    /// Queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// The admission controller: gates plus the bounded priority queue.
 #[derive(Debug, Clone)]
 pub struct AdmissionController<T> {
     cfg: AdmissionConfig,
     bucket: TokenBucket,
-    queue: Vec<QueueEntry<T>>,
+    queue: PriorityFifo<T>,
     next_seq: u64,
     stats: AdmissionStats,
 }
 
 impl<T> AdmissionController<T> {
     /// Builds a controller from a config.
-    pub fn new(cfg: AdmissionConfig) -> Self {
-        let bucket = TokenBucket::new(cfg.rate_per_s, cfg.burst);
-        AdmissionController {
+    ///
+    /// A disabled config never constructs its token bucket (disabled
+    /// admission must work even with degenerate rate parameters — it is
+    /// the no-admission baseline, not a gate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] for an enabled config with
+    /// NaN/zero/negative/infinite bucket parameters or backlog slack.
+    pub fn new(cfg: AdmissionConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let bucket = if cfg.enabled {
+            TokenBucket::try_new(cfg.rate_per_s, cfg.burst)?
+        } else {
+            // Placeholder: every gate is skipped when disabled.
+            TokenBucket::try_new(1.0, 1.0)?
+        };
+        Ok(AdmissionController {
             cfg,
             bucket,
-            queue: Vec::new(),
+            queue: PriorityFifo::new(),
             next_seq: 0,
             stats: AdmissionStats::default(),
+        })
+    }
+
+    /// Runs the admission gates only, against caller-maintained queue
+    /// state: `backlog` backs the deadline-feasibility estimate (queued +
+    /// in-service requests wherever the caller keeps them) and `queued`
+    /// is checked against the bounded-queue capacity. Stats are counted
+    /// but nothing is enqueued — the sharded fleet driver keeps per-cell
+    /// queues and only needs the front-door decision.
+    ///
+    /// A non-finite service estimate counts as infeasible (the estimator
+    /// failed, so the deadline cannot be promised).
+    pub fn gate(
+        &mut self,
+        now: SimTime,
+        deadline_s: f64,
+        est_service_s: f64,
+        backlog: usize,
+        queued: usize,
+    ) -> AdmissionDecision {
+        if self.cfg.enabled {
+            if !self.bucket.try_take(now) {
+                self.stats.rejected_rate += 1;
+                return AdmissionDecision::RejectedRate;
+            }
+            let estimated = est_service_s * (1.0 + backlog as f64 * self.cfg.slack_per_backlog);
+            if !estimated.is_finite() || estimated > deadline_s {
+                self.stats.rejected_deadline += 1;
+                return AdmissionDecision::RejectedDeadline;
+            }
+            if queued >= self.cfg.max_queue {
+                self.stats.rejected_queue_full += 1;
+                return AdmissionDecision::RejectedQueueFull;
+            }
         }
+        self.stats.admitted += 1;
+        AdmissionDecision::Admitted
     }
 
     /// Offers a request at `now`. `est_service_s` is the idle-system
@@ -174,43 +352,25 @@ impl<T> AdmissionController<T> {
         in_service: usize,
         item: T,
     ) -> AdmissionDecision {
-        if self.cfg.enabled {
-            if !self.bucket.try_take(now) {
-                self.stats.rejected_rate += 1;
-                return AdmissionDecision::RejectedRate;
-            }
-            let backlog = (self.queue.len() + in_service) as f64;
-            let estimated = est_service_s * (1.0 + backlog * self.cfg.slack_per_backlog);
-            if estimated > deadline_s {
-                self.stats.rejected_deadline += 1;
-                return AdmissionDecision::RejectedDeadline;
-            }
-            if self.queue.len() >= self.cfg.max_queue {
-                self.stats.rejected_queue_full += 1;
-                return AdmissionDecision::RejectedQueueFull;
-            }
+        let decision = self.gate(
+            now,
+            deadline_s,
+            est_service_s,
+            self.queue.len() + in_service,
+            self.queue.len(),
+        );
+        if decision == AdmissionDecision::Admitted {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.queue.push(priority, seq, item);
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(QueueEntry {
-            priority,
-            seq,
-            item,
-        });
-        self.stats.admitted += 1;
-        AdmissionDecision::Admitted
+        decision
     }
 
     /// Pops the next request to execute: highest priority first, FIFO
     /// within a priority.
     pub fn pop(&mut self) -> Option<T> {
-        let best = self
-            .queue
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
-            .map(|(i, _)| i)?;
-        Some(self.queue.remove(best).item)
+        self.queue.pop().map(|(_, _, item)| item)
     }
 
     /// Queued (admitted, not yet executing) requests.
@@ -257,7 +417,8 @@ mod tests {
             burst: 4.0,
             max_queue: 2,
             slack_per_backlog: 1.0,
-        });
+        })
+        .expect("valid config");
         // Feasible, fits queue.
         assert_eq!(
             c.offer(t(0.0), 0, 100.0, 10.0, 0, 1),
@@ -296,7 +457,7 @@ mod tests {
     #[test]
     fn pop_orders_by_priority_then_fifo() {
         let mut c: AdmissionController<&'static str> =
-            AdmissionController::new(AdmissionConfig::default());
+            AdmissionController::new(AdmissionConfig::default()).expect("valid config");
         for (prio, item) in [(0, "batch-1"), (2, "inter-1"), (1, "std-1"), (2, "inter-2")] {
             assert_eq!(
                 c.offer(t(0.0), prio, 1e9, 0.0, 0, item),
@@ -310,7 +471,8 @@ mod tests {
 
     #[test]
     fn disabled_controller_admits_everything() {
-        let mut c: AdmissionController<u32> = AdmissionController::new(AdmissionConfig::disabled());
+        let mut c: AdmissionController<u32> =
+            AdmissionController::new(AdmissionConfig::disabled()).expect("valid config");
         assert!(!c.enabled());
         for i in 0..100 {
             // Infeasible deadline, zero-rate bucket pressure, tiny queue —
@@ -332,7 +494,8 @@ mod tests {
             burst: 10.0,
             max_queue: 10,
             slack_per_backlog: 0.5,
-        });
+        })
+        .expect("valid config");
         // Empty system: 10 s estimate meets a 12 s deadline.
         assert_eq!(
             c.offer(t(0.0), 0, 12.0, 10.0, 0, 1),

@@ -31,7 +31,10 @@ pub mod mix;
 pub mod replay;
 pub mod slo;
 
-pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats};
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, PriorityFifo,
+    TokenBucket,
+};
 pub use arrivals::ArrivalProcess;
 pub use mix::{Archetype, JobMix, RequestSpec, TenantProfile, TrafficSpec};
 pub use replay::ArrivalLog;

@@ -1,0 +1,57 @@
+//! Sharded fleet serving: the same overloaded arrival log served by 1,
+//! 2 and 4 engine cells on the same 8-node cluster.
+//!
+//! One monolithic serve loop cannot grow past a single serving stack per
+//! model, so extra nodes buy it little; partitioning the cluster into
+//! cells (each with its own LLM endpoints and tool pools) turns the same
+//! hardware into a horizontally scaled fleet. Arrivals are captured once
+//! and replayed, so every shard count sees byte-identical traffic. The
+//! traffic recipe (rate, front-door admission, in-flight budget) is the
+//! `fleet` bench's shard-sweep configuration, shared via
+//! `murakkab_bench`.
+//!
+//! ```text
+//! cargo run --example fleet_sharded
+//! ```
+
+use murakkab::Runtime;
+use murakkab_bench::{shard_sweep_log, shard_sweep_options, FLEET_SHARD_RATE};
+
+const SEED: u64 = 42;
+const NODES: usize = 8;
+const HORIZON_S: f64 = 300.0;
+
+fn main() {
+    // Capture the overloaded stream once; every shard count replays it.
+    let log = shard_sweep_log(SEED, HORIZON_S);
+
+    let rt = Runtime::with_shape(SEED, murakkab_hardware::catalog::nd96amsr_a100_v4(), NODES);
+    println!(
+        "Sharded fleet serving (seed {SEED}, {} arrivals at {FLEET_SHARD_RATE} req/s over \
+         {HORIZON_S}s, {NODES} nodes)\n",
+        log.len()
+    );
+
+    let mut goodputs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let report = rt
+            .serve(shard_sweep_options(&log, shards, HORIZON_S))
+            .expect("fleet serves");
+        println!("{}", report.summary_line());
+        println!("{}", report.cell_table());
+        println!(
+            "  steals: {}  |  router: {}  |  GPU {:.1}%  CPU {:.1}%\n",
+            report.steals, report.router, report.gpu_util_avg_pct, report.cpu_util_avg_pct
+        );
+        goodputs.push((shards, report.goodput_per_min));
+    }
+
+    let (_, base) = goodputs[0];
+    println!("Shard scaling at the overload point (goodput, deadline-met workflows/min):");
+    for (shards, g) in goodputs {
+        println!(
+            "  shards={shards}: {g:6.2}/min  ({:.2}x)",
+            g / base.max(1e-9)
+        );
+    }
+}

@@ -1,14 +1,24 @@
-//! Open-loop fleet serving sweep: offered load × arrival process, with
-//! an admission-control ablation at the overload point. The driver lives
-//! in `murakkab_bench::fleet_main`; the binary sits in the root package
-//! so `cargo run --release --bin fleet [seed]` resolves.
+//! Open-loop fleet serving sweep: offered load × arrival process, an
+//! admission-control ablation and a shard-scaling sweep at the overload
+//! point. The driver lives in `murakkab_bench::fleet_main`; the binary
+//! sits in the root package so
+//! `cargo run --release --bin fleet [seed] [--quick]` resolves.
+//! `--quick` trims every axis to its smallest point (CI mode).
 
 use murakkab_bench::SEED;
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(SEED);
-    murakkab_bench::fleet_main(seed);
+    let mut seed = SEED;
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Ok(s) = arg.parse() {
+            seed = s;
+        } else {
+            eprintln!("usage: fleet [seed] [--quick]");
+            std::process::exit(2);
+        }
+    }
+    murakkab_bench::fleet_main(seed, quick);
 }

@@ -1,0 +1,130 @@
+//! Sharded fleet serving: cross-shard determinism, conservation across
+//! shard counts, router policies and the shard-scaling claim. Traffic
+//! and admission come from the `fleet` bench's shard-sweep recipe
+//! (`murakkab_bench`), so these tests exercise the exact configuration
+//! the committed `BENCH_fleet.json` curve was measured with.
+
+use murakkab::fleet::CellPolicy;
+use murakkab::{FleetReport, Runtime};
+use murakkab_bench::{shard_sweep_log, shard_sweep_options};
+use murakkab_traffic::ArrivalLog;
+
+const HORIZON_S: f64 = 300.0;
+const NODES: usize = 8;
+
+fn serve(seed: u64, shards: usize, router: CellPolicy, log: &ArrivalLog) -> FleetReport {
+    let rt = Runtime::with_shape(seed, murakkab_hardware::catalog::nd96amsr_a100_v4(), NODES);
+    rt.serve(shard_sweep_options(log, shards, HORIZON_S).router(router))
+        .expect("fleet serves")
+}
+
+#[test]
+fn same_seed_same_shards_is_bit_identical() {
+    let log = shard_sweep_log(11, HORIZON_S);
+    let a = serve(11, 4, CellPolicy::LeastLoaded, &log);
+    let b = serve(11, 4, CellPolicy::LeastLoaded, &log);
+    assert_eq!(
+        serde_json::to_string(&a).expect("serializes"),
+        serde_json::to_string(&b).expect("serializes"),
+        "same seed and shard count must produce a bit-identical fleet report"
+    );
+    assert_eq!(a.shards, 4);
+    assert_eq!(a.cells.len(), 4);
+    assert!(a.completed > 0);
+}
+
+#[test]
+fn conservation_across_shard_counts() {
+    // Total completions + rejections + in-flight is invariant across
+    // shard counts for the same arrival log (in-flight is zero after the
+    // drain, so completed + rejected == offered == the log length).
+    let log = shard_sweep_log(42, HORIZON_S);
+    let offered = log.len() as u64;
+    assert!(offered > 0);
+    for shards in [1usize, 2, 4] {
+        let report = serve(42, shards, CellPolicy::LeastLoaded, &log);
+        assert_eq!(report.offered, offered, "shards={shards}");
+        assert_eq!(
+            report.completed, report.admitted,
+            "serve drains fully (shards={shards})"
+        );
+        assert_eq!(
+            report.completed + report.rejections(),
+            offered,
+            "conservation (shards={shards})"
+        );
+        // Per-cell bookkeeping adds up: what a cell was assigned plus
+        // what it stole minus what it shed is what it completed.
+        for c in &report.cells {
+            assert_eq!(
+                c.assigned + c.stolen_in - c.migrated_out,
+                c.completed,
+                "cell {} of shards={shards}",
+                c.cell
+            );
+        }
+        assert_eq!(
+            report.cells.iter().map(|c| c.completed).sum::<u64>(),
+            report.completed
+        );
+        assert_eq!(
+            report.cells.iter().map(|c| c.tasks_completed).sum::<u64>(),
+            report.tasks_completed
+        );
+    }
+}
+
+#[test]
+fn shards_4_doubles_goodput_at_overload() {
+    let log = shard_sweep_log(42, HORIZON_S);
+    let one = serve(42, 1, CellPolicy::LeastLoaded, &log);
+    let four = serve(42, 4, CellPolicy::LeastLoaded, &log);
+    assert!(
+        four.goodput_per_min >= 2.0 * one.goodput_per_min,
+        "shards=4 goodput {:.2}/min must be at least twice shards=1 {:.2}/min",
+        four.goodput_per_min,
+        one.goodput_per_min
+    );
+    // The monolithic scheduler is the bottleneck, not the hardware: both
+    // runs own the same nodes.
+    assert_eq!(one.cells[0].nodes, NODES);
+    assert_eq!(four.cells.iter().map(|c| c.nodes).sum::<usize>(), NODES);
+}
+
+#[test]
+fn router_policies_spread_and_serve() {
+    let log = shard_sweep_log(7, HORIZON_S);
+    for policy in [
+        CellPolicy::Hashed,
+        CellPolicy::LeastLoaded,
+        CellPolicy::SloAffine,
+    ] {
+        let report = serve(7, 4, policy, &log);
+        assert_eq!(report.router, policy.tag());
+        assert_eq!(report.completed, report.admitted);
+        assert!(
+            report.cells.iter().all(|c| c.assigned + c.stolen_in > 0),
+            "{policy:?} left a cell idle: {:?}",
+            report
+                .cells
+                .iter()
+                .map(|c| (c.assigned, c.stolen_in))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn zero_shards_and_oversharding_are_rejected() {
+    use murakkab::fleet::FleetOptions;
+    use murakkab_traffic::ArrivalProcess;
+
+    let rt = Runtime::paper_testbed(1);
+    let opts = |shards: usize| {
+        FleetOptions::open_loop("bad", ArrivalProcess::Poisson { rate_per_s: 0.05 }, 60.0)
+            .shards(shards)
+    };
+    assert!(rt.serve(opts(0)).is_err(), "zero shards");
+    // The paper testbed has two nodes; three cells cannot each own one.
+    assert!(rt.serve(opts(3)).is_err(), "more shards than nodes");
+}
