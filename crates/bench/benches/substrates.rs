@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use murakkab_cluster::{ClusterManager, PlacementPolicy};
 use murakkab_hardware::{catalog, HardwareTarget};
-use murakkab_llmsim::{Endpoint, Request, TpGroup};
+use murakkab_llmsim::{build_backend, BackendSpec, Request};
 use murakkab_orchestrator::{decompose, expand, JobInputs, MediaInfo, SceneInfo};
 use murakkab_sim::{EventQueue, SimTime};
 
@@ -27,22 +27,43 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_llm_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("llmsim");
     g.sample_size(30);
-    g.bench_function("drain-64-requests", |b| {
-        b.iter(|| {
-            let mut ep = Endpoint::new(
-                "bench",
-                murakkab_llmsim::model::llama3_8b(),
-                TpGroup::new(catalog::a100_80g(), 1),
-                8,
-            );
-            for i in 0..64 {
-                ep.on_submit(Request::new(i, 512, 64), SimTime::ZERO)
-                    .unwrap();
-            }
-            let (done, _) = ep.drain(SimTime::ZERO);
-            assert_eq!(done.len(), 64);
-        })
-    });
+    for (name, spec) in [
+        (
+            "drain-64-requests",
+            BackendSpec::Colocated {
+                gpus: 1,
+                max_batch: 8,
+            },
+        ),
+        (
+            "drain-64-requests-disagg",
+            BackendSpec::Disaggregated {
+                prefill_gpus: 1,
+                decode_gpus: 1,
+                max_batch: 8,
+            },
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let sku = catalog::a100_80g();
+                let mut ep = build_backend(
+                    "bench",
+                    murakkab_llmsim::model::llama3_8b(),
+                    sku.clone(),
+                    &spec,
+                    sku.interconnect_gbps,
+                )
+                .expect("backend builds");
+                for i in 0..64 {
+                    ep.on_submit(Request::new(i, 512, 64), SimTime::ZERO)
+                        .unwrap();
+                }
+                let (done, _) = ep.drain(SimTime::ZERO);
+                assert_eq!(done.len(), 64);
+            })
+        });
+    }
     g.finish();
 }
 

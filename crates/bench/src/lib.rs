@@ -10,7 +10,7 @@ use std::path::PathBuf;
 
 use murakkab::fleet::{CellPolicy, FleetOptions};
 use murakkab::runtime::{RunOptions, Runtime, SttChoice};
-use murakkab::{FleetReport, RunReport};
+use murakkab::{FleetReport, RunReport, ServingMode};
 use murakkab_sim::{SimDuration, SimError, SimRng};
 use murakkab_traffic::{AdmissionConfig, ArrivalLog, ArrivalProcess};
 
@@ -197,6 +197,77 @@ pub fn run_fleet_shard_sweep(
         .collect()
 }
 
+/// Nodes in the disagg sweep's fixed cluster — small enough that the
+/// overload point is cheap to reach, large enough that a disaggregated
+/// NVLM pair (3 + 5 GPUs) coexists with every tool pool.
+pub const DISAGG_NODES: usize = 4;
+
+/// Offered rate of the disagg sweep, requests per second — well past
+/// the colocated knee on [`DISAGG_NODES`] nodes, so the serving regime
+/// (not the hardware) is the binding constraint.
+pub const DISAGG_RATE: f64 = 0.40;
+
+/// Arrival horizon of the disagg sweep, seconds.
+pub const DISAGG_HORIZON_S: f64 = 600.0;
+
+/// Admission config for the disagg sweep: the front door is sized to
+/// the offered load so serving capacity — the thing the backend changes
+/// — is the binding constraint, not the token bucket.
+pub fn disagg_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        enabled: true,
+        rate_per_s: DISAGG_RATE * 1.5,
+        burst: 16.0,
+        max_queue: 16,
+        slack_per_backlog: 0.5,
+    }
+}
+
+/// Captures the disagg sweep's overloaded Poisson stream as an
+/// [`ArrivalLog`] — the same fork path `Runtime::serve` uses, so every
+/// backend replays byte-identical traffic.
+pub fn disagg_log(seed: u64, horizon_s: f64) -> ArrivalLog {
+    let process = ArrivalProcess::Poisson {
+        rate_per_s: DISAGG_RATE,
+    };
+    let mut rng = SimRng::new(seed).fork("fleet").fork("arrivals");
+    ArrivalLog::record(&process, &mut rng, SimDuration::from_secs_f64(horizon_s))
+}
+
+/// Serve options for one backend of the disagg sweep: the captured log
+/// replayed on a single engine cell under the given serving regime.
+pub fn disagg_options(log: &ArrivalLog, serving: ServingMode, horizon_s: f64) -> FleetOptions {
+    FleetOptions::open_loop(
+        serving.tag(),
+        ArrivalProcess::Replay { log: log.clone() },
+        horizon_s,
+    )
+    .max_inflight(24)
+    .admission(disagg_admission())
+    .serving(serving)
+}
+
+/// Runs the serving-backend sweep: one overloaded arrival log captured
+/// once and replayed against the colocated and disaggregated backends
+/// on the same [`DISAGG_NODES`]-node cluster. Returns `[colocated,
+/// disaggregated]`.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_disagg_sweep(seed: u64, horizon_s: f64) -> Result<Vec<FleetReport>, SimError> {
+    let log = disagg_log(seed, horizon_s);
+    let rt = Runtime::with_shape(
+        seed,
+        murakkab_hardware::catalog::nd96amsr_a100_v4(),
+        DISAGG_NODES,
+    );
+    [ServingMode::Colocated, ServingMode::Disaggregated]
+        .into_iter()
+        .map(|mode| rt.serve(disagg_options(&log, mode, horizon_s)))
+        .collect()
+}
+
 /// Writes a machine-readable results file `BENCH_<name>.json` next to the
 /// human-readable table every bench binary prints, so the perf trajectory
 /// accumulates across runs.
@@ -340,6 +411,86 @@ pub fn fleet_main(seed: u64, quick: bool) {
         &FleetBench {
             sweep,
             shard_scaling: shard_reports,
+        },
+    )
+    .expect("results file writes");
+    println!("\n(wrote {})", path.display());
+}
+
+/// The disagg bench driver: captures one overloaded arrival log,
+/// replays it against the colocated and disaggregated serving backends
+/// on the same fixed cluster, prints the per-class latency/TTFT tables
+/// and writes `BENCH_disagg.json`. `quick` shortens the horizon so CI
+/// exercises the full path on every push.
+///
+/// # Panics
+///
+/// Panics if a run or the results file fails — bench binaries want loud
+/// failures.
+pub fn disagg_main(seed: u64, quick: bool) {
+    let horizon_s = if quick { 240.0 } else { DISAGG_HORIZON_S };
+    println!(
+        "Serving-backend sweep (seed {seed}{}): colocated vs disaggregated, \
+         {DISAGG_RATE} req/s replayed over {horizon_s}s on {DISAGG_NODES} nodes\n",
+        if quick { ", quick" } else { "" },
+    );
+
+    let reports = run_disagg_sweep(seed, horizon_s).expect("disagg sweep runs");
+    for report in &reports {
+        println!("== {} ==", report.serving);
+        println!("{}", report.summary_line());
+        println!("{}", report.class_table());
+        println!(
+            "  util GPU {:.1}% (prefill-phase {:.1}%, decode-phase {:.1}%) | \
+             rejected {} | steals {}\n",
+            report.gpu_util_avg_pct,
+            report.prefill_util_avg_pct,
+            report.decode_util_avg_pct,
+            report.rejections(),
+            report.steals,
+        );
+    }
+
+    let (colocated, disagg) = (&reports[0], &reports[1]);
+    println!("Headline at the overload point (same replayed log, same cluster):");
+    println!(
+        "  goodput:   {:>6.2}/min colocated vs {:>6.2}/min disaggregated ({:.2}x)",
+        colocated.goodput_per_min,
+        disagg.goodput_per_min,
+        disagg.goodput_per_min / colocated.goodput_per_min.max(1e-9),
+    );
+    println!(
+        "  TTFT p95 (worst class): {:>7.2}s colocated vs {:>7.2}s disaggregated",
+        colocated.worst_ttft_p95(),
+        disagg.worst_ttft_p95(),
+    );
+    println!(
+        "  SLO attainment: {:>5.1}% colocated vs {:>5.1}% disaggregated",
+        100.0 * colocated.slo_attainment,
+        100.0 * disagg.slo_attainment,
+    );
+
+    use serde::Serialize;
+    #[derive(Serialize)]
+    struct DisaggHeadline {
+        goodput_ratio: f64,
+        ttft_p95_worst_colocated_s: f64,
+        ttft_p95_worst_disaggregated_s: f64,
+    }
+    #[derive(Serialize)]
+    struct DisaggBench {
+        headline: DisaggHeadline,
+        sweep: Vec<FleetReport>,
+    }
+    let path = write_bench_json(
+        "disagg",
+        &DisaggBench {
+            headline: DisaggHeadline {
+                goodput_ratio: disagg.goodput_per_min / colocated.goodput_per_min.max(1e-9),
+                ttft_p95_worst_colocated_s: colocated.worst_ttft_p95(),
+                ttft_p95_worst_disaggregated_s: disagg.worst_ttft_p95(),
+            },
+            sweep: reports,
         },
     )
     .expect("results file writes");

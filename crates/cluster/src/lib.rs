@@ -24,7 +24,7 @@ pub mod placement;
 pub mod rebalance;
 pub mod telemetry;
 
-pub use manager::{Allocation, AllocationId, ClusterManager};
+pub use manager::{Allocation, AllocationId, ClusterManager, PairedAllocation};
 pub use node::{Node, NodeId};
 pub use placement::PlacementPolicy;
 pub use rebalance::{EndpointView, RebalanceAction, Rebalancer};

@@ -34,6 +34,19 @@ pub struct Allocation {
     pub created: SimTime,
 }
 
+/// A paired prefill/decode allocation for a disaggregated serving
+/// deployment (see [`ClusterManager::allocate_paired`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairedAllocation {
+    /// The prefill TP group's allocation.
+    pub prefill: AllocationId,
+    /// The decode TP group's allocation.
+    pub decode: AllocationId,
+    /// Whether both groups landed on one node (KV transfers ride NVLink
+    /// instead of the cross-node network).
+    pub same_node: bool,
+}
+
 /// The cluster manager: owns nodes/devices, grants allocations, injects
 /// preemptions, scales, and answers telemetry/energy queries.
 #[derive(Debug, Clone)]
@@ -129,6 +142,19 @@ impl ClusterManager {
                 self.free_gpu_units().floor() as u64 + self.free_cores().floor() as u64,
             )
         })?;
+        Ok(self.allocate_on_node(now, label, target, node_id))
+    }
+
+    /// Grants an allocation for `target` on a specific node the caller
+    /// has already verified fits (placement-policy bypass for paired
+    /// placement).
+    fn allocate_on_node(
+        &mut self,
+        now: SimTime,
+        label: impl Into<String>,
+        target: HardwareTarget,
+        node_id: NodeId,
+    ) -> AllocationId {
         let node = self
             .nodes
             .iter_mut()
@@ -179,7 +205,65 @@ impl ClusterManager {
                 created: now,
             },
         );
-        Ok(id)
+        id
+    }
+
+    /// Grants a paired prefill/decode allocation for a disaggregated
+    /// serving deployment. Placement prefers a single node that can host
+    /// both TP groups — the KV transfer then rides the node's NVLink
+    /// fabric — and falls back to independent placement (a cross-node
+    /// pair) when no node holds the combined footprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ResourceExhausted`] when either group cannot
+    /// be placed; a partially granted pair is rolled back.
+    pub fn allocate_paired(
+        &mut self,
+        now: SimTime,
+        label: impl Into<String>,
+        prefill: HardwareTarget,
+        decode: HardwareTarget,
+    ) -> Result<PairedAllocation, SimError> {
+        let label = label.into();
+        if let (
+            HardwareTarget::Gpu {
+                count: p,
+                share: ps,
+            },
+            HardwareTarget::Gpu {
+                count: d,
+                share: ds,
+            },
+        ) = (prefill, decode)
+        {
+            if (ps - 1.0).abs() < 1e-9 && (ds - 1.0).abs() < 1e-9 {
+                let combined = HardwareTarget::gpus(p + d);
+                if let Some(node_id) = self.policy.choose(&self.nodes, &combined) {
+                    let first = self.allocate_on_node(now, label.clone(), prefill, node_id);
+                    let second = self.allocate_on_node(now, label, decode, node_id);
+                    return Ok(PairedAllocation {
+                        prefill: first,
+                        decode: second,
+                        same_node: true,
+                    });
+                }
+            }
+        }
+        let first = self.allocate(now, label.clone(), prefill)?;
+        let second = match self.allocate(now, label, decode) {
+            Ok(second) => second,
+            Err(e) => {
+                self.release(now, first)?;
+                return Err(e);
+            }
+        };
+        let same_node = self.allocations[&first].node == self.allocations[&second].node;
+        Ok(PairedAllocation {
+            prefill: first,
+            decode: second,
+            same_node,
+        })
     }
 
     /// Releases an allocation (its activity must already be zeroed by the
@@ -899,5 +983,61 @@ mod tests {
         assert!((hour - 2.0 * 32.77).abs() < 1e-9);
         let half = cm.fleet_cost_usd(SimDuration::from_secs(1800));
         assert!((half - 32.77).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_allocation_prefers_one_node() {
+        // 3 + 5 GPUs fit one 8-GPU node: the pair must land together.
+        let mut cm = ClusterManager::paper_testbed();
+        let pair = cm
+            .allocate_paired(
+                t(0),
+                "nvlm",
+                HardwareTarget::gpus(3),
+                HardwareTarget::gpus(5),
+            )
+            .unwrap();
+        assert!(pair.same_node);
+        let a = cm.allocation(pair.prefill).unwrap().node;
+        let b = cm.allocation(pair.decode).unwrap().node;
+        assert_eq!(a, b);
+        assert_eq!(cm.allocation(pair.prefill).unwrap().gpu_devices.len(), 3);
+        assert_eq!(cm.allocation(pair.decode).unwrap().gpu_devices.len(), 5);
+    }
+
+    #[test]
+    fn paired_allocation_splits_across_nodes_when_it_must() {
+        // 6 + 6 GPUs exceed any single 8-GPU node but fit two.
+        let mut cm = ClusterManager::paper_testbed();
+        let pair = cm
+            .allocate_paired(
+                t(0),
+                "big",
+                HardwareTarget::gpus(6),
+                HardwareTarget::gpus(6),
+            )
+            .unwrap();
+        assert!(!pair.same_node);
+        let a = cm.allocation(pair.prefill).unwrap().node;
+        let b = cm.allocation(pair.decode).unwrap().node;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn paired_allocation_rolls_back_on_failure() {
+        // 6 + 12 GPUs: the first leg fits, the second can never place;
+        // the pair must leave no allocation behind.
+        let mut cm = ClusterManager::paper_testbed();
+        let before = cm.free_gpu_units();
+        assert!(cm
+            .allocate_paired(
+                t(0),
+                "huge",
+                HardwareTarget::gpus(6),
+                HardwareTarget::gpus(12),
+            )
+            .is_err());
+        assert_eq!(cm.free_gpu_units(), before);
+        assert_eq!(cm.allocations().count(), 0);
     }
 }

@@ -86,9 +86,11 @@ pub fn run_baseline_video_understanding(seed: u64) -> Result<RunReport, SimError
     let listing1 = murakkab_workflow::imperative::listing1_video_understanding();
     let routes = routes_from_listing1(&listing1)?;
 
-    let mut opts = EngineOptions::default();
-    opts.workflow_aware = false; // Rigid: resources held start to finish.
-    opts.orchestration = None; // The flow is hard-coded, not planned.
+    let opts = EngineOptions {
+        workflow_aware: false, // Rigid: resources held start to finish.
+        orchestration: None,   // The flow is hard-coded, not planned.
+        ..EngineOptions::default()
+    };
 
     let cluster = ClusterManager::paper_testbed();
     let engine = Engine::new(cluster, &library, graph, routes, opts, SimTime::ZERO)?;
@@ -154,11 +156,15 @@ pub fn routes_from_listing1(
                 Capability::Summarization,
                 RouteSpec::Endpoint {
                     agent: component.name.clone(),
-                    gpus: match component.resources {
-                        murakkab_workflow::ResourceSpec::Gpus { count } => count,
-                        _ => calib::NVLM_TEXT_GPUS,
+                    // The rigid baseline always deploys colocated
+                    // replicas — pluggable backends are Murakkab's lever.
+                    backend: murakkab_llmsim::BackendSpec::Colocated {
+                        gpus: match component.resources {
+                            murakkab_workflow::ResourceSpec::Gpus { count } => count,
+                            _ => calib::NVLM_TEXT_GPUS,
+                        },
+                        max_batch: calib::NVLM_TEXT_MAX_BATCH,
                     },
-                    max_batch: calib::NVLM_TEXT_MAX_BATCH,
                 },
             ),
             other => {
@@ -174,8 +180,10 @@ pub fn routes_from_listing1(
         Capability::Embedding,
         RouteSpec::Endpoint {
             agent: "NVLM-Embed".into(),
-            gpus: calib::EMBED_GPUS,
-            max_batch: calib::EMBED_MAX_BATCH,
+            backend: murakkab_llmsim::BackendSpec::Colocated {
+                gpus: calib::EMBED_GPUS,
+                max_batch: calib::EMBED_MAX_BATCH,
+            },
         },
     );
     routes.insert(
@@ -218,11 +226,11 @@ mod tests {
         };
         assert_eq!(agent, "Whisper");
         assert_eq!(workers, &vec![HardwareTarget::ONE_GPU]);
-        let RouteSpec::Endpoint { agent, gpus, .. } = &routes[&Capability::Summarization] else {
+        let RouteSpec::Endpoint { agent, backend } = &routes[&Capability::Summarization] else {
             panic!("summarisation must be an endpoint");
         };
         assert_eq!(agent, "NVLM");
-        assert_eq!(*gpus, 8);
+        assert_eq!(backend.gpus_total(), 8);
     }
 
     #[test]

@@ -22,11 +22,16 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use murakkab_agents::{AgentLibrary, Backend, Capability, Work};
 use murakkab_cluster::{AllocationId, ClusterManager};
-use murakkab_hardware::{catalog, EnergyScope, HardwareTarget};
-use murakkab_llmsim::{Endpoint, Request, TpGroup};
+use murakkab_hardware::{catalog, EnergyScope, GpuSku, HardwareTarget};
+use murakkab_llmsim::{build_backend, BackendSpec, ModelSpec, Request, ServingBackend};
 use murakkab_orchestrator::OrchestratorCost;
 use murakkab_sim::{EventQueue, SimDuration, SimError, SimTime, TraceLog};
 use murakkab_workflow::{TaskGraph, TaskId};
+
+/// Effective interconnect fraction available to a disaggregated pair
+/// whose prefill and decode groups landed on different nodes (the KV
+/// transfer rides the datacenter fabric instead of NVLink).
+const CROSS_NODE_INTERCONNECT_FACTOR: f64 = 0.25;
 
 /// How a capability's tasks are executed.
 #[derive(Debug, Clone)]
@@ -41,14 +46,15 @@ pub enum RouteSpec {
         workers: Vec<HardwareTarget>,
     },
     /// A served-LLM endpoint (shared across capabilities that name the
-    /// same agent).
+    /// same agent). The deployment shape — colocated replica or a
+    /// disaggregated prefill/decode pair — travels with the route; the
+    /// engine only ever talks to the backend through the
+    /// [`ServingBackend`] trait.
     Endpoint {
         /// Library agent name (must have an `LlmServed` backend).
         agent: String,
-        /// GPUs for the tensor-parallel group.
-        gpus: u32,
-        /// Iteration batch limit.
-        max_batch: u32,
+        /// Deployment shape consumed by the backend factory.
+        backend: BackendSpec,
     },
     /// A third-party API call.
     External {
@@ -191,8 +197,10 @@ struct Pool {
 
 #[derive(Debug)]
 struct EndpointHandle {
-    endpoint: Endpoint,
-    alloc: AllocationId,
+    backend: Box<dyn ServingBackend>,
+    /// One allocation for a colocated replica; `[prefill, decode]` for a
+    /// disaggregated pair.
+    allocs: Vec<AllocationId>,
     pending: BTreeMap<u64, TaskId>,
     orchestration_req: Option<u64>,
     next_req: u64,
@@ -227,6 +235,9 @@ pub struct Engine {
     started_at: BTreeMap<TaskId, SimTime>,
     alloc_meta: BTreeMap<AllocationId, (SimTime, HardwareTarget)>,
     library_snapshot: BTreeMap<String, murakkab_agents::AgentSpec>,
+    /// `(task, ttft seconds, tpot seconds)` of finished endpoint tasks,
+    /// drained by the fleet driver for per-class token-latency stats.
+    llm_metrics: Vec<(TaskId, f64, f64)>,
     trace: TraceLog,
     energy_ledger: f64,
     cost_ledger: f64,
@@ -332,31 +343,27 @@ impl Engine {
                         }
                     }
                 }
-                RouteSpec::Endpoint {
-                    agent,
-                    gpus,
-                    max_batch,
-                } => {
+                RouteSpec::Endpoint { agent, backend } => {
                     let Backend::LlmServed { model, .. } = &spec.backend else {
                         return Err(SimError::InvalidInput(format!(
                             "{agent} is not LLM-served; cannot serve {cap:?} from an endpoint"
                         )));
                     };
                     if !endpoints.contains_key(agent) {
-                        let target = HardwareTarget::gpus(*gpus);
-                        let alloc = cluster.allocate(start, agent.clone(), target)?;
-                        alloc_meta.insert(alloc, (start, target));
-                        let group = TpGroup::new(options.gpu_sku.clone(), *gpus);
+                        let (be, allocs) = Self::provision_backend(
+                            &mut cluster,
+                            agent,
+                            model,
+                            backend,
+                            &options.gpu_sku,
+                            start,
+                            &mut alloc_meta,
+                        )?;
                         endpoints.insert(
                             agent.clone(),
                             EndpointHandle {
-                                endpoint: Endpoint::new(
-                                    agent.clone(),
-                                    model.clone(),
-                                    group,
-                                    *max_batch,
-                                ),
-                                alloc,
+                                backend: be,
+                                allocs,
                                 pending: BTreeMap::new(),
                                 orchestration_req: None,
                                 next_req: 0,
@@ -409,6 +416,7 @@ impl Engine {
             started_at: BTreeMap::new(),
             alloc_meta,
             library_snapshot,
+            llm_metrics: Vec::new(),
             trace: TraceLog::new(),
             energy_ledger: 0.0,
             cost_ledger: 0.0,
@@ -459,7 +467,7 @@ impl Engine {
                 cost.output_tokens.max(1),
             );
             h.orchestration_req = Some(req.id);
-            if let Some(t) = h.endpoint.on_submit(req, now)? {
+            if let Some(t) = h.backend.on_submit(req, now)? {
                 let generation = h.generation;
                 self.queue.schedule(
                     t,
@@ -527,7 +535,7 @@ impl Engine {
                 }
                 let outcome = {
                     let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
-                    h.endpoint.on_step(now)
+                    h.backend.on_step(now)
                 };
                 for c in &outcome.completions {
                     let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
@@ -544,6 +552,8 @@ impl Engine {
                         .remove(&c.id)
                         .expect("completion matches a pending task");
                     self.started_at.insert(task, c.started);
+                    self.llm_metrics
+                        .push((task, c.ttft().as_secs_f64(), c.tpot().as_secs_f64()));
                     self.finish_task(task, now)?;
                 }
                 if let Some(t) = outcome.next_step {
@@ -651,8 +661,41 @@ impl Engine {
     pub fn endpoint_loads(&self) -> Vec<(String, u32, usize)> {
         self.endpoints
             .iter()
-            .map(|(agent, h)| (agent.clone(), h.endpoint.gpu_count(), h.endpoint.load()))
+            .map(|(agent, h)| (agent.clone(), h.backend.gpu_count(), h.backend.load()))
             .collect()
+    }
+
+    /// The hottest admission-gating KV pool across this engine's
+    /// endpoints, as an occupancy fraction — the fleet router's KV-aware
+    /// tiebreak signal.
+    pub fn max_kv_occupancy(&self) -> f64 {
+        self.endpoints
+            .values()
+            .map(|h| h.backend.kv_occupancy())
+            .fold(0.0, f64::max)
+    }
+
+    /// Drains the accumulated `(task, ttft seconds, tpot seconds)`
+    /// token-latency samples of finished endpoint tasks.
+    pub fn take_llm_metrics(&mut self) -> Vec<(TaskId, f64, f64)> {
+        std::mem::take(&mut self.llm_metrics)
+    }
+
+    /// Aggregate per-phase serving effort across all endpoints:
+    /// `(prefill busy GPU-seconds, prefill GPUs, decode busy
+    /// GPU-seconds, decode GPUs)`. Colocated replicas count their group
+    /// under both phases, split by where iteration time actually went.
+    pub fn endpoint_phase_stats(&self) -> (f64, f64, f64, f64) {
+        let mut out = (0.0, 0.0, 0.0, 0.0);
+        for h in self.endpoints.values() {
+            let (pb, db) = h.backend.phase_busy();
+            let (pg, dg) = h.backend.phase_gpus();
+            out.0 += pb.as_secs_f64() * f64::from(pg);
+            out.1 += f64::from(pg);
+            out.2 += db.as_secs_f64() * f64::from(dg);
+            out.3 += f64::from(dg);
+        }
+        out
     }
 
     /// Per-pool `(agent, capability, GPU units held, queued + running
@@ -833,7 +876,7 @@ impl Engine {
                     h.next_req += 1;
                     h.pending.insert(req.id, tid);
                     let generation = h.generation;
-                    if let Some(t) = h.endpoint.on_submit(req, now)? {
+                    if let Some(t) = h.backend.on_submit(req, now)? {
                         self.queue.schedule(
                             t,
                             EngineEvent::LlmStep {
@@ -866,32 +909,29 @@ impl Engine {
     fn pump_pools(&mut self, now: SimTime) -> Result<(), SimError> {
         let agents: Vec<String> = self.pools.keys().cloned().collect();
         for agent in agents {
-            loop {
-                let Some((tid, worker_idx, alloc, target, cap)) = ({
-                    let pool = self.pools.get_mut(&agent).expect("pool exists");
-                    match (
-                        pool.queue.front().copied(),
-                        pool.workers
-                            .iter()
-                            .position(|w| !w.busy && !w.dead && !pool.released),
-                    ) {
-                        (Some(tid), Some(i)) => {
-                            pool.queue.pop_front();
-                            pool.workers[i].busy = true;
-                            let node_cap = self.graph.task(tid)?.capability;
-                            Some((
-                                tid,
-                                i,
-                                pool.workers[i].alloc,
-                                pool.workers[i].target,
-                                node_cap,
-                            ))
-                        }
-                        _ => None,
+            while let Some((tid, worker_idx, alloc, target, cap)) = {
+                let pool = self.pools.get_mut(&agent).expect("pool exists");
+                match (
+                    pool.queue.front().copied(),
+                    pool.workers
+                        .iter()
+                        .position(|w| !w.busy && !w.dead && !pool.released),
+                ) {
+                    (Some(tid), Some(i)) => {
+                        pool.queue.pop_front();
+                        pool.workers[i].busy = true;
+                        let node_cap = self.graph.task(tid)?.capability;
+                        Some((
+                            tid,
+                            i,
+                            pool.workers[i].alloc,
+                            pool.workers[i].target,
+                            node_cap,
+                        ))
                     }
-                }) else {
-                    break;
-                };
+                    _ => None,
+                }
+            } {
                 let node = self.graph.task(tid)?.clone();
                 let spec_name = self.routes[&cap].agent().to_string();
                 // Borrow the library indirectly: the cost model lives on
@@ -1034,46 +1074,56 @@ impl Engine {
             }
         }
 
-        // Endpoints on the dead node: re-place and resubmit everything
-        // that was in flight (requests restart from scratch — the KV
-        // cache died with the GPUs).
+        // Endpoints touching the dead node: re-place the whole deployment
+        // (both halves of a disaggregated pair — the KV cache died with
+        // the GPUs) and resubmit everything that was in flight.
         let ep_agents: Vec<String> = self.endpoints.keys().cloned().collect();
         for agent in ep_agents {
-            let (dead, gpus, model) = {
+            let (dead, model) = {
                 let h = &self.endpoints[&agent];
                 (
-                    killed.contains(&h.alloc),
-                    h.endpoint.gpu_count(),
-                    h.endpoint.model().clone(),
+                    h.allocs.iter().any(|a| killed.contains(a)),
+                    h.backend.model().clone(),
                 )
             };
             if !dead {
                 continue;
             }
-            let max_batch = self
+            let spec = self
                 .routes
                 .values()
                 .find_map(|r| match r {
-                    RouteSpec::Endpoint {
-                        agent: a,
-                        max_batch,
-                        ..
-                    } if *a == agent => Some(*max_batch),
+                    RouteSpec::Endpoint { agent: a, backend } if *a == agent => Some(*backend),
                     _ => None,
                 })
                 .expect("endpoint came from a route");
-            let target = HardwareTarget::gpus(gpus);
-            let alloc = self.cluster.allocate(now, agent.clone(), target)?;
-            self.alloc_meta.insert(alloc, (now, target));
-            let group = TpGroup::new(self.options.gpu_sku.clone(), gpus);
+            // A pair may lose only one half: give the surviving half
+            // back (activity zeroed, then settled) before re-placing the
+            // deployment whole — release() never clears activity, so a
+            // mid-batch level would otherwise stick to the freed devices.
+            for alloc in self.endpoints[&agent].allocs.clone() {
+                if !killed.contains(&alloc) && self.cluster.allocation(alloc).is_ok() {
+                    self.cluster.set_gpu_activity_level(now, alloc, 0.0)?;
+                    self.settle_allocation(alloc, now)?;
+                }
+            }
+            let (backend, allocs) = Self::provision_backend(
+                &mut self.cluster,
+                &agent,
+                &model,
+                &spec,
+                &self.options.gpu_sku,
+                now,
+                &mut self.alloc_meta,
+            )?;
             let next_generation = self.endpoints[&agent].generation + 1;
             let old = self
                 .endpoints
                 .insert(
                     agent.clone(),
                     EndpointHandle {
-                        endpoint: Endpoint::new(agent.clone(), model, group, max_batch),
-                        alloc,
+                        backend,
+                        allocs,
                         pending: BTreeMap::new(),
                         orchestration_req: None,
                         next_req: 0,
@@ -1092,7 +1142,7 @@ impl Engine {
                 h.next_req += 1;
                 h.pending.insert(req.id, task);
                 let generation = h.generation;
-                if let Some(t) = h.endpoint.on_submit(req, now)? {
+                if let Some(t) = h.backend.on_submit(req, now)? {
                     self.queue.schedule(
                         t,
                         EngineEvent::LlmStep {
@@ -1116,7 +1166,7 @@ impl Engine {
                 );
                 h.orchestration_req = Some(req.id);
                 let generation = h.generation;
-                if let Some(t) = h.endpoint.on_submit(req, now)? {
+                if let Some(t) = h.backend.on_submit(req, now)? {
                     self.queue.schedule(
                         t,
                         EngineEvent::LlmStep {
@@ -1141,13 +1191,79 @@ impl Engine {
         Ok(())
     }
 
-    /// Mirrors an endpoint's utilization level onto its GPU devices.
+    /// Mirrors an endpoint's utilization level onto its GPU devices —
+    /// per phase for a disaggregated pair, combined for a colocated
+    /// replica.
     fn sync_endpoint_activity(&mut self, now: SimTime, agent: &str) -> Result<(), SimError> {
-        let (alloc, level) = {
+        let (allocs, combined, (prefill_level, decode_level)) = {
             let h = &self.endpoints[agent];
-            (h.alloc, h.endpoint.util_series().last_value())
+            (
+                h.allocs.clone(),
+                h.backend.util_level(),
+                h.backend.phase_levels(),
+            )
         };
-        self.cluster.set_gpu_activity_level(now, alloc, level)
+        match allocs.as_slice() {
+            [one] => self.cluster.set_gpu_activity_level(now, *one, combined),
+            [prefill, decode] => {
+                self.cluster
+                    .set_gpu_activity_level(now, *prefill, prefill_level)?;
+                self.cluster
+                    .set_gpu_activity_level(now, *decode, decode_level)
+            }
+            other => {
+                debug_assert!(other.is_empty(), "endpoints hold one or two allocations");
+                Ok(())
+            }
+        }
+    }
+
+    /// Allocates and builds one serving deployment: a single TP group for
+    /// a colocated replica, or a paired prefill/decode placement (one
+    /// node when it fits, cross-node with degraded transfer bandwidth
+    /// otherwise) for a disaggregated one.
+    fn provision_backend(
+        cluster: &mut ClusterManager,
+        agent: &str,
+        model: &ModelSpec,
+        spec: &BackendSpec,
+        sku: &GpuSku,
+        now: SimTime,
+        alloc_meta: &mut BTreeMap<AllocationId, (SimTime, HardwareTarget)>,
+    ) -> Result<(Box<dyn ServingBackend>, Vec<AllocationId>), SimError> {
+        match *spec {
+            BackendSpec::Colocated { gpus, .. } => {
+                let target = HardwareTarget::gpus(gpus);
+                let alloc = cluster.allocate(now, agent.to_string(), target)?;
+                alloc_meta.insert(alloc, (now, target));
+                let be = build_backend(
+                    agent,
+                    model.clone(),
+                    sku.clone(),
+                    spec,
+                    sku.interconnect_gbps,
+                )?;
+                Ok((be, vec![alloc]))
+            }
+            BackendSpec::Disaggregated {
+                prefill_gpus,
+                decode_gpus,
+                ..
+            } => {
+                let prefill = HardwareTarget::gpus(prefill_gpus);
+                let decode = HardwareTarget::gpus(decode_gpus);
+                let pair = cluster.allocate_paired(now, agent.to_string(), prefill, decode)?;
+                alloc_meta.insert(pair.prefill, (now, prefill));
+                alloc_meta.insert(pair.decode, (now, decode));
+                let bw = if pair.same_node {
+                    sku.interconnect_gbps
+                } else {
+                    sku.interconnect_gbps * CROSS_NODE_INTERCONNECT_FACTOR
+                };
+                let be = build_backend(agent, model.clone(), sku.clone(), spec, bw)?;
+                Ok((be, vec![pair.prefill, pair.decode]))
+            }
+        }
     }
 
     /// Looks up an agent spec by name (cloned out of the routes' library
@@ -1218,8 +1334,10 @@ mod tests {
                 Capability::Summarization,
                 RouteSpec::Endpoint {
                     agent: "NVLM".into(),
-                    gpus: 8,
-                    max_batch: 3,
+                    backend: BackendSpec::Colocated {
+                        gpus: 8,
+                        max_batch: 3,
+                    },
                 },
             ),
         ])
@@ -1364,8 +1482,10 @@ mod tests {
     #[test]
     fn workflow_blind_holds_pools_to_the_end() {
         let run = |aware: bool| {
-            let mut opts = EngineOptions::default();
-            opts.workflow_aware = aware;
+            let opts = EngineOptions {
+                workflow_aware: aware,
+                ..EngineOptions::default()
+            };
             let engine = Engine::new(
                 ClusterManager::paper_testbed(),
                 &stock_library(),

@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 use murakkab_agents::{calib, Capability};
 use murakkab_cluster::{EndpointView, Rebalancer};
 use murakkab_hardware::{DeviceKind, HardwareTarget};
+use murakkab_llmsim::ServingMode;
 use murakkab_orchestrator::{expand, JobInputs, MediaInfo, Planner, SceneInfo};
 use murakkab_sim::{SimDuration, SimError, SimRng, SimTime};
 use murakkab_traffic::{
@@ -111,6 +112,8 @@ pub struct FleetOptions {
     /// SLO-affine router, eligibility is confined to the workflow's
     /// priority stripe.
     pub steal_margin: usize,
+    /// Serving regime the cells' LLM endpoints deploy under.
+    pub serving: ServingMode,
 }
 
 impl FleetOptions {
@@ -128,6 +131,7 @@ impl FleetOptions {
             shards: 1,
             router: CellPolicy::default(),
             steal_margin: 2,
+            serving: ServingMode::Colocated,
         }
     }
 
@@ -163,6 +167,13 @@ impl FleetOptions {
     #[must_use]
     pub fn max_inflight(mut self, n: usize) -> Self {
         self.max_inflight = n.max(1);
+        self
+    }
+
+    /// Sets the endpoint serving regime.
+    #[must_use]
+    pub fn serving(mut self, mode: ServingMode) -> Self {
+        self.serving = mode;
         self
     }
 }
@@ -269,6 +280,17 @@ pub struct FleetClassReport {
     pub mean_s: f64,
     /// Worst latency.
     pub max_s: f64,
+    /// Median time-to-first-token across this class's LLM requests,
+    /// seconds (zero when the class completed no token work).
+    pub ttft_p50_s: f64,
+    /// 95th-percentile TTFT.
+    pub ttft_p95_s: f64,
+    /// 99th-percentile TTFT.
+    pub ttft_p99_s: f64,
+    /// Median time-per-output-token, seconds.
+    pub tpot_p50_s: f64,
+    /// 95th-percentile TPOT.
+    pub tpot_p95_s: f64,
 }
 
 /// Per-cell serving statistics from one sharded run.
@@ -296,6 +318,12 @@ pub struct FleetCellReport {
     /// Mean CPU utilization of the cell's nodes over the fleet run,
     /// percent.
     pub cpu_util_avg_pct: f64,
+    /// Mean busy fraction of the cell's prefill-serving GPUs over the
+    /// fleet run, percent (a colocated replica charges its group here
+    /// for the iteration time prefill actually consumed).
+    pub prefill_util_avg_pct: f64,
+    /// Mean busy fraction of the cell's decode-serving GPUs, percent.
+    pub decode_util_avg_pct: f64,
     /// GPU energy of the cell's held allocations, Wh.
     pub energy_allocated_wh: f64,
     /// Dollar cost of the cell's allocations plus external calls.
@@ -321,6 +349,8 @@ pub struct FleetReport {
     pub shards: usize,
     /// Cell-routing policy tag.
     pub router: String,
+    /// Serving-regime tag ("colocated", "disaggregated").
+    pub serving: String,
     /// Arrival process tag ("poisson", "mmpp", ...).
     pub arrival_process: String,
     /// Long-run offered rate (requests per second).
@@ -359,6 +389,12 @@ pub struct FleetReport {
     pub gpu_util_avg_pct: f64,
     /// Mean cluster CPU utilization over the run, percent.
     pub cpu_util_avg_pct: f64,
+    /// Capacity-weighted mean prefill-phase utilization across cells,
+    /// percent.
+    pub prefill_util_avg_pct: f64,
+    /// Capacity-weighted mean decode-phase utilization across cells,
+    /// percent.
+    pub decode_util_avg_pct: f64,
     /// GPU energy of held allocations, Wh.
     pub energy_allocated_wh: f64,
     /// Dollar cost of held allocations plus external calls.
@@ -402,11 +438,11 @@ impl FleetReport {
     pub fn class_table(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "  class        prio  deadline | offered admitted done  met |   p50     p95     p99  | attainment\n",
+            "  class        prio  deadline | offered admitted done  met |   p50     p95     p99  | ttft p95  tpot p95 | attainment\n",
         );
         for c in &self.classes {
             out.push_str(&format!(
-                "  {:<12} {:>4} {:>8.0}s | {:>7} {:>8} {:>4} {:>4} | {:>6.1}s {:>6.1}s {:>6.1}s | {:>8.1}%\n",
+                "  {:<12} {:>4} {:>8.0}s | {:>7} {:>8} {:>4} {:>4} | {:>6.1}s {:>6.1}s {:>6.1}s | {:>7.2}s {:>8.3}s | {:>8.1}%\n",
                 c.class,
                 c.priority,
                 c.deadline_s,
@@ -417,10 +453,21 @@ impl FleetReport {
                 c.p50_s,
                 c.p95_s,
                 c.p99_s,
+                c.ttft_p95_s,
+                c.tpot_p95_s,
                 100.0 * c.attainment,
             ));
         }
         out
+    }
+
+    /// The worst class's 95th-percentile time-to-first-token, seconds
+    /// — the headline TTFT metric of the serving-backend comparison.
+    pub fn worst_ttft_p95(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.ttft_p95_s)
+            .fold(0.0_f64, f64::max)
     }
 
     /// Renders the per-cell breakdown table (one line per cell).
@@ -529,11 +576,16 @@ fn route_cell(
     }
 }
 
-/// The least-backlogged cell in `range`; ties go to the lowest index.
+/// The least-backlogged cell in `range`. Backlog ties break to the cell
+/// whose hottest admission-gating KV pool is emptiest (KV-aware routing:
+/// among equally backlogged cells, new context lands where decode memory
+/// is free), then to the lowest index.
 fn least_loaded(cells: &[Cell], range: std::ops::Range<usize>) -> usize {
     let mut best = range.start;
     for i in range {
-        if cells[i].backlog() < cells[best].backlog() {
+        let (b, kv) = (cells[i].backlog(), cells[i].engine.max_kv_occupancy());
+        let (bb, bkv) = (cells[best].backlog(), cells[best].engine.max_kv_occupancy());
+        if b < bb || (b == bb && kv < bkv) {
             best = i;
         }
     }
@@ -549,6 +601,8 @@ struct ClassAgg {
     completed: u64,
     slo_met: u64,
     latencies: Vec<f64>,
+    ttfts: Vec<f64>,
+    tpots: Vec<f64>,
 }
 
 impl Runtime {
@@ -617,7 +671,8 @@ impl Runtime {
         }
         let run_opts = RunOptions::labeled(&opts.label)
             .parallelism(opts.parallelism)
-            .pin_paper_agents(false);
+            .pin_paper_agents(false)
+            .serving(opts.serving);
 
         // 3. Partition the cluster into cells, each with its own
         //    resource-aware route selection (against the cell's capacity,
@@ -724,13 +779,18 @@ impl Runtime {
             agg.deadline_s = p.req.class.deadline_s;
             agg.offered += 1;
         }
+        // (cell, task) → SLO class of the owning workflow, so endpoint-
+        // level token latencies (TTFT/TPOT) aggregate per class. The cell
+        // index is part of the key: every cell engine has its own task-id
+        // space, so bare ids collide across cells.
+        let mut task_class: BTreeMap<(usize, murakkab_workflow::TaskId), String> = BTreeMap::new();
 
         let mut now = SimTime::ZERO;
         let mut arr_idx = 0usize;
         loop {
             // Inject queued work while execution slots are free, cell by
             // cell.
-            for cell in cells.iter_mut() {
+            for (cell_idx, cell) in cells.iter_mut().enumerate() {
                 while cell.inflight.len() < per_cell_inflight {
                     let Some((_, _, idx)) = cell.queue.pop() else {
                         break;
@@ -739,9 +799,13 @@ impl Runtime {
                     let map = cell
                         .engine
                         .admit_graph(now, &p.graph, &format!("r{}/", p.req.id))?;
+                    let task_ids: Vec<murakkab_workflow::TaskId> = map.into_values().collect();
+                    for &tid in &task_ids {
+                        task_class.insert((cell_idx, tid), p.req.class.name.clone());
+                    }
                     cell.inflight.push(InflightJob {
                         planned_idx: idx,
-                        task_ids: map.into_values().collect(),
+                        task_ids,
                     });
                 }
             }
@@ -813,6 +877,13 @@ impl Runtime {
             // Harvest workflow completions after the stepped cell's
             // progress.
             if let Some(i) = stepped {
+                for (tid, ttft, tpot) in cells[i].engine.take_llm_metrics() {
+                    if let Some(name) = task_class.remove(&(i, tid)) {
+                        let agg = classes.get_mut(&name).expect("pre-seeded");
+                        agg.ttfts.push(ttft);
+                        agg.tpots.push(tpot);
+                    }
+                }
                 let Cell {
                     engine,
                     inflight,
@@ -825,6 +896,12 @@ impl Runtime {
                     while k < inflight.len() {
                         if inflight[k].task_ids.iter().all(|t| done.contains(t)) {
                             let job = inflight.swap_remove(k);
+                            // Token metrics for this workflow were drained
+                            // above; drop its remaining (non-LLM) entries
+                            // so the map stays bounded on long runs.
+                            for t in &job.task_ids {
+                                task_class.remove(&(i, *t));
+                            }
                             let p = &planned[job.planned_idx];
                             let latency = now.saturating_duration_since(p.req.at).as_secs_f64();
                             let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
@@ -927,7 +1004,7 @@ impl Runtime {
                         break;
                     }
                 }
-                next_rebalance = next_rebalance + rebalance_every;
+                next_rebalance += rebalance_every;
             }
         }
 
@@ -943,6 +1020,9 @@ impl Runtime {
             completed: u64,
             peak_backlog: u64,
             rebalance_actions: u64,
+            /// `(prefill busy GPU-s, prefill GPUs, decode busy GPU-s,
+            /// decode GPUs)` across the cell's endpoints.
+            phase: (f64, f64, f64, f64),
         }
         let mut finished = Vec::with_capacity(cells.len());
         let mut makespan = SimTime::ZERO;
@@ -958,6 +1038,7 @@ impl Runtime {
                 rebalance_actions,
                 ..
             } = cell;
+            let phase = engine.endpoint_phase_stats();
             let outcome = engine.finish(SimTime::ZERO)?;
             makespan = makespan.max(outcome.makespan);
             finished.push(CellDone {
@@ -969,10 +1050,12 @@ impl Runtime {
                 completed,
                 peak_backlog,
                 rebalance_actions,
+                phase,
             });
         }
 
         let sample = SimDuration::from_secs(1);
+        let makespan_s = makespan.as_secs_f64();
         let avg = |samples: &[(f64, f64)]| {
             if samples.is_empty() {
                 0.0
@@ -985,6 +1068,7 @@ impl Runtime {
         // fleet aggregate.
         let mut cell_reports: Vec<FleetCellReport> = Vec::with_capacity(finished.len());
         let (mut gpu_w, mut gpu_cap, mut cpu_w, mut cpu_cap) = (0.0, 0.0, 0.0, 0.0);
+        let (mut pf_busy, mut pf_cap, mut dc_busy, mut dc_cap) = (0.0, 0.0, 0.0, 0.0);
         let mut tasks_completed = 0u64;
         let mut energy_allocated_wh = 0.0;
         let mut cost_usd = 0.0;
@@ -1014,6 +1098,18 @@ impl Runtime {
             pool_scale_ups += done.outcome.pool_scale_ups;
             pool_scale_downs += done.outcome.pool_scale_downs;
             rebalance_actions += done.rebalance_actions;
+            let (cell_pf_busy, cell_pf_gpus, cell_dc_busy, cell_dc_gpus) = done.phase;
+            pf_busy += cell_pf_busy;
+            pf_cap += cell_pf_gpus;
+            dc_busy += cell_dc_busy;
+            dc_cap += cell_dc_gpus;
+            let phase_pct = |busy_gpu_s: f64, gpus: f64| {
+                if gpus > 0.0 && makespan_s > 0.0 {
+                    100.0 * busy_gpu_s / (gpus * makespan_s)
+                } else {
+                    0.0
+                }
+            };
             cell_reports.push(FleetCellReport {
                 cell: i,
                 nodes: done.nodes,
@@ -1025,6 +1121,8 @@ impl Runtime {
                 peak_backlog: done.peak_backlog,
                 gpu_util_avg_pct: gpu,
                 cpu_util_avg_pct: cpu,
+                prefill_util_avg_pct: phase_pct(cell_pf_busy, cell_pf_gpus),
+                decode_util_avg_pct: phase_pct(cell_dc_busy, cell_dc_gpus),
                 energy_allocated_wh: done.outcome.energy_allocated_wh,
                 cost_usd: done.outcome.cost_usd,
                 pool_scale_ups: done.outcome.pool_scale_ups,
@@ -1040,18 +1138,20 @@ impl Runtime {
                 // Every sample is retained, so percentiles are exact
                 // (nearest-rank), not histogram-bucket estimates.
                 agg.latencies.sort_by(f64::total_cmp);
-                let pct = |q: f64| {
-                    if agg.latencies.is_empty() {
-                        0.0
-                    } else {
-                        let rank = (q * agg.latencies.len() as f64).ceil() as usize;
-                        agg.latencies[rank.clamp(1, agg.latencies.len()) - 1]
-                    }
-                };
                 let mean = if agg.latencies.is_empty() {
                     0.0
                 } else {
                     agg.latencies.iter().sum::<f64>() / agg.latencies.len() as f64
+                };
+                agg.ttfts.sort_by(f64::total_cmp);
+                agg.tpots.sort_by(f64::total_cmp);
+                let pct_of = |v: &[f64], q: f64| {
+                    if v.is_empty() {
+                        0.0
+                    } else {
+                        let rank = (q * v.len() as f64).ceil() as usize;
+                        v[rank.clamp(1, v.len()) - 1]
+                    }
                 };
                 FleetClassReport {
                     class: name,
@@ -1066,11 +1166,16 @@ impl Runtime {
                     } else {
                         agg.slo_met as f64 / agg.admitted as f64
                     },
-                    p50_s: pct(0.5),
-                    p95_s: pct(0.95),
-                    p99_s: pct(0.99),
+                    p50_s: pct_of(&agg.latencies, 0.5),
+                    p95_s: pct_of(&agg.latencies, 0.95),
+                    p99_s: pct_of(&agg.latencies, 0.99),
                     mean_s: mean,
                     max_s: agg.latencies.last().copied().unwrap_or(0.0),
+                    ttft_p50_s: pct_of(&agg.ttfts, 0.5),
+                    ttft_p95_s: pct_of(&agg.ttfts, 0.95),
+                    ttft_p99_s: pct_of(&agg.ttfts, 0.99),
+                    tpot_p50_s: pct_of(&agg.tpots, 0.5),
+                    tpot_p95_s: pct_of(&agg.tpots, 0.95),
                 }
             })
             .collect();
@@ -1086,6 +1191,7 @@ impl Runtime {
             seed: self.seed(),
             shards,
             router: opts.router.tag().into(),
+            serving: opts.serving.tag().into(),
             arrival_process: opts.process.kind().into(),
             offered_rate_per_s: opts.process.mean_rate_per_s(),
             horizon_s: opts.horizon_s,
@@ -1109,6 +1215,16 @@ impl Runtime {
             makespan_s: makespan.as_secs_f64(),
             gpu_util_avg_pct: if gpu_cap > 0.0 { gpu_w / gpu_cap } else { 0.0 },
             cpu_util_avg_pct: if cpu_cap > 0.0 { cpu_w / cpu_cap } else { 0.0 },
+            prefill_util_avg_pct: if pf_cap > 0.0 && makespan_s > 0.0 {
+                100.0 * pf_busy / (pf_cap * makespan_s)
+            } else {
+                0.0
+            },
+            decode_util_avg_pct: if dc_cap > 0.0 && makespan_s > 0.0 {
+                100.0 * dc_busy / (dc_cap * makespan_s)
+            } else {
+                0.0
+            },
             energy_allocated_wh,
             cost_usd,
             pool_scale_ups,
@@ -1148,7 +1264,7 @@ fn estimate_service_s(
                 .first()
                 .copied()
                 .unwrap_or(HardwareTarget::cpu_cores(1)),
-            RouteSpec::Endpoint { gpus, .. } => HardwareTarget::gpus(*gpus),
+            RouteSpec::Endpoint { backend, .. } => HardwareTarget::gpus(backend.gpus_total()),
             RouteSpec::External { .. } => HardwareTarget::cpu_cores(1),
         };
         library

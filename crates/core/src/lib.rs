@@ -43,5 +43,6 @@ pub mod workloads;
 
 pub use baseline::run_baseline_video_understanding;
 pub use fleet::{CellPolicy, FleetCellReport, FleetOptions, FleetReport};
+pub use murakkab_llmsim::{BackendSpec, ServingBackend, ServingMode};
 pub use report::RunReport;
 pub use runtime::{RunOptions, Runtime, SttChoice};

@@ -55,7 +55,7 @@ impl SpotTrace {
             let mean = if up { mean_up } else { mean_down };
             let gap =
                 SimDuration::from_secs_f64(rng.exponential(1.0 / mean.as_secs_f64()).max(1e-6));
-            t = t + gap;
+            t += gap;
             if t >= horizon {
                 break;
             }

@@ -16,6 +16,7 @@ pub fn a100_80g() -> GpuSku {
         fp16_tflops: 312.0,
         mem_gb: 80.0,
         mem_bw_gbps: 2039.0,
+        interconnect_gbps: 600.0,
         tdp_w: 400.0,
         idle_w: 90.0,
         hourly_usd: 3.67,
@@ -30,6 +31,7 @@ pub fn h100_80g() -> GpuSku {
         fp16_tflops: 989.0,
         mem_gb: 80.0,
         mem_bw_gbps: 3350.0,
+        interconnect_gbps: 900.0,
         tdp_w: 700.0,
         idle_w: 105.0,
         hourly_usd: 6.98,
@@ -44,6 +46,7 @@ pub fn v100_32g() -> GpuSku {
         fp16_tflops: 125.0,
         mem_gb: 32.0,
         mem_bw_gbps: 900.0,
+        interconnect_gbps: 300.0,
         tdp_w: 300.0,
         idle_w: 40.0,
         hourly_usd: 1.80,
@@ -58,6 +61,7 @@ pub fn t4() -> GpuSku {
         fp16_tflops: 65.0,
         mem_gb: 16.0,
         mem_bw_gbps: 320.0,
+        interconnect_gbps: 32.0,
         tdp_w: 70.0,
         idle_w: 10.0,
         hourly_usd: 0.53,

@@ -37,6 +37,10 @@ pub struct GpuSku {
     pub mem_gb: f64,
     /// Memory bandwidth in GB/s.
     pub mem_bw_gbps: f64,
+    /// Device-to-device interconnect bandwidth in GB/s (NVLink where the
+    /// part has it, PCIe otherwise). Drives the KV-transfer cost between
+    /// disaggregated prefill and decode instances.
+    pub interconnect_gbps: f64,
     /// Board power limit (TDP) in watts.
     pub tdp_w: f64,
     /// Idle draw in watts.
@@ -114,6 +118,10 @@ mod tests {
             assert!(sku.idle_w < sku.tdp_w, "{}", sku.name);
             assert!(sku.hourly_usd > 0.0, "{}", sku.name);
             assert!(sku.mem_bw_gbps > 0.0, "{}", sku.name);
+            // KV pages move device-to-device slower than they stream
+            // from HBM — interconnects are the narrower pipe.
+            assert!(sku.interconnect_gbps > 0.0, "{}", sku.name);
+            assert!(sku.interconnect_gbps < sku.mem_bw_gbps, "{}", sku.name);
         }
     }
 

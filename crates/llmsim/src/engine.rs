@@ -33,6 +33,8 @@ pub struct Completion {
     pub submitted: SimTime,
     /// Admission (start of prefill) time.
     pub started: SimTime,
+    /// Instant the first output token left the model.
+    pub first_token: SimTime,
     /// Completion time.
     pub finished: SimTime,
     /// Tokens generated.
@@ -48,6 +50,23 @@ impl Completion {
     /// End-to-end latency.
     pub fn latency(&self) -> SimDuration {
         self.finished.saturating_duration_since(self.submitted)
+    }
+
+    /// Time to first token (submission → first output token).
+    pub fn ttft(&self) -> SimDuration {
+        self.first_token.saturating_duration_since(self.submitted)
+    }
+
+    /// Mean time per output token after the first (zero for single-token
+    /// outputs).
+    pub fn tpot(&self) -> SimDuration {
+        if self.output_tokens <= 1 {
+            SimDuration::ZERO
+        } else {
+            self.finished
+                .saturating_duration_since(self.first_token)
+                .div_u64(u64::from(self.output_tokens - 1))
+        }
     }
 }
 
@@ -73,6 +92,10 @@ pub struct EndpointStats {
     pub queue_wait_s: Histogram,
     /// End-to-end latency distribution in seconds.
     pub latency_s: Histogram,
+    /// Time-to-first-token distribution in seconds.
+    pub ttft_s: Histogram,
+    /// Time-per-output-token distribution in seconds.
+    pub tpot_s: Histogram,
 }
 
 impl Default for EndpointStats {
@@ -83,7 +106,20 @@ impl Default for EndpointStats {
             tokens_out: Counter::new(),
             queue_wait_s: Histogram::exponential(0.01, 4.0, 12),
             latency_s: Histogram::exponential(0.01, 4.0, 12),
+            ttft_s: Histogram::exponential(0.01, 4.0, 12),
+            tpot_s: Histogram::exponential(0.001, 4.0, 12),
         }
+    }
+}
+
+impl EndpointStats {
+    /// Folds one finished request into every latency distribution.
+    pub(crate) fn observe_completion(&mut self, c: &Completion) {
+        self.completed.incr();
+        self.queue_wait_s.observe(c.queue_wait().as_secs_f64());
+        self.latency_s.observe(c.latency().as_secs_f64());
+        self.ttft_s.observe(c.ttft().as_secs_f64());
+        self.tpot_s.observe(c.tpot().as_secs_f64());
     }
 }
 
@@ -98,7 +134,24 @@ struct Running {
     req: Request,
     submitted: SimTime,
     started: SimTime,
+    first_token: Option<SimTime>,
     generated: u32,
+}
+
+/// GPU-group utilization while decoding a batch of the given size.
+///
+/// Decode is memory-bandwidth-bound: the compute units idle while HBM
+/// streams weights, so measured decode *power* sits well below TDP
+/// (~190-220 W on an A100) even though the GPU is "busy". The floor
+/// models that; extra batch lanes push the compute units slightly
+/// harder. Calibrated against Table 2 of the paper (see
+/// murakkab-agents::calib). Shared by every serving backend.
+pub(crate) fn decode_batch_util(batch: u32, max_batch: u32) -> f64 {
+    if batch == 0 {
+        0.0
+    } else {
+        (0.30 + 0.06 * f64::from(batch) / f64::from(max_batch)).min(1.0)
+    }
 }
 
 /// A simulated LLM serving endpoint (one model replica on one TP group).
@@ -114,6 +167,8 @@ pub struct Endpoint {
     step_pending: bool,
     armed_deadline: Option<SimTime>,
     pending_prefill: SimDuration,
+    prefill_busy: SimDuration,
+    decode_busy: SimDuration,
     util: TimeSeries,
     kv_occupancy: TimeSeries,
     stats: EndpointStats,
@@ -123,22 +178,28 @@ impl Endpoint {
     /// Creates an endpoint serving `model` on `group` with an iteration
     /// batch limit of `max_batch`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the group cannot hold the model's weights (KV capacity
-    /// zero) or `max_batch` is zero.
-    pub fn new(name: impl Into<String>, model: ModelSpec, group: TpGroup, max_batch: u32) -> Self {
-        assert!(max_batch > 0, "max_batch must be positive");
+    /// Returns [`SimError::InvalidInput`] if the group cannot hold the
+    /// model's weights (KV capacity zero) or `max_batch` is zero.
+    pub fn try_new(
+        name: impl Into<String>,
+        model: ModelSpec,
+        group: TpGroup,
+        max_batch: u32,
+    ) -> Result<Self, SimError> {
+        if max_batch == 0 {
+            return Err(SimError::InvalidInput("max_batch must be positive".into()));
+        }
         let kv_tokens = group.kv_capacity_tokens(&model);
-        assert!(
-            kv_tokens > 0,
-            "TP group of {} x {} cannot hold {}",
-            group.n,
-            group.sku.name,
-            model.name
-        );
+        if kv_tokens == 0 {
+            return Err(SimError::InvalidInput(format!(
+                "TP group of {} x {} cannot hold {}",
+                group.n, group.sku.name, model.name
+            )));
+        }
         let name = name.into();
-        Endpoint {
+        Ok(Endpoint {
             util: TimeSeries::new(format!("{name}/util")),
             kv_occupancy: TimeSeries::new(format!("{name}/kv")),
             name,
@@ -151,8 +212,22 @@ impl Endpoint {
             step_pending: false,
             armed_deadline: None,
             pending_prefill: SimDuration::ZERO,
+            prefill_busy: SimDuration::ZERO,
+            decode_busy: SimDuration::ZERO,
             stats: EndpointStats::default(),
-        }
+        })
+    }
+
+    /// Creates an endpoint, panicking on invalid configuration (test
+    /// convenience; production construction goes through
+    /// [`Endpoint::try_new`] via the backend factory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group cannot hold the model's weights (KV capacity
+    /// zero) or `max_batch` is zero.
+    pub fn new(name: impl Into<String>, model: ModelSpec, group: TpGroup, max_batch: u32) -> Self {
+        Self::try_new(name, model, group, max_batch).expect("valid endpoint configuration")
     }
 
     /// Endpoint name.
@@ -237,11 +312,14 @@ impl Endpoint {
         self.step_pending = false;
         self.armed_deadline = None;
 
-        // Every running request produced one token this iteration.
+        // Every running request produced one token this iteration; a
+        // request whose prefill was charged to this iteration saw its
+        // first token at the boundary.
         let mut completions = Vec::new();
         let mut still_running = Vec::with_capacity(self.running.len());
         for mut r in self.running.drain(..) {
             r.generated += 1;
+            let first_token = *r.first_token.get_or_insert(now);
             self.stats.tokens_out.incr();
             if r.generated >= r.req.output_tokens {
                 self.kv
@@ -251,14 +329,11 @@ impl Endpoint {
                     id: r.req.id,
                     submitted: r.submitted,
                     started: r.started,
+                    first_token,
                     finished: now,
                     output_tokens: r.generated,
                 };
-                self.stats.completed.incr();
-                self.stats
-                    .queue_wait_s
-                    .observe(c.queue_wait().as_secs_f64());
-                self.stats.latency_s.observe(c.latency().as_secs_f64());
+                self.stats.observe_completion(&c);
                 completions.push(c);
             } else {
                 still_running.push(r);
@@ -295,6 +370,7 @@ impl Endpoint {
                 req: p.req,
                 submitted: p.submitted,
                 started: now,
+                first_token: None,
                 generated: 0,
             });
         }
@@ -312,31 +388,24 @@ impl Endpoint {
             .iter()
             .map(|r| u64::from(r.req.prompt_tokens + r.generated))
             .sum();
-        let dur = std::mem::take(&mut self.pending_prefill)
-            + decode_step_time(&self.model, &self.group, batch, resident);
+        let prefill_part = std::mem::take(&mut self.pending_prefill);
+        let decode_part = decode_step_time(&self.model, &self.group, batch, resident);
+        self.prefill_busy += prefill_part;
+        self.decode_busy += decode_part;
+        let dur = prefill_part + decode_part;
 
         self.util
-            .record(now, Self::active_util(batch, self.max_batch));
+            .record(now, decode_batch_util(batch, self.max_batch));
         self.step_pending = true;
         let deadline = now + dur;
         self.armed_deadline = Some(deadline);
         Some(deadline)
     }
 
-    /// GPU-group utilization while serving a batch of the given size.
-    ///
-    /// Decode is memory-bandwidth-bound: the compute units idle while HBM
-    /// streams weights, so measured decode *power* sits well below TDP
-    /// (~190-220 W on an A100) even though the GPU is "busy". The floor
-    /// models that; extra batch lanes push the compute units slightly
-    /// harder. Calibrated against Table 2 of the paper (see
-    /// murakkab-agents::calib).
-    fn active_util(batch: u32, max_batch: u32) -> f64 {
-        if batch == 0 {
-            0.0
-        } else {
-            (0.30 + 0.06 * f64::from(batch) / f64::from(max_batch)).min(1.0)
-        }
+    /// Cumulative busy time attributed to prefill vs decode across all
+    /// iterations so far.
+    pub fn phase_busy(&self) -> (SimDuration, SimDuration) {
+        (self.prefill_busy, self.decode_busy)
     }
 
     /// Drains the endpoint synchronously: repeatedly steps until idle,

@@ -30,12 +30,18 @@
 //! assert!(next.is_some()); // engine was idle; first step scheduled
 //! ```
 
+pub mod backend;
 pub mod cost;
+pub mod disagg;
 pub mod engine;
 pub mod kv;
 pub mod model;
 
+pub use backend::{
+    build_backend, disagg_split, plan_backend, BackendSpec, ServingBackend, ServingMode,
+};
 pub use cost::TpGroup;
+pub use disagg::DisaggEndpoint;
 pub use engine::{Completion, Endpoint, EndpointStats, StepOutcome};
 pub use kv::KvCachePool;
 pub use model::ModelSpec;

@@ -1,7 +1,9 @@
 //! Property-based tests for the LLM serving simulator.
 
 use murakkab_hardware::catalog;
-use murakkab_llmsim::{cost, Endpoint, KvCachePool, Request, TpGroup};
+use murakkab_llmsim::{
+    cost, DisaggEndpoint, Endpoint, KvCachePool, Request, ServingBackend, TpGroup,
+};
 use murakkab_sim::SimTime;
 use proptest::prelude::*;
 
@@ -67,6 +69,85 @@ proptest! {
             prop_assert_eq!(pool.used(), live.values().sum::<u64>());
             prop_assert!(pool.used() <= capacity);
         }
+    }
+
+    /// The peak watermark is exactly the running maximum of usage, never
+    /// decreases, and always dominates current usage.
+    #[test]
+    fn kv_pool_peak_is_the_running_maximum(
+        ops in prop::collection::vec((any::<bool>(), 0u64..32, 1u64..3_000), 1..150),
+        capacity in 1_000u64..50_000,
+    ) {
+        let mut pool = KvCachePool::new(capacity);
+        let mut expected_peak = 0u64;
+        let mut last_peak = 0u64;
+        for &(is_reserve, id, tokens) in &ops {
+            if is_reserve {
+                let _ = pool.reserve(id, tokens);
+            } else {
+                let _ = pool.release(id);
+            }
+            expected_peak = expected_peak.max(pool.used());
+            prop_assert_eq!(pool.peak(), expected_peak);
+            prop_assert!(pool.peak() >= pool.used());
+            prop_assert!(pool.peak() >= last_peak, "peak must be monotone");
+            last_peak = pool.peak();
+        }
+    }
+
+    /// A second reservation under a live id is rejected without
+    /// disturbing the first; releasing an id that holds nothing is
+    /// rejected without disturbing anything.
+    #[test]
+    fn kv_pool_rejects_double_reserve_and_unknown_release(
+        id in 0u64..64,
+        first in 1u64..1_000,
+        second in 1u64..1_000,
+        ghost in 64u64..128,
+    ) {
+        let mut pool = KvCachePool::new(10_000);
+        pool.reserve(id, first).unwrap();
+        let before = pool.used();
+        prop_assert!(pool.reserve(id, second).is_err(), "double reserve");
+        prop_assert_eq!(pool.used(), before);
+        prop_assert_eq!(pool.live_requests(), 1);
+        prop_assert!(pool.release(ghost).is_err(), "unknown release");
+        prop_assert_eq!(pool.used(), before);
+        prop_assert_eq!(pool.release(id).unwrap(), first);
+        prop_assert_eq!(pool.used(), 0);
+    }
+
+    /// The disaggregated backend completes every admitted request with
+    /// its full output, drains both KV pools to zero, and orders every
+    /// request's phase timestamps (prefill start ≤ first token < finish).
+    #[test]
+    fn disagg_drain_completes_everything_and_frees_both_pools(
+        reqs in prop::collection::vec((1u32..2_000, 1u32..120), 1..30),
+        max_batch in 1u32..12,
+    ) {
+        let mut ep = DisaggEndpoint::new(
+            "prop-disagg",
+            murakkab_llmsim::model::llama3_70b(),
+            TpGroup::new(catalog::a100_80g(), 3),
+            TpGroup::new(catalog::a100_80g(), 5),
+            max_batch,
+            catalog::a100_80g().interconnect_gbps,
+        );
+        for (i, &(p, o)) in reqs.iter().enumerate() {
+            ep.on_submit(Request::new(i as u64, p, o), SimTime::ZERO).unwrap();
+        }
+        let (done, end) = ep.drain(SimTime::ZERO);
+        prop_assert_eq!(done.len(), reqs.len());
+        for c in &done {
+            prop_assert_eq!(c.output_tokens, reqs[c.id as usize].1);
+            prop_assert!(c.started >= c.submitted);
+            prop_assert!(c.started <= c.first_token);
+            prop_assert!(c.first_token < c.finished);
+            prop_assert!(c.finished <= end);
+        }
+        prop_assert_eq!(ep.stats().completed.get(), reqs.len() as u64);
+        prop_assert_eq!(ep.prefill_kv().used(), 0);
+        prop_assert_eq!(ep.decode_kv().used(), 0);
     }
 
     /// Roofline costs are monotone: more prompt tokens never prefill

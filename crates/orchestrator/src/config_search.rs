@@ -143,11 +143,7 @@ impl ConfigSearch {
         }
     }
 
-    fn candidates<'a>(
-        store: &'a ProfileStore,
-        cap: Capability,
-        floor: f64,
-    ) -> Vec<&'a ExecutionProfile> {
+    fn candidates(store: &ProfileStore, cap: Capability, floor: f64) -> Vec<&ExecutionProfile> {
         let mut v: Vec<&ExecutionProfile> = store
             .for_capability(cap)
             .into_iter()

@@ -1,0 +1,62 @@
+//! Pluggable serving backends: the same overloaded arrival log served
+//! by a colocated continuous-batching replica and by a disaggregated
+//! prefill/decode pair on the same cluster.
+//!
+//! Colocating both phases makes every admitted prompt's prefill a
+//! head-of-line block on the shared iteration, so time-to-first-token
+//! collapses under overload. Disaggregation runs prefill on its own TP
+//! group, streams the KV cache to a decode instance over NVLink, and
+//! admits into decode against only the decode footprint — TTFT then
+//! tracks prefill capacity, not the decode backlog. Traffic and
+//! admission come from the `disagg` bench's recipe (`murakkab_bench`),
+//! so this example replays the exact configuration `BENCH_disagg.json`
+//! was measured with.
+//!
+//! ```text
+//! cargo run --example fleet_disagg
+//! ```
+
+use murakkab::{Runtime, ServingMode};
+use murakkab_bench::{disagg_log, disagg_options, DISAGG_NODES, DISAGG_RATE};
+
+const SEED: u64 = 42;
+const HORIZON_S: f64 = 300.0;
+
+fn main() {
+    // Capture the overloaded stream once; both backends replay it.
+    let log = disagg_log(SEED, HORIZON_S);
+    let rt = Runtime::with_shape(
+        SEED,
+        murakkab_hardware::catalog::nd96amsr_a100_v4(),
+        DISAGG_NODES,
+    );
+    println!(
+        "Serving-backend comparison (seed {SEED}, {} arrivals at {DISAGG_RATE} req/s over \
+         {HORIZON_S}s, {DISAGG_NODES} nodes)\n",
+        log.len()
+    );
+
+    let mut headline = Vec::new();
+    for mode in [ServingMode::Colocated, ServingMode::Disaggregated] {
+        let report = rt
+            .serve(disagg_options(&log, mode, HORIZON_S))
+            .expect("fleet serves");
+        println!("{}", report.summary_line());
+        println!("{}", report.class_table());
+        println!(
+            "  phase util: prefill {:.1}%  decode {:.1}%  |  rejected {}\n",
+            report.prefill_util_avg_pct,
+            report.decode_util_avg_pct,
+            report.rejections(),
+        );
+        headline.push((mode, report.goodput_per_min, report.worst_ttft_p95()));
+    }
+
+    println!("Backend comparison at the overload point:");
+    for (mode, goodput, ttft) in headline {
+        println!(
+            "  {:<15} {goodput:6.2}/min goodput   worst-class TTFT p95 {ttft:6.2}s",
+            mode.tag()
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Serving-backend sweep: one overloaded arrival log replayed against
+//! the colocated and disaggregated prefill/decode backends on the same
+//! fixed cluster. The driver lives in `murakkab_bench::disagg_main`;
+//! the binary sits in the root package so
+//! `cargo run --release --bin disagg [seed] [--quick]` resolves.
+//! `--quick` shortens the horizon (CI mode).
+
+use murakkab_bench::SEED;
+
+fn main() {
+    let mut seed = SEED;
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Ok(s) = arg.parse() {
+            seed = s;
+        } else {
+            eprintln!("usage: disagg [seed] [--quick]");
+            std::process::exit(2);
+        }
+    }
+    murakkab_bench::disagg_main(seed, quick);
+}

@@ -8,7 +8,7 @@
 
 pub use murakkab::{
     ablation, baseline, engine, report, runtime, workloads, RunOptions, RunReport, Runtime,
-    SttChoice,
+    ServingMode, SttChoice,
 };
 
 /// The seed used for all committed experiment outputs.

@@ -1,0 +1,111 @@
+//! Serving-backend integration tests: same-seed determinism per
+//! backend, conservation across backends, and the disaggregation claims
+//! (goodput and TTFT at the overload point). Traffic and admission come
+//! from the `disagg` bench's recipe (`murakkab_bench`), so these tests
+//! exercise the exact configuration the committed `BENCH_disagg.json`
+//! was measured with.
+
+use murakkab::{FleetReport, Runtime, ServingMode};
+use murakkab_bench::{disagg_log, disagg_options, DISAGG_NODES};
+use murakkab_traffic::ArrivalLog;
+
+const HORIZON_S: f64 = 300.0;
+
+fn serve(seed: u64, mode: ServingMode, log: &ArrivalLog) -> FleetReport {
+    let rt = Runtime::with_shape(
+        seed,
+        murakkab_hardware::catalog::nd96amsr_a100_v4(),
+        DISAGG_NODES,
+    );
+    rt.serve(disagg_options(log, mode, HORIZON_S))
+        .expect("fleet serves")
+}
+
+#[test]
+fn same_seed_same_backend_is_bit_identical() {
+    let log = disagg_log(11, HORIZON_S);
+    for mode in [ServingMode::Colocated, ServingMode::Disaggregated] {
+        let a = serve(11, mode, &log);
+        let b = serve(11, mode, &log);
+        assert_eq!(
+            serde_json::to_string(&a).expect("serializes"),
+            serde_json::to_string(&b).expect("serializes"),
+            "same seed and backend must produce a bit-identical fleet report ({mode:?})"
+        );
+        assert_eq!(a.serving, mode.tag());
+        assert!(a.completed > 0, "{mode:?} completed nothing");
+    }
+}
+
+#[test]
+fn conservation_across_backends() {
+    // Both backends see byte-identical traffic; each must account for
+    // every arrival as completed or rejected (the serve loop drains).
+    let log = disagg_log(42, HORIZON_S);
+    let offered = log.len() as u64;
+    assert!(offered > 0);
+    for mode in [ServingMode::Colocated, ServingMode::Disaggregated] {
+        let report = serve(42, mode, &log);
+        assert_eq!(report.offered, offered, "{mode:?}");
+        assert_eq!(
+            report.completed, report.admitted,
+            "serve drains fully ({mode:?})"
+        );
+        assert_eq!(
+            report.completed + report.rejections(),
+            offered,
+            "conservation ({mode:?})"
+        );
+        assert_eq!(
+            report.cells.iter().map(|c| c.completed).sum::<u64>(),
+            report.completed
+        );
+    }
+}
+
+#[test]
+fn disaggregation_wins_at_the_overload_point() {
+    let log = disagg_log(42, HORIZON_S);
+    let colocated = serve(42, ServingMode::Colocated, &log);
+    let disagg = serve(42, ServingMode::Disaggregated, &log);
+
+    // Goodput: deadline-met workflows per minute must not regress.
+    assert!(
+        disagg.goodput_per_min >= colocated.goodput_per_min,
+        "disaggregated goodput {:.2}/min lost to colocated {:.2}/min",
+        disagg.goodput_per_min,
+        colocated.goodput_per_min
+    );
+
+    // TTFT: the worst class's p95 must be strictly better — prefill no
+    // longer queues behind the decode backlog.
+    let (co, di) = (colocated.worst_ttft_p95(), disagg.worst_ttft_p95());
+    assert!(co > 0.0 && di > 0.0, "both backends served token work");
+    assert!(
+        di < co,
+        "disaggregated TTFT p95 {di:.2}s must be strictly better than colocated {co:.2}s"
+    );
+
+    // The phase split is visible: a disaggregated fleet reports distinct
+    // prefill/decode utilization, and its decode instances stay busier
+    // than its prefill instances (decode is the long phase).
+    assert!(disagg.decode_util_avg_pct > disagg.prefill_util_avg_pct);
+    assert!(disagg.prefill_util_avg_pct > 0.0);
+}
+
+#[test]
+fn backends_serve_identical_workloads() {
+    // The planned workload (offered count per class) is backend-
+    // independent — the serving regime changes how, not what.
+    let log = disagg_log(7, HORIZON_S);
+    let colocated = serve(7, ServingMode::Colocated, &log);
+    let disagg = serve(7, ServingMode::Disaggregated, &log);
+    assert_eq!(colocated.offered, disagg.offered);
+    let offered_by_class = |r: &FleetReport| {
+        r.classes
+            .iter()
+            .map(|c| (c.class.clone(), c.offered))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(offered_by_class(&colocated), offered_by_class(&disagg));
+}
