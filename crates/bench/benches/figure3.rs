@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::runtime::SttChoice;
+use murakkab::scenario::{Scenario, Session};
 use murakkab_bench::SEED;
 
 fn bench_figure3(c: &mut Criterion) {
@@ -26,12 +27,11 @@ fn bench_figure3(c: &mut Criterion) {
         ("murakkab-hybrid", SttChoice::Hybrid),
     ] {
         group.bench_function(name, |b| {
-            let rt = Runtime::paper_testbed(SEED);
+            let scenario = Scenario::closed_loop(black_box(name)).seed(SEED).stt(stt);
+            let session = Session::new(&scenario).unwrap();
             b.iter(|| {
-                let r = rt
-                    .run_video_understanding(RunOptions::labeled(black_box(name)).stt(stt))
-                    .unwrap();
-                assert!(r.makespan_s < 120.0);
+                let r = session.execute(&scenario).unwrap();
+                assert!(r.core.makespan_s < 120.0);
                 r
             })
         });

@@ -12,7 +12,8 @@
 
 use std::time::Instant;
 
-use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::runtime::SttChoice;
+use murakkab::scenario::{Scenario, Session};
 use murakkab_agents::library::stock_library;
 use murakkab_agents::Profiler;
 use murakkab_bench::{write_bench_json, SEED};
@@ -39,7 +40,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(SEED);
-    let rt = Runtime::paper_testbed(seed);
+    let base = Scenario::closed_loop("murakkab-gpu").seed(seed);
+    let session = Session::new(&base).expect("session builds");
 
     // (a) Profiling overhead: wall-clock to profile the full library.
     let t0 = Instant::now();
@@ -55,9 +57,11 @@ fn main() {
     );
 
     // (b) DAG creation: orchestration share of workflow time.
-    let report = rt
-        .run_video_understanding(RunOptions::labeled("murakkab-gpu").stt(SttChoice::Gpu))
-        .expect("run succeeds");
+    let report = session
+        .execute(&base.clone().stt(SttChoice::Gpu))
+        .expect("run succeeds")
+        .into_closed_loop()
+        .expect("closed-loop report");
     println!(
         "(b) DAG creation: {:.2}s of {:.1}s total = {:.2}% of execution time \
          (paper claims <1%)",
@@ -69,20 +73,28 @@ fn main() {
     // (c) Workflow-aware vs workflow-blind cluster management.
     // Hybrid STT finishes ~half-way through the run, so the early release
     // of its GPU worker is clearly visible.
-    let aware = rt
-        .run_video_understanding(
-            RunOptions::labeled("workflow-aware")
+    let aware = session
+        .execute(
+            &base
+                .clone()
+                .labeled("workflow-aware")
                 .stt(SttChoice::Hybrid)
                 .workflow_aware(true),
         )
-        .expect("run succeeds");
-    let blind = rt
-        .run_video_understanding(
-            RunOptions::labeled("workflow-blind")
+        .expect("run succeeds")
+        .into_closed_loop()
+        .expect("closed-loop report");
+    let blind = session
+        .execute(
+            &base
+                .clone()
+                .labeled("workflow-blind")
                 .stt(SttChoice::Hybrid)
                 .workflow_aware(false),
         )
-        .expect("run succeeds");
+        .expect("run succeeds")
+        .into_closed_loop()
+        .expect("closed-loop report");
     println!(
         "(c) Workflow-aware release: {:.1} Wh vs {:.1} Wh blind \
          ({:.1}% energy saved by returning idle agents' GPUs early)",

@@ -8,8 +8,9 @@
 
 use std::path::PathBuf;
 
-use murakkab::fleet::{CellPolicy, FleetOptions};
-use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::fleet::CellPolicy;
+use murakkab::runtime::SttChoice;
+use murakkab::scenario::{Scenario, Session};
 use murakkab::{FleetReport, RunReport, ServingMode};
 use murakkab_sim::{SimDuration, SimError, SimRng};
 use murakkab_traffic::{AdmissionConfig, ArrivalLog, ArrivalProcess};
@@ -33,15 +34,19 @@ pub const PAPER_TABLE2: [(&str, f64, f64); 4] = [
 ///
 /// Propagates simulation errors.
 pub fn run_table2_configs(seed: u64) -> Result<Vec<RunReport>, SimError> {
-    let rt = Runtime::paper_testbed(seed);
-    Ok(vec![
-        murakkab::run_baseline_video_understanding(seed)?,
-        rt.run_video_understanding(RunOptions::labeled("Murakkab CPU").stt(SttChoice::Cpu))?,
-        rt.run_video_understanding(RunOptions::labeled("Murakkab GPU").stt(SttChoice::Gpu))?,
-        rt.run_video_understanding(
-            RunOptions::labeled("Murakkab GPU + CPU").stt(SttChoice::Hybrid),
-        )?,
-    ])
+    let base = Scenario::closed_loop("Murakkab CPU")
+        .seed(seed)
+        .stt(SttChoice::Cpu);
+    let session = Session::new(&base)?;
+    let mut reports = vec![murakkab::run_baseline_video_understanding(seed)?];
+    for scenario in [
+        base.clone(),
+        base.clone().labeled("Murakkab GPU").stt(SttChoice::Gpu),
+        base.labeled("Murakkab GPU + CPU").stt(SttChoice::Hybrid),
+    ] {
+        reports.push(session.execute(&scenario)?.into_closed_loop()?);
+    }
+    Ok(reports)
 }
 
 /// Headline claims derived from the Table 2 runs: `(speedup, energy
@@ -98,13 +103,24 @@ pub fn run_fleet_sweep_with(
     horizon_s: f64,
     processes_per_rate: usize,
 ) -> Result<Vec<FleetReport>, SimError> {
-    let rt = Runtime::paper_testbed(seed);
+    // One session serves every sweep point: all scenarios share the
+    // paper-testbed cluster and the seed.
+    let probe = Scenario::open_loop(
+        "sweep",
+        ArrivalProcess::Poisson {
+            rate_per_s: FLEET_BASE_RATE,
+        },
+        horizon_s,
+    )
+    .seed(seed);
+    let session = Session::new(&probe)?;
     let mut reports = Vec::new();
     for &factor in factors {
         let rate = FLEET_BASE_RATE * factor;
         for (name, process) in fleet_processes(rate).into_iter().take(processes_per_rate) {
             let label = format!("{name} x{factor}");
-            reports.push(rt.serve(FleetOptions::open_loop(&label, process, horizon_s))?);
+            let scenario = Scenario::open_loop(&label, process, horizon_s).seed(seed);
+            reports.push(session.execute(&scenario)?.into_open_loop()?);
         }
     }
     Ok(reports)
@@ -157,15 +173,24 @@ pub fn shard_sweep_log(seed: u64, horizon_s: f64) -> ArrivalLog {
     ArrivalLog::record(&process, &mut rng, SimDuration::from_secs_f64(horizon_s))
 }
 
-/// The shard sweep's serve options for one shard count: the captured
-/// log replayed with the front door from [`shard_sweep_admission`] and a
-/// fleet-wide in-flight budget that cells split between them.
-pub fn shard_sweep_options(log: &ArrivalLog, shards: usize, horizon_s: f64) -> FleetOptions {
-    FleetOptions::open_loop(
+/// The shard sweep's scenario for one shard count: the captured log
+/// replayed with the front door from [`shard_sweep_admission`] and a
+/// fleet-wide in-flight budget that cells split between them, on a
+/// cluster of `nodes` VMs.
+pub fn shard_sweep_scenario(
+    seed: u64,
+    log: &ArrivalLog,
+    shards: usize,
+    horizon_s: f64,
+    nodes: usize,
+) -> Scenario {
+    Scenario::open_loop(
         &format!("shards={shards}"),
         ArrivalProcess::Replay { log: log.clone() },
         horizon_s,
     )
+    .seed(seed)
+    .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), nodes)
     .shards(shards)
     .router(CellPolicy::LeastLoaded)
     .max_inflight(24)
@@ -186,14 +211,15 @@ pub fn run_fleet_shard_sweep(
     horizon_s: f64,
 ) -> Result<Vec<FleetReport>, SimError> {
     let log = shard_sweep_log(seed, horizon_s);
-    let rt = Runtime::with_shape(
-        seed,
-        murakkab_hardware::catalog::nd96amsr_a100_v4(),
-        FLEET_SHARD_NODES,
-    );
+    // One session serves every shard count (same cluster, same seed).
+    let probe = shard_sweep_scenario(seed, &log, 1, horizon_s, FLEET_SHARD_NODES);
+    let session = Session::new(&probe)?;
     shard_counts
         .iter()
-        .map(|&shards| rt.serve(shard_sweep_options(&log, shards, horizon_s)))
+        .map(|&shards| {
+            let scenario = shard_sweep_scenario(seed, &log, shards, horizon_s, FLEET_SHARD_NODES);
+            session.execute(&scenario)?.into_open_loop()
+        })
         .collect()
 }
 
@@ -234,14 +260,22 @@ pub fn disagg_log(seed: u64, horizon_s: f64) -> ArrivalLog {
     ArrivalLog::record(&process, &mut rng, SimDuration::from_secs_f64(horizon_s))
 }
 
-/// Serve options for one backend of the disagg sweep: the captured log
-/// replayed on a single engine cell under the given serving regime.
-pub fn disagg_options(log: &ArrivalLog, serving: ServingMode, horizon_s: f64) -> FleetOptions {
-    FleetOptions::open_loop(
+/// The disagg sweep's scenario for one backend: the captured log
+/// replayed on a single engine cell under the given serving regime, on
+/// the fixed [`DISAGG_NODES`]-node cluster.
+pub fn disagg_scenario(
+    seed: u64,
+    log: &ArrivalLog,
+    serving: ServingMode,
+    horizon_s: f64,
+) -> Scenario {
+    Scenario::open_loop(
         serving.tag(),
         ArrivalProcess::Replay { log: log.clone() },
         horizon_s,
     )
+    .seed(seed)
+    .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), DISAGG_NODES)
     .max_inflight(24)
     .admission(disagg_admission())
     .serving(serving)
@@ -257,14 +291,15 @@ pub fn disagg_options(log: &ArrivalLog, serving: ServingMode, horizon_s: f64) ->
 /// Propagates simulation errors.
 pub fn run_disagg_sweep(seed: u64, horizon_s: f64) -> Result<Vec<FleetReport>, SimError> {
     let log = disagg_log(seed, horizon_s);
-    let rt = Runtime::with_shape(
-        seed,
-        murakkab_hardware::catalog::nd96amsr_a100_v4(),
-        DISAGG_NODES,
-    );
+    // One session serves both backends (same cluster, same seed).
+    let probe = disagg_scenario(seed, &log, ServingMode::Colocated, horizon_s);
+    let session = Session::new(&probe)?;
     [ServingMode::Colocated, ServingMode::Disaggregated]
         .into_iter()
-        .map(|mode| rt.serve(disagg_options(&log, mode, horizon_s)))
+        .map(|mode| {
+            let scenario = disagg_scenario(seed, &log, mode, horizon_s);
+            session.execute(&scenario)?.into_open_loop()
+        })
         .collect()
 }
 
@@ -341,16 +376,16 @@ pub fn fleet_main(seed: u64, quick: bool) {
     // Admission-control ablation at the overload point (the sweep's last
     // run load factor; labels derive from the same constants the sweep
     // uses).
-    let rt = Runtime::paper_testbed(seed);
     let top_factor = factors[factors.len() - 1];
     let overload = FLEET_BASE_RATE * top_factor;
     let (gated_name, process) = fleet_processes(overload).remove(0);
-    let open = rt
-        .serve(
-            FleetOptions::open_loop(&format!("no-admission x{top_factor}"), process, horizon_s)
-                .admission(AdmissionConfig::disabled()),
-        )
-        .expect("no-admission run");
+    let open = Scenario::open_loop(&format!("no-admission x{top_factor}"), process, horizon_s)
+        .seed(seed)
+        .admission(AdmissionConfig::disabled())
+        .run()
+        .expect("no-admission run")
+        .into_open_loop()
+        .expect("open-loop report");
     let gated_label = format!("{gated_name} x{top_factor}");
     let gated = reports
         .iter()

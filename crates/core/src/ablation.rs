@@ -11,7 +11,8 @@ use murakkab_workflow::{Constraint, Job};
 use serde::Serialize;
 
 use crate::report::RunReport;
-use crate::runtime::{RunOptions, Runtime, SttChoice};
+use crate::runtime::SttChoice;
+use crate::scenario::{CatalogRef, Scenario, Session};
 use crate::workloads;
 
 /// One Table 1 row: the lever, the two configurations compared, and the
@@ -66,10 +67,17 @@ fn arrow(before: f64, after: f64) -> &'static str {
 ///
 /// Propagates simulation errors.
 pub fn gpu_generation(seed: u64) -> Result<LeverRow, SimError> {
-    let a100 = Runtime::paper_testbed(seed)
-        .run_video_understanding(RunOptions::labeled("vu-a100").stt(SttChoice::Gpu))?;
-    let h100 = Runtime::with_shape(seed, catalog::nd96_h100_v5(), 2)
-        .run_video_understanding(RunOptions::labeled("vu-h100").stt(SttChoice::Gpu))?;
+    let a100 = Scenario::closed_loop("vu-a100")
+        .seed(seed)
+        .stt(SttChoice::Gpu)
+        .run()?
+        .into_closed_loop()?;
+    let h100 = Scenario::closed_loop("vu-h100")
+        .seed(seed)
+        .cluster(catalog::nd96_h100_v5(), 2)
+        .stt(SttChoice::Gpu)
+        .run()?
+        .into_closed_loop()?;
     Ok(LeverRow {
         lever: "GPU Generation",
         selection: "Newer (A100 -> H100)",
@@ -84,9 +92,14 @@ pub fn gpu_generation(seed: u64) -> Result<LeverRow, SimError> {
 ///
 /// Propagates simulation errors.
 pub fn cpu_vs_gpu(seed: u64) -> Result<LeverRow, SimError> {
-    let rt = Runtime::paper_testbed(seed);
-    let gpu = rt.run_video_understanding(RunOptions::labeled("stt-gpu").stt(SttChoice::Gpu))?;
-    let cpu = rt.run_video_understanding(RunOptions::labeled("stt-cpu").stt(SttChoice::Cpu))?;
+    let base = Scenario::closed_loop("stt-gpu")
+        .seed(seed)
+        .stt(SttChoice::Gpu);
+    let session = Session::new(&base)?;
+    let gpu = session.execute(&base)?.into_closed_loop()?;
+    let cpu = session
+        .execute(&base.clone().labeled("stt-cpu").stt(SttChoice::Cpu))?
+        .into_closed_loop()?;
     Ok(LeverRow {
         lever: "CPU vs GPU",
         selection: "CPU",
@@ -105,17 +118,15 @@ pub fn task_parallelism(seed: u64) -> Result<LeverRow, SimError> {
     // The CPU STT configuration exposes the lever most directly: fan-out 1
     // transcribes the sixteen scenes on a single 8-core worker; fan-out 16
     // spreads them over the full 64-core pool (8 workers).
-    let rt = Runtime::paper_testbed(seed);
-    let narrow = rt.run_video_understanding(
-        RunOptions::labeled("fanout-1")
-            .stt(SttChoice::Cpu)
-            .parallelism(1),
-    )?;
-    let wide = rt.run_video_understanding(
-        RunOptions::labeled("fanout-16")
-            .stt(SttChoice::Cpu)
-            .parallelism(16),
-    )?;
+    let narrow_sc = Scenario::closed_loop("fanout-1")
+        .seed(seed)
+        .stt(SttChoice::Cpu)
+        .parallelism(1);
+    let session = Session::new(&narrow_sc)?;
+    let narrow = session.execute(&narrow_sc)?.into_closed_loop()?;
+    let wide = session
+        .execute(&narrow_sc.clone().labeled("fanout-16").parallelism(16))?
+        .into_closed_loop()?;
     Ok(LeverRow {
         lever: "Task Parallelism",
         selection: "More Fan Out",
@@ -130,10 +141,16 @@ pub fn task_parallelism(seed: u64) -> Result<LeverRow, SimError> {
 ///
 /// Propagates simulation errors.
 pub fn execution_paths(seed: u64) -> Result<LeverRow, SimError> {
-    let rt = Runtime::paper_testbed(seed);
+    let base = Scenario::closed_loop("paths-1")
+        .seed(seed)
+        .catalog_entries(vec![CatalogRef::named("cot").sized(1)]);
+    let session = Session::new(&base)?;
     let run = |paths: u32, label: &str| -> Result<RunReport, SimError> {
-        let (job, inputs) = workloads::cot_job(paths);
-        let mut report = rt.run_job(&job, &inputs, RunOptions::labeled(label))?;
+        let scenario = base
+            .clone()
+            .labeled(label)
+            .catalog_entries(vec![CatalogRef::named("cot").sized(paths)]);
+        let mut report = session.execute(&scenario)?.into_closed_loop()?;
         // Path-count quality model (§3.2): top-k voting lifts quality.
         report.quality = murakkab_orchestrator::paths::path_quality(0.84, paths);
         Ok(report)
@@ -152,7 +169,6 @@ pub fn execution_paths(seed: u64) -> Result<LeverRow, SimError> {
 ///
 /// Propagates simulation errors.
 pub fn model_choice(seed: u64) -> Result<LeverRow, SimError> {
-    let rt = Runtime::paper_testbed(seed);
     let (job_small, inputs) = workloads::newsfeed_job("Alice", 12);
     // Small model: drop the quality floor so the 8B qualifies.
     let job_small = Job::describe(&job_small.description)
@@ -161,11 +177,12 @@ pub fn model_choice(seed: u64) -> Result<LeverRow, SimError> {
         .constraint(Constraint::MinCost)
         .build()
         .expect("well-formed");
-    let small = rt.run_job(
-        &job_small,
-        &inputs,
-        RunOptions::labeled("model-8b").pin_paper_agents(false),
-    )?;
+    let small_sc = Scenario::closed_loop("model-8b")
+        .seed(seed)
+        .jobs(vec![(job_small.clone(), inputs.clone())])
+        .pin_paper_agents(false);
+    let session = Session::new(&small_sc)?;
+    let small = session.execute(&small_sc)?.into_closed_loop()?;
     // Large model: demand quality only a large model reaches (the 0.85
     // floor admits the small sentiment/ranking tools but excludes the 8B
     // summariser).
@@ -175,11 +192,10 @@ pub fn model_choice(seed: u64) -> Result<LeverRow, SimError> {
         .constraint(Constraint::MinCost)
         .build()
         .expect("well-formed");
-    let large = rt.run_job(
-        &job_large,
-        &inputs,
-        RunOptions::labeled("model-70b").pin_paper_agents(false),
-    )?;
+    let large_sc = small_sc
+        .labeled("model-70b")
+        .jobs(vec![(job_large, inputs)]);
+    let large = session.execute(&large_sc)?.into_closed_loop()?;
     Ok(LeverRow {
         lever: "Model/Tool",
         selection: "More Parameters",

@@ -67,7 +67,7 @@ pub fn serialize_video_graph(graph: &mut TaskGraph, inputs: &JobInputs) -> Resul
 }
 
 /// Runs the Listing 1 Video Understanding workflow on the paper testbed
-/// and returns its report (the Figure 3 "[Baseline]" row).
+/// and returns its report (the Figure 3 "Baseline" row).
 ///
 /// # Errors
 ///

@@ -42,9 +42,9 @@ use murakkab_traffic::{
     AdmissionConfig, AdmissionController, Archetype, ArrivalProcess, JobMix, RequestSpec, SloClass,
     TenantProfile, TrafficSpec,
 };
-use murakkab_workflow::{Job, TaskGraph};
+use murakkab_workflow::{Constraint, Job, TaskGraph};
 
-use crate::engine::{Engine, EngineOptions, RouteSpec};
+use crate::engine::{Engine, RouteSpec};
 use crate::runtime::{RoutePlan, RunOptions, Runtime};
 use crate::workloads;
 
@@ -114,6 +114,13 @@ pub struct FleetOptions {
     pub steal_margin: usize,
     /// Serving regime the cells' LLM endpoints deploy under.
     pub serving: ServingMode,
+    /// Extra constraints ANDed into the shared route selection *after*
+    /// the canonical jobs' own constraints (lower priority, so they
+    /// tighten bounds without overriding a tenant's primary objective).
+    pub constraints: Vec<Constraint>,
+    /// Workflow-aware cluster management inside each cell (pool release
+    /// on DAG lookahead).
+    pub workflow_aware: bool,
 }
 
 impl FleetOptions {
@@ -132,7 +139,49 @@ impl FleetOptions {
             router: CellPolicy::default(),
             steal_margin: 2,
             serving: ServingMode::Colocated,
+            constraints: Vec::new(),
+            workflow_aware: true,
         }
+    }
+
+    /// Validates the numeric fields, so bad parameters surface as a typed
+    /// [`SimError::InvalidInput`] at the entry point instead of silent
+    /// misbehavior downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidInput`] on a non-finite or non-positive
+    /// horizon or rebalance cadence, zero `parallelism`, zero
+    /// `max_inflight`, or a zero shard count.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.horizon_s.is_finite() || self.horizon_s <= 0.0 {
+            return Err(SimError::InvalidInput(format!(
+                "arrival horizon must be a finite positive number of seconds, got {}",
+                self.horizon_s
+            )));
+        }
+        if !self.rebalance_every_s.is_finite() || self.rebalance_every_s <= 0.0 {
+            return Err(SimError::InvalidInput(format!(
+                "rebalance cadence must be a finite positive number of seconds, got {}",
+                self.rebalance_every_s
+            )));
+        }
+        if self.parallelism == 0 {
+            return Err(SimError::InvalidInput(
+                "parallelism must be at least 1".into(),
+            ));
+        }
+        if self.max_inflight == 0 {
+            return Err(SimError::InvalidInput(
+                "max_inflight must be at least 1".into(),
+            ));
+        }
+        if self.shards == 0 {
+            return Err(SimError::InvalidInput(
+                "fleet needs at least one shard".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Replaces the admission config.
@@ -166,7 +215,7 @@ impl FleetOptions {
     /// Scales the fleet-wide in-flight budget.
     #[must_use]
     pub fn max_inflight(mut self, n: usize) -> Self {
-        self.max_inflight = n.max(1);
+        self.max_inflight = n;
         self
     }
 
@@ -174,6 +223,13 @@ impl FleetOptions {
     #[must_use]
     pub fn serving(mut self, mode: ServingMode) -> Self {
         self.serving = mode;
+        self
+    }
+
+    /// Appends an extra selection constraint (lowest priority).
+    #[must_use]
+    pub fn constraint(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
         self
     }
 }
@@ -623,13 +679,20 @@ impl Runtime {
     /// Propagates planning, placement and execution errors, rejects a
     /// zero shard count or more shards than cluster nodes, and fails on
     /// a stalled serve loop (a scheduling bug).
+    #[deprecated(
+        since = "0.6.0",
+        note = "declare an open-loop `Scenario` (`WorkloadSource::Traffic`) \
+                and execute it through `Session` instead"
+    )]
     pub fn serve(&self, opts: FleetOptions) -> Result<FleetReport, SimError> {
+        self.serve_inner(opts)
+    }
+
+    /// The open-loop pipeline behind [`Runtime::serve`] and the
+    /// `Session` open-loop mode.
+    pub(crate) fn serve_inner(&self, opts: FleetOptions) -> Result<FleetReport, SimError> {
+        opts.validate()?;
         let shards = opts.shards;
-        if shards == 0 {
-            return Err(SimError::InvalidInput(
-                "fleet needs at least one shard".into(),
-            ));
-        }
         let horizon = SimDuration::from_secs_f64(opts.horizon_s);
         let fleet_rng = SimRng::new(self.seed()).fork("fleet");
 
@@ -669,10 +732,14 @@ impl Runtime {
                     .push(plan.archetype.clone());
             }
         }
+        for &c in &opts.constraints {
+            constraints = constraints.and(c);
+        }
         let run_opts = RunOptions::labeled(&opts.label)
             .parallelism(opts.parallelism)
             .pin_paper_agents(false)
-            .serving(opts.serving);
+            .serving(opts.serving)
+            .workflow_aware(opts.workflow_aware);
 
         // 3. Partition the cluster into cells, each with its own
         //    resource-aware route selection (against the cell's capacity,
@@ -701,13 +768,7 @@ impl Runtime {
                     routes
                 }
             };
-            let mut engine_opts = EngineOptions::for_gpu(
-                self.shape()
-                    .gpu
-                    .clone()
-                    .unwrap_or_else(murakkab_hardware::catalog::a100_80g),
-            );
-            engine_opts.workflow_aware = true;
+            let engine_opts = self.engine_options(&run_opts);
             let mut engine = Engine::new(
                 cluster,
                 self.library(),
@@ -1316,7 +1377,7 @@ mod tests {
         let rt = Runtime::paper_testbed(42);
         let opts =
             FleetOptions::open_loop("smoke", ArrivalProcess::Poisson { rate_per_s: 0.04 }, 250.0);
-        let report = rt.serve(opts).expect("serves");
+        let report = rt.serve_inner(opts).expect("serves");
         assert!(report.offered > 0);
         assert_eq!(
             report.admitted as usize + report.rejections() as usize,
@@ -1334,5 +1395,38 @@ mod tests {
         // first admission.
         assert!(report.pool_scale_ups >= 1);
         assert!(report.pool_scale_downs >= 1);
+    }
+
+    #[test]
+    fn invalid_fleet_options_are_rejected_upfront() {
+        let rt = Runtime::paper_testbed(1);
+        let base =
+            || FleetOptions::open_loop("bad", ArrivalProcess::Poisson { rate_per_s: 0.1 }, 100.0);
+        let cases: Vec<FleetOptions> = vec![
+            FleetOptions {
+                horizon_s: f64::NAN,
+                ..base()
+            },
+            FleetOptions {
+                horizon_s: -5.0,
+                ..base()
+            },
+            FleetOptions {
+                rebalance_every_s: 0.0,
+                ..base()
+            },
+            FleetOptions {
+                parallelism: 0,
+                ..base()
+            },
+            base().max_inflight(0),
+            base().shards(0),
+        ];
+        for opts in cases {
+            assert!(
+                matches!(rt.serve_inner(opts), Err(SimError::InvalidInput(_))),
+                "degenerate fleet options must be rejected"
+            );
+        }
     }
 }

@@ -4,17 +4,25 @@
 //! This is the paper's primary contribution, assembled from the substrate
 //! crates:
 //!
-//! - [`workloads`] — seeded synthetic workloads, including the paper's
-//!   Video Understanding evaluation (two videos, sixteen scenes) plus the
-//!   newsfeed, chain-of-thought and document-QA jobs the vision motivates;
+//! - [`scenario`] — the declarative front door: a typed, serde-
+//!   round-trippable [`Scenario`] (workload source + execution mode +
+//!   shared knobs) executed by a [`Session`] through one shared
+//!   plan → expand → select → engine pipeline, returning a unified
+//!   [`Report`];
+//! - [`workloads`] — seeded synthetic workloads and the data-driven
+//!   [`WorkloadCatalog`] scenarios select them from by name, including
+//!   the paper's Video Understanding evaluation (two videos, sixteen
+//!   scenes) plus the newsfeed, chain-of-thought and document-QA jobs
+//!   the vision motivates;
 //! - [`engine`] — the discrete-event execution engine that runs a task
 //!   graph against the cluster manager, worker pools and LLM endpoints;
 //! - [`runtime`] — the Murakkab runtime: decompose → expand → select
 //!   configs → execute adaptively, with the orchestrator and cluster
 //!   manager exchanging telemetry;
-//! - [`fleet`] — the open-loop serving mode: [`Runtime::serve`] admits an
-//!   arriving request stream (`murakkab_traffic`) into one long-running
-//!   engine and reports per-SLO-class latency percentiles and attainment;
+//! - [`fleet`] — the open-loop serving machinery behind
+//!   [`ExecutionMode::OpenLoop`](scenario::ExecutionMode): an arriving
+//!   request stream (`murakkab_traffic`) admitted into sharded
+//!   long-running engine cells, reported per SLO class;
 //! - [`baseline`] — the imperative (Listing 1 / OmAgent-style) executor:
 //!   fixed agents, fixed resources, fully serialized execution;
 //! - [`report`] — run reports: makespan, energy (both scopes), cost,
@@ -24,14 +32,16 @@
 //! # Examples
 //!
 //! ```no_run
-//! use murakkab::runtime::{Runtime, RunOptions, SttChoice};
+//! use murakkab::{Scenario, SttChoice};
 //!
-//! let mut rt = Runtime::paper_testbed(42);
-//! let report = rt
-//!     .run_video_understanding(RunOptions::labeled("murakkab-gpu").stt(SttChoice::Gpu))
-//!     .unwrap();
+//! let scenario = Scenario::closed_loop("murakkab-gpu").stt(SttChoice::Gpu);
+//! let report = scenario.run().unwrap();
 //! println!("{}", report.summary_line());
 //! ```
+//!
+//! The legacy imperative entry points (`Runtime::run_job`,
+//! `Runtime::run_concurrent`, `Runtime::serve`) are deprecated shims
+//! over the same pipeline.
 
 pub mod ablation;
 pub mod baseline;
@@ -39,6 +49,7 @@ pub mod engine;
 pub mod fleet;
 pub mod report;
 pub mod runtime;
+pub mod scenario;
 pub mod workloads;
 
 pub use baseline::run_baseline_video_understanding;
@@ -46,3 +57,8 @@ pub use fleet::{CellPolicy, FleetCellReport, FleetOptions, FleetReport};
 pub use murakkab_llmsim::{BackendSpec, ServingBackend, ServingMode};
 pub use report::RunReport;
 pub use runtime::{RunOptions, Runtime, SttChoice};
+pub use scenario::{
+    CatalogRef, ClusterSpec, ExecutionMode, OpenLoopSpec, Report, ReportCore, ReportDetail,
+    Scenario, Session, WorkloadSource,
+};
+pub use workloads::{WorkloadCatalog, WorkloadEntry, WorkloadParams};

@@ -8,6 +8,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use serde::{Deserialize, Serialize};
+
 use murakkab_agents::library::stock_library;
 use murakkab_agents::profile::Objective;
 use murakkab_agents::{AgentLibrary, Backend, Capability, ProfileStore, Profiler};
@@ -24,7 +26,7 @@ use crate::workloads;
 
 /// Which Speech-to-Text resource configuration to run (the Figure 3 /
 /// Table 2 experiment axis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SttChoice {
     /// Let the runtime pick from execution profiles under the job's
     /// constraints (the paper: `MIN_COST` ⇒ the CPU configuration).
@@ -58,6 +60,10 @@ pub struct RunOptions {
     /// Serving regime LLM endpoints deploy under (colocated continuous
     /// batching, or disaggregated prefill/decode pairs).
     pub serving: ServingMode,
+    /// Extra selection constraints ANDed in *after* (below) the jobs'
+    /// own constraints, so they tighten bounds without overriding a
+    /// job's primary objective.
+    pub constraints: Vec<murakkab_workflow::Constraint>,
 }
 
 impl Default for RunOptions {
@@ -70,6 +76,7 @@ impl Default for RunOptions {
             pin_paper_agents: true,
             preemptions: Vec::new(),
             serving: ServingMode::Colocated,
+            constraints: Vec::new(),
         }
     }
 }
@@ -100,7 +107,7 @@ impl RunOptions {
     /// Sets the parallelism lever.
     #[must_use]
     pub fn parallelism(mut self, n: u32) -> Self {
-        self.parallelism = n.max(1);
+        self.parallelism = n;
         self
     }
 
@@ -123,6 +130,32 @@ impl RunOptions {
     pub fn serving(mut self, mode: ServingMode) -> Self {
         self.serving = mode;
         self
+    }
+
+    /// Validates the numeric fields, so bad parameters surface as a typed
+    /// [`SimError::InvalidInput`] at the entry point instead of silent
+    /// misbehavior downstream (a zero-width pool, a preemption event at a
+    /// NaN instant).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidInput`] on zero `parallelism` or a NaN,
+    /// negative or non-finite preemption instant.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.parallelism == 0 {
+            return Err(SimError::InvalidInput(
+                "parallelism must be at least 1".into(),
+            ));
+        }
+        for &(at_s, node) in &self.preemptions {
+            if !at_s.is_finite() || at_s < 0.0 {
+                return Err(SimError::InvalidInput(format!(
+                    "preemption instant must be a finite non-negative number \
+                     of seconds, got {at_s} (node {node})"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -182,6 +215,11 @@ impl Runtime {
         &self.shape
     }
 
+    /// The number of cluster nodes the runtime provisions.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
     pub(crate) fn build_cluster(&self) -> ClusterManager {
         let mut cm = ClusterManager::new(murakkab_cluster::PlacementPolicy::BestFit);
         for _ in 0..self.nodes {
@@ -196,10 +234,15 @@ impl Runtime {
     /// # Errors
     ///
     /// Propagates planning, placement and execution errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "declare a `Scenario` with the `paper-video` catalog entry \
+                and execute it through `Session` instead"
+    )]
     pub fn run_video_understanding(&self, opts: RunOptions) -> Result<RunReport, SimError> {
         let job = workloads::paper_video_job();
         let inputs = workloads::paper_video_inputs(self.seed);
-        self.run_job(&job, &inputs, opts)
+        self.run_jobs(std::slice::from_ref(&(job, inputs)), &opts, false)
     }
 
     /// Runs any declarative job against concrete inputs.
@@ -207,96 +250,74 @@ impl Runtime {
     /// # Errors
     ///
     /// Propagates planning, placement and execution errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "declare a closed-loop `Scenario` (`WorkloadSource::Jobs`) \
+                and execute it through `Session` instead"
+    )]
     pub fn run_job(
         &self,
         job: &Job,
         inputs: &JobInputs,
         opts: RunOptions,
     ) -> Result<RunReport, SimError> {
-        let cluster = self.build_cluster();
-        let (plan, orch_cost) = Planner.decompose(job, &self.library)?;
-        let graph = expand(&plan, inputs)?;
-        let mut stats = cluster.stats(SimTime::ZERO);
-
-        let cap_archetypes: BTreeMap<Capability, Vec<String>> = plan
-            .capabilities()
-            .into_iter()
-            .map(|cap| (cap, vec![plan.archetype.clone()]))
-            .collect();
-        let RoutePlan {
-            routes,
-            selections,
-            orchestrator_agent,
-        } = self.select_routes(&cap_archetypes, &job.constraints, &mut stats, &opts)?;
-
-        let mut engine_opts = EngineOptions::for_gpu(
-            self.shape
-                .gpu
-                .clone()
-                .unwrap_or_else(murakkab_hardware::catalog::a100_80g),
-        );
-        engine_opts.workflow_aware = opts.workflow_aware;
-        engine_opts.orchestration = orchestrator_agent.map(|a| (orch_cost, a));
-        engine_opts.preemptions = opts
-            .preemptions
-            .iter()
-            .map(|&(s, n)| (SimTime::from_secs_f64(s), n))
-            .collect();
-
-        let engine = Engine::new(
-            cluster,
-            &self.library,
-            graph,
-            routes,
-            engine_opts,
-            SimTime::ZERO,
-        )?;
-        let outcome = engine.run(SimTime::ZERO)?;
-
-        let quality = murakkab_agents::quality::compose(
-            &selections.values().map(|s| s.quality).collect::<Vec<_>>(),
-        );
-        Ok(report_from_outcome(
-            &opts.label,
-            outcome,
-            quality,
+        self.run_jobs(
+            std::slice::from_ref(&(job.clone(), inputs.clone())),
+            &opts,
             false,
-            &selections
-                .iter()
-                .map(|(c, s)| (c.to_string(), format!("{}@{}", s.agent, s.target)))
-                .collect(),
-        ))
+        )
     }
 
     /// Runs several independent jobs *concurrently* on one shared cluster
     /// — the paper's Figure 2: "higher resource multiplexing between
-    /// independent workflows to improve efficiency". All workflows share
-    /// agent deployments (one NVLM replica serves every tenant's
-    /// summarisation and generation) and the engine interleaves their
-    /// task graphs on the same event loop.
-    ///
-    /// Selection uses the merged constraint set (all tenants' constraints
-    /// in job order, so the strictest quality floor applies) and the
-    /// union of per-tenant agent filters.
+    /// independent workflows to improve efficiency".
     ///
     /// # Errors
     ///
     /// Propagates planning, placement and execution errors; fails if
     /// `jobs` is empty.
+    #[deprecated(
+        since = "0.6.0",
+        note = "declare a closed-loop `Scenario` with several workload \
+                entries and execute it through `Session` instead"
+    )]
     pub fn run_concurrent(
         &self,
         jobs: &[(Job, JobInputs)],
         opts: RunOptions,
     ) -> Result<RunReport, SimError> {
+        self.run_jobs(jobs, &opts, true)
+    }
+
+    /// The shared closed-loop pipeline behind every entry point: plan
+    /// (decompose) → expand → select agent/hardware configs → execute on
+    /// the discrete-event engine. One job runs as-is; several jobs are
+    /// multi-tenant — their graphs merge under `w{i}/` prefixes, all
+    /// workflows share agent deployments (one NVLM replica serves every
+    /// tenant's summarisation and generation) and the engine interleaves
+    /// their task graphs on the same event loop.
+    ///
+    /// Selection uses the merged constraint set (all tenants' constraints
+    /// in job order, so the strictest quality floor applies) and the
+    /// union of per-tenant agent filters.
+    pub(crate) fn run_jobs(
+        &self,
+        jobs: &[(Job, JobInputs)],
+        opts: &RunOptions,
+        multi_tenant: bool,
+    ) -> Result<RunReport, SimError> {
+        opts.validate()?;
         if jobs.is_empty() {
             return Err(SimError::InvalidInput("no jobs to run".into()));
         }
         let cluster = self.build_cluster();
         let mut stats = cluster.stats(SimTime::ZERO);
 
-        // Decompose and expand every tenant; merge with per-tenant
-        // prefixes; accumulate orchestration cost and constraints.
+        // Decompose and expand every job; accumulate orchestration cost
+        // and constraints. Multi-tenant runs merge the graphs with
+        // per-tenant prefixes; a solo run keeps its graph untouched.
         let mut merged = murakkab_workflow::TaskGraph::new();
+        let mut solo_graph = None;
         let mut constraints = murakkab_workflow::ConstraintSet::new();
         let mut total_cost = murakkab_orchestrator::OrchestratorCost {
             prompt_tokens: 0,
@@ -306,7 +327,11 @@ impl Runtime {
         for (i, (job, inputs)) in jobs.iter().enumerate() {
             let (plan, cost) = Planner.decompose(job, &self.library)?;
             let graph = expand(&plan, inputs)?;
-            merged.absorb_prefixed(&graph, &format!("w{i}/"));
+            if multi_tenant {
+                merged.absorb_prefixed(&graph, &format!("w{i}/"));
+            } else {
+                solo_graph = Some(graph);
+            }
             total_cost.prompt_tokens += cost.prompt_tokens;
             total_cost.output_tokens += cost.output_tokens;
             for c in job.constraints.all() {
@@ -319,33 +344,31 @@ impl Runtime {
                     .push(plan.archetype.clone());
             }
         }
+        for &c in &opts.constraints {
+            constraints = constraints.and(c);
+        }
+        if !multi_tenant && jobs.len() > 1 {
+            return Err(SimError::InvalidInput(
+                "several jobs need the multi-tenant pipeline".into(),
+            ));
+        }
+        let graph = solo_graph.unwrap_or(merged);
 
         // One shared selection/routing pass over the union of
-        // capabilities (same logic as `run_job`).
+        // capabilities.
         let RoutePlan {
             routes,
             selections,
             orchestrator_agent,
-        } = self.select_routes(&cap_archetypes, &constraints, &mut stats, &opts)?;
+        } = self.select_routes(&cap_archetypes, &constraints, &mut stats, opts)?;
 
-        let mut engine_opts = EngineOptions::for_gpu(
-            self.shape
-                .gpu
-                .clone()
-                .unwrap_or_else(murakkab_hardware::catalog::a100_80g),
-        );
-        engine_opts.workflow_aware = opts.workflow_aware;
+        let mut engine_opts = self.engine_options(opts);
         engine_opts.orchestration = orchestrator_agent.map(|a| (total_cost, a));
-        engine_opts.preemptions = opts
-            .preemptions
-            .iter()
-            .map(|&(s, n)| (SimTime::from_secs_f64(s), n))
-            .collect();
 
         let engine = Engine::new(
             cluster,
             &self.library,
-            merged,
+            graph,
             routes,
             engine_opts,
             SimTime::ZERO,
@@ -364,6 +387,25 @@ impl Runtime {
                 .map(|(c, s)| (c.to_string(), format!("{}@{}", s.agent, s.target)))
                 .collect(),
         ))
+    }
+
+    /// Engine options for a run: the cluster's GPU SKU plus the
+    /// workflow-awareness and preemption schedule from the options —
+    /// shared by the closed-loop pipeline and the fleet cells.
+    pub(crate) fn engine_options(&self, opts: &RunOptions) -> EngineOptions {
+        let mut engine_opts = EngineOptions::for_gpu(
+            self.shape
+                .gpu
+                .clone()
+                .unwrap_or_else(murakkab_hardware::catalog::a100_80g),
+        );
+        engine_opts.workflow_aware = opts.workflow_aware;
+        engine_opts.preemptions = opts
+            .preemptions
+            .iter()
+            .map(|&(s, n)| (SimTime::from_secs_f64(s), n))
+            .collect();
+        engine_opts
     }
 
     /// Agent/hardware selection and routing for a set of capabilities —
@@ -635,12 +677,18 @@ pub(crate) fn report_from_outcome(
 mod tests {
     use super::*;
 
+    /// The Video Understanding workload through the shared pipeline (what
+    /// the deprecated `run_video_understanding` shim wraps).
+    fn vu(rt: &Runtime, opts: RunOptions) -> Result<RunReport, SimError> {
+        let job = workloads::paper_video_job();
+        let inputs = workloads::paper_video_inputs(rt.seed());
+        rt.run_jobs(&[(job, inputs)], &opts, false)
+    }
+
     #[test]
     fn video_understanding_runs_end_to_end() {
         let rt = Runtime::paper_testbed(42);
-        let report = rt
-            .run_video_understanding(RunOptions::labeled("murakkab-auto"))
-            .unwrap();
+        let report = vu(&rt, RunOptions::labeled("murakkab-auto")).unwrap();
         // 16 scenes x (extract + stt + detect + scene-sum + embed + insert)
         // + 80 frame summaries.
         assert_eq!(report.tasks, 16 * 6 + 80);
@@ -655,12 +703,8 @@ mod tests {
     #[test]
     fn stt_choices_change_the_outcome() {
         let rt = Runtime::paper_testbed(42);
-        let gpu = rt
-            .run_video_understanding(RunOptions::labeled("gpu").stt(SttChoice::Gpu))
-            .unwrap();
-        let cpu = rt
-            .run_video_understanding(RunOptions::labeled("cpu").stt(SttChoice::Cpu))
-            .unwrap();
+        let gpu = vu(&rt, RunOptions::labeled("gpu").stt(SttChoice::Gpu)).unwrap();
+        let cpu = vu(&rt, RunOptions::labeled("cpu").stt(SttChoice::Cpu)).unwrap();
         // The CPU configuration must not use the Whisper GPU; the GPU one
         // must.
         assert!(gpu.makespan_s != cpu.makespan_s);
@@ -676,12 +720,8 @@ mod tests {
     fn auto_follows_min_cost_to_cpu() {
         // Listing 2 carries MIN_COST; Auto must behave like Cpu.
         let rt = Runtime::paper_testbed(42);
-        let auto = rt
-            .run_video_understanding(RunOptions::labeled("auto"))
-            .unwrap();
-        let cpu = rt
-            .run_video_understanding(RunOptions::labeled("cpu").stt(SttChoice::Cpu))
-            .unwrap();
+        let auto = vu(&rt, RunOptions::labeled("auto")).unwrap();
+        let cpu = vu(&rt, RunOptions::labeled("cpu").stt(SttChoice::Cpu)).unwrap();
         assert!((auto.makespan_s - cpu.makespan_s).abs() < 1e-6);
         assert!((auto.energy_allocated_wh - cpu.energy_allocated_wh).abs() < 1e-6);
     }
@@ -689,12 +729,8 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_report() {
         let rt = Runtime::paper_testbed(7);
-        let a = rt
-            .run_video_understanding(RunOptions::labeled("a").stt(SttChoice::Gpu))
-            .unwrap();
-        let b = rt
-            .run_video_understanding(RunOptions::labeled("b").stt(SttChoice::Gpu))
-            .unwrap();
+        let a = vu(&rt, RunOptions::labeled("a").stt(SttChoice::Gpu)).unwrap();
+        let b = vu(&rt, RunOptions::labeled("b").stt(SttChoice::Gpu)).unwrap();
         assert_eq!(a.makespan_s, b.makespan_s);
         assert_eq!(a.energy_allocated_wh, b.energy_allocated_wh);
         assert_eq!(a.trace.spans().len(), b.trace.spans().len());
@@ -705,9 +741,34 @@ mod tests {
         let rt = Runtime::paper_testbed(42);
         let (job, inputs) = workloads::newsfeed_job("Alice", 12);
         let report = rt
-            .run_job(&job, &inputs, RunOptions::labeled("newsfeed"))
+            .run_jobs(&[(job, inputs)], &RunOptions::labeled("newsfeed"), false)
             .unwrap();
         assert_eq!(report.tasks, 3 * 12 + 2);
         assert!(report.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn invalid_numeric_options_are_rejected_upfront() {
+        let rt = Runtime::paper_testbed(1);
+        let (job, inputs) = workloads::newsfeed_job("Alice", 2);
+        let jobs = [(job, inputs)];
+
+        let mut zero_width = RunOptions::labeled("bad");
+        zero_width.parallelism = 0;
+        assert!(matches!(
+            rt.run_jobs(&jobs, &zero_width, false),
+            Err(SimError::InvalidInput(_))
+        ));
+
+        for bad_at in [f64::NAN, -1.0, f64::INFINITY] {
+            let opts = RunOptions::labeled("bad").preempt_at(bad_at, 0);
+            assert!(
+                matches!(
+                    rt.run_jobs(&jobs, &opts, false),
+                    Err(SimError::InvalidInput(_))
+                ),
+                "preempt_at({bad_at}) must be rejected"
+            );
+        }
     }
 }

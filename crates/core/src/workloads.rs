@@ -1,14 +1,24 @@
-//! Seeded synthetic workloads.
+//! Seeded synthetic workloads and the [`WorkloadCatalog`] registry.
 //!
 //! The paper evaluates on two real videos (`cats.mov`, `formula_1.mov`).
 //! We cannot ship those, but the scheduler only ever sees their *work
 //! distribution* — scene counts, speech seconds, frame counts — so a
 //! seeded synthetic trace with the same aggregate shape exercises the
 //! identical code paths (substitution documented in DESIGN.md §1).
+//!
+//! The free constructors ([`paper_video_job`], [`newsfeed_job`], …) are
+//! also registered in the data-driven [`WorkloadCatalog`], so scenarios,
+//! benches and tests can select workloads *by name* (a
+//! [`crate::scenario::CatalogRef`] inside a serialized
+//! [`crate::scenario::Scenario`]) instead of hardcoding a constructor
+//! call. Callers extend the catalog with [`WorkloadCatalog::register`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use murakkab_agents::calib;
 use murakkab_orchestrator::{JobInputs, MediaInfo, SceneInfo};
-use murakkab_sim::SimRng;
+use murakkab_sim::{SimError, SimRng};
 use murakkab_workflow::{Constraint, Job};
 
 /// The paper's Video Understanding inputs: `cats.mov` (6 scenes) and
@@ -79,6 +89,158 @@ pub fn doc_qa_job(docs: u32) -> (Job, JobInputs) {
     (job, JobInputs::items(docs))
 }
 
+/// Parameters a [`WorkloadCatalog`] entry builds its job from.
+///
+/// `seed` always comes from the executing scenario; `size` and `user`
+/// default per entry when the caller leaves them unset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Workload seed (drives seeded input generators).
+    pub seed: u64,
+    /// Generic size knob: posts for a newsfeed, reasoning paths for
+    /// chain-of-thought, documents for doc-QA. Ignored by entries whose
+    /// inputs are fixed (the paper video workload).
+    pub size: u32,
+    /// User/tenant handle for entries that personalise their job.
+    pub user: String,
+}
+
+/// The input generator of one catalog entry.
+type WorkloadBuilder = Arc<dyn Fn(&WorkloadParams) -> (Job, JobInputs) + Send + Sync>;
+
+/// One named workload: a job template plus an input generator.
+#[derive(Clone)]
+pub struct WorkloadEntry {
+    /// Registry key (stable, kebab-case).
+    pub name: String,
+    /// One-line description for listings.
+    pub description: String,
+    /// `size` used when a scenario does not override it.
+    pub default_size: u32,
+    /// `user` used when a scenario does not override it.
+    pub default_user: String,
+    builder: WorkloadBuilder,
+}
+
+impl WorkloadEntry {
+    /// Builds an entry from its parts.
+    pub fn new(
+        name: &str,
+        description: &str,
+        default_size: u32,
+        default_user: &str,
+        builder: impl Fn(&WorkloadParams) -> (Job, JobInputs) + Send + Sync + 'static,
+    ) -> Self {
+        WorkloadEntry {
+            name: name.into(),
+            description: description.into(),
+            default_size,
+            default_user: default_user.into(),
+            builder: Arc::new(builder),
+        }
+    }
+
+    /// Instantiates the entry's job and inputs.
+    pub fn build(&self, params: &WorkloadParams) -> (Job, JobInputs) {
+        (self.builder)(params)
+    }
+}
+
+impl std::fmt::Debug for WorkloadEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadEntry")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .field("default_size", &self.default_size)
+            .field("default_user", &self.default_user)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A name → workload registry.
+///
+/// [`WorkloadCatalog::stock`] registers the four workloads this
+/// reproduction ships ([`paper_video_job`], [`newsfeed_job`],
+/// [`cot_job`], [`doc_qa_job`]); callers add their own with
+/// [`WorkloadCatalog::register`] and scenarios select any of them by
+/// name.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadCatalog {
+    entries: BTreeMap<String, WorkloadEntry>,
+}
+
+impl WorkloadCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        WorkloadCatalog::default()
+    }
+
+    /// The stock catalog: every workload this crate ships, by name.
+    pub fn stock() -> Self {
+        let mut catalog = WorkloadCatalog::new();
+        catalog.register(WorkloadEntry::new(
+            "paper-video",
+            "the paper's Video Understanding evaluation (2 videos, 16 scenes)",
+            0,
+            "",
+            |p| (paper_video_job(), paper_video_inputs(p.seed)),
+        ));
+        catalog.register(WorkloadEntry::new(
+            "newsfeed",
+            "Figure 2's workflow B: newsfeed generation over `size` posts",
+            12,
+            "Alice",
+            |p| newsfeed_job(&p.user, p.size),
+        ));
+        catalog.register(WorkloadEntry::new(
+            "cot",
+            "chain-of-thought reasoning with `size` parallel paths",
+            4,
+            "",
+            |p| cot_job(p.size),
+        ));
+        catalog.register(WorkloadEntry::new(
+            "doc-qa",
+            "document question answering over `size` documents",
+            20,
+            "",
+            |p| doc_qa_job(p.size),
+        ));
+        catalog
+    }
+
+    /// Registers (or replaces) an entry under its name.
+    pub fn register(&mut self, entry: WorkloadEntry) {
+        self.entries.insert(entry.name.clone(), entry);
+    }
+
+    /// Looks an entry up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotFound`] when the name is not registered.
+    pub fn get(&self, name: &str) -> Result<&WorkloadEntry, SimError> {
+        self.entries
+            .get(name)
+            .ok_or_else(|| SimError::not_found("workload", name))
+    }
+
+    /// Registered entry names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +279,79 @@ mod tests {
         let (qa, docs) = doc_qa_job(20);
         assert!(qa.description.contains("Answer"));
         assert_eq!(docs.items, 20);
+    }
+
+    #[test]
+    fn stock_catalog_builds_every_entry() {
+        let catalog = WorkloadCatalog::stock();
+        assert_eq!(
+            catalog.names(),
+            vec!["cot", "doc-qa", "newsfeed", "paper-video"]
+        );
+        for name in catalog.names() {
+            let entry = catalog.get(name).unwrap();
+            let params = WorkloadParams {
+                seed: 42,
+                size: entry.default_size,
+                user: entry.default_user.clone(),
+            };
+            let (job, _) = entry.build(&params);
+            assert!(!job.description.is_empty(), "{name} builds a job");
+        }
+    }
+
+    #[test]
+    fn catalog_entries_match_the_free_constructors() {
+        let catalog = WorkloadCatalog::stock();
+        let params = WorkloadParams {
+            seed: 7,
+            size: 9,
+            user: "Carol".into(),
+        };
+        assert_eq!(
+            catalog.get("paper-video").unwrap().build(&params),
+            (paper_video_job(), paper_video_inputs(7))
+        );
+        assert_eq!(
+            catalog.get("newsfeed").unwrap().build(&params),
+            newsfeed_job("Carol", 9)
+        );
+        assert_eq!(catalog.get("cot").unwrap().build(&params), cot_job(9));
+        assert_eq!(catalog.get("doc-qa").unwrap().build(&params), doc_qa_job(9));
+    }
+
+    #[test]
+    fn unknown_catalog_entry_is_a_typed_error() {
+        let err = WorkloadCatalog::stock()
+            .get("no-such-workload")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::NotFound {
+                kind: "workload",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn callers_can_extend_the_catalog() {
+        let mut catalog = WorkloadCatalog::stock();
+        let before = catalog.len();
+        catalog.register(WorkloadEntry::new(
+            "custom-feed",
+            "a caller-registered workload",
+            3,
+            "Dana",
+            |p| newsfeed_job(&p.user, p.size * 2),
+        ));
+        assert_eq!(catalog.len(), before + 1);
+        let (job, inputs) = catalog.get("custom-feed").unwrap().build(&WorkloadParams {
+            seed: 1,
+            size: 3,
+            user: "Dana".into(),
+        });
+        assert!(job.description.contains("Dana"));
+        assert_eq!(inputs.items, 6);
     }
 }

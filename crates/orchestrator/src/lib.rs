@@ -12,7 +12,7 @@
 //!   reasoning, document QA) and emits the same DAG an LLM would, while
 //!   *charging* the LLM queries' token cost so the §3.3 overhead claim
 //!   can be measured.
-//! - **Expansion** ([`expand`]) — instantiate the logical stages against
+//! - **Expansion** ([`expand()`]) — instantiate the logical stages against
 //!   concrete inputs (scenes, frames, items) into a
 //!   [`murakkab_workflow::TaskGraph`] with instance-level dataflow edges.
 //! - **Task-to-Agent Mapping** ([`mapping`]) — pick an agent and hardware

@@ -51,7 +51,7 @@ impl From<&ExecutionProfile> for SelectedConfig {
 /// ranked by the primary objective. If live `stats` are provided,
 /// candidates whose target cannot fit in free capacity are dropped unless
 /// the agent is already `resident`. Among candidates within
-/// [`RESIDENT_TOLERANCE`] of the best score, resident agents win. An
+/// `RESIDENT_TOLERANCE` of the best score, resident agents win. An
 /// optional `allowed` set restricts agents (e.g. multimodal-only for
 /// frame summarisation).
 ///

@@ -1,7 +1,7 @@
 //! Typed identifiers.
 //!
 //! Every domain object (nodes, devices, tasks, requests, ...) is keyed by a
-//! cheap `u64` newtype generated with [`define_id!`]. Typed ids prevent the
+//! cheap `u64` newtype generated with `define_id!`. Typed ids prevent the
 //! classic bug of indexing one table with another table's key.
 
 /// Defines a `Copy` newtype identifier over `u64` with a paired allocator.

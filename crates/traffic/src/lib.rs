@@ -36,6 +36,6 @@ pub use admission::{
     TokenBucket,
 };
 pub use arrivals::ArrivalProcess;
-pub use mix::{Archetype, JobMix, RequestSpec, TenantProfile, TrafficSpec};
+pub use mix::{draw_tenant, Archetype, JobMix, RequestSpec, TenantProfile, TrafficSpec};
 pub use replay::ArrivalLog;
 pub use slo::SloClass;

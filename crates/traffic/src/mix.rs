@@ -125,6 +125,33 @@ pub struct RequestSpec {
     pub class: SloClass,
 }
 
+/// Draws one tenant from a weighted set (linear scan over the weights;
+/// the last tenant absorbs floating-point remainder). The shared
+/// sampling primitive behind [`TrafficSpec::requests`] and the
+/// closed-loop mix sampler in `murakkab`.
+///
+/// # Panics
+///
+/// Panics if the tenant set is empty or its weights do not sum to a
+/// positive number.
+pub fn draw_tenant<'a>(tenants: &'a [TenantProfile], rng: &mut SimRng) -> &'a TenantProfile {
+    let total_weight: f64 = tenants.iter().map(|t| t.weight).sum();
+    assert!(
+        total_weight > 0.0,
+        "tenant weights must sum positive (empty or zero-weight tenant set)"
+    );
+    let mut u = rng.uniform() * total_weight;
+    let mut chosen = &tenants[tenants.len() - 1];
+    for t in tenants {
+        if u < t.weight {
+            chosen = t;
+            break;
+        }
+        u -= t.weight;
+    }
+    chosen
+}
+
 /// An arrival process plus a weighted tenant set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficSpec {
@@ -146,8 +173,6 @@ impl TrafficSpec {
     /// Panics if the tenant set is empty or has no positive weight.
     pub fn requests(&self, rng: &SimRng, horizon: SimDuration) -> Vec<RequestSpec> {
         assert!(!self.tenants.is_empty(), "traffic spec needs tenants");
-        let total_weight: f64 = self.tenants.iter().map(|t| t.weight).sum();
-        assert!(total_weight > 0.0, "tenant weights must sum positive");
 
         let mut arrival_rng = rng.fork("arrivals");
         let mut tenant_rng = rng.fork("tenants");
@@ -158,15 +183,7 @@ impl TrafficSpec {
             .into_iter()
             .enumerate()
             .map(|(i, at)| {
-                let mut u = tenant_rng.uniform() * total_weight;
-                let mut chosen = &self.tenants[self.tenants.len() - 1];
-                for t in &self.tenants {
-                    if u < t.weight {
-                        chosen = t;
-                        break;
-                    }
-                    u -= t.weight;
-                }
+                let chosen = draw_tenant(&self.tenants, &mut tenant_rng);
                 RequestSpec {
                     id: i as u64,
                     at,

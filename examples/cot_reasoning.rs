@@ -6,12 +6,12 @@
 //! cargo run --example cot_reasoning
 //! ```
 
-use murakkab::runtime::{RunOptions, Runtime};
-use murakkab::workloads;
+use murakkab::scenario::{CatalogRef, Scenario, Session};
 use murakkab_orchestrator::paths::{path_cost_factor, path_quality};
 
 fn main() {
-    let rt = Runtime::paper_testbed(3);
+    let base = Scenario::closed_loop("cot").seed(3);
+    let session = Session::new(&base).expect("session builds");
     println!("Chain-of-thought: execution paths vs quality/cost\n");
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>12}",
@@ -20,14 +20,15 @@ fn main() {
 
     let mut prev_quality = 0.0;
     for k in [1u32, 2, 4, 8] {
-        let (job, inputs) = workloads::cot_job(k);
-        let report = rt
-            .run_job(&job, &inputs, RunOptions::labeled(&format!("cot-{k}")))
-            .expect("cot job runs");
+        let scenario = base
+            .clone()
+            .labeled(&format!("cot-{k}"))
+            .catalog_entries(vec![CatalogRef::named("cot").sized(k)]);
+        let report = session.execute(&scenario).expect("cot job runs");
         let quality = path_quality(0.84, k);
         println!(
             "{k:>6} {:>10.1} {:>10.2} {:>10.3} {quality:>12.3}",
-            report.makespan_s, report.energy_allocated_wh, report.cost_usd
+            report.core.makespan_s, report.core.energy_allocated_wh, report.core.cost_usd
         );
         assert!(quality > prev_quality, "quality must rise with paths");
         prev_quality = quality;

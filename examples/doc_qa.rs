@@ -6,8 +6,7 @@
 //! cargo run --example doc_qa
 //! ```
 
-use murakkab::runtime::{RunOptions, Runtime};
-use murakkab::workloads;
+use murakkab::scenario::{CatalogRef, Scenario};
 use murakkab_agents::vectordb::{embed_text, VectorIndex};
 
 fn main() {
@@ -57,15 +56,22 @@ fn main() {
     assert_eq!(hits[0].0, "lease-2023", "retrieval must find the lease");
 
     // --- Scheduling substrate: what that pipeline costs to run. ---------
-    let (job, inputs) = workloads::doc_qa_job(corpus.len() as u32);
-    let rt = Runtime::paper_testbed(21);
-    let report = rt
-        .run_job(&job, &inputs, RunOptions::labeled("doc-qa"))
-        .expect("doc-qa job runs");
+    // The workload comes from the catalog by name, sized to the corpus.
+    let scenario = Scenario::closed_loop("doc-qa")
+        .seed(21)
+        .catalog_entries(vec![CatalogRef::named("doc-qa").sized(corpus.len() as u32)]);
+    let report = scenario.run().expect("doc-qa job runs");
     println!("{}", report.summary_line());
     println!(
         "\npipeline: {} embeddings -> vector query -> LLM answer",
         corpus.len()
     );
-    println!("{}", report.trace.render_ascii(72));
+    println!(
+        "{}",
+        report
+            .closed_loop()
+            .expect("closed loop")
+            .trace
+            .render_ascii(72)
+    );
 }

@@ -8,7 +8,7 @@
 //! group, streams the KV cache to a decode instance over NVLink, and
 //! admits into decode against only the decode footprint — TTFT then
 //! tracks prefill capacity, not the decode backlog. Traffic and
-//! admission come from the `disagg` bench's recipe (`murakkab_bench`),
+//! admission come from the `disagg` bench's scenario (`murakkab_bench`),
 //! so this example replays the exact configuration `BENCH_disagg.json`
 //! was measured with.
 //!
@@ -16,8 +16,9 @@
 //! cargo run --example fleet_disagg
 //! ```
 
-use murakkab::{Runtime, ServingMode};
-use murakkab_bench::{disagg_log, disagg_options, DISAGG_NODES, DISAGG_RATE};
+use murakkab::scenario::Session;
+use murakkab::ServingMode;
+use murakkab_bench::{disagg_log, disagg_scenario, DISAGG_NODES, DISAGG_RATE};
 
 const SEED: u64 = 42;
 const HORIZON_S: f64 = 300.0;
@@ -25,22 +26,22 @@ const HORIZON_S: f64 = 300.0;
 fn main() {
     // Capture the overloaded stream once; both backends replay it.
     let log = disagg_log(SEED, HORIZON_S);
-    let rt = Runtime::with_shape(
-        SEED,
-        murakkab_hardware::catalog::nd96amsr_a100_v4(),
-        DISAGG_NODES,
-    );
     println!(
         "Serving-backend comparison (seed {SEED}, {} arrivals at {DISAGG_RATE} req/s over \
          {HORIZON_S}s, {DISAGG_NODES} nodes)\n",
         log.len()
     );
 
+    let first = disagg_scenario(SEED, &log, ServingMode::Colocated, HORIZON_S);
+    let session = Session::new(&first).expect("session builds");
     let mut headline = Vec::new();
     for mode in [ServingMode::Colocated, ServingMode::Disaggregated] {
-        let report = rt
-            .serve(disagg_options(&log, mode, HORIZON_S))
-            .expect("fleet serves");
+        let scenario = disagg_scenario(SEED, &log, mode, HORIZON_S);
+        let report = session
+            .execute(&scenario)
+            .expect("fleet serves")
+            .into_open_loop()
+            .expect("open-loop report");
         println!("{}", report.summary_line());
         println!("{}", report.class_table());
         println!(

@@ -5,29 +5,35 @@
 //! capacity; the admission controller gates them and the runtime serves
 //! everything from one shared engine. The same overloaded stream is then
 //! replayed without admission control to show why overload needs a gate.
+//! Both runs are variants of one declarative open-loop `Scenario`.
 //!
 //! ```text
 //! cargo run --example fleet_serving
 //! ```
 
-use murakkab::fleet::FleetOptions;
-use murakkab::Runtime;
+use murakkab::scenario::{Scenario, Session};
 use murakkab_traffic::{AdmissionConfig, ArrivalProcess};
 
 fn main() {
-    let rt = Runtime::paper_testbed(42);
     // Past the knee: enough offered load that deadlines cannot all be met.
     let process = ArrivalProcess::Poisson { rate_per_s: 0.5 };
+    let gated_scenario = Scenario::open_loop("gated", process, 400.0).seed(42);
+    let session = Session::new(&gated_scenario).expect("session builds");
 
-    let gated = rt
-        .serve(FleetOptions::open_loop("gated", process.clone(), 400.0))
-        .expect("fleet serves");
-    let open = rt
-        .serve(
-            FleetOptions::open_loop("no-admission", process, 400.0)
+    let gated = session
+        .execute(&gated_scenario)
+        .expect("fleet serves")
+        .into_open_loop()
+        .expect("open-loop report");
+    let open = session
+        .execute(
+            &gated_scenario
+                .labeled("no-admission")
                 .admission(AdmissionConfig::disabled()),
         )
-        .expect("fleet serves");
+        .expect("fleet serves")
+        .into_open_loop()
+        .expect("open-loop report");
 
     println!("Open-loop fleet serving (seed 42, Poisson 0.5 req/s, 400 s horizon)\n");
     for report in [&gated, &open] {

@@ -7,15 +7,14 @@
 //! hardware into a horizontally scaled fleet. Arrivals are captured once
 //! and replayed, so every shard count sees byte-identical traffic. The
 //! traffic recipe (rate, front-door admission, in-flight budget) is the
-//! `fleet` bench's shard-sweep configuration, shared via
-//! `murakkab_bench`.
+//! `fleet` bench's shard-sweep scenario, shared via `murakkab_bench`.
 //!
 //! ```text
 //! cargo run --example fleet_sharded
 //! ```
 
-use murakkab::Runtime;
-use murakkab_bench::{shard_sweep_log, shard_sweep_options, FLEET_SHARD_RATE};
+use murakkab::scenario::Session;
+use murakkab_bench::{shard_sweep_log, shard_sweep_scenario, FLEET_SHARD_RATE};
 
 const SEED: u64 = 42;
 const NODES: usize = 8;
@@ -24,19 +23,22 @@ const HORIZON_S: f64 = 300.0;
 fn main() {
     // Capture the overloaded stream once; every shard count replays it.
     let log = shard_sweep_log(SEED, HORIZON_S);
-
-    let rt = Runtime::with_shape(SEED, murakkab_hardware::catalog::nd96amsr_a100_v4(), NODES);
     println!(
         "Sharded fleet serving (seed {SEED}, {} arrivals at {FLEET_SHARD_RATE} req/s over \
          {HORIZON_S}s, {NODES} nodes)\n",
         log.len()
     );
 
+    let first = shard_sweep_scenario(SEED, &log, 1, HORIZON_S, NODES);
+    let session = Session::new(&first).expect("session builds");
     let mut goodputs = Vec::new();
     for shards in [1usize, 2, 4] {
-        let report = rt
-            .serve(shard_sweep_options(&log, shards, HORIZON_S))
-            .expect("fleet serves");
+        let scenario = shard_sweep_scenario(SEED, &log, shards, HORIZON_S, NODES);
+        let report = session
+            .execute(&scenario)
+            .expect("fleet serves")
+            .into_open_loop()
+            .expect("open-loop report");
         println!("{}", report.summary_line());
         println!("{}", report.cell_table());
         println!(

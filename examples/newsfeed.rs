@@ -7,47 +7,57 @@
 //! cargo run --example newsfeed
 //! ```
 
-use murakkab::runtime::{RunOptions, Runtime};
+use murakkab::scenario::{Scenario, Session};
 use murakkab_orchestrator::JobInputs;
 use murakkab_workflow::{Constraint, Job};
 
-fn run(rt: &Runtime, label: &str, constraints: &[Constraint]) {
+fn run(session: &Session, base: &Scenario, label: &str, constraints: &[Constraint]) {
     let mut builder = Job::describe("Generate social media newsfeed for Alice").input("alice");
     for &c in constraints {
         builder = builder.constraint(c);
     }
     let job = builder.build().expect("valid job");
-    let report = rt
-        .run_job(
-            &job,
-            &JobInputs::items(24),
-            RunOptions::labeled(label).pin_paper_agents(false),
-        )
-        .expect("job runs");
+    let scenario = base
+        .clone()
+        .labeled(label)
+        .jobs(vec![(job, JobInputs::items(24))]);
+    let report = session.execute(&scenario).expect("job runs");
     println!("{}", report.summary_line());
-    for (capability, choice) in &report.selections {
+    for (capability, choice) in &report.closed_loop().expect("closed loop").selections {
         println!("    {capability:<18} -> {choice}");
     }
 }
 
 fn main() {
-    let rt = Runtime::paper_testbed(11);
+    // One session (library + profiles + testbed) executes every
+    // constraint variant of the same declarative scenario.
+    let base = Scenario::closed_loop("newsfeed")
+        .seed(11)
+        .pin_paper_agents(false);
+    let session = Session::new(&base).expect("session builds");
     println!("Newsfeed generation for Alice (24 candidate posts)\n");
 
     println!("-- MIN_LATENCY (quality >= 0.85):");
     run(
-        &rt,
+        &session,
+        &base,
         "newsfeed/latency",
         &[Constraint::QualityAtLeast(0.85), Constraint::MinLatency],
     );
 
     println!("\n-- MIN_COST (quality >= 0.80): smaller models, CPU placements:");
     run(
-        &rt,
+        &session,
+        &base,
         "newsfeed/cost",
         &[Constraint::QualityAtLeast(0.80), Constraint::MinCost],
     );
 
     println!("\n-- MAX_QUALITY: the orchestrator may pay for the external API:");
-    run(&rt, "newsfeed/quality", &[Constraint::MaxQuality]);
+    run(
+        &session,
+        &base,
+        "newsfeed/quality",
+        &[Constraint::MaxQuality],
+    );
 }

@@ -1,11 +1,11 @@
-//! Quickstart: declare a job (Listing 2 style), run it on the Murakkab
-//! runtime, and inspect the report.
+//! Quickstart: declare a scenario (Listing 2 style), execute it through
+//! a session, and inspect the report.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use murakkab::runtime::{RunOptions, Runtime};
+use murakkab::scenario::Scenario;
 use murakkab_orchestrator::JobInputs;
 use murakkab_workflow::{Constraint, Job};
 
@@ -20,26 +20,25 @@ fn main() {
         .build()
         .expect("valid job");
 
-    // 2. Concrete inputs: 12 candidate posts for the feed.
-    let inputs = JobInputs::items(12);
+    // 2. A scenario binds the job (with concrete inputs: 12 candidate
+    //    posts), the cluster and the execution mode into one declarative,
+    //    JSON-serializable spec.
+    let scenario = Scenario::closed_loop("quickstart")
+        .seed(7)
+        .jobs(vec![(job, JobInputs::items(12))])
+        .pin_paper_agents(false);
 
-    // 3. The runtime decomposes the job, picks agents and hardware from
+    // 3. The session decomposes the job, picks agents and hardware from
     //    execution profiles under the constraints, and executes on the
     //    simulated two-VM testbed.
-    let rt = Runtime::paper_testbed(7);
-    let report = rt
-        .run_job(
-            &job,
-            &inputs,
-            RunOptions::labeled("quickstart").pin_paper_agents(false),
-        )
-        .expect("job runs");
+    let report = scenario.run().expect("job runs");
+    let run = report.closed_loop().expect("closed-loop detail");
 
     println!("{}", report.summary_line());
     println!("\nAgent/hardware selections the orchestrator made:");
-    for (capability, choice) in &report.selections {
+    for (capability, choice) in &run.selections {
         println!("  {capability:<18} -> {choice}");
     }
     println!("\nExecution timeline:");
-    println!("{}", report.trace.render_ascii(80));
+    println!("{}", run.trace.render_ascii(80));
 }

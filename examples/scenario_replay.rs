@@ -1,0 +1,105 @@
+//! Capture/replay: execute the checked-in `scenarios/*.json` files.
+//!
+//! A `Scenario` is plain data, so a run configuration can be captured to
+//! JSON once and replayed bit-identically later — the CGReplay-style
+//! declare-once/re-run-identically workflow. This example loads every
+//! scenario file, proves the serde round-trip is lossless, executes each
+//! one, and checks the replay-identity digest on the first.
+//!
+//! ```text
+//! cargo run --example scenario_replay            # load + execute + verify
+//! cargo run --example scenario_replay -- --write # regenerate the files
+//! ```
+
+use std::path::PathBuf;
+
+use murakkab::scenario::{Scenario, Session};
+use murakkab::ServingMode;
+use murakkab_traffic::ArrivalProcess;
+
+/// The checked-in scenario set, in execution order: the paper testbed
+/// closed loop, an overloaded open loop, and the disaggregation A/B pair
+/// on a fixed 4-node cluster.
+fn stock_scenarios() -> Vec<(&'static str, Scenario)> {
+    let disagg_ab = |label: &str, mode: ServingMode| {
+        Scenario::open_loop(label, ArrivalProcess::Poisson { rate_per_s: 0.4 }, 240.0)
+            .seed(42)
+            .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), 4)
+            .max_inflight(24)
+            .serving(mode)
+    };
+    vec![
+        (
+            "paper_testbed_closed_loop.json",
+            Scenario::closed_loop("paper-testbed").seed(42),
+        ),
+        (
+            "overload_open_loop.json",
+            Scenario::open_loop(
+                "overload",
+                ArrivalProcess::Poisson { rate_per_s: 0.5 },
+                240.0,
+            )
+            .seed(42),
+        ),
+        (
+            "disagg_ab_colocated.json",
+            disagg_ab("disagg-ab-colocated", ServingMode::Colocated),
+        ),
+        (
+            "disagg_ab_disaggregated.json",
+            disagg_ab("disagg-ab-disaggregated", ServingMode::Disaggregated),
+        ),
+    ]
+}
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn main() {
+    let dir = scenarios_dir();
+    if std::env::args().any(|a| a == "--write") {
+        std::fs::create_dir_all(&dir).expect("scenarios dir");
+        for (file, scenario) in stock_scenarios() {
+            let path = dir.join(file);
+            std::fs::write(&path, scenario.to_json().expect("serializes"))
+                .expect("scenario file writes");
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
+
+    println!("Replaying checked-in scenarios from {}\n", dir.display());
+    for (i, (file, expected)) in stock_scenarios().into_iter().enumerate() {
+        let path = dir.join(file);
+        let scenario = Scenario::from_json_file(&path).expect("scenario file parses");
+        assert_eq!(
+            scenario, expected,
+            "{file} drifted from the generator; rerun with --write"
+        );
+        // The serde round-trip is lossless: JSON -> Scenario -> JSON ->
+        // Scenario lands on the identical spec.
+        let reparsed =
+            Scenario::from_json(&scenario.to_json().expect("serializes")).expect("reparses");
+        assert_eq!(scenario, reparsed, "{file} must round-trip losslessly");
+
+        let session = Session::new(&scenario).expect("session builds");
+        let report = session.execute(&scenario).expect("scenario executes");
+        println!("{:>32}  {}", file, report.summary_line());
+        println!("{:>32}  digest {:016x}", "", report.digest());
+
+        // Replay identity on the first (cheapest) scenario: executing the
+        // same loaded spec again produces the bit-identical report.
+        if i == 0 {
+            let replay = session.execute(&scenario).expect("replay executes");
+            assert_eq!(
+                report.digest(),
+                replay.digest(),
+                "replaying {file} must be bit-identical"
+            );
+            println!("{:>32}  replay digest matches", "");
+        }
+    }
+    println!("\nAll scenarios replayed; digests stable.");
+}

@@ -6,7 +6,8 @@
 //! cargo run --example video_understanding [seed]
 //! ```
 
-use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::runtime::SttChoice;
+use murakkab::scenario::{Scenario, Session};
 
 fn main() {
     let seed = std::env::args()
@@ -20,8 +21,10 @@ fn main() {
     let baseline = murakkab::run_baseline_video_understanding(seed).expect("baseline runs");
     println!("{}", baseline.summary_line());
 
-    // Listing 2 on Murakkab: same tasks, fungible execution.
-    let rt = Runtime::paper_testbed(seed);
+    // Listing 2 on Murakkab: the same `paper-video` catalog workload as a
+    // declarative scenario, one session across every STT variant.
+    let base = Scenario::closed_loop("murakkab").seed(seed);
+    let session = Session::new(&base).expect("session builds");
     let mut chosen = None;
     for (label, stt) in [
         ("murakkab (STT on CPU)", SttChoice::Cpu),
@@ -29,9 +32,11 @@ fn main() {
         ("murakkab (STT hybrid)", SttChoice::Hybrid),
         ("murakkab (auto = MIN_COST)", SttChoice::Auto),
     ] {
-        let report = rt
-            .run_video_understanding(RunOptions::labeled(label).stt(stt))
-            .expect("murakkab runs");
+        let report = session
+            .execute(&base.clone().labeled(label).stt(stt))
+            .expect("murakkab runs")
+            .into_closed_loop()
+            .expect("closed-loop report");
         println!("{}", report.summary_line());
         if stt == SttChoice::Auto {
             chosen = Some(report);

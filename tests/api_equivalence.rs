@@ -1,0 +1,172 @@
+//! API equivalence: the new `Scenario`/`Session` front door is
+//! bit-identical to the legacy imperative shims (`Runtime::run_job`,
+//! `Runtime::run_concurrent`, `Runtime::serve`) for fixed seeds, in all
+//! three modes — closed loop, sharded open loop, and the disaggregated
+//! serving backend — plus a scenario serde round trip ending in an
+//! identical report. These tests pin the shared-pipeline refactor: the
+//! deprecated entry points are thin shims over the exact pipeline
+//! `Session::execute` drives.
+
+#![allow(deprecated)]
+
+use murakkab::fleet::{CellPolicy, FleetOptions};
+use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::scenario::Scenario;
+use murakkab::workloads;
+use murakkab::ServingMode;
+use murakkab_traffic::{AdmissionConfig, ArrivalProcess};
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serializes")
+}
+
+#[test]
+fn closed_loop_scenario_matches_run_job_shim() {
+    let seed = 42;
+    for stt in [SttChoice::Cpu, SttChoice::Gpu, SttChoice::Hybrid] {
+        let legacy = Runtime::paper_testbed(seed)
+            .run_video_understanding(RunOptions::labeled("vu").stt(stt))
+            .expect("legacy runs");
+        let scenario = Scenario::closed_loop("vu").seed(seed).stt(stt);
+        let new = scenario
+            .run()
+            .expect("scenario runs")
+            .into_closed_loop()
+            .expect("closed loop");
+        assert_eq!(
+            json(&legacy),
+            json(&new),
+            "scenario and run_video_understanding shim diverged ({stt:?})"
+        );
+    }
+}
+
+#[test]
+fn explicit_job_scenario_matches_run_job_shim() {
+    let seed = 7;
+    let (job, inputs) = workloads::newsfeed_job("Alice", 16);
+    let legacy = Runtime::paper_testbed(seed)
+        .run_job(
+            &job,
+            &inputs,
+            RunOptions::labeled("nf").pin_paper_agents(false),
+        )
+        .expect("legacy runs");
+    let new = Scenario::closed_loop("nf")
+        .seed(seed)
+        .jobs(vec![(job, inputs)])
+        .pin_paper_agents(false)
+        .run()
+        .expect("scenario runs")
+        .into_closed_loop()
+        .expect("closed loop");
+    assert_eq!(json(&legacy), json(&new));
+}
+
+#[test]
+fn multi_tenant_scenario_matches_run_concurrent_shim() {
+    let seed = 11;
+    let tenants = vec![
+        workloads::newsfeed_job("Alice", 8),
+        workloads::cot_job(3),
+        workloads::doc_qa_job(9),
+    ];
+    let legacy = Runtime::paper_testbed(seed)
+        .run_concurrent(
+            &tenants,
+            RunOptions::labeled("trio").pin_paper_agents(false),
+        )
+        .expect("legacy runs");
+    let new = Scenario::closed_loop("trio")
+        .seed(seed)
+        .jobs(tenants)
+        .pin_paper_agents(false)
+        .run()
+        .expect("scenario runs")
+        .into_closed_loop()
+        .expect("closed loop");
+    assert_eq!(json(&legacy), json(&new));
+}
+
+#[test]
+fn sharded_open_loop_scenario_matches_serve_shim() {
+    let seed = 42;
+    let process = ArrivalProcess::Poisson { rate_per_s: 0.3 };
+    let horizon_s = 200.0;
+    // Four nodes so each of the two cells can hold a full serving stack.
+    let nodes = 4;
+    let rt = Runtime::with_shape(seed, murakkab_hardware::catalog::nd96amsr_a100_v4(), nodes);
+    let legacy = rt
+        .serve(
+            FleetOptions::open_loop("sharded", process.clone(), horizon_s)
+                .shards(2)
+                .router(CellPolicy::SloAffine)
+                .max_inflight(12),
+        )
+        .expect("legacy serves");
+    let new = Scenario::open_loop("sharded", process, horizon_s)
+        .seed(seed)
+        .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), nodes)
+        .shards(2)
+        .router(CellPolicy::SloAffine)
+        .max_inflight(12)
+        .run()
+        .expect("scenario serves")
+        .into_open_loop()
+        .expect("open loop");
+    assert_eq!(json(&legacy), json(&new));
+}
+
+#[test]
+fn disagg_backend_scenario_matches_serve_shim() {
+    let seed = 42;
+    let process = ArrivalProcess::Poisson { rate_per_s: 0.3 };
+    let horizon_s = 200.0;
+    let nodes = 4;
+    let rt = Runtime::with_shape(seed, murakkab_hardware::catalog::nd96amsr_a100_v4(), nodes);
+    let legacy = rt
+        .serve(
+            FleetOptions::open_loop("disagg", process.clone(), horizon_s)
+                .serving(ServingMode::Disaggregated)
+                .max_inflight(12),
+        )
+        .expect("legacy serves");
+    let new = Scenario::open_loop("disagg", process, horizon_s)
+        .seed(seed)
+        .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), nodes)
+        .serving(ServingMode::Disaggregated)
+        .max_inflight(12)
+        .run()
+        .expect("scenario serves")
+        .into_open_loop()
+        .expect("open loop");
+    assert_eq!(json(&legacy), json(&new));
+}
+
+#[test]
+fn scenario_serde_round_trip_produces_identical_reports() {
+    // Scenario -> JSON -> Scenario -> identical Report, in both modes.
+    let closed = Scenario::closed_loop("rt-closed")
+        .seed(13)
+        .stt(SttChoice::Gpu);
+    let open = Scenario::open_loop(
+        "rt-open",
+        ArrivalProcess::Poisson { rate_per_s: 0.08 },
+        150.0,
+    )
+    .seed(13)
+    .admission(AdmissionConfig::default());
+    for scenario in [closed, open] {
+        let round_tripped =
+            Scenario::from_json(&scenario.to_json().expect("serializes")).expect("parses");
+        assert_eq!(scenario, round_tripped, "spec must round-trip losslessly");
+        let direct = scenario.run().expect("direct run");
+        let replayed = round_tripped.run().expect("replayed run");
+        assert_eq!(
+            json(&direct),
+            json(&replayed),
+            "round-tripped scenario must execute bit-identically"
+        );
+        assert_eq!(direct.digest(), replayed.digest());
+    }
+}

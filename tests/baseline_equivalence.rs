@@ -4,17 +4,25 @@
 
 use std::collections::BTreeMap;
 
-use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::runtime::SttChoice;
+use murakkab::scenario::Scenario;
 use murakkab_repro::EXPERIMENT_SEED;
+
+fn murakkab_stt(stt: SttChoice) -> murakkab::RunReport {
+    Scenario::closed_loop("m")
+        .seed(EXPERIMENT_SEED)
+        .stt(stt)
+        .run()
+        .expect("murakkab runs")
+        .into_closed_loop()
+        .expect("closed loop")
+}
 
 #[test]
 fn same_tasks_same_quality_different_schedule() {
     let baseline =
         murakkab::run_baseline_video_understanding(EXPERIMENT_SEED).expect("baseline runs");
-    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
-    let murakkab = rt
-        .run_video_understanding(RunOptions::labeled("m").stt(SttChoice::Cpu))
-        .expect("murakkab runs");
+    let murakkab = murakkab_stt(SttChoice::Cpu);
 
     // Identical task counts and identical end-to-end quality.
     assert_eq!(baseline.tasks, murakkab.tasks);
@@ -44,10 +52,7 @@ fn busy_time_per_llm_lane_matches() {
     // must match exactly and per-span output work is identical.
     let baseline =
         murakkab::run_baseline_video_understanding(EXPERIMENT_SEED).expect("baseline runs");
-    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
-    let m = rt
-        .run_video_understanding(RunOptions::labeled("m").stt(SttChoice::Gpu))
-        .expect("murakkab runs");
+    let m = murakkab_stt(SttChoice::Gpu);
     assert_eq!(
         baseline.trace.lane_spans("LLM (Text)").len(),
         m.trace.lane_spans("LLM (Text)").len()
@@ -65,10 +70,7 @@ fn baseline_underutilizes_murakkab_multiplexes() {
     // under Murakkab.
     let baseline =
         murakkab::run_baseline_video_understanding(EXPERIMENT_SEED).expect("baseline runs");
-    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
-    let m = rt
-        .run_video_understanding(RunOptions::labeled("m").stt(SttChoice::Gpu))
-        .expect("murakkab runs");
+    let m = murakkab_stt(SttChoice::Gpu);
     let avg = |samples: &[(f64, f64)]| -> f64 {
         samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64
     };

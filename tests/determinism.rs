@@ -1,32 +1,47 @@
-//! Determinism: the entire simulation is a pure function of the seed.
+//! Determinism: the entire simulation is a pure function of the seed —
+//! and of the declarative `Scenario` describing it.
 
-use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::runtime::SttChoice;
+use murakkab::scenario::Scenario;
 
 #[test]
 fn identical_seeds_produce_bit_identical_reports() {
-    let run = || {
-        let rt = Runtime::paper_testbed(1234);
-        rt.run_video_understanding(RunOptions::labeled("det").stt(SttChoice::Hybrid))
-            .expect("runs")
-    };
-    let a = run();
-    let b = run();
+    let scenario = Scenario::closed_loop("det")
+        .seed(1234)
+        .stt(SttChoice::Hybrid);
+    let a = scenario.run().expect("runs");
+    let b = scenario.run().expect("runs");
     // Serialize the full reports (traces, utilization curves, ledgers):
     // every byte must match.
     let ja = serde_json::to_string(&a).expect("serializes");
     let jb = serde_json::to_string(&b).expect("serializes");
-    assert_eq!(ja, jb, "same seed must reproduce the identical run");
+    assert_eq!(ja, jb, "same scenario must reproduce the identical run");
+    assert_eq!(a.digest(), b.digest());
+}
+
+#[test]
+fn scenario_survives_a_json_round_trip_bit_identically() {
+    // Capture/replay: the scenario serialized to JSON and parsed back
+    // executes to the identical report.
+    let scenario = Scenario::closed_loop("rt").seed(99).stt(SttChoice::Gpu);
+    let direct = scenario.run().expect("runs");
+    let replayed = Scenario::from_json(&scenario.to_json().expect("serializes"))
+        .expect("parses")
+        .run()
+        .expect("runs");
+    assert_eq!(direct.digest(), replayed.digest());
 }
 
 #[test]
 fn different_seeds_differ_but_stay_in_band() {
     let mut makespans = Vec::new();
     for seed in [1u64, 2, 3, 4, 5] {
-        let rt = Runtime::paper_testbed(seed);
-        let r = rt
-            .run_video_understanding(RunOptions::labeled("seed-sweep").stt(SttChoice::Gpu))
+        let report = Scenario::closed_loop("seed-sweep")
+            .seed(seed)
+            .stt(SttChoice::Gpu)
+            .run()
             .expect("runs");
-        makespans.push(r.makespan_s);
+        makespans.push(report.core.makespan_s);
     }
     // The seeded audio jitter must actually change the runs...
     let distinct: std::collections::BTreeSet<u64> = makespans.iter().map(|m| m.to_bits()).collect();

@@ -1,18 +1,20 @@
 //! End-to-end runs across every workload archetype the decomposer knows,
 //! plus cross-crate wiring checks (profiles → selection → engine →
-//! report).
+//! report) — all through the declarative `Scenario`/`Session` API.
 
-use murakkab::runtime::{RunOptions, Runtime};
+use murakkab::scenario::{CatalogRef, Scenario, Session};
 use murakkab::workloads;
 use murakkab_orchestrator::JobInputs;
 use murakkab_workflow::{Constraint, Job};
 
 #[test]
 fn video_understanding_completes_all_tasks_with_full_lanes() {
-    let rt = Runtime::paper_testbed(42);
-    let report = rt
-        .run_video_understanding(RunOptions::labeled("vu"))
-        .expect("runs");
+    let report = Scenario::closed_loop("vu")
+        .seed(42)
+        .run()
+        .expect("runs")
+        .into_closed_loop()
+        .expect("closed loop");
     // 16 scenes x 6 per-scene tasks + 80 frame summaries.
     assert_eq!(report.tasks, 176);
     // Figure 3's lanes all show up, plus the orchestrator lane.
@@ -34,34 +36,49 @@ fn video_understanding_completes_all_tasks_with_full_lanes() {
 
 #[test]
 fn newsfeed_cot_and_docqa_archetypes_run() {
-    let rt = Runtime::paper_testbed(42);
+    let base = Scenario::closed_loop("archetypes")
+        .seed(42)
+        .pin_paper_agents(false);
+    let session = Session::new(&base).expect("session builds");
 
-    let (job, inputs) = workloads::newsfeed_job("Alice", 12);
-    let nf = rt
-        .run_job(
-            &job,
-            &inputs,
-            RunOptions::labeled("nf").pin_paper_agents(false),
+    let nf = session
+        .execute(
+            &base
+                .clone()
+                .labeled("nf")
+                .catalog_entries(vec![CatalogRef::named("newsfeed").sized(12)]),
         )
         .expect("newsfeed runs");
-    assert_eq!(nf.tasks, 3 * 12 + 2);
+    assert_eq!(nf.core.tasks_completed, 3 * 12 + 2);
 
-    let (job, inputs) = workloads::cot_job(4);
-    let cot = rt
-        .run_job(&job, &inputs, RunOptions::labeled("cot"))
+    let cot = session
+        .execute(
+            &base
+                .clone()
+                .labeled("cot")
+                .catalog_entries(vec![CatalogRef::named("cot").sized(4)])
+                .pin_paper_agents(true),
+        )
         .expect("cot runs");
-    assert_eq!(cot.tasks, 5); // 4 paths + 1 vote.
+    assert_eq!(cot.core.tasks_completed, 5); // 4 paths + 1 vote.
 
-    let (job, inputs) = workloads::doc_qa_job(20);
-    let qa = rt
-        .run_job(&job, &inputs, RunOptions::labeled("qa"))
+    let qa = session
+        .execute(
+            &base
+                .labeled("qa")
+                .catalog_entries(vec![CatalogRef::named("doc-qa").sized(20)])
+                .pin_paper_agents(true),
+        )
         .expect("doc-qa runs");
-    assert_eq!(qa.tasks, 20 + 2); // 20 embeds + query + answer.
+    assert_eq!(qa.core.tasks_completed, 20 + 2); // 20 embeds + query + answer.
 }
 
 #[test]
 fn selections_respect_constraints_across_objectives() {
-    let rt = Runtime::paper_testbed(42);
+    let base = Scenario::closed_loop("sel")
+        .seed(42)
+        .pin_paper_agents(false);
+    let session = Session::new(&base).expect("session builds");
     let mk = |c: Constraint| -> murakkab::RunReport {
         let job = Job::describe("Generate social media newsfeed for Alice")
             .input("alice")
@@ -69,12 +86,11 @@ fn selections_respect_constraints_across_objectives() {
             .constraint(c)
             .build()
             .expect("valid");
-        rt.run_job(
-            &job,
-            &JobInputs::items(12),
-            RunOptions::labeled("sel").pin_paper_agents(false),
-        )
-        .expect("runs")
+        session
+            .execute(&base.clone().jobs(vec![(job, JobInputs::items(12))]))
+            .expect("runs")
+            .into_closed_loop()
+            .expect("closed loop")
     };
     let cheap = mk(Constraint::MinCost);
     let fast = mk(Constraint::MinLatency);
@@ -105,23 +121,24 @@ fn larger_workloads_scale_without_deadlock() {
         })
         .collect();
     let inputs = JobInputs::videos(media);
-    let job = workloads::paper_video_job();
-    let rt = Runtime::paper_testbed(42);
-    let report = rt
-        .run_job(&job, &inputs, RunOptions::labeled("4x"))
+    let report = Scenario::closed_loop("4x")
+        .seed(42)
+        .jobs(vec![(workloads::paper_video_job(), inputs)])
+        .run()
         .expect("scaled run completes");
-    assert_eq!(report.tasks, 4 * 16 * 6 + 4 * 16 * 5);
-    assert!(report.makespan_s > 100.0, "4x work should take > 100s");
+    assert_eq!(report.core.tasks_completed, 4 * 16 * 6 + 4 * 16 * 5);
+    assert!(report.core.makespan_s > 100.0, "4x work should take > 100s");
 }
 
 #[test]
 fn unknown_jobs_fail_cleanly_not_catastrophically() {
-    let rt = Runtime::paper_testbed(42);
     let job = Job::describe("reticulate the splines with vigor")
         .build()
         .expect("syntactically valid");
-    let err = rt
-        .run_job(&job, &JobInputs::items(1), RunOptions::labeled("junk"))
+    let err = Scenario::closed_loop("junk")
+        .seed(42)
+        .jobs(vec![(job, JobInputs::items(1))])
+        .run()
         .expect_err("nonsense job must be rejected");
     let msg = err.to_string();
     assert!(
@@ -132,18 +149,30 @@ fn unknown_jobs_fail_cleanly_not_catastrophically() {
 
 #[test]
 fn impossible_quality_floor_is_reported_as_unsatisfiable() {
-    let rt = Runtime::paper_testbed(42);
     let job = Job::describe("Generate social media newsfeed for Alice")
         .input("alice")
         .constraint(Constraint::QualityAtLeast(0.999))
         .build()
         .expect("valid");
-    let err = rt
-        .run_job(
-            &job,
-            &JobInputs::items(4),
-            RunOptions::labeled("impossible"),
-        )
+    let err = Scenario::closed_loop("impossible")
+        .seed(42)
+        .jobs(vec![(job, JobInputs::items(4))])
+        .run()
         .expect_err("no agent is that good");
+    assert!(err.to_string().contains("unsatisfiable"), "{err}");
+}
+
+#[test]
+fn scenario_extra_constraints_tighten_selection() {
+    // The scenario-level constraint knob reaches selection: an impossible
+    // quality floor added at the scenario level (not on the job) must
+    // surface as unsatisfiable.
+    let err = Scenario::closed_loop("floor")
+        .seed(42)
+        .catalog_entries(vec![CatalogRef::named("newsfeed").sized(4)])
+        .pin_paper_agents(false)
+        .constraint(Constraint::QualityAtLeast(0.999))
+        .run()
+        .expect_err("scenario constraint must apply");
     assert!(err.to_string().contains("unsatisfiable"), "{err}");
 }

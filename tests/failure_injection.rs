@@ -57,17 +57,21 @@ fn workflow_completes_on_degraded_cluster() {
     // so use a single-node runtime where the plan still fits: the
     // cpu-only STT config needs 8 GPUs (text) + 2 (embed) <= 8... it does
     // not fit; instead degrade from 3 nodes to 2.
-    let rt3 = murakkab::Runtime::with_shape(42, catalog::nd96amsr_a100_v4(), 3);
-    let rt2 = murakkab::Runtime::with_shape(42, catalog::nd96amsr_a100_v4(), 2);
-    let r3 = rt3
-        .run_video_understanding(murakkab::RunOptions::labeled("3-nodes"))
-        .expect("3-node run");
-    let r2 = rt2
-        .run_video_understanding(murakkab::RunOptions::labeled("2-nodes"))
-        .expect("2-node run");
-    assert_eq!(r3.tasks, r2.tasks, "same work either way");
+    let run_on = |label: &str, nodes: usize| {
+        murakkab::Scenario::closed_loop(label)
+            .seed(42)
+            .cluster(catalog::nd96amsr_a100_v4(), nodes)
+            .run()
+            .expect("run completes")
+    };
+    let r3 = run_on("3-nodes", 3);
+    let r2 = run_on("2-nodes", 2);
+    assert_eq!(
+        r3.core.tasks_completed, r2.core.tasks_completed,
+        "same work either way"
+    );
     // Losing a node never helps.
-    assert!(r2.makespan_s >= r3.makespan_s - 1e-9);
+    assert!(r2.core.makespan_s >= r3.core.makespan_s - 1e-9);
 }
 
 #[test]
@@ -149,9 +153,10 @@ fn oversized_llm_requests_are_rejected_not_wedged() {
 #[test]
 fn workflow_needing_more_than_the_cluster_fails_with_exhaustion() {
     // A single CPU-only VM cannot host the NVLM endpoint at all.
-    let rt = murakkab::Runtime::with_shape(42, catalog::cpu_only_f64s(), 1);
-    let err = rt
-        .run_video_understanding(murakkab::RunOptions::labeled("too-small"))
+    let err = murakkab::Scenario::closed_loop("too-small")
+        .seed(42)
+        .cluster(catalog::cpu_only_f64s(), 1)
+        .run()
         .expect_err("must fail");
     match err {
         SimError::ResourceExhausted { .. } | SimError::Unsatisfiable(_) => {}

@@ -1,24 +1,22 @@
 //! Serving-backend integration tests: same-seed determinism per
 //! backend, conservation across backends, and the disaggregation claims
 //! (goodput and TTFT at the overload point). Traffic and admission come
-//! from the `disagg` bench's recipe (`murakkab_bench`), so these tests
+//! from the `disagg` bench's scenario (`murakkab_bench`), so these tests
 //! exercise the exact configuration the committed `BENCH_disagg.json`
 //! was measured with.
 
-use murakkab::{FleetReport, Runtime, ServingMode};
-use murakkab_bench::{disagg_log, disagg_options, DISAGG_NODES};
+use murakkab::{FleetReport, ServingMode};
+use murakkab_bench::{disagg_log, disagg_scenario};
 use murakkab_traffic::ArrivalLog;
 
 const HORIZON_S: f64 = 300.0;
 
 fn serve(seed: u64, mode: ServingMode, log: &ArrivalLog) -> FleetReport {
-    let rt = Runtime::with_shape(
-        seed,
-        murakkab_hardware::catalog::nd96amsr_a100_v4(),
-        DISAGG_NODES,
-    );
-    rt.serve(disagg_options(log, mode, HORIZON_S))
+    disagg_scenario(seed, log, mode, HORIZON_S)
+        .run()
         .expect("fleet serves")
+        .into_open_loop()
+        .expect("open-loop report")
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Open-loop fleet serving: determinism, load-degradation and the
-//! admission-control claim (admission beats no-admission at overload).
+//! admission-control claim (admission beats no-admission at overload) —
+//! all declared as open-loop `Scenario`s.
 
-use murakkab::fleet::FleetOptions;
-use murakkab::Runtime;
+use murakkab::scenario::Scenario;
 use murakkab_sim::{SimDuration, SimRng};
 use murakkab_traffic::{AdmissionConfig, ArrivalLog, ArrivalProcess};
 
@@ -14,18 +14,15 @@ fn poisson(rate_per_s: f64) -> ArrivalProcess {
 
 #[test]
 fn serve_loop_is_deterministic() {
-    let run = || {
-        let rt = Runtime::paper_testbed(42);
-        rt.serve(FleetOptions::open_loop("det", poisson(0.12), HORIZON_S))
-            .expect("serves")
-    };
-    let a = run();
-    let b = run();
+    let scenario = Scenario::open_loop("det", poisson(0.12), HORIZON_S).seed(42);
+    let a = scenario.run().expect("serves");
+    let b = scenario.run().expect("serves");
     assert_eq!(
         serde_json::to_string(&a).expect("serializes"),
         serde_json::to_string(&b).expect("serializes"),
-        "same seed and options must produce a bit-identical fleet report"
+        "the same scenario must produce a bit-identical fleet report"
     );
+    let a = a.into_open_loop().expect("open loop");
     assert!(a.offered > 0 && a.completed > 0);
 }
 
@@ -34,13 +31,13 @@ fn slo_attainment_degrades_monotonically_with_load() {
     // Admission off isolates the load effect: everything runs, so
     // attainment is purely a queueing-delay outcome.
     let attainment_at = |rate: f64| {
-        let rt = Runtime::paper_testbed(7);
-        let report = rt
-            .serve(
-                FleetOptions::open_loop(&format!("load-{rate}"), poisson(rate), HORIZON_S)
-                    .admission(AdmissionConfig::disabled()),
-            )
-            .expect("serves");
+        let report = Scenario::open_loop(&format!("load-{rate}"), poisson(rate), HORIZON_S)
+            .seed(7)
+            .admission(AdmissionConfig::disabled())
+            .run()
+            .expect("serves")
+            .into_open_loop()
+            .expect("open loop");
         assert_eq!(report.completed, report.offered, "open door: all jobs run");
         report.slo_attainment
     };
@@ -60,20 +57,19 @@ fn slo_attainment_degrades_monotonically_with_load() {
 #[test]
 fn admission_control_beats_no_admission_at_overload() {
     let overload = poisson(0.6);
-    let rt = Runtime::paper_testbed(42);
-    let gated = rt
-        .serve(FleetOptions::open_loop(
-            "gated",
-            overload.clone(),
-            HORIZON_S,
-        ))
-        .expect("serves");
-    let open = rt
-        .serve(
-            FleetOptions::open_loop("open", overload, HORIZON_S)
-                .admission(AdmissionConfig::disabled()),
-        )
-        .expect("serves");
+    let gated_scenario = Scenario::open_loop("gated", overload, HORIZON_S).seed(42);
+    let gated = gated_scenario
+        .run()
+        .expect("serves")
+        .into_open_loop()
+        .expect("open loop");
+    let open = gated_scenario
+        .labeled("open")
+        .admission(AdmissionConfig::disabled())
+        .run()
+        .expect("serves")
+        .into_open_loop()
+        .expect("open loop");
 
     // The gate actually did something…
     assert!(gated.rejections() > 0, "overload must trigger rejections");
@@ -98,8 +94,7 @@ fn recorded_trace_replays_identically() {
         mean_on_s: 20.0,
         mean_off_s: 60.0,
     };
-    let rt = Runtime::paper_testbed(9);
-    // The serve loop forks "fleet" -> "arrivals" from the runtime seed;
+    // The serve loop forks "fleet" -> "arrivals" from the scenario seed;
     // capture with the same stream to get the identical instants.
     let mut capture_rng = SimRng::new(9).fork("fleet").fork("arrivals");
     let log = ArrivalLog::record(
@@ -109,16 +104,18 @@ fn recorded_trace_replays_identically() {
     );
     assert!(!log.is_empty());
 
-    let live = rt
-        .serve(FleetOptions::open_loop("live", process, HORIZON_S))
-        .expect("serves");
-    let replayed = rt
-        .serve(FleetOptions::open_loop(
-            "replay",
-            ArrivalProcess::Replay { log },
-            HORIZON_S,
-        ))
-        .expect("serves");
+    let live = Scenario::open_loop("live", process, HORIZON_S)
+        .seed(9)
+        .run()
+        .expect("serves")
+        .into_open_loop()
+        .expect("open loop");
+    let replayed = Scenario::open_loop("replay", ArrivalProcess::Replay { log }, HORIZON_S)
+        .seed(9)
+        .run()
+        .expect("serves")
+        .into_open_loop()
+        .expect("open loop");
 
     assert_eq!(replayed.offered, live.offered);
     assert_eq!(replayed.admitted, live.admitted);

@@ -1,21 +1,24 @@
 //! Sharded fleet serving: cross-shard determinism, conservation across
 //! shard counts, router policies and the shard-scaling claim. Traffic
-//! and admission come from the `fleet` bench's shard-sweep recipe
+//! and admission come from the `fleet` bench's shard-sweep scenario
 //! (`murakkab_bench`), so these tests exercise the exact configuration
 //! the committed `BENCH_fleet.json` curve was measured with.
 
 use murakkab::fleet::CellPolicy;
-use murakkab::{FleetReport, Runtime};
-use murakkab_bench::{shard_sweep_log, shard_sweep_options};
+use murakkab::FleetReport;
+use murakkab_bench::{shard_sweep_log, shard_sweep_scenario};
 use murakkab_traffic::ArrivalLog;
 
 const HORIZON_S: f64 = 300.0;
 const NODES: usize = 8;
 
 fn serve(seed: u64, shards: usize, router: CellPolicy, log: &ArrivalLog) -> FleetReport {
-    let rt = Runtime::with_shape(seed, murakkab_hardware::catalog::nd96amsr_a100_v4(), NODES);
-    rt.serve(shard_sweep_options(log, shards, HORIZON_S).router(router))
+    shard_sweep_scenario(seed, log, shards, HORIZON_S, NODES)
+        .router(router)
+        .run()
         .expect("fleet serves")
+        .into_open_loop()
+        .expect("open-loop report")
 }
 
 #[test]
@@ -116,15 +119,15 @@ fn router_policies_spread_and_serve() {
 
 #[test]
 fn zero_shards_and_oversharding_are_rejected() {
-    use murakkab::fleet::FleetOptions;
+    use murakkab::scenario::Scenario;
     use murakkab_traffic::ArrivalProcess;
 
-    let rt = Runtime::paper_testbed(1);
-    let opts = |shards: usize| {
-        FleetOptions::open_loop("bad", ArrivalProcess::Poisson { rate_per_s: 0.05 }, 60.0)
+    let scenario = |shards: usize| {
+        Scenario::open_loop("bad", ArrivalProcess::Poisson { rate_per_s: 0.05 }, 60.0)
+            .seed(1)
             .shards(shards)
     };
-    assert!(rt.serve(opts(0)).is_err(), "zero shards");
+    assert!(scenario(0).run().is_err(), "zero shards");
     // The paper testbed has two nodes; three cells cannot each own one.
-    assert!(rt.serve(opts(3)).is_err(), "more shards than nodes");
+    assert!(scenario(3).run().is_err(), "more shards than nodes");
 }

@@ -1,13 +1,15 @@
 //! Multi-tenancy: the Figure 2 claim that a shared orchestrator + cluster
 //! manager "allows higher resource multiplexing between independent
-//! workflows to improve efficiency".
+//! workflows to improve efficiency" — multi-job scenarios run through the
+//! shared `Session` pipeline.
 
-use murakkab::runtime::{RunOptions, Runtime};
+use murakkab::scenario::{Scenario, Session};
 use murakkab::workloads;
 
 #[test]
 fn concurrent_workflows_beat_sequential_execution() {
-    let rt = Runtime::paper_testbed(42);
+    let base = Scenario::closed_loop("mt").seed(42);
+    let session = Session::new(&base).expect("session builds");
 
     // Workflow A: video understanding. Workflow B: Alice's newsfeed.
     let vu = (
@@ -16,18 +18,26 @@ fn concurrent_workflows_beat_sequential_execution() {
     );
     let nf = workloads::newsfeed_job("Alice", 24);
 
-    let solo_vu = rt
-        .run_job(&vu.0, &vu.1, RunOptions::labeled("solo-vu"))
-        .expect("vu runs");
-    let solo_nf = rt
-        .run_job(&nf.0, &nf.1, RunOptions::labeled("solo-nf"))
-        .expect("nf runs");
-    let both = rt
-        .run_concurrent(
-            &[vu.clone(), nf.clone()],
-            RunOptions::labeled("multi-tenant"),
+    let solo_vu = session
+        .execute(&base.clone().labeled("solo-vu").jobs(vec![vu.clone()]))
+        .expect("vu runs")
+        .into_closed_loop()
+        .expect("closed loop");
+    let solo_nf = session
+        .execute(&base.clone().labeled("solo-nf").jobs(vec![nf.clone()]))
+        .expect("nf runs")
+        .into_closed_loop()
+        .expect("closed loop");
+    let both = session
+        .execute(
+            &base
+                .clone()
+                .labeled("multi-tenant")
+                .jobs(vec![vu.clone(), nf.clone()]),
         )
-        .expect("concurrent run");
+        .expect("concurrent run")
+        .into_closed_loop()
+        .expect("closed loop");
 
     // All tasks of both workflows completed.
     assert_eq!(both.tasks, solo_vu.tasks + solo_nf.tasks);
@@ -60,15 +70,18 @@ fn concurrent_workflows_beat_sequential_execution() {
 
 #[test]
 fn tenants_share_one_llm_deployment() {
-    let rt = Runtime::paper_testbed(7);
     let vu = (
         workloads::paper_video_job(),
         workloads::paper_video_inputs(7),
     );
     let nf = workloads::newsfeed_job("Bob", 12);
-    let both = rt
-        .run_concurrent(&[vu, nf], RunOptions::labeled("shared"))
-        .expect("concurrent run");
+    let both = Scenario::closed_loop("shared")
+        .seed(7)
+        .jobs(vec![vu, nf])
+        .run()
+        .expect("concurrent run")
+        .into_closed_loop()
+        .expect("closed loop");
 
     // The summariser choice must satisfy the VU tenant's multimodal
     // requirement, and both tenants' LLM work lands on that one agent.
@@ -95,32 +108,29 @@ fn tenants_share_one_llm_deployment() {
 
 #[test]
 fn three_tenants_still_deterministic() {
-    let run = || {
-        let rt = Runtime::paper_testbed(9);
-        rt.run_concurrent(
-            &[
-                workloads::newsfeed_job("Alice", 8),
-                workloads::cot_job(4),
-                workloads::doc_qa_job(10),
-            ],
-            RunOptions::labeled("trio").pin_paper_agents(false),
-        )
-        .expect("trio runs")
-    };
-    let a = run();
-    let b = run();
+    let scenario = Scenario::closed_loop("trio")
+        .seed(9)
+        .jobs(vec![
+            workloads::newsfeed_job("Alice", 8),
+            workloads::cot_job(4),
+            workloads::doc_qa_job(10),
+        ])
+        .pin_paper_agents(false);
+    let a = scenario.run().expect("trio runs");
+    let b = scenario.run().expect("trio runs");
     assert_eq!(
         serde_json::to_string(&a).expect("serializes"),
         serde_json::to_string(&b).expect("serializes")
     );
-    assert_eq!(a.tasks, (3 * 8 + 2) + (4 + 1) + (10 + 2));
+    assert_eq!(a.core.tasks_completed, (3 * 8 + 2) + (4 + 1) + (10 + 2));
 }
 
 #[test]
 fn four_tenants_mixed_archetypes_complete_on_one_cluster() {
     // Every workload archetype at once — the admission path the fleet
     // driver reuses must handle the full mix, not just pairs.
-    let rt = Runtime::paper_testbed(11);
+    let base = Scenario::closed_loop("quad").seed(11);
+    let session = Session::new(&base).expect("session builds");
     let vu = (
         workloads::paper_video_job(),
         workloads::paper_video_inputs(11),
@@ -129,12 +139,15 @@ fn four_tenants_mixed_archetypes_complete_on_one_cluster() {
     let cot = workloads::cot_job(3);
     let qa = workloads::doc_qa_job(7);
 
-    let report = rt
-        .run_concurrent(
-            &[vu.clone(), nf.clone(), cot.clone(), qa.clone()],
-            RunOptions::labeled("quad"),
+    let report = session
+        .execute(
+            &base
+                .clone()
+                .jobs(vec![vu.clone(), nf.clone(), cot.clone(), qa.clone()]),
         )
-        .expect("four tenants run");
+        .expect("four tenants run")
+        .into_closed_loop()
+        .expect("closed loop");
 
     // Task accounting: VU (16 scenes x 6 + 80 frame summaries), newsfeed
     // (3 per post + 2), CoT (paths + 1), doc-QA (docs + 2).
@@ -156,15 +169,17 @@ fn four_tenants_mixed_archetypes_complete_on_one_cluster() {
     assert!(report.quality >= 0.85, "quality {}", report.quality);
 
     // Concurrent beats the four sequential solo runs.
-    let solo_sum: f64 = [
-        rt.run_job(&vu.0, &vu.1, RunOptions::labeled("s0")),
-        rt.run_job(&nf.0, &nf.1, RunOptions::labeled("s1")),
-        rt.run_job(&cot.0, &cot.1, RunOptions::labeled("s2")),
-        rt.run_job(&qa.0, &qa.1, RunOptions::labeled("s3")),
-    ]
-    .into_iter()
-    .map(|r| r.expect("solo run").makespan_s)
-    .sum();
+    let solo_sum: f64 = [vu, nf, cot, qa]
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| {
+            session
+                .execute(&base.clone().labeled(&format!("s{i}")).jobs(vec![job]))
+                .expect("solo run")
+                .core
+                .makespan_s
+        })
+        .sum();
     assert!(
         report.makespan_s < solo_sum,
         "multiplexed {:.1}s vs sequential {:.1}s",
@@ -175,6 +190,6 @@ fn four_tenants_mixed_archetypes_complete_on_one_cluster() {
 
 #[test]
 fn empty_tenant_list_is_rejected() {
-    let rt = Runtime::paper_testbed(1);
-    assert!(rt.run_concurrent(&[], RunOptions::labeled("none")).is_err());
+    let scenario = Scenario::closed_loop("none").jobs(vec![]);
+    assert!(scenario.run().is_err());
 }

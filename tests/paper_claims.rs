@@ -3,23 +3,27 @@
 //! These are the headline numbers of the reproduction: if they drift, the
 //! calibration (murakkab-agents::calib) has been broken.
 
-use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::runtime::SttChoice;
+use murakkab::scenario::{Scenario, Session};
 use murakkab::RunReport;
 use murakkab_repro::EXPERIMENT_SEED;
 
+fn run_stt(session: &Session, base: &Scenario, label: &str, stt: SttChoice) -> RunReport {
+    session
+        .execute(&base.clone().labeled(label).stt(stt))
+        .expect("config runs")
+        .into_closed_loop()
+        .expect("closed-loop report")
+}
+
 fn configs() -> (RunReport, RunReport, RunReport, RunReport) {
-    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
+    let base = Scenario::closed_loop("paper").seed(EXPERIMENT_SEED);
+    let session = Session::new(&base).expect("session builds");
     let baseline =
         murakkab::run_baseline_video_understanding(EXPERIMENT_SEED).expect("baseline runs");
-    let cpu = rt
-        .run_video_understanding(RunOptions::labeled("cpu").stt(SttChoice::Cpu))
-        .expect("cpu runs");
-    let gpu = rt
-        .run_video_understanding(RunOptions::labeled("gpu").stt(SttChoice::Gpu))
-        .expect("gpu runs");
-    let hybrid = rt
-        .run_video_understanding(RunOptions::labeled("hybrid").stt(SttChoice::Hybrid))
-        .expect("hybrid runs");
+    let cpu = run_stt(&session, &base, "cpu", SttChoice::Cpu);
+    let gpu = run_stt(&session, &base, "gpu", SttChoice::Gpu);
+    let hybrid = run_stt(&session, &base, "hybrid", SttChoice::Hybrid);
     (baseline, cpu, gpu, hybrid)
 }
 
@@ -105,13 +109,10 @@ fn paper_orderings_hold() {
 fn min_cost_constraint_selects_the_cpu_configuration() {
     // §4: "Murakkab selects the CPU configuration to satisfy the MIN_COST
     // constraint" (Listing 2 carries MIN_COST).
-    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
-    let auto = rt
-        .run_video_understanding(RunOptions::labeled("auto"))
-        .expect("auto runs");
-    let cpu = rt
-        .run_video_understanding(RunOptions::labeled("cpu").stt(SttChoice::Cpu))
-        .expect("cpu runs");
+    let base = Scenario::closed_loop("auto").seed(EXPERIMENT_SEED);
+    let session = Session::new(&base).expect("session builds");
+    let auto = run_stt(&session, &base, "auto", SttChoice::Auto);
+    let cpu = run_stt(&session, &base, "cpu", SttChoice::Cpu);
     assert_eq!(auto.makespan_s, cpu.makespan_s);
     assert_eq!(auto.energy_allocated_wh, cpu.energy_allocated_wh);
 }
@@ -119,10 +120,13 @@ fn min_cost_constraint_selects_the_cpu_configuration() {
 #[test]
 fn orchestration_overhead_is_about_one_percent() {
     // §3.3: DAG creation "takes less than 1% of the execution time".
-    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
-    let report = rt
-        .run_video_understanding(RunOptions::labeled("gpu").stt(SttChoice::Gpu))
-        .expect("runs");
+    let report = Scenario::closed_loop("gpu")
+        .seed(EXPERIMENT_SEED)
+        .stt(SttChoice::Gpu)
+        .run()
+        .expect("runs")
+        .into_closed_loop()
+        .expect("closed loop");
     assert!(
         report.orchestration_s > 0.0,
         "orchestration must be charged"

@@ -1,8 +1,10 @@
 //! Mid-workflow spot preemption: the runtime must recover when surviving
 //! capacity allows (restart lost tool tasks, re-place endpoints, resubmit
 //! in-flight LLM requests) and fail with a checked error when it does not.
+//! Preemption schedules are part of the declarative `Scenario`.
 
-use murakkab::runtime::{RunOptions, Runtime, SttChoice};
+use murakkab::runtime::SttChoice;
+use murakkab::scenario::{Scenario, Session};
 use murakkab_hardware::catalog;
 use murakkab_sim::SimError;
 
@@ -10,17 +12,21 @@ use murakkab_sim::SimError;
 fn workflow_survives_losing_a_node_mid_run() {
     // Three nodes: the third is spare capacity. Kill node 1 (embedding
     // endpoint + whisper workers live there under best-fit) at t=30s.
-    let rt = Runtime::with_shape(42, catalog::nd96amsr_a100_v4(), 3);
-    let undisturbed = rt
-        .run_video_understanding(RunOptions::labeled("calm").stt(SttChoice::Gpu))
-        .expect("calm run");
-    let disturbed = rt
-        .run_video_understanding(
-            RunOptions::labeled("preempted")
-                .stt(SttChoice::Gpu)
-                .preempt_at(30.0, 1),
-        )
-        .expect("workflow must survive the preemption");
+    let base = Scenario::closed_loop("calm")
+        .seed(42)
+        .cluster(catalog::nd96amsr_a100_v4(), 3)
+        .stt(SttChoice::Gpu);
+    let session = Session::new(&base).expect("session builds");
+    let undisturbed = session
+        .execute(&base)
+        .expect("calm run")
+        .into_closed_loop()
+        .expect("closed loop");
+    let disturbed = session
+        .execute(&base.clone().labeled("preempted").preempt_at(30.0, 1))
+        .expect("workflow must survive the preemption")
+        .into_closed_loop()
+        .expect("closed loop");
 
     // All work still completes; the disruption costs time, never work.
     assert_eq!(disturbed.tasks, undisturbed.tasks);
@@ -43,36 +49,31 @@ fn workflow_survives_losing_a_node_mid_run() {
 fn preemption_is_fatal_when_no_replacement_capacity_exists() {
     // On the 2-node paper testbed, every GPU is committed; losing the
     // node that hosts the 8-GPU NVLM endpoint cannot be recovered.
-    let rt = Runtime::paper_testbed(42);
-    let result = rt.run_video_understanding(
-        RunOptions::labeled("fatal")
-            .stt(SttChoice::Gpu)
-            .preempt_at(10.0, 0),
-    );
+    let result = Scenario::closed_loop("fatal")
+        .seed(42)
+        .stt(SttChoice::Gpu)
+        .preempt_at(10.0, 0)
+        .run();
     match result {
         Err(SimError::ResourceExhausted { .. }) => {}
         Err(other) => panic!("expected resource exhaustion, got: {other}"),
         Ok(r) => panic!(
             "run should not survive losing its LLM with no spare GPUs \
              (finished in {:.1}s)",
-            r.makespan_s
+            r.core.makespan_s
         ),
     }
 }
 
 #[test]
 fn preempted_runs_remain_deterministic() {
-    let run = || {
-        let rt = Runtime::with_shape(5, catalog::nd96amsr_a100_v4(), 3);
-        rt.run_video_understanding(
-            RunOptions::labeled("det")
-                .stt(SttChoice::Gpu)
-                .preempt_at(25.0, 1),
-        )
-        .expect("survives")
-    };
-    let a = run();
-    let b = run();
+    let scenario = Scenario::closed_loop("det")
+        .seed(5)
+        .cluster(catalog::nd96amsr_a100_v4(), 3)
+        .stt(SttChoice::Gpu)
+        .preempt_at(25.0, 1);
+    let a = scenario.run().expect("survives");
+    let b = scenario.run().expect("survives");
     assert_eq!(
         serde_json::to_string(&a).expect("serializes"),
         serde_json::to_string(&b).expect("serializes")
@@ -83,15 +84,18 @@ fn preempted_runs_remain_deterministic() {
 fn late_preemption_after_completion_is_harmless() {
     // A preemption scheduled after the workflow would finish still fires
     // (the event is in the queue) but must not corrupt the result.
-    let rt = Runtime::with_shape(42, catalog::nd96amsr_a100_v4(), 3);
-    let r = rt
-        .run_video_understanding(
-            RunOptions::labeled("late")
-                .stt(SttChoice::Gpu)
-                .preempt_at(10_000.0, 2),
-        )
+    let r = Scenario::closed_loop("late")
+        .seed(42)
+        .cluster(catalog::nd96amsr_a100_v4(), 3)
+        .stt(SttChoice::Gpu)
+        .preempt_at(10_000.0, 2)
+        .run()
         .expect("runs");
-    assert_eq!(r.tasks, 176);
+    assert_eq!(r.core.tasks_completed, 176);
     // The stray event must not inflate the reported makespan.
-    assert!(r.makespan_s < 120.0, "makespan {:.1}s", r.makespan_s);
+    assert!(
+        r.core.makespan_s < 120.0,
+        "makespan {:.1}s",
+        r.core.makespan_s
+    );
 }

@@ -4,15 +4,17 @@
 //! or dependency change breaks the build — everything else (determinism,
 //! paper claims, equivalence) assumes this works.
 
-use murakkab::runtime::{RunOptions, Runtime};
+use murakkab::scenario::Scenario;
 use murakkab_repro::EXPERIMENT_SEED;
 
 #[test]
 fn paper_testbed_runs_video_understanding_end_to_end() {
-    let rt = Runtime::paper_testbed(EXPERIMENT_SEED);
-    let report = rt
-        .run_video_understanding(RunOptions::labeled("workspace-smoke"))
+    let report = Scenario::closed_loop("workspace-smoke")
+        .seed(EXPERIMENT_SEED)
+        .run()
         .expect("video understanding runs on the paper testbed");
+    assert_eq!(report.core.mode, "closed-loop");
+    let report = report.into_closed_loop().expect("closed-loop detail");
 
     assert!(report.tasks > 0, "report must cover at least one task");
     assert!(!report.trace.spans().is_empty(), "trace must be non-empty");

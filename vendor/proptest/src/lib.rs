@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the slice of proptest it uses: the [`proptest!`] macro,
-//! [`Strategy`] with `prop_map`, range / tuple / `Just` / collection
+//! [`Strategy`](strategy::Strategy) with `prop_map`, range / tuple / `Just` / collection
 //! strategies, [`prop_oneof!`], `any::<T>()`, and the `prop_assert*`
 //! macros. Differences from the real crate:
 //!
@@ -20,7 +20,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Size specification for [`vec`]: an exact length or a range.
+    /// Size specification for [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -65,7 +65,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
