@@ -61,8 +61,7 @@ impl AgentLibrary {
             .collect();
         v.sort_by(|a, b| {
             b.quality
-                .partial_cmp(&a.quality)
-                .expect("quality is never NaN")
+                .total_cmp(&a.quality)
                 .then_with(|| a.name.cmp(&b.name))
         });
         v.into_iter()

@@ -296,8 +296,7 @@ impl ProfileStore {
             .filter(|p| p.quality >= min_quality)
             .min_by(|a, b| {
                 a.score(objective)
-                    .partial_cmp(&b.score(objective))
-                    .expect("scores are never NaN")
+                    .total_cmp(&b.score(objective))
                     // Deterministic tie-break.
                     .then_with(|| a.agent.cmp(&b.agent))
                     .then_with(|| a.target.short_label().cmp(&b.target.short_label()))

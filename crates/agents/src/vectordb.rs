@@ -99,11 +99,7 @@ impl VectorIndex {
             .iter()
             .map(|(key, v)| (key.clone(), cosine(vector, v)))
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("cosine of finite non-zero vectors is finite")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.truncate(k);
         Ok(scored)
     }

@@ -1,0 +1,220 @@
+//! Preflight analysis of [`Scenario`] files — the facade over
+//! [`mod@murakkab::analyze`] that the `analyze` CLI binary and external
+//! tooling consume.
+//!
+//! The analysis engine itself lives in the core crate (so
+//! [`Scenario::validate`](murakkab::Scenario::validate) and the
+//! [`PreflightMode`] execution gate share its
+//! rules); this crate re-exports the API and adds the file-oriented
+//! layer: load a list of scenario JSON files, analyze each, render the
+//! findings as human-readable text or JSON, and fold the outcome into a
+//! process exit code.
+//!
+//! ```no_run
+//! let outcome = murakkab_analyze::lint_files(
+//!     &["scenarios/overload_open_loop.json".into()],
+//!     murakkab_analyze::FailOn::Errors,
+//! );
+//! println!("{}", outcome.render_human());
+//! std::process::exit(outcome.exit_code());
+//! ```
+
+pub use murakkab::analyze::{analyze, codes, AnalysisReport, Diagnostic, Severity};
+pub use murakkab::{PreflightMode, Scenario, Session};
+
+use serde::{Deserialize, Serialize};
+
+/// Which severities fail the lint (infos never do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailOn {
+    /// Exit non-zero only on error-severity findings.
+    Errors,
+    /// Exit non-zero on warnings too (`--deny-warnings`).
+    Warnings,
+}
+
+/// The analysis of one scenario file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileReport {
+    /// The path as given on the command line.
+    pub path: String,
+    /// Load failure, if the file did not parse as a scenario.
+    pub error: Option<String>,
+    /// The analysis, when the file loaded.
+    pub report: Option<AnalysisReport>,
+}
+
+impl FileReport {
+    fn counts(&self) -> (usize, usize, usize) {
+        let Some(report) = &self.report else {
+            return (0, 0, 0);
+        };
+        let mut c = (0, 0, 0);
+        for d in &report.diagnostics {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Info => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// The lint outcome over a file list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LintOutcome {
+    /// Per-file results, in command-line order.
+    pub files: Vec<FileReport>,
+    /// Whether warnings count as failures.
+    pub deny_warnings: bool,
+}
+
+impl LintOutcome {
+    /// `true` when no file failed to load and no finding at or above the
+    /// failure threshold exists.
+    pub fn clean(&self) -> bool {
+        self.files.iter().all(|f| {
+            f.error.is_none()
+                && f.report
+                    .as_ref()
+                    .is_none_or(|r| !(r.has_errors() || self.deny_warnings && r.has_warnings()))
+        })
+    }
+
+    /// Process exit code: 0 clean, 1 findings or load failures.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.clean())
+    }
+
+    /// Human-readable rendering: per-file findings plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let (mut errors, mut warnings, mut infos) = (0, 0, 0);
+        for file in &self.files {
+            let (e, w, i) = file.counts();
+            errors += e;
+            warnings += w;
+            infos += i;
+            if let Some(msg) = &file.error {
+                errors += 1;
+                out.push_str(&format!("{}: failed to load: {msg}\n", file.path));
+                continue;
+            }
+            let Some(report) = &file.report else {
+                continue;
+            };
+            if report.diagnostics.is_empty() {
+                out.push_str(&format!("{}: clean\n", file.path));
+            } else {
+                out.push_str(&format!(
+                    "{}: {e} error(s), {w} warning(s), {i} info(s)\n",
+                    file.path
+                ));
+                for d in &report.diagnostics {
+                    for line in d.render().lines() {
+                        out.push_str(&format!("  {line}\n"));
+                    }
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{} file(s): {errors} error(s), {warnings} warning(s), {infos} info(s){}",
+            self.files.len(),
+            if self.clean() { "" } else { " — FAILED" },
+        ));
+        out
+    }
+
+    /// JSON rendering of the full outcome.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("lint outcomes always serialize")
+    }
+}
+
+/// Loads and analyzes each path, folding the results into one outcome.
+/// A file that fails to load is reported in place, not fatal.
+pub fn lint_files(paths: &[String], fail_on: FailOn) -> LintOutcome {
+    let files = paths
+        .iter()
+        .map(|path| match Scenario::from_json_file(path) {
+            Ok(scenario) => FileReport {
+                path: path.clone(),
+                error: None,
+                report: Some(analyze(&scenario)),
+            },
+            Err(e) => FileReport {
+                path: path.clone(),
+                error: Some(e.to_string()),
+                report: None,
+            },
+        })
+        .collect();
+    LintOutcome {
+        files,
+        deny_warnings: fail_on == FailOn::Warnings,
+    }
+}
+
+/// The `analyze` CLI: parses flags, lints the files, prints the report
+/// to stdout and returns the process exit code (0 clean, 1 findings,
+/// 2 usage errors).
+pub fn run_cli(args: impl IntoIterator<Item = String>) -> i32 {
+    let mut json = false;
+    let mut fail_on = FailOn::Errors;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => fail_on = FailOn::Warnings,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{USAGE}");
+                return 2;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("no scenario files given\n{USAGE}");
+        return 2;
+    }
+    let outcome = lint_files(&paths, fail_on);
+    if json {
+        println!("{}", outcome.render_json());
+    } else {
+        println!("{}", outcome.render_human());
+    }
+    outcome.exit_code()
+}
+
+const USAGE: &str = "usage: analyze [--json] [--deny-warnings] SCENARIO.json...
+Statically analyzes scenario files without executing them.
+  --json           machine-readable output
+  --deny-warnings  exit non-zero on warnings as well as errors";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_file_is_reported_not_fatal() {
+        let outcome = lint_files(&["/no/such/file.json".into()], FailOn::Errors);
+        assert!(!outcome.clean());
+        assert_eq!(outcome.exit_code(), 1);
+        assert!(outcome.files[0].error.is_some());
+        assert!(outcome.render_human().contains("failed to load"));
+    }
+
+    #[test]
+    fn outcome_json_round_trips() {
+        let outcome = lint_files(&["/no/such/file.json".into()], FailOn::Warnings);
+        let json = outcome.render_json();
+        let back: LintOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.files.len(), 1);
+        assert!(back.deny_warnings);
+    }
+}

@@ -22,11 +22,7 @@ fn main() {
     let baseline = &reports[0];
     let best = reports[1..]
         .iter()
-        .min_by(|a, b| {
-            a.makespan_s
-                .partial_cmp(&b.makespan_s)
-                .expect("makespans are never NaN")
-        })
+        .min_by(|a, b| a.makespan_s.total_cmp(&b.makespan_s))
         .expect("non-empty");
     println!(
         "Murakkab completes the workflow in {:.0}-{:.0}s vs the baseline's {:.0}s (~{:.1}x speedup)",

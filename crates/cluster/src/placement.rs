@@ -38,8 +38,7 @@ impl PlacementPolicy {
                 .iter()
                 .min_by(|a, b| {
                     leftover(a)
-                        .partial_cmp(&leftover(b))
-                        .expect("leftover is never NaN")
+                        .total_cmp(&leftover(b))
                         .then_with(|| a.id.cmp(&b.id))
                 })
                 .map(|n| n.id),
@@ -47,8 +46,7 @@ impl PlacementPolicy {
                 .iter()
                 .max_by(|a, b| {
                     leftover(a)
-                        .partial_cmp(&leftover(b))
-                        .expect("leftover is never NaN")
+                        .total_cmp(&leftover(b))
                         .then_with(|| b.id.cmp(&a.id))
                 })
                 .map(|n| n.id),

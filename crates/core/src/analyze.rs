@@ -1,0 +1,1114 @@
+//! Static preflight analysis of [`Scenario`]s.
+//!
+//! A scenario is plain data, which means an infeasible or
+//! self-contradicting configuration can be caught *before* burning a
+//! simulation run. [`analyze`] inspects a scenario without executing it
+//! and emits typed [`Diagnostic`]s at three severities:
+//!
+//! - **error** (`ANZ0xx`) — the scenario cannot execute: degenerate
+//!   numerics, empty workloads, mode/workload mismatches, unknown
+//!   catalog entries, jobs that fail to plan, constraint sets no agent
+//!   satisfies. [`Scenario::validate`], [`RunOptions::validate`] and
+//!   [`FleetOptions::validate`] are thin wrappers over the same rules,
+//!   so the execution path and the analyzer can never disagree.
+//! - **warning** (`ANZ1xx`) — the scenario executes but is predicted to
+//!   misbehave: a deployment group no node can host, aggregate GPU
+//!   demand above cluster capacity, an SLO deadline below the
+//!   critical-path service-time lower bound, offered load above
+//!   aggregate capacity with admission disabled, a token-bucket burst
+//!   the bounded queue cannot absorb.
+//! - **info** (`ANZ2xx`) — advisory: disaggregation falling back to
+//!   colocated, a prefill/decode pair that cannot share a node, the
+//!   predicted shed-rate floor under admission control, knobs a mode
+//!   ignores.
+//!
+//! The analyzer is exposed three ways: this module's [`analyze`]
+//! function (re-exported by the `murakkab_analyze` facade crate), the
+//! `analyze` CLI binary that lints `scenarios/*.json`, and the
+//! [`PreflightMode`](crate::scenario::PreflightMode) gate on
+//! [`Session::execute`](crate::scenario::Session::execute).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_agents::Capability;
+use murakkab_hardware::{HardwareTarget, VmShape};
+use murakkab_llmsim::ServingMode;
+use murakkab_orchestrator::{expand, JobInputs, Planner};
+use murakkab_sim::{SimError, SimRng, SimTime};
+use murakkab_traffic::{AdmissionConfig, Archetype, ArrivalProcess, TenantProfile};
+use murakkab_workflow::{ConstraintSet, Job, TaskGraph};
+
+use crate::engine::RouteSpec;
+use crate::fleet::{canonical_job, estimate_service_s, fleet_job, FleetOptions};
+use crate::runtime::{RoutePlan, RunOptions, Runtime};
+use crate::scenario::{sample_mix_jobs, ExecutionMode, OpenLoopSpec, Scenario, WorkloadSource};
+use crate::workloads::{WorkloadCatalog, WorkloadParams};
+
+/// Stable diagnostic codes (`ANZ0xx` errors, `ANZ1xx` warnings,
+/// `ANZ2xx` infos). The constants exist so tests and tools can match on
+/// codes without string literals drifting.
+pub mod codes {
+    /// The cluster has no nodes.
+    pub const CLUSTER_EMPTY: &str = "ANZ001";
+    /// The workload is empty or degenerate (no entries/jobs/tenants, a
+    /// zero-weight tenant set or mix, a non-positive SLO deadline).
+    pub const WORKLOAD_DEGENERATE: &str = "ANZ002";
+    /// Execution mode and workload source do not fit together.
+    pub const MODE_MISMATCH: &str = "ANZ003";
+    /// A numeric knob is out of range (zero parallelism, NaN horizon,
+    /// zero shards, a preemption outside the run or the cluster).
+    pub const BAD_NUMERIC: &str = "ANZ004";
+    /// The admission configuration cannot build a controller.
+    pub const ADMISSION_INVALID: &str = "ANZ005";
+    /// The arrival process parameters are invalid.
+    pub const ARRIVALS_INVALID: &str = "ANZ006";
+    /// More engine cells than cluster nodes.
+    pub const SHARDS_EXCEED_NODES: &str = "ANZ007";
+    /// A catalog reference names no registered workload.
+    pub const UNKNOWN_CATALOG_ENTRY: &str = "ANZ008";
+    /// A job fails to decompose into a plan or expand into a DAG.
+    pub const PLAN_FAILED: &str = "ANZ009";
+    /// No agent/hardware config satisfies the constraint set.
+    pub const CONSTRAINTS_UNSATISFIABLE: &str = "ANZ010";
+
+    /// A deployment group (TP group or pool worker) fits no node.
+    pub const NO_PLACEMENT: &str = "ANZ101";
+    /// Aggregate GPU demand of the selected routes exceeds capacity.
+    pub const CAPACITY_EXCEEDED: &str = "ANZ102";
+    /// A deadline or latency bound sits below the critical-path
+    /// service-time lower bound.
+    pub const SLO_INFEASIBLE: &str = "ANZ103";
+    /// Offered load exceeds aggregate service capacity with admission
+    /// disabled (the backlog grows without bound).
+    pub const OVERLOAD_UNBOUNDED: &str = "ANZ104";
+    /// The token-bucket burst exceeds the bounded queue, so admitted
+    /// bursts overflow into queue-full rejections.
+    pub const BURST_EXCEEDS_QUEUE: &str = "ANZ105";
+
+    /// Disaggregated serving was requested but the plan fell back to a
+    /// colocated deployment.
+    pub const DISAGG_FALLBACK: &str = "ANZ201";
+    /// A disaggregated prefill/decode pair cannot share a node.
+    pub const DISAGG_CROSS_NODE: &str = "ANZ202";
+    /// Predicted admission shed-rate floor under the offered load.
+    pub const SHED_FLOOR: &str = "ANZ203";
+    /// One archetype of a tenant exceeds its deadline (others fit).
+    pub const ARCHETYPE_OVER_DEADLINE: &str = "ANZ204";
+    /// A knob the selected execution mode ignores.
+    pub const IGNORED_KNOB: &str = "ANZ205";
+}
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Advisory — nothing wrong, but worth knowing.
+    Info,
+    /// The scenario executes but is predicted to misbehave.
+    Warning,
+    /// The scenario cannot execute.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One typed preflight finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code (`ANZ001`…, see [`codes`]).
+    pub code: String,
+    /// Severity class.
+    pub severity: Severity,
+    /// Dotted pseudo-path into the scenario spec the finding anchors to
+    /// (e.g. `mode.OpenLoop.admission.burst`).
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the analyzer has a concrete idea.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    fn new(severity: Severity, code: &str, path: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code: code.into(),
+            severity,
+            path: path.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    fn error(code: &str, path: &str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Error, code, path, message)
+    }
+
+    fn warning(code: &str, path: &str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Warning, code, path, message)
+    }
+
+    fn info(code: &str, path: &str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Info, code, path, message)
+    }
+
+    fn suggest(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// One rendered line (`severity[code] path: message`).
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "{}[{}] {}: {}",
+            self.severity.label(),
+            self.code,
+            self.path,
+            self.message
+        );
+        if let Some(s) = &self.suggestion {
+            line.push_str(&format!("\n  help: {s}"));
+        }
+        line
+    }
+}
+
+/// Everything [`analyze`] found for one scenario, worst first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// The analyzed scenario's label.
+    pub label: String,
+    /// Findings, sorted by severity (errors first), then code and path.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether any error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether any warning-severity finding exists.
+    pub fn has_warnings(&self) -> bool {
+        self.warnings().next().is_some()
+    }
+
+    /// The worst severity present, if any finding exists at all.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Human-readable rendering, one finding per line (empty string for
+    /// a clean report).
+    pub fn render_human(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Statically analyzes a scenario against the stock agent library and
+/// workload catalog, without executing it.
+///
+/// Builds a throwaway [`Runtime`] for the scenario's seed and cluster;
+/// when a live [`Session`](crate::scenario::Session) exists, prefer
+/// [`Session::analyze`](crate::scenario::Session::analyze), which
+/// reuses the session's runtime and catalog.
+pub fn analyze(scenario: &Scenario) -> AnalysisReport {
+    let runtime = Runtime::with_shape(
+        scenario.seed,
+        scenario.cluster.shape.clone(),
+        scenario.cluster.nodes,
+    );
+    analyze_with(scenario, &WorkloadCatalog::stock(), &runtime)
+}
+
+/// The full analysis pass against a caller-supplied catalog and runtime.
+pub(crate) fn analyze_with(
+    scenario: &Scenario,
+    catalog: &WorkloadCatalog,
+    runtime: &Runtime,
+) -> AnalysisReport {
+    let mut diags = scenario_structural(scenario);
+    // Deep (planning/capacity/SLO/load) checks interpret the spec, so
+    // they only run once the structure is sound.
+    if !diags.iter().any(|d| d.severity == Severity::Error) {
+        deep_diags(scenario, catalog, runtime, &mut diags);
+    }
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(&b.code))
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    AnalysisReport {
+        label: scenario.label.clone(),
+        diagnostics: diags,
+    }
+}
+
+/// Maps the first error-severity diagnostic (in emission order) to the
+/// typed error the legacy `validate` surfaces returned.
+pub(crate) fn first_error(diags: &[Diagnostic]) -> Result<(), SimError> {
+    match diags.iter().find(|d| d.severity == Severity::Error) {
+        Some(d) => Err(SimError::InvalidInput(format!(
+            "{} [{} at {}]",
+            d.message, d.code, d.path
+        ))),
+        None => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural rules (shared with the validate() wrappers)
+// ---------------------------------------------------------------------------
+
+/// Rules behind [`RunOptions::validate`].
+pub(crate) fn run_options_diags(opts: &RunOptions) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if opts.parallelism == 0 {
+        out.push(
+            Diagnostic::error(
+                codes::BAD_NUMERIC,
+                "parallelism",
+                "parallelism must be at least 1",
+            )
+            .suggest("set parallelism to a positive stage fan-out"),
+        );
+    }
+    for (i, &(at_s, node)) in opts.preemptions.iter().enumerate() {
+        if !at_s.is_finite() || at_s < 0.0 {
+            out.push(Diagnostic::error(
+                codes::BAD_NUMERIC,
+                &format!("preemptions[{i}].at_s"),
+                format!(
+                    "preemption instant must be a finite non-negative number \
+                     of seconds, got {at_s} (node {node})"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rules behind [`FleetOptions::validate`] (numeric knobs only; the
+/// admission, process and tenant rules are scenario-level because the
+/// legacy serve path validates them further downstream).
+pub(crate) fn fleet_options_diags(opts: &FleetOptions) -> Vec<Diagnostic> {
+    let mut out = open_loop_numeric_diags(
+        opts.horizon_s,
+        opts.rebalance_every_s,
+        opts.shards,
+        opts.max_inflight,
+        "",
+    );
+    if opts.parallelism == 0 {
+        out.push(Diagnostic::error(
+            codes::BAD_NUMERIC,
+            "parallelism",
+            "parallelism must be at least 1",
+        ));
+    }
+    out
+}
+
+/// Rules behind [`OpenLoopSpec::validate`].
+pub(crate) fn open_loop_spec_diags(spec: &OpenLoopSpec, prefix: &str) -> Vec<Diagnostic> {
+    open_loop_numeric_diags(
+        spec.horizon_s,
+        spec.rebalance_every_s,
+        spec.shards,
+        spec.max_inflight,
+        prefix,
+    )
+}
+
+fn open_loop_numeric_diags(
+    horizon_s: f64,
+    rebalance_every_s: f64,
+    shards: usize,
+    max_inflight: usize,
+    prefix: &str,
+) -> Vec<Diagnostic> {
+    let path = |field: &str| format!("{prefix}{field}");
+    let mut out = Vec::new();
+    if !horizon_s.is_finite() || horizon_s <= 0.0 {
+        out.push(Diagnostic::error(
+            codes::BAD_NUMERIC,
+            &path("horizon_s"),
+            format!("arrival horizon must be a finite positive number of seconds, got {horizon_s}"),
+        ));
+    }
+    if !rebalance_every_s.is_finite() || rebalance_every_s <= 0.0 {
+        out.push(Diagnostic::error(
+            codes::BAD_NUMERIC,
+            &path("rebalance_every_s"),
+            format!(
+                "rebalance cadence must be a finite positive number of seconds, \
+                 got {rebalance_every_s}"
+            ),
+        ));
+    }
+    if shards == 0 {
+        out.push(Diagnostic::error(
+            codes::BAD_NUMERIC,
+            &path("shards"),
+            "fleet needs at least one shard",
+        ));
+    }
+    if max_inflight == 0 {
+        out.push(Diagnostic::error(
+            codes::BAD_NUMERIC,
+            &path("max_inflight"),
+            "max_inflight must be at least 1",
+        ));
+    }
+    out
+}
+
+/// Tenant-set sanity: positive weight mass, drawable mixes, positive
+/// deadlines. Shared by the `Mix` and `Traffic` sources.
+fn tenant_diags(tenants: &[TenantProfile], prefix: &str, out: &mut Vec<Diagnostic>) {
+    let mut weight_sum = 0.0;
+    for (i, t) in tenants.iter().enumerate() {
+        let path = |field: &str| format!("{prefix}[{i}].{field}");
+        if !t.weight.is_finite() || t.weight < 0.0 {
+            out.push(Diagnostic::error(
+                codes::WORKLOAD_DEGENERATE,
+                &path("weight"),
+                format!(
+                    "tenant `{}` weight must be finite and non-negative, got {}",
+                    t.name, t.weight
+                ),
+            ));
+        } else {
+            weight_sum += t.weight;
+        }
+        let weights = t.mix.weights();
+        let bad = weights.iter().any(|&(_, w)| !w.is_finite() || w < 0.0);
+        let dead = !weights.iter().any(|&(_, w)| w > 0.0);
+        if bad || dead {
+            out.push(Diagnostic::error(
+                codes::WORKLOAD_DEGENERATE,
+                &path("mix"),
+                format!(
+                    "tenant `{}` mix needs non-negative weights with at least \
+                     one positive entry",
+                    t.name
+                ),
+            ));
+        }
+        if !t.class.deadline_s.is_finite() || t.class.deadline_s <= 0.0 {
+            out.push(Diagnostic::error(
+                codes::WORKLOAD_DEGENERATE,
+                &path("class.deadline_s"),
+                format!(
+                    "tenant `{}` SLO deadline must be finite and positive, got {}",
+                    t.name, t.class.deadline_s
+                ),
+            ));
+        }
+    }
+    if !tenants.is_empty() && weight_sum <= 0.0 {
+        out.push(Diagnostic::error(
+            codes::WORKLOAD_DEGENERATE,
+            prefix,
+            "tenant weights must sum positive",
+        ));
+    }
+}
+
+/// The admission-config rules as diagnostics (the rule set itself lives
+/// in [`AdmissionConfig::validate`]).
+fn admission_diags(cfg: &AdmissionConfig, prefix: &str, out: &mut Vec<Diagnostic>) {
+    if let Err(SimError::InvalidInput(msg)) = cfg.validate() {
+        out.push(
+            Diagnostic::error(codes::ADMISSION_INVALID, prefix, msg)
+                .suggest("fix the admission parameters or disable admission"),
+        );
+    }
+}
+
+/// Every structural rule over the spec itself — the analyzer's
+/// error-severity backbone and the body of [`Scenario::validate`].
+pub(crate) fn scenario_structural(scenario: &Scenario) -> Vec<Diagnostic> {
+    let mut out = run_options_diags(&scenario.run_options());
+    if scenario.cluster.nodes == 0 {
+        out.push(
+            Diagnostic::error(
+                codes::CLUSTER_EMPTY,
+                "cluster.nodes",
+                "cluster needs at least one node",
+            )
+            .suggest("provision at least one node"),
+        );
+    }
+    match &scenario.workload {
+        WorkloadSource::Catalog { entries } if entries.is_empty() => {
+            out.push(Diagnostic::error(
+                codes::WORKLOAD_DEGENERATE,
+                "workload.Catalog.entries",
+                "catalog workload needs at least one entry",
+            ));
+        }
+        WorkloadSource::Jobs { jobs } if jobs.is_empty() => {
+            out.push(Diagnostic::error(
+                codes::WORKLOAD_DEGENERATE,
+                "workload.Jobs.jobs",
+                "explicit workload needs at least one job",
+            ));
+        }
+        WorkloadSource::Mix { tenants, requests } => {
+            if tenants.is_empty() {
+                out.push(Diagnostic::error(
+                    codes::WORKLOAD_DEGENERATE,
+                    "workload.Mix.tenants",
+                    "mix needs tenants",
+                ));
+            }
+            if *requests == 0 {
+                out.push(Diagnostic::error(
+                    codes::WORKLOAD_DEGENERATE,
+                    "workload.Mix.requests",
+                    "mix needs at least one request",
+                ));
+            }
+            tenant_diags(tenants, "workload.Mix.tenants", &mut out);
+        }
+        WorkloadSource::Traffic { process, tenants } => {
+            if tenants.is_empty() {
+                out.push(Diagnostic::error(
+                    codes::WORKLOAD_DEGENERATE,
+                    "workload.Traffic.tenants",
+                    "traffic needs tenants",
+                ));
+            }
+            tenant_diags(tenants, "workload.Traffic.tenants", &mut out);
+            if let Err(SimError::InvalidInput(msg)) = process.validate() {
+                out.push(Diagnostic::error(
+                    codes::ARRIVALS_INVALID,
+                    "workload.Traffic.process",
+                    msg,
+                ));
+            }
+        }
+        _ => {}
+    }
+    match (&scenario.mode, &scenario.workload) {
+        (ExecutionMode::ClosedLoop, WorkloadSource::Traffic { .. }) => {
+            out.push(
+                Diagnostic::error(
+                    codes::MODE_MISMATCH,
+                    "mode",
+                    "an arrival-process workload needs ExecutionMode::OpenLoop",
+                )
+                .suggest("switch to ExecutionMode::OpenLoop or pick a closed-loop source"),
+            );
+        }
+        (ExecutionMode::OpenLoop(_), source)
+            if !matches!(source, WorkloadSource::Traffic { .. }) =>
+        {
+            out.push(
+                Diagnostic::error(
+                    codes::MODE_MISMATCH,
+                    "mode",
+                    "open-loop execution needs a WorkloadSource::Traffic workload",
+                )
+                .suggest("switch to ExecutionMode::ClosedLoop or supply a traffic source"),
+            );
+        }
+        (ExecutionMode::OpenLoop(spec), _) => {
+            out.extend(open_loop_spec_diags(spec, "mode.OpenLoop."));
+            admission_diags(&spec.admission, "mode.OpenLoop.admission", &mut out);
+            if spec.shards > scenario.cluster.nodes && scenario.cluster.nodes > 0 {
+                out.push(
+                    Diagnostic::error(
+                        codes::SHARDS_EXCEED_NODES,
+                        "mode.OpenLoop.shards",
+                        format!(
+                            "{} engine cells cannot partition {} cluster node(s)",
+                            spec.shards, scenario.cluster.nodes
+                        ),
+                    )
+                    .suggest("reduce shards or add nodes"),
+                );
+            }
+            if !scenario.preemptions.is_empty() {
+                out.push(Diagnostic::info(
+                    codes::IGNORED_KNOB,
+                    "preemptions",
+                    "open-loop serving ignores the preemption schedule",
+                ));
+            }
+        }
+        _ => {}
+    }
+    if matches!(scenario.mode, ExecutionMode::ClosedLoop) {
+        for (i, p) in scenario.preemptions.iter().enumerate() {
+            if p.node >= scenario.cluster.nodes && scenario.cluster.nodes > 0 {
+                out.push(
+                    Diagnostic::error(
+                        codes::BAD_NUMERIC,
+                        &format!("preemptions[{i}].node"),
+                        format!(
+                            "preemption targets node {} but the cluster has {} node(s)",
+                            p.node, scenario.cluster.nodes
+                        ),
+                    )
+                    .suggest("preempt a node index below cluster.nodes"),
+                );
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Deep checks: planning, capacity, SLO and load feasibility
+// ---------------------------------------------------------------------------
+
+fn deep_diags(
+    scenario: &Scenario,
+    catalog: &WorkloadCatalog,
+    runtime: &Runtime,
+    out: &mut Vec<Diagnostic>,
+) {
+    match &scenario.mode {
+        ExecutionMode::ClosedLoop => closed_loop_deep(scenario, catalog, runtime, out),
+        ExecutionMode::OpenLoop(spec) => {
+            let WorkloadSource::Traffic { process, tenants } = &scenario.workload else {
+                return; // structural ANZ003 already fired
+            };
+            open_loop_deep(scenario, spec, process, tenants, runtime, out);
+        }
+    }
+}
+
+/// Decomposes and expands one job, reporting failures as `ANZ009`.
+fn plan_job(
+    job: &Job,
+    inputs: &JobInputs,
+    path: &str,
+    runtime: &Runtime,
+    out: &mut Vec<Diagnostic>,
+) -> Option<(murakkab_orchestrator::LogicalPlan, TaskGraph)> {
+    let plan = match Planner.decompose(job, runtime.library()) {
+        Ok((plan, _)) => plan,
+        Err(e) => {
+            out.push(Diagnostic::error(
+                codes::PLAN_FAILED,
+                path,
+                format!("job does not decompose: {e}"),
+            ));
+            return None;
+        }
+    };
+    match expand(&plan, inputs) {
+        Ok(graph) => Some((plan, graph)),
+        Err(e) => {
+            out.push(Diagnostic::error(
+                codes::PLAN_FAILED,
+                path,
+                format!("plan does not expand against its inputs: {e}"),
+            ));
+            None
+        }
+    }
+}
+
+/// Shared route selection, mapping failures to `ANZ009`/`ANZ010`.
+fn select_or_report(
+    runtime: &Runtime,
+    cluster: murakkab_cluster::ClusterManager,
+    cap_archetypes: &BTreeMap<Capability, Vec<String>>,
+    constraints: &ConstraintSet,
+    opts: &RunOptions,
+    out: &mut Vec<Diagnostic>,
+) -> Option<RoutePlan> {
+    let mut stats = cluster.stats(SimTime::ZERO);
+    match runtime.select_routes(cap_archetypes, constraints, &mut stats, opts) {
+        Ok(plan) => Some(plan),
+        Err(SimError::Unsatisfiable(msg)) => {
+            out.push(
+                Diagnostic::error(codes::CONSTRAINTS_UNSATISFIABLE, "constraints", msg)
+                    .suggest("relax the quality floor / bounds or enlarge the cluster"),
+            );
+            None
+        }
+        Err(e) => {
+            out.push(Diagnostic::error(
+                codes::PLAN_FAILED,
+                "constraints",
+                format!("route selection failed: {e}"),
+            ));
+            None
+        }
+    }
+}
+
+fn closed_loop_deep(
+    scenario: &Scenario,
+    catalog: &WorkloadCatalog,
+    runtime: &Runtime,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Resolve the job list exactly like `Session::closed_loop_jobs`.
+    let mut jobs: Vec<(Job, JobInputs)> = Vec::new();
+    match &scenario.workload {
+        WorkloadSource::Catalog { entries } => {
+            for (i, r) in entries.iter().enumerate() {
+                match catalog.get(&r.entry) {
+                    Ok(entry) => {
+                        let params = WorkloadParams {
+                            seed: scenario.seed,
+                            size: r.size.unwrap_or(entry.default_size),
+                            user: r.user.clone().unwrap_or_else(|| entry.default_user.clone()),
+                        };
+                        jobs.push(entry.build(&params));
+                    }
+                    Err(_) => out.push(
+                        Diagnostic::error(
+                            codes::UNKNOWN_CATALOG_ENTRY,
+                            &format!("workload.Catalog.entries[{i}]"),
+                            format!("no workload named `{}` is registered", r.entry),
+                        )
+                        .suggest("pick a registered entry or register a custom one"),
+                    ),
+                }
+            }
+        }
+        WorkloadSource::Jobs { jobs: specs } => {
+            jobs.extend(specs.iter().map(|s| (s.job.clone(), s.inputs.clone())));
+        }
+        WorkloadSource::Mix { tenants, requests } => {
+            match sample_mix_jobs(scenario.seed, tenants, *requests) {
+                Ok(sampled) => jobs = sampled,
+                Err(e) => out.push(Diagnostic::error(
+                    codes::WORKLOAD_DEGENERATE,
+                    "workload.Mix",
+                    format!("mix does not sample: {e}"),
+                )),
+            }
+        }
+        WorkloadSource::Traffic { .. } => return, // structural ANZ003 already fired
+    }
+    if out.iter().any(|d| d.severity == Severity::Error) {
+        return;
+    }
+
+    let mut cap_archetypes: BTreeMap<Capability, Vec<String>> = BTreeMap::new();
+    let mut constraints = ConstraintSet::new();
+    let mut graphs: Vec<(String, TaskGraph)> = Vec::new();
+    for (i, (job, inputs)) in jobs.iter().enumerate() {
+        let path = format!("workload[{i}]");
+        let Some((plan, graph)) = plan_job(job, inputs, &path, runtime, out) else {
+            continue;
+        };
+        for c in job.constraints.all() {
+            constraints = constraints.and(*c);
+        }
+        for cap in plan.capabilities() {
+            cap_archetypes
+                .entry(cap)
+                .or_default()
+                .push(plan.archetype.clone());
+        }
+        graphs.push((path, graph));
+    }
+    for &c in &scenario.constraints {
+        constraints = constraints.and(c);
+    }
+    if out.iter().any(|d| d.severity == Severity::Error) {
+        return;
+    }
+
+    let opts = scenario.run_options();
+    let Some(route_plan) = select_or_report(
+        runtime,
+        runtime.build_cluster(),
+        &cap_archetypes,
+        &constraints,
+        &opts,
+        out,
+    ) else {
+        return;
+    };
+    capacity_diags(
+        &route_plan.routes,
+        &scenario.cluster.shape,
+        scenario.cluster.nodes,
+        scenario.serving,
+        out,
+    );
+
+    // A LatencyUnder bound below the idle-system critical path can never
+    // be met, regardless of scheduling.
+    if let Some(bound) = constraints.latency_bound() {
+        let bound_s = bound.as_secs_f64();
+        for (path, graph) in &graphs {
+            let Ok(est) = estimate_service_s(graph, &route_plan.routes, runtime.library()) else {
+                continue;
+            };
+            if est > bound_s {
+                out.push(
+                    Diagnostic::warning(
+                        codes::SLO_INFEASIBLE,
+                        path,
+                        format!(
+                            "critical-path service estimate {est:.1}s exceeds the \
+                             {bound_s:.1}s latency bound"
+                        ),
+                    )
+                    .suggest("raise the LatencyUnder bound or shrink the workload"),
+                );
+            }
+        }
+    }
+}
+
+fn open_loop_deep(
+    scenario: &Scenario,
+    spec: &OpenLoopSpec,
+    process: &ArrivalProcess,
+    tenants: &[TenantProfile],
+    runtime: &Runtime,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Mirror `serve_inner`: one route selection over every archetype the
+    // tenant set can emit, against a single cell's capacity.
+    let archetypes: Vec<Archetype> = Archetype::ALL
+        .into_iter()
+        .filter(|a| {
+            tenants
+                .iter()
+                .any(|t| t.mix.weights().iter().any(|&(m, w)| m == *a && w > 0.0))
+        })
+        .collect();
+    let mut cap_archetypes: BTreeMap<Capability, Vec<String>> = BTreeMap::new();
+    let mut constraints = ConstraintSet::new();
+    for &arch in &archetypes {
+        let job = canonical_job(arch);
+        let (plan, _) = match Planner.decompose(&job, runtime.library()) {
+            Ok(p) => p,
+            Err(e) => {
+                out.push(Diagnostic::error(
+                    codes::PLAN_FAILED,
+                    "workload.Traffic.tenants",
+                    format!("archetype {arch:?} does not decompose: {e}"),
+                ));
+                continue;
+            }
+        };
+        for c in job.constraints.all() {
+            constraints = constraints.and(*c);
+        }
+        for cap in plan.capabilities() {
+            cap_archetypes
+                .entry(cap)
+                .or_default()
+                .push(plan.archetype.clone());
+        }
+    }
+    for &c in &scenario.constraints {
+        constraints = constraints.and(c);
+    }
+    if out.iter().any(|d| d.severity == Severity::Error) {
+        return;
+    }
+
+    let run_opts = RunOptions::labeled(&scenario.label)
+        .parallelism(scenario.parallelism)
+        .pin_paper_agents(false)
+        .serving(scenario.serving)
+        .workflow_aware(scenario.workflow_aware);
+    let cells = match runtime.build_cluster().partition(spec.shards) {
+        Ok(cells) => cells,
+        Err(e) => {
+            out.push(Diagnostic::error(
+                codes::SHARDS_EXCEED_NODES,
+                "mode.OpenLoop.shards",
+                format!("cluster does not partition into {} cells: {e}", spec.shards),
+            ));
+            return;
+        }
+    };
+    // The smallest cell is the capacity worst case; equal slices select
+    // identical routes anyway.
+    let smallest = cells
+        .into_iter()
+        .min_by_key(|c| c.nodes().len())
+        .expect("partition yields at least one cell");
+    let cell_nodes = smallest.nodes().len();
+    let Some(route_plan) = select_or_report(
+        runtime,
+        smallest,
+        &cap_archetypes,
+        &constraints,
+        &run_opts,
+        out,
+    ) else {
+        return;
+    };
+    capacity_diags(
+        &route_plan.routes,
+        &scenario.cluster.shape,
+        cell_nodes,
+        scenario.serving,
+        out,
+    );
+
+    // Per-(tenant, archetype) idle-system service estimates: the SLO
+    // lower bound and the load model both build on them.
+    let rng = SimRng::new(scenario.seed).fork("preflight");
+    let mut est: BTreeMap<(usize, Archetype), f64> = BTreeMap::new();
+    for (ti, tenant) in tenants.iter().enumerate() {
+        for &(arch, w) in tenant.mix.weights() {
+            if w <= 0.0 {
+                continue;
+            }
+            let mut job_rng = rng.fork(&format!("est/{}/{arch:?}", tenant.name));
+            let (job, inputs) = fleet_job(arch, &tenant.name, &mut job_rng);
+            let path = format!("workload.Traffic.tenants[{ti}]");
+            let Some((_, graph)) = plan_job(&job, &inputs, &path, runtime, out) else {
+                continue;
+            };
+            let Ok(e) = estimate_service_s(&graph, &route_plan.routes, runtime.library()) else {
+                continue;
+            };
+            est.insert((ti, arch), e);
+        }
+    }
+
+    // SLO feasibility: a tenant whose *every* archetype estimates above
+    // its deadline can never be served within SLO (the admission
+    // deadline gate rejects at zero backlog already); single archetypes
+    // over the line are advisory.
+    for (ti, tenant) in tenants.iter().enumerate() {
+        let ests: Vec<(Archetype, f64)> = est
+            .iter()
+            .filter(|((i, _), _)| *i == ti)
+            .map(|(&(_, a), &e)| (a, e))
+            .collect();
+        if ests.is_empty() {
+            continue;
+        }
+        let deadline = tenant.class.deadline_s;
+        let over: Vec<&(Archetype, f64)> = ests.iter().filter(|(_, e)| *e > deadline).collect();
+        let path = format!("workload.Traffic.tenants[{ti}].class.deadline_s");
+        if over.len() == ests.len() {
+            let min = ests.iter().map(|(_, e)| *e).fold(f64::INFINITY, f64::min);
+            out.push(
+                Diagnostic::warning(
+                    codes::SLO_INFEASIBLE,
+                    &path,
+                    format!(
+                        "tenant `{}` can never meet its {deadline}s deadline: the \
+                         cheapest archetype estimates {min:.1}s of critical-path service",
+                        tenant.name
+                    ),
+                )
+                .suggest("raise the deadline, lighten the mix or add capacity"),
+            );
+        } else {
+            for (arch, e) in over {
+                out.push(Diagnostic::info(
+                    codes::ARCHETYPE_OVER_DEADLINE,
+                    &path,
+                    format!(
+                        "tenant `{}` archetype {arch:?} estimates {e:.1}s against a \
+                         {deadline}s deadline; those requests will shed",
+                        tenant.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Offered load vs aggregate capacity. Throughput is bounded by the
+    // in-flight budget over the mean critical-path service time — a
+    // deliberately optimistic bound (no contention), so exceeding it is
+    // a guaranteed overload, not a maybe.
+    let lambda = process.mean_rate_per_s();
+    let weight_sum: f64 = tenants.iter().map(|t| t.weight).sum();
+    let mut mean_service = 0.0;
+    for (ti, tenant) in tenants.iter().enumerate() {
+        let mix_sum: f64 = tenant.mix.weights().iter().map(|&(_, w)| w).sum();
+        if mix_sum <= 0.0 || weight_sum <= 0.0 {
+            continue;
+        }
+        for &(arch, w) in tenant.mix.weights() {
+            if let Some(e) = est.get(&(ti, arch)) {
+                mean_service += (tenant.weight / weight_sum) * (w / mix_sum) * e;
+            }
+        }
+    }
+    if lambda > 0.0 && mean_service > 0.0 {
+        let capacity_rate = spec.max_inflight as f64 / mean_service;
+        let admission = &spec.admission;
+        if !admission.enabled && lambda > capacity_rate {
+            out.push(
+                Diagnostic::warning(
+                    codes::OVERLOAD_UNBOUNDED,
+                    "mode.OpenLoop.admission.enabled",
+                    format!(
+                        "offered load {lambda:.3}/s exceeds the ~{capacity_rate:.3}/s \
+                         service capacity with admission disabled; the backlog grows \
+                         without bound"
+                    ),
+                )
+                .suggest("enable admission control or add capacity"),
+            );
+        }
+        if admission.enabled {
+            let admit_cap = admission.rate_per_s.min(capacity_rate);
+            if lambda > admit_cap {
+                let floor = 1.0 - admit_cap / lambda;
+                out.push(Diagnostic::info(
+                    codes::SHED_FLOOR,
+                    "workload.Traffic.process",
+                    format!(
+                        "offered load {lambda:.3}/s exceeds the {admit_cap:.3}/s \
+                         admission capacity; at least ~{:.0}% of requests will shed",
+                        floor * 100.0
+                    ),
+                ));
+            }
+        }
+    }
+    if spec.admission.enabled && spec.admission.burst > spec.admission.max_queue as f64 {
+        out.push(
+            Diagnostic::warning(
+                codes::BURST_EXCEEDS_QUEUE,
+                "mode.OpenLoop.admission.burst",
+                format!(
+                    "token burst {} exceeds the {}-deep bounded queue; bursts the \
+                     bucket admits overflow into queue-full rejections",
+                    spec.admission.burst, spec.admission.max_queue
+                ),
+            )
+            .suggest("lower burst below max_queue or deepen the queue"),
+        );
+    }
+}
+
+/// Placement and capacity feasibility of a selected route set against
+/// one cell of `cell_nodes` nodes of `shape`.
+fn capacity_diags(
+    routes: &BTreeMap<Capability, RouteSpec>,
+    shape: &VmShape,
+    cell_nodes: usize,
+    requested: ServingMode,
+    out: &mut Vec<Diagnostic>,
+) {
+    let per_node = shape.gpu_count;
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut gpu_demand = 0.0f64;
+    for route in routes.values() {
+        match route {
+            RouteSpec::Endpoint { agent, backend } => {
+                if !seen.insert(agent.as_str()) {
+                    continue; // endpoints are deduplicated per model
+                }
+                let path = format!("routes.{agent}");
+                let (prefill, decode) = backend.phase_gpus();
+                let largest_group = match backend.mode() {
+                    ServingMode::Colocated => backend.gpus_total(),
+                    ServingMode::Disaggregated => prefill.max(decode),
+                };
+                if largest_group > per_node {
+                    out.push(
+                        Diagnostic::warning(
+                            codes::NO_PLACEMENT,
+                            &path,
+                            format!(
+                                "endpoint needs a {largest_group}-GPU group but nodes \
+                                 have {per_node} GPU(s); no placement fits the model \
+                                 plus its KV working set"
+                            ),
+                        )
+                        .suggest("use a larger VM shape or a smaller model"),
+                    );
+                } else if backend.mode() == ServingMode::Disaggregated
+                    && prefill + decode > per_node
+                {
+                    out.push(Diagnostic::info(
+                        codes::DISAGG_CROSS_NODE,
+                        &path,
+                        format!(
+                            "prefill ({prefill}) + decode ({decode}) GPUs exceed one \
+                             node's {per_node}; the pair places across nodes and KV \
+                             transfers cross the slower interconnect"
+                        ),
+                    ));
+                }
+                if requested == ServingMode::Disaggregated
+                    && backend.mode() == ServingMode::Colocated
+                {
+                    out.push(Diagnostic::info(
+                        codes::DISAGG_FALLBACK,
+                        &path,
+                        "disaggregated serving was requested but the GPU budget \
+                         cannot hold a prefill/decode pair; falling back to colocated",
+                    ));
+                }
+                gpu_demand += f64::from(backend.gpus_total());
+            }
+            RouteSpec::Pool { agent, workers } => {
+                for w in workers {
+                    if w.gpu_units() > f64::from(per_node) {
+                        out.push(Diagnostic::warning(
+                            codes::NO_PLACEMENT,
+                            &format!("routes.{agent}"),
+                            format!(
+                                "pool worker needs {} GPU(s) but nodes have {per_node}",
+                                w.gpu_units()
+                            ),
+                        ));
+                    }
+                }
+                gpu_demand += workers.iter().map(HardwareTarget::gpu_units).sum::<f64>();
+            }
+            RouteSpec::External { .. } => {}
+        }
+    }
+    let cell_gpus = f64::from(per_node) * cell_nodes as f64;
+    if gpu_demand > cell_gpus {
+        out.push(
+            Diagnostic::warning(
+                codes::CAPACITY_EXCEEDED,
+                "cluster",
+                format!(
+                    "selected routes demand {gpu_demand:.1} GPUs but the \
+                     {cell_nodes}-node cell offers {cell_gpus:.0}; placement will \
+                     starve or fail outright"
+                ),
+            )
+            .suggest("add nodes, reduce shards or relax the quality floor"),
+        );
+    }
+}

@@ -154,34 +154,7 @@ impl FleetOptions {
     /// horizon or rebalance cadence, zero `parallelism`, zero
     /// `max_inflight`, or a zero shard count.
     pub fn validate(&self) -> Result<(), SimError> {
-        if !self.horizon_s.is_finite() || self.horizon_s <= 0.0 {
-            return Err(SimError::InvalidInput(format!(
-                "arrival horizon must be a finite positive number of seconds, got {}",
-                self.horizon_s
-            )));
-        }
-        if !self.rebalance_every_s.is_finite() || self.rebalance_every_s <= 0.0 {
-            return Err(SimError::InvalidInput(format!(
-                "rebalance cadence must be a finite positive number of seconds, got {}",
-                self.rebalance_every_s
-            )));
-        }
-        if self.parallelism == 0 {
-            return Err(SimError::InvalidInput(
-                "parallelism must be at least 1".into(),
-            ));
-        }
-        if self.max_inflight == 0 {
-            return Err(SimError::InvalidInput(
-                "max_inflight must be at least 1".into(),
-            ));
-        }
-        if self.shards == 0 {
-            return Err(SimError::InvalidInput(
-                "fleet needs at least one shard".into(),
-            ));
-        }
-        Ok(())
+        crate::analyze::first_error(&crate::analyze::fleet_options_diags(self))
     }
 
     /// Replaces the admission config.
@@ -1311,7 +1284,7 @@ fn endpoint_capabilities(routes: &BTreeMap<Capability, RouteSpec>, agent: &str) 
 
 /// Idle-system critical-path service estimate for a workflow under the
 /// fleet's routes (the admission controller's feasibility input).
-fn estimate_service_s(
+pub(crate) fn estimate_service_s(
     graph: &TaskGraph,
     routes: &BTreeMap<Capability, RouteSpec>,
     library: &murakkab_agents::AgentLibrary,

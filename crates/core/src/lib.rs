@@ -9,6 +9,10 @@
 //!   shared knobs) executed by a [`Session`] through one shared
 //!   plan → expand → select → engine pipeline, returning a unified
 //!   [`Report`];
+//! - [`mod@analyze`] — static preflight analysis: typed diagnostics over a
+//!   [`Scenario`] without executing it (DAG, capacity, SLO and load
+//!   feasibility), gated into [`Session::execute`] by
+//!   [`PreflightMode`];
 //! - [`workloads`] — seeded synthetic workloads and the data-driven
 //!   [`WorkloadCatalog`] scenarios select them from by name, including
 //!   the paper's Video Understanding evaluation (two videos, sixteen
@@ -44,6 +48,7 @@
 //! over the same pipeline.
 
 pub mod ablation;
+pub mod analyze;
 pub mod baseline;
 pub mod engine;
 pub mod fleet;
@@ -52,13 +57,14 @@ pub mod runtime;
 pub mod scenario;
 pub mod workloads;
 
+pub use analyze::{analyze, AnalysisReport, Diagnostic, Severity};
 pub use baseline::run_baseline_video_understanding;
 pub use fleet::{CellPolicy, FleetCellReport, FleetOptions, FleetReport};
 pub use murakkab_llmsim::{BackendSpec, ServingBackend, ServingMode};
 pub use report::RunReport;
 pub use runtime::{RunOptions, Runtime, SttChoice};
 pub use scenario::{
-    CatalogRef, ClusterSpec, ExecutionMode, OpenLoopSpec, Report, ReportCore, ReportDetail,
-    Scenario, Session, WorkloadSource,
+    CatalogRef, ClusterSpec, ExecutionMode, OpenLoopSpec, PreflightMode, Report, ReportCore,
+    ReportDetail, Scenario, Session, WorkloadSource,
 };
 pub use workloads::{WorkloadCatalog, WorkloadEntry, WorkloadParams};

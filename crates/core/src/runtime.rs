@@ -142,20 +142,7 @@ impl RunOptions {
     /// [`SimError::InvalidInput`] on zero `parallelism` or a NaN,
     /// negative or non-finite preemption instant.
     pub fn validate(&self) -> Result<(), SimError> {
-        if self.parallelism == 0 {
-            return Err(SimError::InvalidInput(
-                "parallelism must be at least 1".into(),
-            ));
-        }
-        for &(at_s, node) in &self.preemptions {
-            if !at_s.is_finite() || at_s < 0.0 {
-                return Err(SimError::InvalidInput(format!(
-                    "preemption instant must be a finite non-negative number \
-                     of seconds, got {at_s} (node {node})"
-                )));
-            }
-        }
-        Ok(())
+        crate::analyze::first_error(&crate::analyze::run_options_diags(self))
     }
 }
 

@@ -222,29 +222,7 @@ impl OpenLoopSpec {
     ///
     /// [`SimError::InvalidInput`] naming the offending field.
     pub fn validate(&self) -> Result<(), SimError> {
-        if !self.horizon_s.is_finite() || self.horizon_s <= 0.0 {
-            return Err(SimError::InvalidInput(format!(
-                "arrival horizon must be a finite positive number of seconds, got {}",
-                self.horizon_s
-            )));
-        }
-        if !self.rebalance_every_s.is_finite() || self.rebalance_every_s <= 0.0 {
-            return Err(SimError::InvalidInput(format!(
-                "rebalance cadence must be a finite positive number of seconds, got {}",
-                self.rebalance_every_s
-            )));
-        }
-        if self.shards == 0 {
-            return Err(SimError::InvalidInput(
-                "fleet needs at least one shard".into(),
-            ));
-        }
-        if self.max_inflight == 0 {
-            return Err(SimError::InvalidInput(
-                "max_inflight must be at least 1".into(),
-            ));
-        }
-        Ok(())
+        crate::analyze::first_error(&crate::analyze::open_loop_spec_diags(self, ""))
     }
 }
 
@@ -258,6 +236,59 @@ pub enum ExecutionMode {
     /// Serve an arriving request stream; the figures of merit are
     /// latency percentiles, SLO attainment and goodput.
     OpenLoop(OpenLoopSpec),
+}
+
+/// How much weight [`Session::execute`] gives the static preflight
+/// analysis (see [`mod@crate::analyze`]) before running a scenario.
+///
+/// Error-severity findings always abort execution — they are the same
+/// rules [`Scenario::validate`] enforces. The mode controls what happens
+/// with the *predictive* findings (warnings and infos).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PreflightMode {
+    /// Validate only; ignore warnings (the historical behavior, and the
+    /// default for scenarios that do not name a mode).
+    #[default]
+    Off,
+    /// Print warnings and infos to stderr, then execute anyway.
+    Warn,
+    /// Refuse to execute a scenario with any warning-severity finding.
+    Strict,
+}
+
+impl PreflightMode {
+    fn as_str(&self) -> &'static str {
+        match self {
+            PreflightMode::Off => "Off",
+            PreflightMode::Warn => "Warn",
+            PreflightMode::Strict => "Strict",
+        }
+    }
+}
+
+// Hand-written (de)serialization so scenarios captured before the field
+// existed still parse: an absent `preflight` key reads as `Off`.
+impl serde::Serialize for PreflightMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().into())
+    }
+}
+
+impl serde::Deserialize for PreflightMode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) if s == "Off" => Ok(PreflightMode::Off),
+            serde::Value::Str(s) if s == "Warn" => Ok(PreflightMode::Warn),
+            serde::Value::Str(s) if s == "Strict" => Ok(PreflightMode::Strict),
+            other => Err(serde::Error::custom(format!(
+                "expected \"Off\"/\"Warn\"/\"Strict\" for PreflightMode, got {other:?}"
+            ))),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, serde::Error> {
+        Ok(PreflightMode::Off)
+    }
 }
 
 /// A declarative, serde-round-trippable description of one run: what to
@@ -294,6 +325,8 @@ pub struct Scenario {
     pub preemptions: Vec<Preemption>,
     /// Serving regime LLM endpoints deploy under.
     pub serving: ServingMode,
+    /// Weight [`Session::execute`] gives the static preflight analysis.
+    pub preflight: PreflightMode,
 }
 
 impl Scenario {
@@ -316,6 +349,7 @@ impl Scenario {
             pin_paper_agents: true,
             preemptions: Vec::new(),
             serving: ServingMode::Colocated,
+            preflight: PreflightMode::Off,
         }
     }
 
@@ -339,6 +373,7 @@ impl Scenario {
             pin_paper_agents: false,
             preemptions: Vec::new(),
             serving: ServingMode::Colocated,
+            preflight: PreflightMode::Off,
         }
     }
 
@@ -461,6 +496,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the preflight-analysis mode [`Session::execute`] applies.
+    #[must_use]
+    pub fn preflight(mut self, mode: PreflightMode) -> Self {
+        self.preflight = mode;
+        self
+    }
+
     /// Replaces the admission config (open-loop scenarios; no-op in
     /// closed loop).
     #[must_use]
@@ -508,56 +550,9 @@ impl Scenario {
     ///
     /// [`SimError::InvalidInput`] describing the first offending field.
     pub fn validate(&self) -> Result<(), SimError> {
-        // Shared numeric knobs (parallelism, preemption instants) are
-        // checked by the same code every entry point runs.
-        self.run_options().validate()?;
-        if self.cluster.nodes == 0 {
-            return Err(SimError::InvalidInput(
-                "cluster needs at least one node".into(),
-            ));
-        }
-        match &self.workload {
-            WorkloadSource::Catalog { entries } if entries.is_empty() => {
-                return Err(SimError::InvalidInput(
-                    "catalog workload needs at least one entry".into(),
-                ));
-            }
-            WorkloadSource::Jobs { jobs } if jobs.is_empty() => {
-                return Err(SimError::InvalidInput(
-                    "explicit workload needs at least one job".into(),
-                ));
-            }
-            WorkloadSource::Mix { tenants, requests } => {
-                if tenants.is_empty() {
-                    return Err(SimError::InvalidInput("mix needs tenants".into()));
-                }
-                if *requests == 0 {
-                    return Err(SimError::InvalidInput(
-                        "mix needs at least one request".into(),
-                    ));
-                }
-            }
-            WorkloadSource::Traffic { tenants, .. } if tenants.is_empty() => {
-                return Err(SimError::InvalidInput("traffic needs tenants".into()));
-            }
-            _ => {}
-        }
-        match (&self.mode, &self.workload) {
-            (ExecutionMode::ClosedLoop, WorkloadSource::Traffic { .. }) => {
-                Err(SimError::InvalidInput(
-                    "an arrival-process workload needs ExecutionMode::OpenLoop".into(),
-                ))
-            }
-            (ExecutionMode::OpenLoop(_), source)
-                if !matches!(source, WorkloadSource::Traffic { .. }) =>
-            {
-                Err(SimError::InvalidInput(
-                    "open-loop execution needs a WorkloadSource::Traffic workload".into(),
-                ))
-            }
-            (ExecutionMode::OpenLoop(spec), _) => spec.validate(),
-            _ => Ok(()),
-        }
+        // The structural rules live in [`mod@crate::analyze`], so this
+        // surface and the preflight analyzer can never disagree.
+        crate::analyze::first_error(&crate::analyze::scenario_structural(self))
     }
 
     /// Serializes the scenario to pretty-printed JSON.
@@ -604,7 +599,7 @@ impl Scenario {
     }
 
     /// The closed-loop run options this scenario implies.
-    fn run_options(&self) -> RunOptions {
+    pub(crate) fn run_options(&self) -> RunOptions {
         RunOptions {
             label: self.label.clone(),
             stt: self.stt,
@@ -889,6 +884,32 @@ impl Session {
                 "scenario seed/cluster differ from this session's; build a new Session".into(),
             ));
         }
+        match scenario.preflight {
+            PreflightMode::Off => {}
+            PreflightMode::Warn => {
+                let report = self.analyze(scenario);
+                if !report.diagnostics.is_empty() {
+                    eprintln!("preflight ({}):\n{}", report.label, report.render_human());
+                }
+            }
+            PreflightMode::Strict => {
+                let report = self.analyze(scenario);
+                // The report is sorted worst-first, so the head finding
+                // is an error or warning whenever one exists.
+                if let Some(d) = report
+                    .diagnostics
+                    .first()
+                    .filter(|d| d.severity >= crate::analyze::Severity::Warning)
+                {
+                    return Err(SimError::InvalidInput(format!(
+                        "strict preflight refused the scenario: {} \
+                         (and {} more finding(s); run the analyzer for the full report)",
+                        d.render().replace('\n', " "),
+                        report.diagnostics.len() - 1
+                    )));
+                }
+            }
+        }
         match &scenario.mode {
             ExecutionMode::ClosedLoop => {
                 let jobs = self.closed_loop_jobs(scenario)?;
@@ -908,6 +929,12 @@ impl Session {
                 Ok(Report::from_fleet(report))
             }
         }
+    }
+
+    /// Statically analyzes a scenario against this session's runtime and
+    /// catalog, without executing it (see [`mod@crate::analyze`]).
+    pub fn analyze(&self, scenario: &Scenario) -> crate::analyze::AnalysisReport {
+        crate::analyze::analyze_with(scenario, &self.catalog, &self.runtime)
     }
 
     /// Materializes the closed-loop job list from the workload source.
@@ -943,7 +970,7 @@ impl Session {
 /// the closed-loop multi-tenant batch. Deterministic in the seed; the
 /// tenant draw, archetype draw and per-job sizing each use an
 /// independently forked stream.
-fn sample_mix_jobs(
+pub(crate) fn sample_mix_jobs(
     seed: u64,
     tenants: &[TenantProfile],
     requests: u32,

@@ -220,8 +220,7 @@ impl ConfigSearch {
                 .into_iter()
                 .min_by(|a, b| {
                     a.score(objective)
-                        .partial_cmp(&b.score(objective))
-                        .expect("scores are never NaN")
+                        .total_cmp(&b.score(objective))
                         .then_with(|| a.agent.cmp(&b.agent))
                 })
                 .ok_or_else(|| {

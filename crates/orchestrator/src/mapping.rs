@@ -90,8 +90,7 @@ pub fn select_config(
     }
     candidates.sort_by(|a, b| {
         a.score(objective)
-            .partial_cmp(&b.score(objective))
-            .expect("scores are never NaN")
+            .total_cmp(&b.score(objective))
             .then_with(|| a.agent.cmp(&b.agent))
             .then_with(|| a.target.short_label().cmp(&b.target.short_label()))
     });

@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use murakkab_sim::{SimDuration, SimRng, SimTime};
+use murakkab_sim::{SimDuration, SimError, SimRng, SimTime};
 
 use crate::replay::ArrivalLog;
 
@@ -92,6 +92,57 @@ impl ArrivalProcess {
                 mean_off_s,
             },
             replay @ ArrivalProcess::Replay { .. } => replay,
+        }
+    }
+
+    /// Validates the process parameters: the same rules
+    /// [`ArrivalProcess::generate`] asserts, surfaced as a typed error so
+    /// preflight analysis can reject a bad process without running it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidInput`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let positive = |name: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(SimError::InvalidInput(format!(
+                    "{name} must be finite and positive, got {v}"
+                )))
+            }
+        };
+        match self {
+            ArrivalProcess::Poisson { rate_per_s } => positive("poisson rate", *rate_per_s),
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_factor,
+                period_s,
+            } => {
+                positive("diurnal base rate", *base_rate_per_s)?;
+                if !peak_factor.is_finite() || *peak_factor < 1.0 {
+                    return Err(SimError::InvalidInput(format!(
+                        "diurnal peak factor must be finite and >= 1, got {peak_factor}"
+                    )));
+                }
+                positive("diurnal period", *period_s)
+            }
+            ArrivalProcess::Mmpp {
+                on_rate_per_s,
+                off_rate_per_s,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                positive("mmpp on-rate", *on_rate_per_s)?;
+                if !off_rate_per_s.is_finite() || *off_rate_per_s < 0.0 {
+                    return Err(SimError::InvalidInput(format!(
+                        "mmpp off-rate must be finite and non-negative, got {off_rate_per_s}"
+                    )));
+                }
+                positive("mmpp mean on-sojourn", *mean_on_s)?;
+                positive("mmpp mean off-sojourn", *mean_off_s)
+            }
+            ArrivalProcess::Replay { .. } => Ok(()),
         }
     }
 

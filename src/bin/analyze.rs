@@ -1,0 +1,14 @@
+//! Static preflight linter for scenario files.
+//!
+//! ```text
+//! cargo run --bin analyze -- [--json] [--deny-warnings] scenarios/*.json
+//! ```
+//!
+//! Analyzes each scenario without executing it and prints the typed
+//! findings (`ANZ0xx` errors, `ANZ1xx` warnings, `ANZ2xx` infos — see
+//! the README's diagnostic-code table). Exits 0 when clean, 1 on
+//! findings at or above the failure threshold, 2 on usage errors.
+
+fn main() {
+    std::process::exit(murakkab_analyze::run_cli(std::env::args().skip(1)));
+}
