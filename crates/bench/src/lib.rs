@@ -532,6 +532,107 @@ pub fn disagg_main(seed: u64, quick: bool) {
     println!("\n(wrote {})", path.display());
 }
 
+/// Nodes in the what-if bench's fixed cluster — enough that the
+/// 4-shard counterfactual keeps two nodes per cell (a cell needs room
+/// for its own serving stack next to its tool pools), small enough
+/// that the shard-sweep rate overloads the single-cell baseline.
+pub const WHATIF_NODES: usize = 8;
+
+/// The what-if bench's capture scenario: an overloaded Poisson stream
+/// (the shard sweep's [`FLEET_SHARD_RATE`]) on the fixed
+/// [`WHATIF_NODES`]-node cluster, captured with per-request records
+/// (colocated, one cell — the baseline every counterfactual diffs
+/// against).
+pub fn whatif_capture_scenario(seed: u64, horizon_s: f64) -> Scenario {
+    Scenario::open_loop(
+        "overload-capture",
+        ArrivalProcess::Poisson {
+            rate_per_s: FLEET_SHARD_RATE,
+        },
+        horizon_s,
+    )
+    .seed(seed)
+    .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), WHATIF_NODES)
+    .max_inflight(24)
+    .admission(shard_sweep_admission())
+}
+
+/// The what-if bench's counterfactual set: the serving-backend swap and
+/// the shard-count swap, each replaying the captured traffic.
+pub fn whatif_counterfactuals() -> Vec<murakkab_trace::WhatIf> {
+    vec![
+        murakkab_trace::WhatIf::named("disaggregated").serving(ServingMode::Disaggregated),
+        murakkab_trace::WhatIf::named("shards4").shards(4),
+    ]
+}
+
+/// The what-if bench driver: captures one overloaded run as a
+/// [`murakkab_trace::RunTrace`], verifies bit-identical replay, then
+/// replays the captured traffic against the disaggregated backend and a
+/// 4-cell fleet, printing each [`murakkab_trace::TraceDiff`] and
+/// writing `BENCH_whatif.json`. `quick` shortens the horizon so CI
+/// exercises the full path on every push.
+///
+/// # Panics
+///
+/// Panics if a run or the results file fails — bench binaries want loud
+/// failures.
+pub fn whatif_main(seed: u64, quick: bool) {
+    let horizon_s = if quick { 240.0 } else { DISAGG_HORIZON_S };
+    println!(
+        "What-if sweep (seed {seed}{}): {FLEET_SHARD_RATE} req/s captured over {horizon_s}s \
+         on {WHATIF_NODES} nodes, then replayed counterfactually\n",
+        if quick { ", quick" } else { "" },
+    );
+
+    let scenario = whatif_capture_scenario(seed, horizon_s);
+    let trace = murakkab_trace::RunTrace::capture(&scenario).expect("capture runs");
+    println!("captured: {}", trace.summary_line());
+    trace.verify_replay().expect("replay is bit-identical");
+    println!("replay verified: digest matches\n");
+
+    let mut diffs = Vec::new();
+    for mods in whatif_counterfactuals() {
+        let report = murakkab_trace::whatif(&trace, &mods).expect("counterfactual runs");
+        println!("{}", report.diff.render_human());
+        println!("{}\n", report.diff.summary_line());
+        diffs.push(report.diff);
+    }
+
+    use serde::Serialize;
+    #[derive(Serialize)]
+    struct WhatIfBench {
+        seed: u64,
+        horizon_s: f64,
+        captured_requests: u64,
+        captured_steals: u64,
+        trace_digest: u64,
+        baseline: FleetReport,
+        counterfactuals: Vec<murakkab_trace::TraceDiff>,
+    }
+    let baseline = trace
+        .baseline
+        .as_ref()
+        .expect("captured traces embed their report")
+        .open_loop()
+        .expect("open-loop capture")
+        .clone();
+    let path = write_bench_json(
+        "whatif",
+        &WhatIfBench {
+            seed,
+            horizon_s,
+            captured_requests: trace.requests.len() as u64,
+            captured_steals: trace.steals.len() as u64,
+            trace_digest: trace.digest.expect("captured traces carry digests"),
+            baseline,
+            counterfactuals: diffs,
+        },
+    )
+    .expect("results file writes");
+    println!("(wrote {})", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

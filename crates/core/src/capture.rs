@@ -1,0 +1,161 @@
+//! Per-request run capture: the raw event records behind the trace
+//! subsystem.
+//!
+//! An open-loop serve run is more than its [`FleetReport`](crate::fleet::FleetReport)
+//! aggregate: every request arrives, is routed to a cell, passes (or
+//! fails) the admission gates, produces its first token, completes —
+//! and queued work occasionally migrates between cells. [`RunCapture`]
+//! records those per-request events while
+//! [`Session::execute_captured`](crate::scenario::Session::execute_captured)
+//! runs the scenario, so a *run* becomes a durable, transformable
+//! artifact instead of a transient aggregate. The `murakkab_trace`
+//! crate packages a capture together with its scenario and report into
+//! a versioned [`RunTrace`], with bit-identical replay, counterfactual
+//! what-if replay and trace transforms on top.
+//!
+//! Capture is observation only: recording is gated behind an
+//! `Option<&mut RunCapture>` in the serve loop and touches no
+//! scheduling state, so a captured run and an uncaptured run of the
+//! same scenario produce bit-identical reports.
+//!
+//! [`RunTrace`]: https://docs.rs/murakkab_trace
+
+use serde::{Deserialize, Serialize};
+
+use murakkab_traffic::{AdmissionDecision, Archetype};
+
+/// What happened to one captured request after it arrived.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// The admission front door's verdict at the arrival instant.
+    pub verdict: AdmissionDecision,
+    /// Engine cell the router assigned the request to (admitted
+    /// requests only).
+    pub cell: Option<usize>,
+    /// Simulated instant the request's first token-producing LLM task
+    /// delivered its first token, seconds (absolute; `None` when the
+    /// workflow ran no token work or never completed any).
+    pub first_token_s: Option<f64>,
+    /// Simulated instant the workflow completed, seconds (absolute;
+    /// `None` for rejected requests).
+    pub completed_s: Option<f64>,
+    /// Whether the end-to-end latency met the request's SLO-class
+    /// deadline (`None` until completion).
+    pub slo_met: Option<bool>,
+}
+
+/// One request in a captured run: the arrival-side facts every replay
+/// preserves, plus the outcome observed during this run (absent on
+/// transformed or synthesized traces, which have not executed yet).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Stream-unique id (arrival order; `id == index` in the capture).
+    pub id: u64,
+    /// Arrival instant, seconds.
+    pub at_s: f64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Drawn workload archetype.
+    pub archetype: Archetype,
+    /// SLO-class name the request was admitted under.
+    pub class: String,
+    /// What this run did with the request (`None` on traces that were
+    /// transformed or synthesized but not yet executed).
+    pub outcome: Option<RequestOutcome>,
+}
+
+/// One queued workflow migrated between cells by the periodic
+/// work-stealing pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StealRecord {
+    /// Simulated instant of the migration pass, seconds.
+    pub at_s: f64,
+    /// The moved request.
+    pub request_id: u64,
+    /// Cell the workflow was queued on (the hot cell).
+    pub from_cell: usize,
+    /// Cell it was moved to (the cold cell).
+    pub to_cell: usize,
+}
+
+/// Everything captured from one open-loop serve run: a record per
+/// arrival (in arrival order) and a record per inter-cell steal.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunCapture {
+    /// Per-request records, in arrival (= id) order.
+    pub requests: Vec<RequestRecord>,
+    /// Inter-cell work-stealing events, in event order.
+    pub steals: Vec<StealRecord>,
+}
+
+impl RunCapture {
+    /// Requests whose verdict was [`AdmissionDecision::Admitted`].
+    pub fn admitted(&self) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| {
+                r.outcome
+                    .as_ref()
+                    .is_some_and(|o| o.verdict == AdmissionDecision::Admitted)
+            })
+            .count() as u64
+    }
+
+    /// Requests with a recorded completion instant.
+    pub fn completed(&self) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| r.outcome.as_ref().is_some_and(|o| o.completed_s.is_some()))
+            .count() as u64
+    }
+
+    /// Requests rejected by any admission gate.
+    pub fn rejected(&self) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| {
+                r.outcome
+                    .as_ref()
+                    .is_some_and(|o| o.verdict != AdmissionDecision::Admitted)
+            })
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_the_capture() {
+        let outcome = |verdict, completed_s| {
+            Some(RequestOutcome {
+                verdict,
+                cell: None,
+                first_token_s: None,
+                completed_s,
+                slo_met: completed_s.map(|_| true),
+            })
+        };
+        let record = |id, o| RequestRecord {
+            id,
+            at_s: id as f64,
+            tenant: "t".into(),
+            archetype: Archetype::DocQa,
+            class: "standard".into(),
+            outcome: o,
+        };
+        let cap = RunCapture {
+            requests: vec![
+                record(0, outcome(AdmissionDecision::Admitted, Some(5.0))),
+                record(1, outcome(AdmissionDecision::RejectedRate, None)),
+                record(2, outcome(AdmissionDecision::Admitted, Some(9.0))),
+                record(3, None),
+            ],
+            steals: Vec::new(),
+        };
+        assert_eq!(cap.admitted(), 2);
+        assert_eq!(cap.completed(), 2);
+        assert_eq!(cap.rejected(), 1);
+    }
+}

@@ -235,9 +235,10 @@ pub struct Engine {
     started_at: BTreeMap<TaskId, SimTime>,
     alloc_meta: BTreeMap<AllocationId, (SimTime, HardwareTarget)>,
     library_snapshot: BTreeMap<String, murakkab_agents::AgentSpec>,
-    /// `(task, ttft seconds, tpot seconds)` of finished endpoint tasks,
-    /// drained by the fleet driver for per-class token-latency stats.
-    llm_metrics: Vec<(TaskId, f64, f64)>,
+    /// `(task, ttft seconds, tpot seconds, absolute first-token
+    /// instant seconds)` of finished endpoint tasks, drained by the
+    /// fleet driver for per-class token-latency stats and capture.
+    llm_metrics: Vec<(TaskId, f64, f64, f64)>,
     trace: TraceLog,
     energy_ledger: f64,
     cost_ledger: f64,
@@ -552,8 +553,12 @@ impl Engine {
                         .remove(&c.id)
                         .expect("completion matches a pending task");
                     self.started_at.insert(task, c.started);
-                    self.llm_metrics
-                        .push((task, c.ttft().as_secs_f64(), c.tpot().as_secs_f64()));
+                    self.llm_metrics.push((
+                        task,
+                        c.ttft().as_secs_f64(),
+                        c.tpot().as_secs_f64(),
+                        c.first_token.as_secs_f64(),
+                    ));
                     self.finish_task(task, now)?;
                 }
                 if let Some(t) = outcome.next_step {
@@ -675,9 +680,10 @@ impl Engine {
             .fold(0.0, f64::max)
     }
 
-    /// Drains the accumulated `(task, ttft seconds, tpot seconds)`
-    /// token-latency samples of finished endpoint tasks.
-    pub fn take_llm_metrics(&mut self) -> Vec<(TaskId, f64, f64)> {
+    /// Drains the accumulated `(task, ttft seconds, tpot seconds,
+    /// absolute first-token instant seconds)` token-latency samples of
+    /// finished endpoint tasks.
+    pub fn take_llm_metrics(&mut self) -> Vec<(TaskId, f64, f64, f64)> {
         std::mem::take(&mut self.llm_metrics)
     }
 

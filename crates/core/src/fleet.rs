@@ -44,6 +44,7 @@ use murakkab_traffic::{
 };
 use murakkab_workflow::{Constraint, Job, TaskGraph};
 
+use crate::capture::{RequestOutcome, RequestRecord, RunCapture, StealRecord};
 use crate::engine::{Engine, RouteSpec};
 use crate::runtime::{RoutePlan, RunOptions, Runtime};
 use crate::workloads;
@@ -664,6 +665,20 @@ impl Runtime {
     /// The open-loop pipeline behind [`Runtime::serve`] and the
     /// `Session` open-loop mode.
     pub(crate) fn serve_inner(&self, opts: FleetOptions) -> Result<FleetReport, SimError> {
+        self.serve_captured(opts, None)
+    }
+
+    /// [`serve_inner`](Self::serve_inner) with optional per-request
+    /// capture: when `capture` is `Some`, every arrival's admission
+    /// verdict, cell assignment, first-token/completion instants and
+    /// every inter-cell steal are recorded into it. Recording is
+    /// observation only — a captured run produces a report bit-identical
+    /// to the uncaptured run of the same options.
+    pub(crate) fn serve_captured(
+        &self,
+        opts: FleetOptions,
+        mut capture: Option<&mut RunCapture>,
+    ) -> Result<FleetReport, SimError> {
         opts.validate()?;
         let shards = opts.shards;
         let horizon = SimDuration::from_secs_f64(opts.horizon_s);
@@ -785,6 +800,23 @@ impl Runtime {
                 est_service_s,
             });
         }
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.requests.clear();
+            cap.steals.clear();
+            cap.requests.reserve(planned.len());
+            // Record index == planned index == request id: the arrival
+            // stream is generated in id order.
+            for p in &planned {
+                cap.requests.push(RequestRecord {
+                    id: p.req.id,
+                    at_s: p.req.at.as_secs_f64(),
+                    tenant: p.req.tenant.clone(),
+                    archetype: p.req.archetype,
+                    class: p.req.class.name.clone(),
+                    outcome: None,
+                });
+            }
+        }
 
         // 5. The serve loop: every cell's event queue and the arrival
         //    stream, merged deterministically (earliest first; engine
@@ -818,6 +850,9 @@ impl Runtime {
         // index is part of the key: every cell engine has its own task-id
         // space, so bare ids collide across cells.
         let mut task_class: BTreeMap<(usize, murakkab_workflow::TaskId), String> = BTreeMap::new();
+        // (cell, task) → planned index, maintained only while capturing
+        // so endpoint first-token instants attach to their request.
+        let mut task_req: BTreeMap<(usize, murakkab_workflow::TaskId), usize> = BTreeMap::new();
 
         let mut now = SimTime::ZERO;
         let mut arr_idx = 0usize;
@@ -836,6 +871,11 @@ impl Runtime {
                     let task_ids: Vec<murakkab_workflow::TaskId> = map.into_values().collect();
                     for &tid in &task_ids {
                         task_class.insert((cell_idx, tid), p.req.class.name.clone());
+                    }
+                    if capture.is_some() {
+                        for &tid in &task_ids {
+                            task_req.insert((cell_idx, tid), idx);
+                        }
                     }
                     cell.inflight.push(InflightJob {
                         planned_idx: idx,
@@ -890,7 +930,17 @@ impl Runtime {
                         cells[cell_idx].backlog(),
                         cells[cell_idx].queue.len(),
                     );
-                    if decision == murakkab_traffic::AdmissionDecision::Admitted {
+                    let admitted = decision == murakkab_traffic::AdmissionDecision::Admitted;
+                    if let Some(cap) = capture.as_deref_mut() {
+                        cap.requests[arr_idx].outcome = Some(RequestOutcome {
+                            verdict: decision,
+                            cell: admitted.then_some(cell_idx),
+                            first_token_s: None,
+                            completed_s: None,
+                            slo_met: None,
+                        });
+                    }
+                    if admitted {
                         let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
                         agg.admitted += 1;
                         let cell = &mut cells[cell_idx];
@@ -911,11 +961,21 @@ impl Runtime {
             // Harvest workflow completions after the stepped cell's
             // progress.
             if let Some(i) = stepped {
-                for (tid, ttft, tpot) in cells[i].engine.take_llm_metrics() {
+                for (tid, ttft, tpot, first_abs) in cells[i].engine.take_llm_metrics() {
                     if let Some(name) = task_class.remove(&(i, tid)) {
                         let agg = classes.get_mut(&name).expect("pre-seeded");
                         agg.ttfts.push(ttft);
                         agg.tpots.push(tpot);
+                    }
+                    if let Some(cap) = capture.as_deref_mut() {
+                        if let Some(idx) = task_req.remove(&(i, tid)) {
+                            if let Some(o) = cap.requests[idx].outcome.as_mut() {
+                                // Earliest first token across the
+                                // workflow's endpoint tasks.
+                                o.first_token_s =
+                                    Some(o.first_token_s.map_or(first_abs, |v| v.min(first_abs)));
+                            }
+                        }
                     }
                 }
                 let Cell {
@@ -935,6 +995,7 @@ impl Runtime {
                             // so the map stays bounded on long runs.
                             for t in &job.task_ids {
                                 task_class.remove(&(i, *t));
+                                task_req.remove(&(i, *t));
                             }
                             let p = &planned[job.planned_idx];
                             let latency = now.saturating_duration_since(p.req.at).as_secs_f64();
@@ -945,6 +1006,12 @@ impl Runtime {
                             }
                             agg.latencies.push(latency);
                             *cell_completed += 1;
+                            if let Some(cap) = capture.as_deref_mut() {
+                                if let Some(o) = cap.requests[job.planned_idx].outcome.as_mut() {
+                                    o.completed_s = Some(now.as_secs_f64());
+                                    o.slo_met = Some(p.req.class.met_by(latency));
+                                }
+                            }
                         } else {
                             k += 1;
                         }
@@ -1031,6 +1098,14 @@ impl Runtime {
                         cells[cold].stolen_in += 1;
                         cells[cold].note_backlog();
                         steals += 1;
+                        if let Some(cap) = capture.as_deref_mut() {
+                            cap.steals.push(StealRecord {
+                                at_s: now.as_secs_f64(),
+                                request_id: planned[idx].req.id,
+                                from_cell: hot,
+                                to_cell: cold,
+                            });
+                        }
                         moved = true;
                         break;
                     }

@@ -50,6 +50,7 @@
 pub mod ablation;
 pub mod analyze;
 pub mod baseline;
+pub mod capture;
 pub mod engine;
 pub mod fleet;
 pub mod report;
@@ -59,6 +60,7 @@ pub mod workloads;
 
 pub use analyze::{analyze, AnalysisReport, Diagnostic, Severity};
 pub use baseline::run_baseline_video_understanding;
+pub use capture::{RequestOutcome, RequestRecord, RunCapture, StealRecord};
 pub use fleet::{CellPolicy, FleetCellReport, FleetOptions, FleetReport};
 pub use murakkab_llmsim::{BackendSpec, ServingBackend, ServingMode};
 pub use report::RunReport;

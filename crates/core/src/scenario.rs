@@ -875,6 +875,43 @@ impl Session {
     ///
     /// Propagates validation, planning, placement and execution errors.
     pub fn execute(&self, scenario: &Scenario) -> Result<Report, SimError> {
+        self.execute_inner(scenario, None)
+    }
+
+    /// Executes an open-loop scenario while capturing per-request
+    /// events (arrival, admission verdict, cell assignment,
+    /// first-token/completion instants, inter-cell steals) into a
+    /// [`RunCapture`](crate::capture::RunCapture).
+    ///
+    /// Capture is observation only: the returned [`Report`] is
+    /// bit-identical to [`execute`](Self::execute) on the same
+    /// scenario. The `murakkab_trace` crate packages the capture into a
+    /// versioned, replayable `RunTrace`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidInput`] when the scenario is closed-loop
+    /// (per-request capture only makes sense for an arrival stream),
+    /// plus everything [`execute`](Self::execute) can return.
+    pub fn execute_captured(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(Report, crate::capture::RunCapture), SimError> {
+        if !matches!(scenario.mode, ExecutionMode::OpenLoop(_)) {
+            return Err(SimError::InvalidInput(
+                "per-request capture needs an open-loop scenario".into(),
+            ));
+        }
+        let mut capture = crate::capture::RunCapture::default();
+        let report = self.execute_inner(scenario, Some(&mut capture))?;
+        Ok((report, capture))
+    }
+
+    fn execute_inner(
+        &self,
+        scenario: &Scenario,
+        capture: Option<&mut crate::capture::RunCapture>,
+    ) -> Result<Report, SimError> {
         scenario.validate()?;
         if self.runtime.seed() != scenario.seed
             || self.runtime.shape() != &scenario.cluster.shape
@@ -925,7 +962,7 @@ impl Session {
                 };
                 let report = self
                     .runtime
-                    .serve_inner(scenario.fleet_options(spec, process, tenants))?;
+                    .serve_captured(scenario.fleet_options(spec, process, tenants), capture)?;
                 Ok(Report::from_fleet(report))
             }
         }

@@ -1,0 +1,383 @@
+//! The `trace` CLI: capture, replay, what-if and transform runs from
+//! the command line.
+//!
+//! ```text
+//! trace capture  SCENARIO.json -o TRACE.json
+//! trace replay   TRACE.json [--no-verify] [--json]
+//! trace whatif   TRACE.json [--serving MODE] [--shards N] [--router P]
+//!                [--nodes N] [--max-inflight N] [--label L] [--json]
+//! trace transform TRACE.json (--time-warp F | --load-scale F |
+//!                 --remix NAME=W[,NAME=W...]) -o OUT.json
+//! trace synth    [--requests N] [--horizon-s S] [--peak F]
+//!                [--period-s S] [--seed N] [--label L] -o OUT.json
+//! ```
+//!
+//! Exit codes follow the workspace convention: 0 on success, 1 on a
+//! failed operation (replay mismatch, execution error), 2 on usage
+//! errors.
+
+use murakkab::{CellPolicy, Scenario, ServingMode};
+use murakkab_sim::SimError;
+
+use crate::{synthesize, whatif, RunTrace, SynthSpec, TraceTransform, WhatIf};
+
+const USAGE: &str = "usage: trace <capture|replay|whatif|transform|synth> ...
+  capture   SCENARIO.json -o TRACE.json
+            execute an open-loop scenario with per-request capture
+  replay    TRACE.json [--no-verify] [--json]
+            re-execute the trace; verifies the recorded digest by default
+  whatif    TRACE.json [--serving colocated|disaggregated] [--shards N]
+            [--router hashed|least-loaded|slo-affine] [--nodes N]
+            [--max-inflight N] [--label L] [--json] [-o DIFF.json]
+            replay the captured traffic against a modified scenario
+  transform TRACE.json (--time-warp F | --load-scale F |
+            --remix NAME=W[,NAME=W...]) -o OUT.json
+            rewrite the trace's arrival stream declaratively
+  synth     [--requests N] [--horizon-s S] [--peak F] [--period-s S]
+            [--seed N] [--label L] -o OUT.json
+            generate a synthetic diurnal trace";
+
+/// Runs the `trace` CLI against `args` (without the program name) and
+/// returns the process exit code.
+pub fn run_cli(args: impl IntoIterator<Item = String>) -> i32 {
+    let mut args = args.into_iter().peekable();
+    let Some(cmd) = args.next() else {
+        eprintln!("no subcommand given\n{USAGE}");
+        return 2;
+    };
+    let rest: Vec<String> = args.collect();
+    let outcome = match cmd.as_str() {
+        "capture" => cmd_capture(&rest),
+        "replay" => cmd_replay(&rest),
+        "whatif" => cmd_whatif(&rest),
+        "transform" => cmd_transform(&rest),
+        "synth" => cmd_synth(&rest),
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            return 0;
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            return 2;
+        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("trace {cmd}: {e}");
+            1
+        }
+    }
+}
+
+/// A parsed flag value, or the usage-error exit path.
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, SimError> {
+    let v = value.ok_or_else(|| SimError::InvalidInput(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| SimError::InvalidInput(format!("{flag} value {v:?} is not valid")))
+}
+
+fn usage_err(msg: &str) -> i32 {
+    eprintln!("{msg}\n{USAGE}");
+    2
+}
+
+fn cmd_capture(args: &[String]) -> Result<i32, SimError> {
+    let mut input: Option<&String> = None;
+    let mut output: Option<&String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                output = args.get(i + 1);
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                return Ok(usage_err(&format!("unknown capture flag `{flag}`")));
+            }
+            _ => {
+                input = Some(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let (Some(input), Some(output)) = (input, output) else {
+        return Ok(usage_err("capture needs SCENARIO.json and -o TRACE.json"));
+    };
+    let scenario = Scenario::from_json_file(input)?;
+    let trace = RunTrace::capture(&scenario)?;
+    trace.write_json_file(output)?;
+    println!("{}", trace.summary_line());
+    println!("wrote {output}");
+    Ok(0)
+}
+
+fn cmd_replay(args: &[String]) -> Result<i32, SimError> {
+    let mut input: Option<&String> = None;
+    let mut verify = true;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--no-verify" => verify = false,
+            "--json" => json = true,
+            flag if flag.starts_with('-') => {
+                return Ok(usage_err(&format!("unknown replay flag `{flag}`")));
+            }
+            _ => input = Some(arg),
+        }
+    }
+    let Some(input) = input else {
+        return Ok(usage_err("replay needs a TRACE.json"));
+    };
+    let trace = RunTrace::from_json_file(input)?;
+    let report = if verify && trace.digest.is_some() {
+        trace.verify_replay()?
+    } else {
+        trace.replay()?
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report)
+                .map_err(|e| SimError::InvalidInput(format!("report JSON: {e}")))?
+        );
+    } else {
+        println!("{}", report.summary_line());
+        println!("digest {:#018x}", report.digest());
+        if verify && trace.digest.is_some() {
+            println!("replay verified: digest matches the trace");
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_whatif(args: &[String]) -> Result<i32, SimError> {
+    let mut input: Option<&String> = None;
+    let mut output: Option<&String> = None;
+    let mut json = false;
+    let mut mods = WhatIf::named("whatif");
+    let mut labeled = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--serving" => {
+                mods.serving = Some(match args.get(i + 1).map(String::as_str) {
+                    Some("colocated") => ServingMode::Colocated,
+                    Some("disaggregated") => ServingMode::Disaggregated,
+                    other => {
+                        return Ok(usage_err(&format!(
+                            "--serving wants colocated|disaggregated, got {other:?}"
+                        )));
+                    }
+                });
+                i += 2;
+            }
+            "--router" => {
+                mods.router = Some(match args.get(i + 1).map(String::as_str) {
+                    Some("hashed") => CellPolicy::Hashed,
+                    Some("least-loaded") => CellPolicy::LeastLoaded,
+                    Some("slo-affine") => CellPolicy::SloAffine,
+                    other => {
+                        return Ok(usage_err(&format!(
+                            "--router wants hashed|least-loaded|slo-affine, got {other:?}"
+                        )));
+                    }
+                });
+                i += 2;
+            }
+            "--shards" => {
+                mods.shards = Some(parse(flag, args.get(i + 1))?);
+                i += 2;
+            }
+            "--nodes" => {
+                mods.nodes = Some(parse(flag, args.get(i + 1))?);
+                i += 2;
+            }
+            "--max-inflight" => {
+                mods.max_inflight = Some(parse(flag, args.get(i + 1))?);
+                i += 2;
+            }
+            "--label" => {
+                mods.label = parse(flag, args.get(i + 1))?;
+                labeled = true;
+                i += 2;
+            }
+            "-o" | "--output" => {
+                output = args.get(i + 1);
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            f if f.starts_with('-') => {
+                return Ok(usage_err(&format!("unknown whatif flag `{f}`")));
+            }
+            _ => {
+                input = Some(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let Some(input) = input else {
+        return Ok(usage_err("whatif needs a TRACE.json"));
+    };
+    if !labeled {
+        // A readable default label from the knobs actually swapped.
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(m) = mods.serving {
+            parts.push(format!("{m:?}").to_lowercase());
+        }
+        if let Some(n) = mods.shards {
+            parts.push(format!("shards{n}"));
+        }
+        if let Some(p) = mods.router {
+            parts.push(format!("{p:?}").to_lowercase());
+        }
+        if let Some(n) = mods.nodes {
+            parts.push(format!("nodes{n}"));
+        }
+        if let Some(n) = mods.max_inflight {
+            parts.push(format!("inflight{n}"));
+        }
+        if !parts.is_empty() {
+            mods.label = parts.join("-");
+        }
+    }
+    let trace = RunTrace::from_json_file(input)?;
+    let report = whatif(&trace, &mods)?;
+    if let Some(output) = output {
+        let text = serde_json::to_string_pretty(&report.diff)
+            .map_err(|e| SimError::InvalidInput(format!("diff JSON: {e}")))?;
+        std::fs::write(output, text)
+            .map_err(|e| SimError::InvalidInput(format!("writing {output}: {e}")))?;
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.diff)
+                .map_err(|e| SimError::InvalidInput(format!("diff JSON: {e}")))?
+        );
+    } else {
+        println!("{}", report.diff.render_human());
+        println!("{}", report.diff.summary_line());
+    }
+    Ok(0)
+}
+
+fn cmd_transform(args: &[String]) -> Result<i32, SimError> {
+    let mut input: Option<&String> = None;
+    let mut output: Option<&String> = None;
+    let mut transform: Option<TraceTransform> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--time-warp" => {
+                transform = Some(TraceTransform::TimeWarp {
+                    factor: parse(flag, args.get(i + 1))?,
+                });
+                i += 2;
+            }
+            "--load-scale" => {
+                transform = Some(TraceTransform::LoadScale {
+                    factor: parse(flag, args.get(i + 1))?,
+                });
+                i += 2;
+            }
+            "--remix" => {
+                let spec: String = parse(flag, args.get(i + 1))?;
+                let mut weights = Vec::new();
+                for pair in spec.split(',') {
+                    let Some((name, w)) = pair.split_once('=') else {
+                        return Ok(usage_err(&format!(
+                            "--remix wants NAME=W[,NAME=W...], got {pair:?}"
+                        )));
+                    };
+                    weights.push((
+                        name.to_string(),
+                        parse::<f64>("--remix weight", Some(&w.to_string()))?,
+                    ));
+                }
+                transform = Some(TraceTransform::Remix { weights });
+                i += 2;
+            }
+            "-o" | "--output" => {
+                output = args.get(i + 1);
+                i += 2;
+            }
+            f if f.starts_with('-') => {
+                return Ok(usage_err(&format!("unknown transform flag `{f}`")));
+            }
+            _ => {
+                input = Some(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let (Some(input), Some(output), Some(transform)) = (input, output, transform) else {
+        return Ok(usage_err(
+            "transform needs TRACE.json, one transform flag and -o OUT.json",
+        ));
+    };
+    let trace = RunTrace::from_json_file(input)?;
+    let transformed = transform.apply(&trace)?;
+    transformed.write_json_file(output)?;
+    println!("{}", transformed.summary_line());
+    println!("wrote {output}");
+    Ok(0)
+}
+
+fn cmd_synth(args: &[String]) -> Result<i32, SimError> {
+    let mut output: Option<&String> = None;
+    let mut spec = SynthSpec::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--requests" => {
+                spec.requests = parse(flag, args.get(i + 1))?;
+                i += 2;
+            }
+            "--horizon-s" => {
+                spec.horizon_s = parse(flag, args.get(i + 1))?;
+                i += 2;
+            }
+            "--peak" => {
+                spec.peak_factor = parse(flag, args.get(i + 1))?;
+                i += 2;
+            }
+            "--period-s" => {
+                spec.period_s = parse(flag, args.get(i + 1))?;
+                i += 2;
+            }
+            "--seed" => {
+                spec.seed = parse(flag, args.get(i + 1))?;
+                i += 2;
+            }
+            "--label" => {
+                spec.label = parse(flag, args.get(i + 1))?;
+                i += 2;
+            }
+            "-o" | "--output" => {
+                output = args.get(i + 1);
+                i += 2;
+            }
+            f if f.starts_with('-') => {
+                return Ok(usage_err(&format!("unknown synth flag `{f}`")));
+            }
+            _ => {
+                return Ok(usage_err(&format!("unexpected synth argument `{flag}`")));
+            }
+        }
+    }
+    let Some(output) = output else {
+        return Ok(usage_err("synth needs -o OUT.json"));
+    };
+    let trace = synthesize(&spec)?;
+    trace.write_json_file(output)?;
+    println!("{}", trace.summary_line());
+    println!("wrote {output}");
+    Ok(0)
+}

@@ -1,0 +1,331 @@
+//! Typed structural diffs between two open-loop reports.
+//!
+//! A counterfactual replay answers "same traffic, different system —
+//! what changed?". [`TraceDiff`] is that answer as data: every
+//! fleet-level and per-class figure of merit paired up as
+//! `before`/`after`/`delta`, so benches and the CLI render or
+//! serialize the comparison without recomputing anything.
+
+use serde::{Deserialize, Serialize};
+
+use murakkab::fleet::{FleetClassReport, FleetReport};
+use murakkab::Report;
+use murakkab_sim::SimError;
+
+/// A continuous metric before and after a counterfactual change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Delta {
+    /// Baseline value.
+    pub before: f64,
+    /// Counterfactual value.
+    pub after: f64,
+    /// `after - before`.
+    pub delta: f64,
+}
+
+impl Delta {
+    fn between(before: f64, after: f64) -> Self {
+        Delta {
+            before,
+            after,
+            delta: after - before,
+        }
+    }
+
+    /// `after / before` (1 when both are zero, infinite when only the
+    /// baseline is zero).
+    pub fn ratio(&self) -> f64 {
+        if self.before == 0.0 {
+            if self.after == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.after / self.before
+        }
+    }
+}
+
+/// A counter before and after a counterfactual change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountDelta {
+    /// Baseline count.
+    pub before: u64,
+    /// Counterfactual count.
+    pub after: u64,
+    /// `after - before` (signed).
+    pub delta: i64,
+}
+
+impl CountDelta {
+    fn between(before: u64, after: u64) -> Self {
+        CountDelta {
+            before,
+            after,
+            delta: after as i64 - before as i64,
+        }
+    }
+}
+
+/// Per-SLO-class deltas between a baseline and a counterfactual run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDiff {
+    /// Class name.
+    pub class: String,
+    /// Requests that arrived under this class.
+    pub offered: CountDelta,
+    /// Requests admitted.
+    pub admitted: CountDelta,
+    /// Requests completed.
+    pub completed: CountDelta,
+    /// Completions within the deadline.
+    pub slo_met: CountDelta,
+    /// `slo_met / admitted` attainment.
+    pub attainment: Delta,
+    /// Deadline-meeting completions per minute of horizon.
+    pub goodput_per_min: Delta,
+    /// Median end-to-end latency, seconds.
+    pub p50_s: Delta,
+    /// 95th-percentile latency.
+    pub p95_s: Delta,
+    /// 99th-percentile latency.
+    pub p99_s: Delta,
+    /// Median time-to-first-token, seconds.
+    pub ttft_p50_s: Delta,
+    /// 95th-percentile TTFT.
+    pub ttft_p95_s: Delta,
+    /// 99th-percentile TTFT.
+    pub ttft_p99_s: Delta,
+    /// Median time-per-output-token, seconds.
+    pub tpot_p50_s: Delta,
+    /// 95th-percentile TPOT.
+    pub tpot_p95_s: Delta,
+}
+
+impl ClassDiff {
+    fn between(
+        name: &str,
+        before: Option<&FleetClassReport>,
+        after: Option<&FleetClassReport>,
+        before_horizon_s: f64,
+        after_horizon_s: f64,
+    ) -> Self {
+        let zero = FleetClassReport {
+            class: name.to_string(),
+            priority: 0,
+            deadline_s: 0.0,
+            offered: 0,
+            admitted: 0,
+            completed: 0,
+            slo_met: 0,
+            attainment: 0.0,
+            p50_s: 0.0,
+            p95_s: 0.0,
+            p99_s: 0.0,
+            mean_s: 0.0,
+            max_s: 0.0,
+            ttft_p50_s: 0.0,
+            ttft_p95_s: 0.0,
+            ttft_p99_s: 0.0,
+            tpot_p50_s: 0.0,
+            tpot_p95_s: 0.0,
+        };
+        let b = before.unwrap_or(&zero);
+        let a = after.unwrap_or(&zero);
+        let goodput = |slo_met: u64, horizon_s: f64| {
+            if horizon_s > 0.0 {
+                slo_met as f64 * 60.0 / horizon_s
+            } else {
+                0.0
+            }
+        };
+        ClassDiff {
+            class: name.to_string(),
+            offered: CountDelta::between(b.offered, a.offered),
+            admitted: CountDelta::between(b.admitted, a.admitted),
+            completed: CountDelta::between(b.completed, a.completed),
+            slo_met: CountDelta::between(b.slo_met, a.slo_met),
+            attainment: Delta::between(b.attainment, a.attainment),
+            goodput_per_min: Delta::between(
+                goodput(b.slo_met, before_horizon_s),
+                goodput(a.slo_met, after_horizon_s),
+            ),
+            p50_s: Delta::between(b.p50_s, a.p50_s),
+            p95_s: Delta::between(b.p95_s, a.p95_s),
+            p99_s: Delta::between(b.p99_s, a.p99_s),
+            ttft_p50_s: Delta::between(b.ttft_p50_s, a.ttft_p50_s),
+            ttft_p95_s: Delta::between(b.ttft_p95_s, a.ttft_p95_s),
+            ttft_p99_s: Delta::between(b.ttft_p99_s, a.ttft_p99_s),
+            tpot_p50_s: Delta::between(b.tpot_p50_s, a.tpot_p50_s),
+            tpot_p95_s: Delta::between(b.tpot_p95_s, a.tpot_p95_s),
+        }
+    }
+}
+
+/// The full typed diff between a baseline run and a counterfactual
+/// run over the same arrival stream: fleet-level counters and
+/// figures of merit plus a [`ClassDiff`] per SLO class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDiff {
+    /// Baseline report label.
+    pub baseline_label: String,
+    /// Counterfactual report label.
+    pub variant_label: String,
+    /// Baseline [`Report::digest`].
+    pub baseline_digest: u64,
+    /// Counterfactual [`Report::digest`].
+    pub variant_digest: u64,
+    /// Requests that arrived.
+    pub offered: CountDelta,
+    /// Requests admitted.
+    pub admitted: CountDelta,
+    /// Workflows completed.
+    pub completed: CountDelta,
+    /// Completions within their class deadline.
+    pub slo_met: CountDelta,
+    /// Rejections across all admission gates.
+    pub rejected: CountDelta,
+    /// Queued workflows moved between cells by the migration pass.
+    pub steals: CountDelta,
+    /// `slo_met / admitted` attainment.
+    pub slo_attainment: Delta,
+    /// Deadline-meeting workflows per minute of horizon.
+    pub goodput_per_min: Delta,
+    /// Completed workflows per minute of horizon.
+    pub throughput_per_min: Delta,
+    /// Mean cluster GPU utilization, percent.
+    pub gpu_util_avg_pct: Delta,
+    /// GPU energy of held allocations, Wh.
+    pub energy_allocated_wh: Delta,
+    /// Dollar cost of held allocations plus external calls.
+    pub cost_usd: Delta,
+    /// Per-class deltas, baseline class order first.
+    pub classes: Vec<ClassDiff>,
+}
+
+impl TraceDiff {
+    /// Diffs two open-loop reports (typically the trace's baseline and
+    /// one counterfactual replay over the same arrival stream).
+    ///
+    /// Classes are matched by name; a class present on only one side
+    /// diffs against zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidInput`] when either report is closed-loop.
+    pub fn between(baseline: &Report, variant: &Report) -> Result<Self, SimError> {
+        let open = |r: &Report, which: &str| -> Result<FleetReport, SimError> {
+            r.open_loop().cloned().ok_or_else(|| {
+                SimError::InvalidInput(format!(
+                    "{which} report is closed-loop; diffs need serving runs"
+                ))
+            })
+        };
+        let b = open(baseline, "baseline")?;
+        let a = open(variant, "counterfactual")?;
+
+        let mut names: Vec<&str> = b.classes.iter().map(|c| c.class.as_str()).collect();
+        for c in &a.classes {
+            if !names.contains(&c.class.as_str()) {
+                names.push(&c.class);
+            }
+        }
+        let classes = names
+            .iter()
+            .map(|name| {
+                ClassDiff::between(
+                    name,
+                    b.classes.iter().find(|c| c.class == *name),
+                    a.classes.iter().find(|c| c.class == *name),
+                    b.horizon_s,
+                    a.horizon_s,
+                )
+            })
+            .collect();
+
+        Ok(TraceDiff {
+            baseline_label: b.label.clone(),
+            variant_label: a.label.clone(),
+            baseline_digest: baseline.digest(),
+            variant_digest: variant.digest(),
+            offered: CountDelta::between(b.offered, a.offered),
+            admitted: CountDelta::between(b.admitted, a.admitted),
+            completed: CountDelta::between(b.completed, a.completed),
+            slo_met: CountDelta::between(b.slo_met, a.slo_met),
+            rejected: CountDelta::between(b.rejections(), a.rejections()),
+            steals: CountDelta::between(b.steals, a.steals),
+            slo_attainment: Delta::between(b.slo_attainment, a.slo_attainment),
+            goodput_per_min: Delta::between(b.goodput_per_min, a.goodput_per_min),
+            throughput_per_min: Delta::between(b.throughput_per_min, a.throughput_per_min),
+            gpu_util_avg_pct: Delta::between(b.gpu_util_avg_pct, a.gpu_util_avg_pct),
+            energy_allocated_wh: Delta::between(b.energy_allocated_wh, a.energy_allocated_wh),
+            cost_usd: Delta::between(b.cost_usd, a.cost_usd),
+            classes,
+        })
+    }
+
+    /// One-line summary: the headline goodput and attainment movement.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} → {}: goodput {:.2} → {:.2}/min ({:+.2}), SLO {:.1}% → {:.1}% ({:+.1}pp)",
+            self.baseline_label,
+            self.variant_label,
+            self.goodput_per_min.before,
+            self.goodput_per_min.after,
+            self.goodput_per_min.delta,
+            100.0 * self.slo_attainment.before,
+            100.0 * self.slo_attainment.after,
+            100.0 * self.slo_attainment.delta,
+        )
+    }
+
+    /// Renders the full diff as an aligned human-readable table.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "counterfactual: {}  vs baseline: {}\n",
+            self.variant_label, self.baseline_label
+        ));
+        let count = |name: &str, c: &CountDelta| {
+            format!(
+                "  {name:<22} {:>10} → {:>10}  ({:+})\n",
+                c.before, c.after, c.delta
+            )
+        };
+        let metric = |name: &str, d: &Delta| {
+            format!(
+                "  {name:<22} {:>10.2} → {:>10.2}  ({:+.2})\n",
+                d.before, d.after, d.delta
+            )
+        };
+        out.push_str(&count("offered", &self.offered));
+        out.push_str(&count("admitted", &self.admitted));
+        out.push_str(&count("completed", &self.completed));
+        out.push_str(&count("slo met", &self.slo_met));
+        out.push_str(&count("rejected", &self.rejected));
+        out.push_str(&count("steals", &self.steals));
+        out.push_str(&metric("slo attainment", &self.slo_attainment));
+        out.push_str(&metric("goodput/min", &self.goodput_per_min));
+        out.push_str(&metric("throughput/min", &self.throughput_per_min));
+        out.push_str(&metric("gpu util %", &self.gpu_util_avg_pct));
+        out.push_str(&metric("energy Wh", &self.energy_allocated_wh));
+        out.push_str(&metric("cost $", &self.cost_usd));
+        for c in &self.classes {
+            out.push_str(&format!("  class {}:\n", c.class));
+            out.push_str(&format!(
+                "    attainment {:.1}% → {:.1}%  goodput {:.2} → {:.2}/min  \
+                 p95 {:.1}s → {:.1}s  ttft p95 {:.1}s → {:.1}s\n",
+                100.0 * c.attainment.before,
+                100.0 * c.attainment.after,
+                c.goodput_per_min.before,
+                c.goodput_per_min.after,
+                c.p95_s.before,
+                c.p95_s.after,
+                c.ttft_p95_s.before,
+                c.ttft_p95_s.after,
+            ));
+        }
+        out
+    }
+}

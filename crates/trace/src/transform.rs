@@ -1,0 +1,272 @@
+//! Declarative trace rewriting: time-warp, load scaling, tenant
+//! remixing and synthetic diurnal trace generation.
+//!
+//! Every transform produces a *new* [`RunTrace`] whose arrival stream
+//! is pinned (or, for [`synthesize`], declaratively specified) inside
+//! the embedded scenario, and whose request records are regenerated
+//! through the serve pipeline's own fork path — so the records always
+//! state exactly the stream a replay will execute. Transformed traces
+//! carry no digest, baseline or outcomes: they have not run yet.
+
+use serde::{Deserialize, Serialize};
+
+use murakkab::scenario::{ExecutionMode, WorkloadSource};
+use murakkab::{RequestRecord, Scenario};
+use murakkab_sim::{SimDuration, SimError, SimRng};
+use murakkab_traffic::{ArrivalLog, ArrivalProcess, TrafficSpec};
+
+use crate::{RunTrace, TRACE_VERSION};
+
+/// A declarative rewrite of a trace's arrival stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceTransform {
+    /// Compresses (factor > 1) or stretches (factor < 1) simulated
+    /// time: every arrival instant and the horizon divide by `factor`.
+    /// Ordering and count are preserved; offered *rate* scales by
+    /// `factor`.
+    TimeWarp {
+        /// Speed-up factor (finite, positive).
+        factor: f64,
+    },
+    /// Scales offered load at fixed rate shape: each arrival is
+    /// duplicated ⌊factor⌋ times plus once more with probability
+    /// `factor − ⌊factor⌋` (thinning when factor < 1). Duplicates are
+    /// jittered into the gap before the next arrival, seeded by the
+    /// scenario seed.
+    LoadScale {
+        /// Load multiplier (finite, positive).
+        factor: f64,
+    },
+    /// Reweights named tenants (unnamed tenants keep their weight);
+    /// arrival instants are pinned, so only the tenant attribution and
+    /// archetype draws move.
+    Remix {
+        /// `(tenant name, new weight)` pairs.
+        weights: Vec<(String, f64)>,
+    },
+}
+
+impl TraceTransform {
+    /// Applies the transform, returning a fresh un-executed trace.
+    ///
+    /// # Errors
+    ///
+    /// Trace validation errors, plus [`SimError::InvalidInput`] on a
+    /// non-finite/non-positive factor, an unknown tenant name or an
+    /// invalid weight.
+    pub fn apply(&self, trace: &RunTrace) -> Result<RunTrace, SimError> {
+        trace.validate()?;
+        let times: Vec<f64> = trace.requests.iter().map(|r| r.at_s).collect();
+        let mut scenario = trace.scenario.clone();
+        match self {
+            TraceTransform::TimeWarp { factor } => {
+                let f = positive("time-warp factor", *factor)?;
+                let warped: Vec<f64> = times.iter().map(|t| t / f).collect();
+                set_replay_log(&mut scenario, &warped);
+                if let ExecutionMode::OpenLoop(spec) = &mut scenario.mode {
+                    spec.horizon_s /= f;
+                }
+                scenario = scenario.labeled(&format!("{}~warp{f}", trace.scenario.label));
+            }
+            TraceTransform::LoadScale { factor } => {
+                let k = positive("load-scale factor", *factor)?;
+                let horizon_s = open_loop_horizon(&scenario);
+                let whole = k.floor() as u64;
+                let frac = k.fract();
+                let mut rng = SimRng::new(scenario.seed).fork("load-scale");
+                let mut scaled = Vec::with_capacity((times.len() as f64 * k).ceil() as usize);
+                for (i, &t) in times.iter().enumerate() {
+                    let next = times.get(i + 1).copied().unwrap_or(horizon_s);
+                    let gap = (next - t).max(0.0);
+                    let copies = whole + u64::from(rng.uniform() < frac);
+                    for c in 0..copies {
+                        // The original instant survives exactly once;
+                        // duplicates spread into the gap so the local
+                        // rate scales without stacking simultaneous
+                        // arrivals.
+                        if c == 0 {
+                            scaled.push(t);
+                        } else {
+                            scaled.push(t + rng.uniform() * gap);
+                        }
+                    }
+                }
+                set_replay_log(&mut scenario, &scaled);
+                scenario = scenario.labeled(&format!("{}~x{k}", trace.scenario.label));
+            }
+            TraceTransform::Remix { weights } => {
+                set_replay_log(&mut scenario, &times);
+                let WorkloadSource::Traffic { tenants, .. } = &mut scenario.workload else {
+                    unreachable!("validated: traces carry traffic sources");
+                };
+                for (name, weight) in weights {
+                    if !weight.is_finite() || *weight < 0.0 {
+                        return Err(SimError::InvalidInput(format!(
+                            "remix weight {weight} for tenant {name:?} must be finite and \
+                             non-negative"
+                        )));
+                    }
+                    let Some(tenant) = tenants.iter_mut().find(|t| &t.name == name) else {
+                        return Err(SimError::InvalidInput(format!(
+                            "remix names unknown tenant {name:?}"
+                        )));
+                    };
+                    tenant.weight = *weight;
+                }
+                if tenants.iter().map(|t| t.weight).sum::<f64>() <= 0.0 {
+                    return Err(SimError::InvalidInput(
+                        "remix leaves no tenant with positive weight".into(),
+                    ));
+                }
+                scenario = scenario.labeled(&format!("{}~remix", trace.scenario.label));
+            }
+        }
+        let requests = regenerate(&scenario)?;
+        Ok(RunTrace {
+            version: TRACE_VERSION,
+            scenario,
+            digest: None,
+            baseline: None,
+            requests,
+            steals: Vec::new(),
+        })
+    }
+}
+
+/// A synthetic diurnal trace: `requests` arrivals in expectation over
+/// `horizon_s` seconds under a day/night sinusoidal envelope — the
+/// declarative way to stamp out million-request overload studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthSpec {
+    /// Trace label.
+    pub label: String,
+    /// Workload seed (drives arrivals, tenant draws and job bodies).
+    pub seed: u64,
+    /// Target arrival count in expectation.
+    pub requests: u64,
+    /// Horizon in seconds.
+    pub horizon_s: f64,
+    /// Peak-to-trough rate ratio (≥ 1).
+    pub peak_factor: f64,
+    /// Seconds from trough to trough.
+    pub period_s: f64,
+}
+
+impl Default for SynthSpec {
+    /// One simulated day, a 4× noon peak, ten thousand requests.
+    fn default() -> Self {
+        SynthSpec {
+            label: "synth-diurnal".into(),
+            seed: 42,
+            requests: 10_000,
+            horizon_s: 86_400.0,
+            peak_factor: 4.0,
+            period_s: 86_400.0,
+        }
+    }
+}
+
+/// Generates a synthetic diurnal trace from the spec, on the stock
+/// tenant set. The trace is un-executed (no digest/baseline/outcomes);
+/// capture or replay it like any other.
+///
+/// # Errors
+///
+/// [`SimError::InvalidInput`] on non-positive/non-finite spec fields.
+pub fn synthesize(spec: &SynthSpec) -> Result<RunTrace, SimError> {
+    positive("synth horizon_s", spec.horizon_s)?;
+    positive("synth period_s", spec.period_s)?;
+    if spec.requests == 0 {
+        return Err(SimError::InvalidInput(
+            "synth request target must be positive".into(),
+        ));
+    }
+    if !spec.peak_factor.is_finite() || spec.peak_factor < 1.0 {
+        return Err(SimError::InvalidInput(format!(
+            "synth peak factor {} must be ≥ 1",
+            spec.peak_factor
+        )));
+    }
+    // The diurnal envelope's mean rate is base·(peak+1)/2, so the base
+    // rate hitting `requests` in expectation over the horizon is:
+    let base_rate_per_s = 2.0 * spec.requests as f64 / (spec.horizon_s * (spec.peak_factor + 1.0));
+    let scenario = Scenario::open_loop(
+        &spec.label,
+        ArrivalProcess::Diurnal {
+            base_rate_per_s,
+            peak_factor: spec.peak_factor,
+            period_s: spec.period_s,
+        },
+        spec.horizon_s,
+    )
+    .seed(spec.seed);
+    let requests = regenerate(&scenario)?;
+    Ok(RunTrace {
+        version: TRACE_VERSION,
+        scenario,
+        digest: None,
+        baseline: None,
+        requests,
+        steals: Vec::new(),
+    })
+}
+
+/// Regenerates the request records a replay of `scenario` will
+/// execute, by walking the serve pipeline's own fork path
+/// (`seed → "fleet" → arrivals/tenants/mix`). This is what keeps
+/// transformed traces honest: their records are derived from the
+/// embedded scenario, never hand-edited.
+pub(crate) fn regenerate(scenario: &Scenario) -> Result<Vec<RequestRecord>, SimError> {
+    let (ExecutionMode::OpenLoop(spec), WorkloadSource::Traffic { process, tenants }) =
+        (&scenario.mode, &scenario.workload)
+    else {
+        return Err(SimError::InvalidInput(
+            "record regeneration needs an open-loop traffic scenario".into(),
+        ));
+    };
+    let rng = SimRng::new(scenario.seed).fork("fleet");
+    let traffic = TrafficSpec {
+        process: process.clone(),
+        tenants: tenants.clone(),
+    };
+    let horizon = SimDuration::from_secs_f64(spec.horizon_s);
+    Ok(traffic
+        .requests(&rng, horizon)
+        .into_iter()
+        .map(|r| RequestRecord {
+            id: r.id,
+            at_s: r.at.as_secs_f64(),
+            tenant: r.tenant,
+            archetype: r.archetype,
+            class: r.class.name,
+            outcome: None,
+        })
+        .collect())
+}
+
+/// Pins `secs` as the scenario's replay arrival log.
+fn set_replay_log(scenario: &mut Scenario, secs: &[f64]) {
+    if let WorkloadSource::Traffic { process, .. } = &mut scenario.workload {
+        *process = ArrivalProcess::Replay {
+            log: ArrivalLog::from_secs(secs),
+        };
+    }
+}
+
+/// The open-loop horizon (callers guarantee the mode by validation).
+fn open_loop_horizon(scenario: &Scenario) -> f64 {
+    match &scenario.mode {
+        ExecutionMode::OpenLoop(spec) => spec.horizon_s,
+        ExecutionMode::ClosedLoop => 0.0,
+    }
+}
+
+fn positive(name: &str, v: f64) -> Result<f64, SimError> {
+    if v.is_finite() && v > 0.0 {
+        Ok(v)
+    } else {
+        Err(SimError::InvalidInput(format!(
+            "{name} {v} must be finite and positive"
+        )))
+    }
+}

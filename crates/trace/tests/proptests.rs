@@ -1,0 +1,173 @@
+//! Property-based tests for trace transforms and the synthetic
+//! generator: the invariants that keep rewritten traces honest.
+//!
+//! Transforms never execute a simulation — they regenerate request
+//! records through the serve pipeline's fork path — so these
+//! properties run over freshly synthesized traces, which is cheap.
+
+use murakkab_trace::{synthesize, RunTrace, SynthSpec, TraceTransform};
+use proptest::prelude::*;
+
+/// A small diurnal trace to transform: `requests` arrivals in
+/// expectation over a 2000-second window.
+fn base(seed: u64, requests: u64) -> RunTrace {
+    synthesize(&SynthSpec {
+        label: "prop-base".into(),
+        seed,
+        requests,
+        horizon_s: 2000.0,
+        peak_factor: 3.0,
+        period_s: 2000.0,
+    })
+    .expect("synthesis succeeds")
+}
+
+fn times(trace: &RunTrace) -> Vec<f64> {
+    trace.requests.iter().map(|r| r.at_s).collect()
+}
+
+proptest! {
+    /// Load-scaling by `k` multiplies the arrival count by exactly
+    /// ⌊k⌋..⌈k⌉ per arrival — the total lands in `[n·⌊k⌋, n·⌈k⌉]` —
+    /// and the result is a valid, time-ordered trace.
+    #[test]
+    fn load_scale_count_is_bounded_by_factor(
+        seed in 0u64..1000,
+        requests in 50u64..250,
+        factor in 0.2f64..3.5,
+    ) {
+        let b = base(seed, requests);
+        let n = b.requests.len() as f64;
+        let scaled = TraceTransform::LoadScale { factor }.apply(&b).expect("scale applies");
+        scaled.validate().expect("scaled trace validates");
+        let m = scaled.requests.len() as f64;
+        prop_assert!(
+            n * factor.floor() <= m && m <= n * factor.ceil(),
+            "{n} arrivals scaled by {factor} became {m}, outside [{}, {}]",
+            n * factor.floor(),
+            n * factor.ceil()
+        );
+        prop_assert!(times(&scaled).windows(2).all(|w| w[0] <= w[1]));
+        // Transformed traces have not executed: no digest, no outcomes.
+        prop_assert!(scaled.digest.is_none());
+        prop_assert!(scaled.requests.iter().all(|r| r.outcome.is_none()));
+    }
+
+    /// Time-warping preserves the arrival count and ordering, divides
+    /// every instant by the factor, and keeps the per-index tenant
+    /// attribution (draws are per arrival index, not per instant).
+    #[test]
+    fn time_warp_preserves_order_count_and_tenants(
+        seed in 0u64..1000,
+        requests in 50u64..250,
+        factor in 0.1f64..10.0,
+    ) {
+        let b = base(seed, requests);
+        let warped = TraceTransform::TimeWarp { factor }.apply(&b).expect("warp applies");
+        warped.validate().expect("warped trace validates");
+        prop_assert_eq!(warped.requests.len(), b.requests.len());
+        for (orig, w) in b.requests.iter().zip(&warped.requests) {
+            prop_assert!(
+                (w.at_s - orig.at_s / factor).abs() <= 1e-6,
+                "instant {} warped by {factor} became {}, expected {}",
+                orig.at_s, w.at_s, orig.at_s / factor
+            );
+            prop_assert_eq!(&w.tenant, &orig.tenant);
+            prop_assert_eq!(&w.class, &orig.class);
+        }
+        prop_assert!(times(&warped).windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Remixing tenant weights pins the arrival instants and count —
+    /// only the attribution draws may move.
+    #[test]
+    fn remix_pins_instants_and_count(
+        seed in 0u64..1000,
+        requests in 50u64..250,
+        feeds in 0.1f64..10.0,
+        studio in 0.1f64..10.0,
+    ) {
+        let b = base(seed, requests);
+        let remixed = TraceTransform::Remix {
+            weights: vec![("feeds".into(), feeds), ("studio".into(), studio)],
+        }
+        .apply(&b)
+        .expect("remix applies");
+        remixed.validate().expect("remixed trace validates");
+        prop_assert_eq!(remixed.requests.len(), b.requests.len());
+        for (orig, r) in b.requests.iter().zip(&remixed.requests) {
+            prop_assert!((r.at_s - orig.at_s).abs() <= 1e-9);
+        }
+    }
+
+    /// Remix rejects unknown tenants and degenerate weights with a
+    /// typed error instead of silently producing a broken trace.
+    #[test]
+    fn remix_rejects_bad_weights(
+        seed in 0u64..100,
+        bad in prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(-1.0)],
+    ) {
+        let b = base(seed, 60);
+        for weights in [
+            vec![("nobody".to_string(), 1.0)],
+            vec![("feeds".to_string(), bad)],
+            vec![
+                ("feeds".to_string(), 0.0),
+                ("analytics".to_string(), 0.0),
+                ("studio".to_string(), 0.0),
+            ],
+        ] {
+            let err = TraceTransform::Remix { weights }.apply(&b);
+            prop_assert!(
+                matches!(err, Err(murakkab_sim::SimError::InvalidInput(_))),
+                "expected InvalidInput, got {err:?}"
+            );
+        }
+    }
+
+    /// Traces survive a JSON round trip byte-for-byte: serialize,
+    /// parse (which re-validates), serialize again — identical text.
+    #[test]
+    fn json_round_trip_is_stable(
+        seed in 0u64..1000,
+        requests in 20u64..150,
+    ) {
+        let b = base(seed, requests);
+        let json = b.to_json().expect("serializes");
+        let parsed = RunTrace::from_json(&json).expect("parses and validates");
+        prop_assert_eq!(json, parsed.to_json().expect("re-serializes"));
+    }
+
+    /// The synthetic diurnal generator hits its request target in
+    /// expectation (within Poisson noise) and emits a well-ordered,
+    /// fully in-horizon arrival stream.
+    #[test]
+    fn synthesis_hits_target_and_stays_ordered(
+        seed in 0u64..1000,
+        requests in 200u64..2000,
+        peak in 1.0f64..6.0,
+    ) {
+        let trace = synthesize(&SynthSpec {
+            label: "prop-synth".into(),
+            seed,
+            requests,
+            horizon_s: 4000.0,
+            peak_factor: peak,
+            period_s: 4000.0,
+        })
+        .expect("synthesis succeeds");
+        trace.validate().expect("synthesized trace validates");
+        let n = trace.requests.len() as f64;
+        let target = requests as f64;
+        // Poisson noise: six standard deviations plus slack — a false
+        // failure here is vanishingly unlikely.
+        let tol = 6.0 * target.sqrt() + 10.0;
+        prop_assert!(
+            (n - target).abs() <= tol,
+            "synthesized {n} arrivals for a target of {target} (tolerance {tol})"
+        );
+        prop_assert!(trace.requests.iter().all(|r| r.at_s >= 0.0 && r.at_s < 4000.0));
+        prop_assert!(times(&trace).windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(trace.requests.iter().enumerate().all(|(i, r)| r.id == i as u64));
+    }
+}

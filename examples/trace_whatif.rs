@@ -1,0 +1,92 @@
+//! Trace capture, replay and what-if: the checked-in trace artifacts.
+//!
+//! A `RunTrace` freezes one serve run — arrivals, admission verdicts,
+//! cell assignments, first-token/completion instants — as a durable
+//! JSON artifact. This example regenerates the two checked-in traces
+//! (`tests/fixtures/trace_small.json`, `traces/overload_small.json`),
+//! proves their replay digests, and runs a disaggregation what-if on
+//! the overload trace.
+//!
+//! ```text
+//! cargo run --release --example trace_whatif            # replay + what-if
+//! cargo run --release --example trace_whatif -- --write # regenerate files
+//! ```
+
+use std::path::PathBuf;
+
+use murakkab::{Scenario, ServingMode};
+use murakkab_trace::{whatif, RunTrace, WhatIf};
+use murakkab_traffic::ArrivalProcess;
+
+/// The tiny fixture trace: a lightly loaded minute on the paper
+/// testbed, small enough for test-time replay.
+pub fn small_scenario() -> Scenario {
+    Scenario::open_loop(
+        "trace-small",
+        ArrivalProcess::Poisson { rate_per_s: 0.08 },
+        120.0,
+    )
+    .seed(42)
+}
+
+/// The example overload trace: the disaggregation A/B workload from
+/// `scenarios/` (0.4 req/s on four nodes), captured with per-request
+/// records.
+pub fn overload_scenario() -> Scenario {
+    Scenario::open_loop(
+        "overload-small",
+        ArrivalProcess::Poisson { rate_per_s: 0.4 },
+        240.0,
+    )
+    .seed(42)
+    .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), 4)
+    .max_inflight(24)
+}
+
+fn artifacts() -> Vec<(PathBuf, Scenario)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    vec![
+        (
+            root.join("tests/fixtures/trace_small.json"),
+            small_scenario(),
+        ),
+        (root.join("traces/overload_small.json"), overload_scenario()),
+    ]
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--write") {
+        for (path, scenario) in artifacts() {
+            std::fs::create_dir_all(path.parent().expect("artifact paths have parents"))
+                .expect("artifact dir");
+            let trace = RunTrace::capture(&scenario).expect("capture succeeds");
+            trace.write_json_file(&path).expect("trace file writes");
+            println!("wrote {}", path.display());
+            println!("  {}", trace.summary_line());
+        }
+        return;
+    }
+
+    for (path, expected) in artifacts() {
+        let trace = RunTrace::from_json_file(&path).expect("trace file parses");
+        assert_eq!(
+            trace.scenario,
+            expected,
+            "{} drifted from the generator; rerun with --write",
+            path.display()
+        );
+        let report = trace.verify_replay().expect("replay is bit-identical");
+        println!("{}", trace.summary_line());
+        println!("  replay verified: {}", report.summary_line());
+    }
+
+    // The what-if: the captured overload traffic, served disaggregated.
+    let trace = RunTrace::from_json_file(&artifacts()[1].0).expect("trace file parses");
+    let report = whatif(
+        &trace,
+        &WhatIf::named("disagg").serving(ServingMode::Disaggregated),
+    )
+    .expect("what-if executes");
+    println!("\n{}", report.diff.render_human());
+    println!("{}", report.diff.summary_line());
+}

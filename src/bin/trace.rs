@@ -1,0 +1,15 @@
+//! Trace capture/replay/what-if CLI.
+//!
+//! ```text
+//! cargo run --release --bin trace -- capture scenarios/fleet_overload.json -o overload.json
+//! cargo run --release --bin trace -- replay overload.json
+//! cargo run --release --bin trace -- whatif overload.json --serving disaggregated
+//! ```
+//!
+//! See `trace --help` for the full subcommand reference. Exits 0 on
+//! success, 1 on failures (digest mismatch, execution error), 2 on
+//! usage errors.
+
+fn main() {
+    std::process::exit(murakkab_trace::run_cli(std::env::args().skip(1)));
+}

@@ -1,0 +1,25 @@
+//! What-if sweep: one overloaded serve run captured as a `RunTrace`,
+//! then its traffic replayed counterfactually against a disaggregated
+//! backend and a 4-cell fleet, with a typed diff per counterfactual.
+//! The driver lives in `murakkab_bench::whatif_main`; the binary sits
+//! in the root package so
+//! `cargo run --release --bin whatif [seed] [--quick]` resolves.
+//! `--quick` shortens the horizon (CI mode).
+
+use murakkab_bench::SEED;
+
+fn main() {
+    let mut seed = SEED;
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Ok(s) = arg.parse() {
+            seed = s;
+        } else {
+            eprintln!("usage: whatif [seed] [--quick]");
+            std::process::exit(2);
+        }
+    }
+    murakkab_bench::whatif_main(seed, quick);
+}

@@ -1,0 +1,179 @@
+//! Trace subsystem integration tests: the pinned fixture digest, the
+//! capture → JSON → replay round trip, what-if identity and
+//! conservation accounting, and the validator's rejection of malformed
+//! traces. The checked-in artifacts come from
+//! `cargo run --release --example trace_whatif -- --write`.
+
+use murakkab::{Scenario, ServingMode};
+use murakkab_sim::SimError;
+use murakkab_trace::{whatif, RunTrace, WhatIf};
+use murakkab_traffic::ArrivalProcess;
+
+/// The checked-in fixture's replay digest. This moves only when the
+/// engine's event stream changes — which is exactly what the pin is
+/// for: an accidental determinism break fails here before it reaches a
+/// bench table.
+const FIXTURE_DIGEST: u64 = 0x06c2_6d7e_a708_f6e4;
+
+fn fixture() -> RunTrace {
+    RunTrace::from_json_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/trace_small.json"
+    ))
+    .expect("fixture trace parses and validates")
+}
+
+fn overload() -> RunTrace {
+    RunTrace::from_json_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/traces/overload_small.json"
+    ))
+    .expect("overload trace parses and validates")
+}
+
+#[test]
+fn fixture_replay_digest_is_pinned() {
+    let trace = fixture();
+    assert_eq!(
+        trace.digest,
+        Some(FIXTURE_DIGEST),
+        "tests/fixtures/trace_small.json drifted; regenerate with the \
+         trace_whatif example and update FIXTURE_DIGEST deliberately"
+    );
+    let report = trace
+        .verify_replay()
+        .expect("replaying the unmodified fixture is bit-identical");
+    assert_eq!(report.digest(), FIXTURE_DIGEST);
+}
+
+#[test]
+fn overload_trace_replays_bit_identically() {
+    let trace = overload();
+    trace
+        .verify_replay()
+        .expect("replaying the unmodified overload trace is bit-identical");
+    assert!(
+        trace.requests.iter().any(|r| {
+            r.outcome
+                .as_ref()
+                .is_some_and(|o| o.verdict != murakkab_traffic::AdmissionDecision::Admitted)
+        }),
+        "the overload trace should capture at least one rejection"
+    );
+}
+
+#[test]
+fn capture_round_trips_through_json() {
+    let scenario = Scenario::open_loop(
+        "round-trip",
+        ArrivalProcess::Poisson { rate_per_s: 0.1 },
+        150.0,
+    )
+    .seed(7);
+    let trace = RunTrace::capture(&scenario).expect("capture runs");
+
+    // Capture is observation-only: the captured run's digest equals an
+    // uncaptured run of the same scenario.
+    let plain = scenario.run().expect("uncaptured run");
+    assert_eq!(trace.digest, Some(plain.digest()));
+
+    let json = trace.to_json().expect("trace serializes");
+    let parsed = RunTrace::from_json(&json).expect("trace parses back");
+    assert_eq!(parsed.digest, trace.digest);
+    assert_eq!(parsed.requests, trace.requests);
+    assert_eq!(parsed.steals, trace.steals);
+    let report = parsed
+        .verify_replay()
+        .expect("parsed trace replays bit-identically");
+    assert_eq!(Some(report.digest()), trace.digest);
+}
+
+#[test]
+fn unmodified_whatif_is_identity_per_class() {
+    // A what-if with no modifications pins the captured arrivals and
+    // re-runs: every metric must come back unchanged, per class.
+    let report = whatif(&fixture(), &WhatIf::default()).expect("identity what-if runs");
+    let d = &report.diff;
+    for (name, c) in [
+        ("offered", &d.offered),
+        ("admitted", &d.admitted),
+        ("completed", &d.completed),
+        ("slo_met", &d.slo_met),
+        ("rejected", &d.rejected),
+        ("steals", &d.steals),
+    ] {
+        assert_eq!(c.delta, 0, "{name} moved under an identity what-if");
+    }
+    assert_eq!(d.slo_attainment.delta, 0.0);
+    assert_eq!(d.goodput_per_min.delta, 0.0);
+    assert_eq!(d.throughput_per_min.delta, 0.0);
+    assert!(!d.classes.is_empty());
+    for c in &d.classes {
+        assert_eq!(c.completed.delta, 0, "class {}", c.class);
+        assert_eq!(c.slo_met.delta, 0, "class {}", c.class);
+        assert_eq!(c.attainment.delta, 0.0, "class {}", c.class);
+        assert_eq!(c.p95_s.delta, 0.0, "class {}", c.class);
+        assert_eq!(c.ttft_p95_s.delta, 0.0, "class {}", c.class);
+    }
+}
+
+#[test]
+fn counterfactuals_conserve_arrivals() {
+    let trace = overload();
+    let offered = trace.requests.len() as u64;
+    for mods in [
+        WhatIf::named("disagg").serving(ServingMode::Disaggregated),
+        WhatIf::named("tight").max_inflight(8),
+    ] {
+        let report = whatif(&trace, &mods).expect("counterfactual runs");
+        let d = &report.diff;
+        assert_eq!(d.offered.before, offered, "{}", mods.label);
+        assert_eq!(
+            d.offered.after, offered,
+            "a counterfactual must replay every captured arrival ({})",
+            mods.label
+        );
+        // The serve loop drains: every arrival is completed or rejected.
+        assert_eq!(
+            d.completed.after + d.rejected.after,
+            d.offered.after,
+            "conservation ({})",
+            mods.label
+        );
+        assert_eq!(d.completed.before + d.rejected.before, d.offered.before);
+    }
+}
+
+#[test]
+fn validator_rejects_malformed_traces() {
+    let invalid = |trace: &RunTrace, what: &str| {
+        let err = trace.validate().expect_err(&format!("{what} must fail"));
+        assert!(
+            matches!(err, SimError::InvalidInput(_)),
+            "{what}: expected InvalidInput, got {err:?}"
+        );
+    };
+
+    let mut t = fixture();
+    t.version = 99;
+    invalid(&t, "unknown schema version");
+
+    let mut t = fixture();
+    t.requests[0].at_s = f64::NAN;
+    invalid(&t, "NaN arrival instant");
+
+    let mut t = fixture();
+    assert!(t.requests.len() >= 2);
+    t.requests[0].at_s = t.requests[1].at_s + 1.0;
+    invalid(&t, "non-monotone arrival instants");
+
+    let mut t = fixture();
+    t.requests[0].id += 1;
+    invalid(&t, "request id out of arrival order");
+
+    let mut t = fixture();
+    if let Some(o) = t.requests[0].outcome.as_mut() {
+        o.cell = Some(usize::MAX);
+    }
+    invalid(&t, "cell assignment beyond the shard count");
+}
