@@ -6,6 +6,9 @@
 //! criterion benches measure exactly the same runs. Every binary also
 //! writes its results to `BENCH_<name>.json` via [`write_bench_json`].
 
+pub mod simspeed;
+pub use simspeed::{run_simspeed_grid, simspeed_main, SimSpeedRow};
+
 use std::path::PathBuf;
 
 use murakkab::fleet::CellPolicy;
@@ -402,7 +405,10 @@ pub fn fleet_main(seed: u64, quick: bool) {
         "  without admission: SLO attainment {:>5.1}%  ({} admitted, p95 worst-class {:.0}s)",
         100.0 * open.slo_attainment,
         open.admitted,
-        open.classes.iter().map(|c| c.p95_s).fold(0.0_f64, f64::max),
+        open.classes
+            .iter()
+            .filter_map(|c| c.p95_s)
+            .fold(0.0_f64, f64::max),
     );
 
     // Shard-scaling sweep at the overload point: the same captured

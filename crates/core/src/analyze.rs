@@ -334,18 +334,33 @@ pub(crate) fn fleet_options_diags(opts: &FleetOptions) -> Vec<Diagnostic> {
             "parallelism must be at least 1",
         ));
     }
+    if opts.threads == 0 {
+        out.push(Diagnostic::error(
+            codes::BAD_NUMERIC,
+            "threads",
+            "threads must be at least 1 (1 steps cells inline)",
+        ));
+    }
     out
 }
 
 /// Rules behind [`OpenLoopSpec::validate`].
 pub(crate) fn open_loop_spec_diags(spec: &OpenLoopSpec, prefix: &str) -> Vec<Diagnostic> {
-    open_loop_numeric_diags(
+    let mut out = open_loop_numeric_diags(
         spec.horizon_s,
         spec.rebalance_every_s,
         spec.shards,
         spec.max_inflight,
         prefix,
-    )
+    );
+    if spec.threads == Some(0) {
+        out.push(Diagnostic::error(
+            codes::BAD_NUMERIC,
+            &format!("{prefix}threads"),
+            "threads must be at least 1 (1 steps cells inline)",
+        ));
+    }
+    out
 }
 
 fn open_loop_numeric_diags(

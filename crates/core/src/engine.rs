@@ -239,6 +239,13 @@ pub struct Engine {
     /// instant seconds)` of finished endpoint tasks, drained by the
     /// fleet driver for per-class token-latency stats and capture.
     llm_metrics: Vec<(TaskId, f64, f64, f64)>,
+    /// Tasks finished since the last [`Engine::take_completions`] drain,
+    /// in completion order — the fleet driver maps these to jobs via a
+    /// per-job remaining-task counter instead of scanning
+    /// [`Engine::completed_tasks`].
+    completions_log: Vec<TaskId>,
+    /// Events popped off the queue so far (the sim-speed denominator).
+    events_processed: u64,
     trace: TraceLog,
     energy_ledger: f64,
     cost_ledger: f64,
@@ -418,6 +425,8 @@ impl Engine {
             alloc_meta,
             library_snapshot,
             llm_metrics: Vec::new(),
+            completions_log: Vec::new(),
+            events_processed: 0,
             trace: TraceLog::new(),
             energy_ledger: 0.0,
             cost_ledger: 0.0,
@@ -497,6 +506,7 @@ impl Engine {
         let Some(ev) = self.queue.pop() else {
             return Ok(None);
         };
+        self.events_processed += 1;
         let now = ev.at;
         match ev.payload {
             EngineEvent::ToolDone {
@@ -638,6 +648,48 @@ impl Engine {
     /// The due time of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
+    }
+
+    /// Processes pending events up to `bound` (`<= bound` when
+    /// `inclusive`, `< bound` otherwise) in one batched drain, stopping
+    /// early after any event that completes at least one task so the
+    /// caller can re-inject queued work at that instant. Returns the
+    /// stop instant, or `None` once no pending event falls within the
+    /// bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates endpoint/cluster errors.
+    pub fn step_while(
+        &mut self,
+        bound: SimTime,
+        inclusive: bool,
+    ) -> Result<Option<SimTime>, SimError> {
+        loop {
+            let Some(t) = self.queue.peek_time() else {
+                return Ok(None);
+            };
+            let within = if inclusive { t <= bound } else { t < bound };
+            if !within {
+                return Ok(None);
+            }
+            let before = self.completions_log.len();
+            let now = self.step()?.unwrap_or(t);
+            if self.completions_log.len() > before {
+                return Ok(Some(now));
+            }
+        }
+    }
+
+    /// Drains the tasks finished since the last call, in completion
+    /// order.
+    pub fn take_completions(&mut self) -> Vec<TaskId> {
+        std::mem::take(&mut self.completions_log)
+    }
+
+    /// Events popped off this engine's queue so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Tasks completed so far (the fleet driver matches these against
@@ -831,6 +883,7 @@ impl Engine {
         self.trace
             .record(capability.lane_name(), node.name.clone(), started, now);
         if self.completed.insert(task) {
+            self.completions_log.push(task);
             if let Some(n) = self.upcoming.get_mut(&capability) {
                 *n -= 1;
                 if *n == 0 {

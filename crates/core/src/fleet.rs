@@ -95,6 +95,12 @@ pub struct FleetOptions {
     pub max_inflight: usize,
     /// Per-stage worker fan-out inside each workflow.
     pub parallelism: u32,
+    /// Worker threads stepping cells concurrently between
+    /// synchronization epochs (admission, routing, steal and telemetry
+    /// points). `1` steps cells inline; either way the epoch schedule
+    /// and the merge order are identical, so same-seed reports are
+    /// bit-identical at every thread count. Capped at the shard count.
+    pub threads: usize,
     /// The tenant set (weights, mixes, SLO classes).
     pub tenants: Vec<TenantProfile>,
     /// Advisory rebalancer polling cadence in simulated seconds (also
@@ -134,6 +140,7 @@ impl FleetOptions {
             admission: AdmissionConfig::default(),
             max_inflight: 6,
             parallelism: 8,
+            threads: 1,
             tenants: default_tenants(),
             rebalance_every_s: 30.0,
             shards: 1,
@@ -153,7 +160,7 @@ impl FleetOptions {
     ///
     /// [`SimError::InvalidInput`] on a non-finite or non-positive
     /// horizon or rebalance cadence, zero `parallelism`, zero
-    /// `max_inflight`, or a zero shard count.
+    /// `threads`, zero `max_inflight`, or a zero shard count.
     pub fn validate(&self) -> Result<(), SimError> {
         crate::analyze::first_error(&crate::analyze::fleet_options_diags(self))
     }
@@ -183,6 +190,13 @@ impl FleetOptions {
     #[must_use]
     pub fn router(mut self, policy: CellPolicy) -> Self {
         self.router = policy;
+        self
+    }
+
+    /// Sets the worker-thread count for concurrent cell stepping.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -298,29 +312,37 @@ pub struct FleetClassReport {
     pub completed: u64,
     /// Completions within the deadline.
     pub slo_met: u64,
-    /// `slo_met / admitted` (1.0 when nothing was admitted).
+    /// `slo_met / admitted`, measured over admitted work only. A class
+    /// whose every request was shed reads `0.0` (degraded), not `1.0`;
+    /// the vacuous no-traffic case stays `1.0`.
     pub attainment: f64,
+    /// `(offered - admitted) / offered`: the fraction of this class's
+    /// arrivals turned away at the front door (`0.0` with no traffic).
+    pub shed_rate: f64,
     /// Median end-to-end latency (arrival → completion), seconds.
-    pub p50_s: f64,
+    /// `None` when the class completed nothing — an empty sample set
+    /// serializes as `null`, distinguishable from a real 0-second
+    /// percentile.
+    pub p50_s: Option<f64>,
     /// 95th-percentile latency.
-    pub p95_s: f64,
+    pub p95_s: Option<f64>,
     /// 99th-percentile latency.
-    pub p99_s: f64,
+    pub p99_s: Option<f64>,
     /// Mean latency.
-    pub mean_s: f64,
+    pub mean_s: Option<f64>,
     /// Worst latency.
-    pub max_s: f64,
+    pub max_s: Option<f64>,
     /// Median time-to-first-token across this class's LLM requests,
-    /// seconds (zero when the class completed no token work).
-    pub ttft_p50_s: f64,
+    /// seconds (`None` when the class completed no token work).
+    pub ttft_p50_s: Option<f64>,
     /// 95th-percentile TTFT.
-    pub ttft_p95_s: f64,
+    pub ttft_p95_s: Option<f64>,
     /// 99th-percentile TTFT.
-    pub ttft_p99_s: f64,
+    pub ttft_p99_s: Option<f64>,
     /// Median time-per-output-token, seconds.
-    pub tpot_p50_s: f64,
+    pub tpot_p50_s: Option<f64>,
     /// 95th-percentile TPOT.
-    pub tpot_p95_s: f64,
+    pub tpot_p95_s: Option<f64>,
 }
 
 /// Per-cell serving statistics from one sharded run.
@@ -364,6 +386,9 @@ pub struct FleetCellReport {
     pub pool_scale_downs: u64,
     /// Advisory rebalancer actions recommended for this cell.
     pub rebalance_actions: u64,
+    /// Discrete events the cell's engine processed (the sim-speed
+    /// denominator; identical at every thread count).
+    pub events_processed: u64,
     /// Instant the cell's last workflow finished, seconds.
     pub makespan_s: f64,
 }
@@ -403,8 +428,13 @@ pub struct FleetReport {
     pub completed: u64,
     /// Completions within their class deadline.
     pub slo_met: u64,
-    /// `slo_met / admitted` (1.0 when nothing was admitted).
+    /// `slo_met / admitted`, measured over admitted work only. A run
+    /// whose every request was shed reads `0.0`; the vacuous no-traffic
+    /// case stays `1.0`.
     pub slo_attainment: f64,
+    /// `(offered - admitted) / offered`: the fraction of all arrivals
+    /// turned away at the front door (`0.0` with no traffic).
+    pub shed_rate: f64,
     /// Completed workflows per minute of horizon.
     pub throughput_per_min: f64,
     /// Deadline-meeting workflows per minute of horizon (goodput).
@@ -435,6 +465,9 @@ pub struct FleetReport {
     pub pool_scale_downs: u64,
     /// Advisory rebalancer actions recommended over the run (all cells).
     pub rebalance_actions: u64,
+    /// Discrete events processed across all cell engines (the
+    /// sim-speed denominator; identical at every thread count).
+    pub events_processed: u64,
     /// Queued workflows moved between cells by the migration pass.
     pub steals: u64,
     /// Per-cell breakdowns, in cell-index order.
@@ -459,20 +492,25 @@ impl FleetReport {
             self.goodput_per_min,
             self.classes
                 .iter()
-                .map(|c| c.p95_s)
+                .filter_map(|c| c.p95_s)
                 .fold(0.0_f64, f64::max),
         )
     }
 
-    /// Renders the per-class latency/SLO table.
+    /// Renders the per-class latency/SLO table. Classes with no samples
+    /// show `-` in the latency columns (an empty percentile is `null`,
+    /// not zero).
     pub fn class_table(&self) -> String {
+        let sec = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}s"));
+        let sec2 = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.2}s"));
+        let sec3 = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.3}s"));
         let mut out = String::new();
         out.push_str(
-            "  class        prio  deadline | offered admitted done  met |   p50     p95     p99  | ttft p95  tpot p95 | attainment\n",
+            "  class        prio  deadline | offered admitted done  met |   p50     p95     p99  | ttft p95  tpot p95 | attainment  shed\n",
         );
         for c in &self.classes {
             out.push_str(&format!(
-                "  {:<12} {:>4} {:>8.0}s | {:>7} {:>8} {:>4} {:>4} | {:>6.1}s {:>6.1}s {:>6.1}s | {:>7.2}s {:>8.3}s | {:>8.1}%\n",
+                "  {:<12} {:>4} {:>8.0}s | {:>7} {:>8} {:>4} {:>4} | {:>7} {:>7} {:>7} | {:>8} {:>9} | {:>8.1}% {:>5.1}%\n",
                 c.class,
                 c.priority,
                 c.deadline_s,
@@ -480,23 +518,25 @@ impl FleetReport {
                 c.admitted,
                 c.completed,
                 c.slo_met,
-                c.p50_s,
-                c.p95_s,
-                c.p99_s,
-                c.ttft_p95_s,
-                c.tpot_p95_s,
+                sec(c.p50_s),
+                sec(c.p95_s),
+                sec(c.p99_s),
+                sec2(c.ttft_p95_s),
+                sec3(c.tpot_p95_s),
                 100.0 * c.attainment,
+                100.0 * c.shed_rate,
             ));
         }
         out
     }
 
     /// The worst class's 95th-percentile time-to-first-token, seconds
-    /// — the headline TTFT metric of the serving-backend comparison.
+    /// — the headline TTFT metric of the serving-backend comparison
+    /// (0.0 when no class completed token work).
     pub fn worst_ttft_p95(&self) -> f64 {
         self.classes
             .iter()
-            .map(|c| c.ttft_p95_s)
+            .filter_map(|c| c.ttft_p95_s)
             .fold(0.0_f64, f64::max)
     }
 
@@ -532,23 +572,37 @@ struct PlannedRequest {
     req: RequestSpec,
     graph: TaskGraph,
     est_service_s: f64,
+    /// Index into the interned per-class aggregation table (no
+    /// per-task class-name clones on the hot path).
+    class_idx: usize,
 }
 
 /// A workflow currently executing in a cell's engine.
 struct InflightJob {
     planned_idx: usize,
-    task_ids: Vec<murakkab_workflow::TaskId>,
+    /// Tasks of this workflow not yet completed; the workflow finishes
+    /// when this hits zero (decremented per engine completion — no
+    /// per-step scan over the engine's completed-task set).
+    remaining: usize,
 }
 
 /// One engine cell: a node slice's engine plus its local queue (a
 /// [`PriorityFifo`] over planned-request indices, popping in exactly the
-/// admission queue's order) and running stats.
+/// admission queue's order) and running stats. All per-task lookup
+/// state is cell-local, so a worker thread can step a cell between
+/// epochs without touching shared maps.
 struct Cell {
     engine: Engine,
     routes: BTreeMap<Capability, RouteSpec>,
     nodes: usize,
     queue: murakkab_traffic::PriorityFifo<usize>,
     inflight: Vec<InflightJob>,
+    /// Task → interned SLO-class index of the owning workflow, so
+    /// endpoint-level token latencies (TTFT/TPOT) aggregate per class.
+    task_class: BTreeMap<murakkab_workflow::TaskId, usize>,
+    /// Task → planned-request index of the owning workflow (drives the
+    /// per-job remaining counter and capture's first-token attribution).
+    task_job: BTreeMap<murakkab_workflow::TaskId, usize>,
     assigned: u64,
     stolen_in: u64,
     migrated_out: u64,
@@ -594,16 +648,21 @@ fn route_cell(
     priority_ranks: &[u8],
 ) -> usize {
     match policy {
-        // Fibonacci hashing on the request id: stable across runs and
-        // platforms (no process-random hasher state).
-        CellPolicy::Hashed => {
-            (request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) % cells.len() as u64) as usize
-        }
+        CellPolicy::Hashed => hashed_cell(request_id, cells.len()),
         CellPolicy::LeastLoaded => least_loaded(cells, 0..cells.len()),
         CellPolicy::SloAffine => {
             least_loaded(cells, stripe_range(priority, priority_ranks, cells.len()))
         }
     }
+}
+
+/// Fibonacci hashing on the request id, reduced to a cell index by
+/// multiply-shift: stable across runs and platforms (no process-random
+/// hasher state), and every hash bit influences the choice — a `%`
+/// reduction keys power-of-two cell counts off the low-order bits only.
+fn hashed_cell(request_id: u64, n: usize) -> usize {
+    let h = request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (((u128::from(h)) * (n as u128)) >> 64) as usize
 }
 
 /// The least-backlogged cell in `range`. Backlog ties break to the cell
@@ -624,6 +683,7 @@ fn least_loaded(cells: &[Cell], range: std::ops::Range<usize>) -> usize {
 
 #[derive(Default)]
 struct ClassAgg {
+    name: String,
     priority: u8,
     deadline_s: f64,
     offered: u64,
@@ -633,6 +693,307 @@ struct ClassAgg {
     latencies: Vec<f64>,
     ttfts: Vec<f64>,
     tpots: Vec<f64>,
+}
+
+/// Everything a cell produced during one epoch, merged into the
+/// fleet-level aggregates **by cell index** after the barrier so the
+/// apply order — and therefore the report — is identical at every
+/// thread count.
+#[derive(Default)]
+struct CellBatch {
+    /// `(class index, ttft seconds, tpot seconds)` per finished
+    /// endpoint task.
+    llm: Vec<(usize, f64, f64)>,
+    /// `(planned index, absolute first-token instant seconds)` per
+    /// finished endpoint task, gathered only while capturing.
+    first_tokens: Vec<(usize, f64)>,
+    /// `(planned index, completion instant)` per finished workflow.
+    done: Vec<(usize, SimTime)>,
+}
+
+/// Injects queued workflows into the cell's engine while execution
+/// slots are free. `now` is the instant the slot freed or the queue
+/// gained work — exactly when the sequential loop would have injected.
+fn inject_ready(
+    cell: &mut Cell,
+    planned: &[PlannedRequest],
+    per_cell_inflight: usize,
+    now: SimTime,
+) -> Result<(), SimError> {
+    while cell.inflight.len() < per_cell_inflight {
+        let Some((_, _, idx)) = cell.queue.pop() else {
+            break;
+        };
+        let p = &planned[idx];
+        let map = cell
+            .engine
+            .admit_graph(now, &p.graph, &format!("r{}/", p.req.id))?;
+        let remaining = map.len();
+        for tid in map.into_values() {
+            cell.task_class.insert(tid, p.class_idx);
+            cell.task_job.insert(tid, idx);
+        }
+        cell.inflight.push(InflightJob {
+            planned_idx: idx,
+            remaining,
+        });
+    }
+    Ok(())
+}
+
+/// Drains the cell engine's finished-task metrics and completions into
+/// `batch`. `t` is the engine instant that produced them (the latency
+/// clock for workflows completing now).
+fn harvest_cell(cell: &mut Cell, capturing: bool, t: SimTime, batch: &mut CellBatch) {
+    for (tid, ttft, tpot, first_abs) in cell.engine.take_llm_metrics() {
+        if let Some(class_idx) = cell.task_class.remove(&tid) {
+            batch.llm.push((class_idx, ttft, tpot));
+        }
+        if capturing {
+            if let Some(&idx) = cell.task_job.get(&tid) {
+                batch.first_tokens.push((idx, first_abs));
+            }
+        }
+    }
+    for tid in cell.engine.take_completions() {
+        cell.task_class.remove(&tid);
+        let Some(job_idx) = cell.task_job.remove(&tid) else {
+            continue;
+        };
+        let Some(k) = cell.inflight.iter().position(|j| j.planned_idx == job_idx) else {
+            continue;
+        };
+        cell.inflight[k].remaining -= 1;
+        if cell.inflight[k].remaining == 0 {
+            let job = cell.inflight.swap_remove(k);
+            cell.completed += 1;
+            batch.done.push((job.planned_idx, t));
+        }
+    }
+}
+
+/// Steps one cell to the epoch boundary: inject queued work into free
+/// slots, drain engine events up to `bound` (stopping at every task
+/// completion so injection re-runs at that instant, exactly like the
+/// sequential loop), and collect the epoch's metrics into a
+/// [`CellBatch`]. Runs on a worker thread under parallel execution —
+/// touches only cell-local state.
+fn advance_cell(
+    cell: &mut Cell,
+    planned: &[PlannedRequest],
+    per_cell_inflight: usize,
+    capturing: bool,
+    start: SimTime,
+    bound: SimTime,
+    inclusive: bool,
+) -> Result<CellBatch, SimError> {
+    let mut batch = CellBatch::default();
+    let mut now = start;
+    loop {
+        inject_ready(cell, planned, per_cell_inflight, now)?;
+        match cell.engine.step_while(bound, inclusive)? {
+            Some(t) => {
+                harvest_cell(cell, capturing, t, &mut batch);
+                now = t;
+            }
+            None => break,
+        }
+    }
+    Ok(batch)
+}
+
+/// Steps every cell to the epoch boundary and returns one
+/// [`CellBatch`] per cell, in cell-index order. With `threads > 1` and
+/// more than one cell active inside the epoch, cells run concurrently
+/// on scoped worker threads; cells only touch cell-local state between
+/// epochs, so the per-cell outcome — and the index-ordered merge — is
+/// identical to stepping them inline.
+#[allow(clippy::too_many_arguments)]
+fn advance_cells(
+    cells: &mut [Cell],
+    planned: &[PlannedRequest],
+    per_cell_inflight: usize,
+    capturing: bool,
+    threads: usize,
+    start: SimTime,
+    bound: SimTime,
+    inclusive: bool,
+) -> Result<Vec<CellBatch>, SimError> {
+    let within = |t: SimTime| if inclusive { t <= bound } else { t < bound };
+    let active = cells
+        .iter()
+        .filter(|c| {
+            c.engine.peek_time().is_some_and(within)
+                || (c.inflight.len() < per_cell_inflight && !c.queue.is_empty())
+        })
+        .count();
+    if threads <= 1 || active <= 1 {
+        return cells
+            .iter_mut()
+            .map(|c| {
+                advance_cell(
+                    c,
+                    planned,
+                    per_cell_inflight,
+                    capturing,
+                    start,
+                    bound,
+                    inclusive,
+                )
+            })
+            .collect();
+    }
+    let n = cells.len();
+    let chunk = n.div_ceil(threads);
+    let run_slice = |slice: &mut [Cell]| {
+        slice
+            .iter_mut()
+            .map(|c| {
+                advance_cell(
+                    c,
+                    planned,
+                    per_cell_inflight,
+                    capturing,
+                    start,
+                    bound,
+                    inclusive,
+                )
+            })
+            .collect::<Result<Vec<CellBatch>, SimError>>()
+    };
+    std::thread::scope(|s| {
+        // The first chunk runs on this thread, overlapped with the
+        // workers — one fewer spawn per epoch, and the caller's thread
+        // isn't idle while the fleet steps.
+        let mut chunks = cells.chunks_mut(chunk);
+        let first = chunks.next().expect("at least one cell");
+        let handles: Vec<_> = chunks
+            .map(|slice| s.spawn(move || run_slice(slice)))
+            .collect();
+        let head = run_slice(first);
+        // Join in spawn order: batches stay in cell-index order and the
+        // first error (by cell index) wins deterministically.
+        let mut out = Vec::with_capacity(n);
+        out.extend(head?);
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.extend(r?),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// Merges per-epoch cell batches into the fleet-level aggregates in
+/// cell-index order (the deterministic merge the parallel path shares
+/// with the sequential one).
+fn apply_batches(
+    batches: Vec<CellBatch>,
+    planned: &[PlannedRequest],
+    classes: &mut [ClassAgg],
+    capture: &mut Option<&mut RunCapture>,
+) {
+    for batch in batches {
+        for (class_idx, ttft, tpot) in batch.llm {
+            classes[class_idx].ttfts.push(ttft);
+            classes[class_idx].tpots.push(tpot);
+        }
+        if let Some(cap) = capture.as_deref_mut() {
+            for (idx, first_abs) in batch.first_tokens {
+                if let Some(o) = cap.requests[idx].outcome.as_mut() {
+                    // Earliest first token across the workflow's
+                    // endpoint tasks.
+                    o.first_token_s = Some(o.first_token_s.map_or(first_abs, |v| v.min(first_abs)));
+                }
+            }
+        }
+        for (idx, t) in batch.done {
+            let p = &planned[idx];
+            let latency = t.saturating_duration_since(p.req.at).as_secs_f64();
+            let agg = &mut classes[p.class_idx];
+            agg.completed += 1;
+            if p.req.class.met_by(latency) {
+                agg.slo_met += 1;
+            }
+            agg.latencies.push(latency);
+            if let Some(cap) = capture.as_deref_mut() {
+                if let Some(o) = cap.requests[idx].outcome.as_mut() {
+                    o.completed_s = Some(t.as_secs_f64());
+                    o.slo_met = Some(p.req.class.met_by(latency));
+                }
+            }
+        }
+    }
+}
+
+/// Routes and admission-gates the arrival at `planned[arr_idx]`:
+/// the admission decision at the arrival instant runs against the
+/// routed cell's backlog, and an admitted workflow joins that cell's
+/// queue. Always sequential — routing reads every cell's backlog.
+#[allow(clippy::too_many_arguments)]
+fn process_arrival(
+    at: SimTime,
+    arr_idx: usize,
+    planned: &[PlannedRequest],
+    cells: &mut [Cell],
+    classes: &mut [ClassAgg],
+    ctrl: &mut AdmissionController<()>,
+    router: CellPolicy,
+    priority_ranks: &[u8],
+    next_seq: &mut u64,
+    capture: &mut Option<&mut RunCapture>,
+) {
+    let p = &planned[arr_idx];
+    let cell_idx = route_cell(
+        router,
+        cells,
+        p.req.id,
+        p.req.class.priority,
+        priority_ranks,
+    );
+    let decision = ctrl.gate(
+        at,
+        p.req.class.deadline_s,
+        p.est_service_s,
+        cells[cell_idx].backlog(),
+        cells[cell_idx].queue.len(),
+    );
+    let admitted = decision == murakkab_traffic::AdmissionDecision::Admitted;
+    if let Some(cap) = capture.as_deref_mut() {
+        cap.requests[arr_idx].outcome = Some(RequestOutcome {
+            verdict: decision,
+            cell: admitted.then_some(cell_idx),
+            first_token_s: None,
+            completed_s: None,
+            slo_met: None,
+        });
+    }
+    if admitted {
+        classes[p.class_idx].admitted += 1;
+        let cell = &mut cells[cell_idx];
+        cell.queue.push(p.req.class.priority, *next_seq, arr_idx);
+        *next_seq += 1;
+        cell.assigned += 1;
+        cell.note_backlog();
+    }
+}
+
+/// Steps the one engine event that crosses a telemetry tick on cell
+/// `i` and merges its harvest through the shared apply path. Returns
+/// the event instant (the new global now).
+fn step_trigger(
+    cells: &mut [Cell],
+    i: usize,
+    planned: &[PlannedRequest],
+    classes: &mut [ClassAgg],
+    capture: &mut Option<&mut RunCapture>,
+) -> Result<SimTime, SimError> {
+    let t = cells[i].engine.step()?.expect("peeked event exists");
+    let mut batch = CellBatch::default();
+    harvest_cell(&mut cells[i], capture.is_some(), t, &mut batch);
+    apply_batches(vec![batch], planned, classes, capture);
+    Ok(t)
 }
 
 impl Runtime {
@@ -646,7 +1007,9 @@ impl Runtime {
     ///
     /// Deterministic: the same runtime seed and options (including the
     /// shard count and router policy) produce a bit-identical
-    /// [`FleetReport`].
+    /// [`FleetReport`] — at any [`FleetOptions::threads`] worker count,
+    /// since cells only interact at epoch barriers and per-cell results
+    /// merge in cell-index order.
     ///
     /// # Errors
     ///
@@ -772,6 +1135,8 @@ impl Runtime {
                 nodes,
                 queue: murakkab_traffic::PriorityFifo::new(),
                 inflight: Vec::new(),
+                task_class: BTreeMap::new(),
+                task_job: BTreeMap::new(),
                 assigned: 0,
                 stolen_in: 0,
                 migrated_out: 0,
@@ -787,6 +1152,12 @@ impl Runtime {
         //    cell 0's routes: equal node slices select identical routes,
         //    and the estimate is a front-door heuristic either way.
         let est_routes = cells[0].routes.clone();
+        // Interned class table: requests carry an index into it, so the
+        // serve loop never clones a class name. Report order is fixed
+        // by the final (priority, name) sort, so first-seen insertion
+        // order here is fine.
+        let mut class_index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut classes: Vec<ClassAgg> = Vec::new();
         let mut planned = Vec::with_capacity(requests.len());
         for req in requests {
             let mut job_rng = fleet_rng.fork(&format!("job-{}", req.id));
@@ -794,10 +1165,26 @@ impl Runtime {
             let (plan, _) = Planner.decompose(&job, self.library())?;
             let graph = expand(&plan, &inputs)?;
             let est_service_s = estimate_service_s(&graph, &est_routes, self.library())?;
+            let class_idx = match class_index.get(&req.class.name) {
+                Some(&i) => i,
+                None => {
+                    let i = classes.len();
+                    class_index.insert(req.class.name.clone(), i);
+                    classes.push(ClassAgg {
+                        name: req.class.name.clone(),
+                        priority: req.class.priority,
+                        deadline_s: req.class.deadline_s,
+                        ..ClassAgg::default()
+                    });
+                    i
+                }
+            };
+            classes[class_idx].offered += 1;
             planned.push(PlannedRequest {
                 req,
                 graph,
                 est_service_s,
+                class_idx,
             });
         }
         if let Some(cap) = capture.as_deref_mut() {
@@ -838,59 +1225,71 @@ impl Runtime {
             ps
         };
 
-        let mut classes: BTreeMap<String, ClassAgg> = BTreeMap::new();
-        for p in &planned {
-            let agg = classes.entry(p.req.class.name.clone()).or_default();
-            agg.priority = p.req.class.priority;
-            agg.deadline_s = p.req.class.deadline_s;
-            agg.offered += 1;
-        }
-        // (cell, task) → SLO class of the owning workflow, so endpoint-
-        // level token latencies (TTFT/TPOT) aggregate per class. The cell
-        // index is part of the key: every cell engine has its own task-id
-        // space, so bare ids collide across cells.
-        let mut task_class: BTreeMap<(usize, murakkab_workflow::TaskId), String> = BTreeMap::new();
-        // (cell, task) → planned index, maintained only while capturing
-        // so endpoint first-token instants attach to their request.
-        let mut task_req: BTreeMap<(usize, murakkab_workflow::TaskId), usize> = BTreeMap::new();
-
+        let threads = opts.threads.max(1).min(shards);
+        let capturing = capture.is_some();
         let mut now = SimTime::ZERO;
         let mut arr_idx = 0usize;
         loop {
-            // Inject queued work while execution slots are free, cell by
-            // cell.
-            for (cell_idx, cell) in cells.iter_mut().enumerate() {
-                while cell.inflight.len() < per_cell_inflight {
-                    let Some((_, _, idx)) = cell.queue.pop() else {
-                        break;
-                    };
-                    let p = &planned[idx];
-                    let map = cell
-                        .engine
-                        .admit_graph(now, &p.graph, &format!("r{}/", p.req.id))?;
-                    let task_ids: Vec<murakkab_workflow::TaskId> = map.into_values().collect();
-                    for &tid in &task_ids {
-                        task_class.insert((cell_idx, tid), p.req.class.name.clone());
-                    }
-                    if capture.is_some() {
-                        for &tid in &task_ids {
-                            task_req.insert((cell_idx, tid), idx);
-                        }
-                    }
-                    cell.inflight.push(InflightJob {
-                        planned_idx: idx,
-                        task_ids,
-                    });
-                }
+            let next_arr = planned.get(arr_idx).map(|p| p.req.at);
+
+            // The common epoch: the next synchronization point is an
+            // arrival strictly before the telemetry tick. Every cell
+            // advances to it concurrently (engine events at the arrival
+            // instant beat the simultaneous arrival, hence the inclusive
+            // bound), then the arrival routes against the merged backlog
+            // picture. No tick can fire: now stays short of it.
+            if let Some(at) = next_arr.filter(|&at| at < next_rebalance) {
+                let batches = advance_cells(
+                    &mut cells,
+                    &planned,
+                    per_cell_inflight,
+                    capturing,
+                    threads,
+                    now,
+                    at,
+                    true,
+                )?;
+                apply_batches(batches, &planned, &mut classes, &mut capture);
+                now = at;
+                process_arrival(
+                    at,
+                    arr_idx,
+                    &planned,
+                    &mut cells,
+                    &mut classes,
+                    &mut ctrl,
+                    opts.router,
+                    &priority_ranks,
+                    &mut next_seq,
+                    &mut capture,
+                );
+                arr_idx += 1;
+                continue;
             }
 
-            let next_arr = planned.get(arr_idx).map(|p| p.req.at);
+            // Otherwise the epoch ends at the telemetry tick: advance
+            // every cell to just before it, then process exactly the one
+            // merged-stream item that crosses the tick (earliest first;
+            // engine events beat simultaneous arrivals; cross-cell ties
+            // go to the lowest cell index) — the rebalancer fires after
+            // that item, not at the tick instant.
+            let batches = advance_cells(
+                &mut cells,
+                &planned,
+                per_cell_inflight,
+                capturing,
+                threads,
+                now,
+                next_rebalance,
+                false,
+            )?;
+            apply_batches(batches, &planned, &mut classes, &mut capture);
             let next_event = cells
                 .iter()
                 .enumerate()
                 .filter_map(|(i, c)| c.engine.peek_time().map(|t| (t, i)))
                 .min();
-            let stepped = match (next_arr, next_event) {
+            match (next_arr, next_event) {
                 (None, None) => {
                     if cells
                         .iter()
@@ -898,124 +1297,35 @@ impl Runtime {
                     {
                         break;
                     }
-                    // Loop-top injection already drained the queues into
-                    // any free slots, so reaching here with work left
-                    // means an engine stalled — a scheduling bug, not a
-                    // wait state.
+                    // Epoch-entry injection already drained the queues
+                    // into any free slots, so reaching here with work
+                    // left means an engine stalled — a scheduling bug,
+                    // not a wait state.
                     return Err(SimError::InvalidState(
                         "fleet serve loop stalled with workflows pending".into(),
                     ));
                 }
                 (Some(at), Some((ev, i))) if ev <= at => {
-                    now = cells[i].engine.step()?.expect("peeked event exists");
-                    Some(i)
+                    now = step_trigger(&mut cells, i, &planned, &mut classes, &mut capture)?;
                 }
                 (Some(at), _) => {
-                    // Arrival: route to a cell, then the admission
-                    // decision at the arrival instant against that cell's
-                    // backlog.
                     now = at;
-                    let p = &planned[arr_idx];
-                    let cell_idx = route_cell(
-                        opts.router,
-                        &cells,
-                        p.req.id,
-                        p.req.class.priority,
-                        &priority_ranks,
-                    );
-                    let decision = ctrl.gate(
+                    process_arrival(
                         at,
-                        p.req.class.deadline_s,
-                        p.est_service_s,
-                        cells[cell_idx].backlog(),
-                        cells[cell_idx].queue.len(),
+                        arr_idx,
+                        &planned,
+                        &mut cells,
+                        &mut classes,
+                        &mut ctrl,
+                        opts.router,
+                        &priority_ranks,
+                        &mut next_seq,
+                        &mut capture,
                     );
-                    let admitted = decision == murakkab_traffic::AdmissionDecision::Admitted;
-                    if let Some(cap) = capture.as_deref_mut() {
-                        cap.requests[arr_idx].outcome = Some(RequestOutcome {
-                            verdict: decision,
-                            cell: admitted.then_some(cell_idx),
-                            first_token_s: None,
-                            completed_s: None,
-                            slo_met: None,
-                        });
-                    }
-                    if admitted {
-                        let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
-                        agg.admitted += 1;
-                        let cell = &mut cells[cell_idx];
-                        cell.queue.push(p.req.class.priority, next_seq, arr_idx);
-                        next_seq += 1;
-                        cell.assigned += 1;
-                        cell.note_backlog();
-                    }
                     arr_idx += 1;
-                    None
                 }
                 (None, Some((_, i))) => {
-                    now = cells[i].engine.step()?.expect("peeked event exists");
-                    Some(i)
-                }
-            };
-
-            // Harvest workflow completions after the stepped cell's
-            // progress.
-            if let Some(i) = stepped {
-                for (tid, ttft, tpot, first_abs) in cells[i].engine.take_llm_metrics() {
-                    if let Some(name) = task_class.remove(&(i, tid)) {
-                        let agg = classes.get_mut(&name).expect("pre-seeded");
-                        agg.ttfts.push(ttft);
-                        agg.tpots.push(tpot);
-                    }
-                    if let Some(cap) = capture.as_deref_mut() {
-                        if let Some(idx) = task_req.remove(&(i, tid)) {
-                            if let Some(o) = cap.requests[idx].outcome.as_mut() {
-                                // Earliest first token across the
-                                // workflow's endpoint tasks.
-                                o.first_token_s =
-                                    Some(o.first_token_s.map_or(first_abs, |v| v.min(first_abs)));
-                            }
-                        }
-                    }
-                }
-                let Cell {
-                    engine,
-                    inflight,
-                    completed: cell_completed,
-                    ..
-                } = &mut cells[i];
-                if !inflight.is_empty() {
-                    let done = engine.completed_tasks();
-                    let mut k = 0;
-                    while k < inflight.len() {
-                        if inflight[k].task_ids.iter().all(|t| done.contains(t)) {
-                            let job = inflight.swap_remove(k);
-                            // Token metrics for this workflow were drained
-                            // above; drop its remaining (non-LLM) entries
-                            // so the map stays bounded on long runs.
-                            for t in &job.task_ids {
-                                task_class.remove(&(i, *t));
-                                task_req.remove(&(i, *t));
-                            }
-                            let p = &planned[job.planned_idx];
-                            let latency = now.saturating_duration_since(p.req.at).as_secs_f64();
-                            let agg = classes.get_mut(&p.req.class.name).expect("pre-seeded");
-                            agg.completed += 1;
-                            if p.req.class.met_by(latency) {
-                                agg.slo_met += 1;
-                            }
-                            agg.latencies.push(latency);
-                            *cell_completed += 1;
-                            if let Some(cap) = capture.as_deref_mut() {
-                                if let Some(o) = cap.requests[job.planned_idx].outcome.as_mut() {
-                                    o.completed_s = Some(now.as_secs_f64());
-                                    o.slo_met = Some(p.req.class.met_by(latency));
-                                }
-                            }
-                        } else {
-                            k += 1;
-                        }
-                    }
+                    now = step_trigger(&mut cells, i, &planned, &mut classes, &mut capture)?;
                 }
             }
 
@@ -1129,6 +1439,7 @@ impl Runtime {
             completed: u64,
             peak_backlog: u64,
             rebalance_actions: u64,
+            events_processed: u64,
             /// `(prefill busy GPU-s, prefill GPUs, decode busy GPU-s,
             /// decode GPUs)` across the cell's endpoints.
             phase: (f64, f64, f64, f64),
@@ -1148,6 +1459,7 @@ impl Runtime {
                 ..
             } = cell;
             let phase = engine.endpoint_phase_stats();
+            let events_processed = engine.events_processed();
             let outcome = engine.finish(SimTime::ZERO)?;
             makespan = makespan.max(outcome.makespan);
             finished.push(CellDone {
@@ -1159,6 +1471,7 @@ impl Runtime {
                 completed,
                 peak_backlog,
                 rebalance_actions,
+                events_processed,
                 phase,
             });
         }
@@ -1183,6 +1496,7 @@ impl Runtime {
         let mut cost_usd = 0.0;
         let (mut pool_scale_ups, mut pool_scale_downs) = (0u64, 0u64);
         let mut rebalance_actions = 0u64;
+        let mut events_processed = 0u64;
         for (i, done) in finished.iter().enumerate() {
             let gpu = avg(&done.outcome.cluster.aggregate_util(
                 DeviceKind::Gpu,
@@ -1207,6 +1521,7 @@ impl Runtime {
             pool_scale_ups += done.outcome.pool_scale_ups;
             pool_scale_downs += done.outcome.pool_scale_downs;
             rebalance_actions += done.rebalance_actions;
+            events_processed += done.events_processed;
             let (cell_pf_busy, cell_pf_gpus, cell_dc_busy, cell_dc_gpus) = done.phase;
             pf_busy += cell_pf_busy;
             pf_cap += cell_pf_gpus;
@@ -1237,49 +1552,64 @@ impl Runtime {
                 pool_scale_ups: done.outcome.pool_scale_ups,
                 pool_scale_downs: done.outcome.pool_scale_downs,
                 rebalance_actions: done.rebalance_actions,
+                events_processed: done.events_processed,
                 makespan_s: done.outcome.makespan.as_secs_f64(),
             });
         }
 
         let mut class_reports: Vec<FleetClassReport> = classes
             .into_iter()
-            .map(|(name, mut agg)| {
+            .map(|mut agg| {
                 // Every sample is retained, so percentiles are exact
-                // (nearest-rank), not histogram-bucket estimates.
+                // (nearest-rank), not histogram-bucket estimates. An
+                // empty sample set is `None` (serialized `null`), never
+                // a fake 0-second percentile.
                 agg.latencies.sort_by(f64::total_cmp);
                 let mean = if agg.latencies.is_empty() {
-                    0.0
+                    None
                 } else {
-                    agg.latencies.iter().sum::<f64>() / agg.latencies.len() as f64
+                    Some(agg.latencies.iter().sum::<f64>() / agg.latencies.len() as f64)
                 };
                 agg.ttfts.sort_by(f64::total_cmp);
                 agg.tpots.sort_by(f64::total_cmp);
-                let pct_of = |v: &[f64], q: f64| {
+                let pct_of = |v: &[f64], q: f64| -> Option<f64> {
                     if v.is_empty() {
-                        0.0
+                        None
                     } else {
                         let rank = (q * v.len() as f64).ceil() as usize;
-                        v[rank.clamp(1, v.len()) - 1]
+                        Some(v[rank.clamp(1, v.len()) - 1])
                     }
                 };
                 FleetClassReport {
-                    class: name,
+                    class: agg.name.clone(),
                     priority: agg.priority,
                     deadline_s: agg.deadline_s,
                     offered: agg.offered,
                     admitted: agg.admitted,
                     completed: agg.completed,
                     slo_met: agg.slo_met,
+                    // Attainment is over admitted work only: a fully
+                    // shed class is degraded (0.0), not vacuously
+                    // perfect; only the no-traffic case reads 1.0.
                     attainment: if agg.admitted == 0 {
-                        1.0
+                        if agg.offered == 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
                     } else {
                         agg.slo_met as f64 / agg.admitted as f64
+                    },
+                    shed_rate: if agg.offered == 0 {
+                        0.0
+                    } else {
+                        (agg.offered - agg.admitted) as f64 / agg.offered as f64
                     },
                     p50_s: pct_of(&agg.latencies, 0.5),
                     p95_s: pct_of(&agg.latencies, 0.95),
                     p99_s: pct_of(&agg.latencies, 0.99),
                     mean_s: mean,
-                    max_s: agg.latencies.last().copied().unwrap_or(0.0),
+                    max_s: agg.latencies.last().copied(),
                     ttft_p50_s: pct_of(&agg.ttfts, 0.5),
                     ttft_p95_s: pct_of(&agg.ttfts, 0.95),
                     ttft_p99_s: pct_of(&agg.ttfts, 0.99),
@@ -1313,9 +1643,18 @@ impl Runtime {
             completed,
             slo_met,
             slo_attainment: if admitted == 0 {
-                1.0
+                if offered == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
             } else {
                 slo_met as f64 / admitted as f64
+            },
+            shed_rate: if offered == 0 {
+                0.0
+            } else {
+                (offered - admitted) as f64 / offered as f64
             },
             throughput_per_min: completed as f64 / horizon_min,
             goodput_per_min: slo_met as f64 / horizon_min,
@@ -1339,6 +1678,7 @@ impl Runtime {
             pool_scale_ups,
             pool_scale_downs,
             rebalance_actions,
+            events_processed,
             steals,
             cells: cell_reports,
         })
@@ -1421,6 +1761,28 @@ mod tests {
     }
 
     #[test]
+    fn hashed_cells_spread_within_2x_of_uniform() {
+        // The multiply-shift reduction folds high hash bits into the
+        // cell choice; a `%` reduction fails this badly at power-of-two
+        // shard counts (low-order Fibonacci-hash bits alone are far
+        // from uniform over sequential ids).
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0u64; shards];
+            let n = 4096u64;
+            for id in 0..n {
+                counts[hashed_cell(id, shards)] += 1;
+            }
+            let uniform = n as f64 / shards as f64;
+            for (cell, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64) >= uniform / 2.0 && (c as f64) <= uniform * 2.0,
+                    "shards={shards} cell={cell}: {c} assignments vs uniform {uniform}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn small_fleet_run_completes_and_is_sane() {
         let rt = Runtime::paper_testbed(42);
         let opts =
@@ -1469,6 +1831,7 @@ mod tests {
             },
             base().max_inflight(0),
             base().shards(0),
+            base().threads(0),
         ];
         for opts in cases {
             assert!(

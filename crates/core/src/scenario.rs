@@ -198,6 +198,11 @@ pub struct OpenLoopSpec {
     pub rebalance_every_s: f64,
     /// Backlog gap above which the migration pass steals queued work.
     pub steal_margin: usize,
+    /// Worker threads stepping cells concurrently between
+    /// synchronization epochs (`None` = 1, inline). Reports are
+    /// bit-identical at every thread count; absent in older scenario
+    /// files.
+    pub threads: Option<usize>,
 }
 
 impl OpenLoopSpec {
@@ -212,6 +217,7 @@ impl OpenLoopSpec {
             router: CellPolicy::default(),
             rebalance_every_s: 30.0,
             steal_margin: 2,
+            threads: None,
         }
     }
 
@@ -542,6 +548,27 @@ impl Scenario {
         self
     }
 
+    /// Sets the work-stealing backlog margin (open-loop scenarios;
+    /// no-op in closed loop).
+    #[must_use]
+    pub fn steal_margin(mut self, margin: usize) -> Self {
+        if let ExecutionMode::OpenLoop(spec) = &mut self.mode {
+            spec.steal_margin = margin;
+        }
+        self
+    }
+
+    /// Sets the worker-thread count for concurrent cell stepping
+    /// (open-loop scenarios; no-op in closed loop). Reports stay
+    /// bit-identical at every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        if let ExecutionMode::OpenLoop(spec) = &mut self.mode {
+            spec.threads = Some(threads);
+        }
+        self
+    }
+
     /// Validates the spec: numeric sanity (finite positive horizons and
     /// preemption instants, non-zero parallelism/shards/nodes) and
     /// mode/workload compatibility.
@@ -631,6 +658,7 @@ impl Scenario {
             shards: spec.shards,
             router: spec.router,
             steal_margin: spec.steal_margin,
+            threads: spec.threads.unwrap_or(1),
             serving: self.serving,
             constraints: self.constraints.clone(),
             workflow_aware: self.workflow_aware,

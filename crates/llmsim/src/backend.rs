@@ -136,8 +136,9 @@ impl BackendSpec {
 /// A simulated model-serving endpoint behind the engine's event loop.
 ///
 /// Object-safe: hosts hold `Box<dyn ServingBackend>` and never name the
-/// concrete backend type.
-pub trait ServingBackend: std::fmt::Debug {
+/// concrete backend type. `Send` so an engine that owns backends can be
+/// stepped on a worker thread between fleet synchronization epochs.
+pub trait ServingBackend: std::fmt::Debug + Send {
     /// Endpoint name.
     fn name(&self) -> &str;
 

@@ -32,6 +32,16 @@ impl Delta {
         }
     }
 
+    /// Pairs two optional samples: `None` unless both sides measured
+    /// the metric (an absent percentile is missing data, not zero —
+    /// subtracting it would fabricate a 0-second baseline).
+    fn between_opt(before: Option<f64>, after: Option<f64>) -> Option<Self> {
+        match (before, after) {
+            (Some(b), Some(a)) => Some(Delta::between(b, a)),
+            _ => None,
+        }
+    }
+
     /// `after / before` (1 when both are zero, infinite when only the
     /// baseline is zero).
     pub fn ratio(&self) -> f64 {
@@ -81,26 +91,29 @@ pub struct ClassDiff {
     pub completed: CountDelta,
     /// Completions within the deadline.
     pub slo_met: CountDelta,
-    /// `slo_met / admitted` attainment.
+    /// `slo_met / admitted` attainment (over admitted work only).
     pub attainment: Delta,
+    /// Fraction of this class's arrivals shed at the front door.
+    pub shed_rate: Delta,
     /// Deadline-meeting completions per minute of horizon.
     pub goodput_per_min: Delta,
-    /// Median end-to-end latency, seconds.
-    pub p50_s: Delta,
+    /// Median end-to-end latency, seconds (`None` when either side has
+    /// no samples — missing data never diffs against a fake zero).
+    pub p50_s: Option<Delta>,
     /// 95th-percentile latency.
-    pub p95_s: Delta,
+    pub p95_s: Option<Delta>,
     /// 99th-percentile latency.
-    pub p99_s: Delta,
+    pub p99_s: Option<Delta>,
     /// Median time-to-first-token, seconds.
-    pub ttft_p50_s: Delta,
+    pub ttft_p50_s: Option<Delta>,
     /// 95th-percentile TTFT.
-    pub ttft_p95_s: Delta,
+    pub ttft_p95_s: Option<Delta>,
     /// 99th-percentile TTFT.
-    pub ttft_p99_s: Delta,
+    pub ttft_p99_s: Option<Delta>,
     /// Median time-per-output-token, seconds.
-    pub tpot_p50_s: Delta,
+    pub tpot_p50_s: Option<Delta>,
     /// 95th-percentile TPOT.
-    pub tpot_p95_s: Delta,
+    pub tpot_p95_s: Option<Delta>,
 }
 
 impl ClassDiff {
@@ -120,16 +133,17 @@ impl ClassDiff {
             completed: 0,
             slo_met: 0,
             attainment: 0.0,
-            p50_s: 0.0,
-            p95_s: 0.0,
-            p99_s: 0.0,
-            mean_s: 0.0,
-            max_s: 0.0,
-            ttft_p50_s: 0.0,
-            ttft_p95_s: 0.0,
-            ttft_p99_s: 0.0,
-            tpot_p50_s: 0.0,
-            tpot_p95_s: 0.0,
+            shed_rate: 0.0,
+            p50_s: None,
+            p95_s: None,
+            p99_s: None,
+            mean_s: None,
+            max_s: None,
+            ttft_p50_s: None,
+            ttft_p95_s: None,
+            ttft_p99_s: None,
+            tpot_p50_s: None,
+            tpot_p95_s: None,
         };
         let b = before.unwrap_or(&zero);
         let a = after.unwrap_or(&zero);
@@ -147,18 +161,19 @@ impl ClassDiff {
             completed: CountDelta::between(b.completed, a.completed),
             slo_met: CountDelta::between(b.slo_met, a.slo_met),
             attainment: Delta::between(b.attainment, a.attainment),
+            shed_rate: Delta::between(b.shed_rate, a.shed_rate),
             goodput_per_min: Delta::between(
                 goodput(b.slo_met, before_horizon_s),
                 goodput(a.slo_met, after_horizon_s),
             ),
-            p50_s: Delta::between(b.p50_s, a.p50_s),
-            p95_s: Delta::between(b.p95_s, a.p95_s),
-            p99_s: Delta::between(b.p99_s, a.p99_s),
-            ttft_p50_s: Delta::between(b.ttft_p50_s, a.ttft_p50_s),
-            ttft_p95_s: Delta::between(b.ttft_p95_s, a.ttft_p95_s),
-            ttft_p99_s: Delta::between(b.ttft_p99_s, a.ttft_p99_s),
-            tpot_p50_s: Delta::between(b.tpot_p50_s, a.tpot_p50_s),
-            tpot_p95_s: Delta::between(b.tpot_p95_s, a.tpot_p95_s),
+            p50_s: Delta::between_opt(b.p50_s, a.p50_s),
+            p95_s: Delta::between_opt(b.p95_s, a.p95_s),
+            p99_s: Delta::between_opt(b.p99_s, a.p99_s),
+            ttft_p50_s: Delta::between_opt(b.ttft_p50_s, a.ttft_p50_s),
+            ttft_p95_s: Delta::between_opt(b.ttft_p95_s, a.ttft_p95_s),
+            ttft_p99_s: Delta::between_opt(b.ttft_p99_s, a.ttft_p99_s),
+            tpot_p50_s: Delta::between_opt(b.tpot_p50_s, a.tpot_p50_s),
+            tpot_p95_s: Delta::between_opt(b.tpot_p95_s, a.tpot_p95_s),
         }
     }
 }
@@ -188,8 +203,10 @@ pub struct TraceDiff {
     pub rejected: CountDelta,
     /// Queued workflows moved between cells by the migration pass.
     pub steals: CountDelta,
-    /// `slo_met / admitted` attainment.
+    /// `slo_met / admitted` attainment (over admitted work only).
     pub slo_attainment: Delta,
+    /// Fraction of all arrivals shed at the front door.
+    pub shed_rate: Delta,
     /// Deadline-meeting workflows per minute of horizon.
     pub goodput_per_min: Delta,
     /// Completed workflows per minute of horizon.
@@ -256,6 +273,7 @@ impl TraceDiff {
             rejected: CountDelta::between(b.rejections(), a.rejections()),
             steals: CountDelta::between(b.steals, a.steals),
             slo_attainment: Delta::between(b.slo_attainment, a.slo_attainment),
+            shed_rate: Delta::between(b.shed_rate, a.shed_rate),
             goodput_per_min: Delta::between(b.goodput_per_min, a.goodput_per_min),
             throughput_per_min: Delta::between(b.throughput_per_min, a.throughput_per_min),
             gpu_util_avg_pct: Delta::between(b.gpu_util_avg_pct, a.gpu_util_avg_pct),
@@ -306,24 +324,30 @@ impl TraceDiff {
         out.push_str(&count("rejected", &self.rejected));
         out.push_str(&count("steals", &self.steals));
         out.push_str(&metric("slo attainment", &self.slo_attainment));
+        out.push_str(&metric("shed rate", &self.shed_rate));
         out.push_str(&metric("goodput/min", &self.goodput_per_min));
         out.push_str(&metric("throughput/min", &self.throughput_per_min));
         out.push_str(&metric("gpu util %", &self.gpu_util_avg_pct));
         out.push_str(&metric("energy Wh", &self.energy_allocated_wh));
         out.push_str(&metric("cost $", &self.cost_usd));
+        // An absent percentile prints as `-`: missing data, not zero.
+        let opt_pair = |d: &Option<Delta>| match d {
+            Some(d) => format!("{:.1}s → {:.1}s", d.before, d.after),
+            None => "- → -".to_string(),
+        };
         for c in &self.classes {
             out.push_str(&format!("  class {}:\n", c.class));
             out.push_str(&format!(
-                "    attainment {:.1}% → {:.1}%  goodput {:.2} → {:.2}/min  \
-                 p95 {:.1}s → {:.1}s  ttft p95 {:.1}s → {:.1}s\n",
+                "    attainment {:.1}% → {:.1}%  shed {:.1}% → {:.1}%  \
+                 goodput {:.2} → {:.2}/min  p95 {}  ttft p95 {}\n",
                 100.0 * c.attainment.before,
                 100.0 * c.attainment.after,
+                100.0 * c.shed_rate.before,
+                100.0 * c.shed_rate.after,
                 c.goodput_per_min.before,
                 c.goodput_per_min.after,
-                c.p95_s.before,
-                c.p95_s.after,
-                c.ttft_p95_s.before,
-                c.ttft_p95_s.after,
+                opt_pair(&c.p95_s),
+                opt_pair(&c.ttft_p95_s),
             ));
         }
         out

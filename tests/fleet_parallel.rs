@@ -1,0 +1,88 @@
+//! Parallel-execution determinism: the `threads` knob must never move a
+//! digest. The property sweep drives random seeds through every router
+//! and shard count comparing worker-thread runs against the sequential
+//! path; the scenario files pin the same contract on the committed
+//! configurations; the trace fixture proves a capture taken
+//! sequentially replays bit-identically on worker threads.
+
+use murakkab::fleet::CellPolicy;
+use murakkab::scenario::Scenario;
+use murakkab_bench::{shard_sweep_log, shard_sweep_scenario};
+use murakkab_trace::RunTrace;
+use proptest::prelude::*;
+
+const HORIZON_S: f64 = 120.0;
+// Sixteen nodes keep a cell at two nodes even at eight shards — below
+// that a cell cannot host the full agent set next to its serving stack.
+const NODES: usize = 16;
+
+fn digest_of(scenario: &Scenario) -> u64 {
+    scenario.run().expect("scenario serves").digest()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any seed, shard count, router, steal margin and worker-thread
+    /// count, the parallel serve loop produces the same report digest as
+    /// the sequential one — epoch barriers and the cell-index merge make
+    /// thread scheduling unobservable.
+    #[test]
+    fn parallel_serve_matches_sequential_digest(
+        seed in 0u64..1_000,
+        shards_idx in 0usize..4,
+        router_idx in 0usize..3,
+        steal_margin in 1usize..4,
+        threads in 2usize..=4,
+    ) {
+        let shards = [1usize, 2, 4, 8][shards_idx];
+        let router =
+            [CellPolicy::Hashed, CellPolicy::LeastLoaded, CellPolicy::SloAffine][router_idx];
+        let log = shard_sweep_log(seed, HORIZON_S);
+        let base = shard_sweep_scenario(seed, &log, shards, HORIZON_S, NODES)
+            .router(router)
+            .steal_margin(steal_margin);
+        let sequential = digest_of(&base.clone().threads(1));
+        let parallel = digest_of(&base.threads(threads));
+        prop_assert_eq!(
+            sequential, parallel,
+            "threads={} diverged (seed {}, shards {}, router {:?}, margin {})",
+            threads, seed, shards, router, steal_margin
+        );
+    }
+}
+
+/// Every committed scenario file serves to the same digest sequentially
+/// and on worker threads — the knob is invisible on exactly the
+/// configurations the repo's experiments are pinned to.
+#[test]
+fn committed_scenarios_are_thread_count_invariant() {
+    for name in [
+        "disagg_ab_colocated.json",
+        "disagg_ab_disaggregated.json",
+        "overload_open_loop.json",
+    ] {
+        let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+        let scenario = Scenario::from_json_file(&path).expect("scenario parses");
+        let sequential = digest_of(&scenario.clone().threads(1));
+        let parallel = digest_of(&scenario.threads(3));
+        assert_eq!(sequential, parallel, "{name} digest moved under threads=3");
+    }
+}
+
+/// A trace captured on the sequential path replays bit-identically with
+/// worker threads: capture/replay and parallel execution compose.
+#[test]
+fn captured_trace_replays_identically_on_worker_threads() {
+    let mut trace = RunTrace::from_json_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/trace_small.json"
+    ))
+    .expect("fixture trace parses and validates");
+    let recorded = trace.digest.expect("fixture carries a digest");
+    trace.scenario = trace.scenario.threads(2);
+    let report = trace
+        .verify_replay()
+        .expect("parallel replay is bit-identical to the sequential capture");
+    assert_eq!(report.digest(), recorded);
+}
