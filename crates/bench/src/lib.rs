@@ -6,7 +6,9 @@
 //! criterion benches measure exactly the same runs. Every binary also
 //! writes its results to `BENCH_<name>.json` via [`write_bench_json`].
 
+pub mod engine_hotpath;
 pub mod simspeed;
+pub use engine_hotpath::{engine_hotpath_main, HotpathRow};
 pub use simspeed::{run_simspeed_grid, simspeed_main, SimSpeedRow};
 
 use std::path::PathBuf;

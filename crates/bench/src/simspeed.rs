@@ -219,7 +219,8 @@ pub fn simspeed_main(seed: u64, quick: bool) {
     // prove determinism (the digest column) but not parallelism, so the
     // scoreboard records what it ran on.
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    if host_cores < thread_counts.iter().copied().max().unwrap_or(1) {
+    let undersized_host = host_cores < thread_counts.iter().copied().max().unwrap_or(1);
+    if undersized_host {
         println!("\n  note: host has {host_cores} core(s); speedup is substrate-bound");
     }
 
@@ -229,6 +230,10 @@ pub fn simspeed_main(seed: u64, quick: bool) {
         horizon_s: f64,
         nodes: usize,
         host_cores: usize,
+        /// Provenance caveat, present when the host had fewer cores
+        /// than the widest thread count: the speedup column then
+        /// measures substrate overhead, not parallel scaling.
+        note: Option<String>,
         rows: Vec<SimSpeedRow>,
     }
     let path = write_bench_json(
@@ -238,6 +243,12 @@ pub fn simspeed_main(seed: u64, quick: bool) {
             horizon_s,
             nodes: FLEET_SHARD_NODES,
             host_cores,
+            note: undersized_host.then(|| {
+                format!(
+                    "speedup rows were measured on a {host_cores}-core host; they bound \
+                     substrate overhead, not parallel scaling"
+                )
+            }),
             rows,
         },
     )

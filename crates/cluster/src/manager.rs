@@ -55,10 +55,37 @@ pub struct ClusterManager {
     next_node: u64,
     next_dev: u64,
     next_alloc: u64,
-    allocations: BTreeMap<AllocationId, Allocation>,
+    /// Allocation slab indexed by the dense [`AllocationId`]; released
+    /// slots go vacant (ids are never reused), so iteration in slot
+    /// order is iteration in id order.
+    allocations: Vec<Option<Allocation>>,
+    /// Occupied slots in `allocations`.
+    live_allocations: usize,
     policy: PlacementPolicy,
     provision_delay: SimDuration,
     pending: Vec<(SimTime, VmShape)>,
+}
+
+/// Borrows a live allocation out of the slab.
+fn slab_get(allocations: &[Option<Allocation>], id: AllocationId) -> Result<&Allocation, SimError> {
+    allocations
+        .get(id.raw() as usize)
+        .and_then(Option::as_ref)
+        .ok_or_else(|| SimError::not_found("allocation", id.to_string()))
+}
+
+/// Mutably borrows the node with `id`. Nodes are only ever appended
+/// with sequential ids, so the id doubles as the index; the linear scan
+/// is a safety net, not the expected path.
+fn node_mut(nodes: &mut [Node], id: NodeId) -> &mut Node {
+    let i = id.raw() as usize;
+    if nodes.get(i).is_some_and(|n| n.id == id) {
+        return &mut nodes[i];
+    }
+    nodes
+        .iter_mut()
+        .find(|n| n.id == id)
+        .expect("allocation references an existing node")
 }
 
 impl ClusterManager {
@@ -69,7 +96,8 @@ impl ClusterManager {
             next_node: 0,
             next_dev: 0,
             next_alloc: 0,
-            allocations: BTreeMap::new(),
+            allocations: Vec::new(),
+            live_allocations: 0,
             policy,
             provision_delay: SimDuration::from_secs(90),
             pending: Vec::new(),
@@ -192,19 +220,18 @@ impl ClusterManager {
 
         let id = AllocationId::from_raw(self.next_alloc);
         self.next_alloc += 1;
-        self.allocations.insert(
+        debug_assert_eq!(self.allocations.len() as u64, id.raw());
+        self.allocations.push(Some(Allocation {
             id,
-            Allocation {
-                id,
-                node: node_id,
-                target,
-                gpu_devices,
-                gpu_share,
-                cores,
-                label: label.into(),
-                created: now,
-            },
-        );
+            node: node_id,
+            target,
+            gpu_devices,
+            gpu_share,
+            cores,
+            label: label.into(),
+            created: now,
+        }));
+        self.live_allocations += 1;
         id
     }
 
@@ -258,7 +285,7 @@ impl ClusterManager {
                 return Err(e);
             }
         };
-        let same_node = self.allocations[&first].node == self.allocations[&second].node;
+        let same_node = self.allocation(first)?.node == self.allocation(second)?.node;
         Ok(PairedAllocation {
             prefill: first,
             decode: second,
@@ -275,13 +302,11 @@ impl ClusterManager {
     pub fn release(&mut self, _now: SimTime, id: AllocationId) -> Result<(), SimError> {
         let alloc = self
             .allocations
-            .remove(&id)
+            .get_mut(id.raw() as usize)
+            .and_then(Option::take)
             .ok_or_else(|| SimError::not_found("allocation", id.to_string()))?;
-        let node = self
-            .nodes
-            .iter_mut()
-            .find(|n| n.id == alloc.node)
-            .expect("allocation references an existing node");
+        self.live_allocations -= 1;
+        let node = node_mut(&mut self.nodes, alloc.node);
         if node.up {
             for dev in &alloc.gpu_devices {
                 if let Some(d) = node.gpu_mut(*dev) {
@@ -301,9 +326,7 @@ impl ClusterManager {
     ///
     /// Returns [`SimError::NotFound`] for unknown ids.
     pub fn allocation(&self, id: AllocationId) -> Result<&Allocation, SimError> {
-        self.allocations
-            .get(&id)
-            .ok_or_else(|| SimError::not_found("allocation", id.to_string()))
+        slab_get(&self.allocations, id)
     }
 
     /// Marks task activity on an allocation: `gpu_util` of each granted
@@ -342,16 +365,14 @@ impl ClusterManager {
         gpu_util: f64,
         start: bool,
     ) -> Result<(), SimError> {
-        let alloc = self
-            .allocations
-            .get(&id)
-            .ok_or_else(|| SimError::not_found("allocation", id.to_string()))?
-            .clone();
-        let node = self
-            .nodes
-            .iter_mut()
-            .find(|n| n.id == alloc.node)
-            .expect("allocation references an existing node");
+        // Disjoint field borrows: the allocation is read while its
+        // node's devices mutate — no per-event clone of the allocation
+        // (its device list and label are heap-backed).
+        let Self {
+            nodes, allocations, ..
+        } = self;
+        let alloc = slab_get(allocations, id)?;
+        let node = node_mut(nodes, alloc.node);
         if !node.up {
             // The node died; its activity was zeroed at preemption.
             return Ok(());
@@ -387,16 +408,11 @@ impl ClusterManager {
         id: AllocationId,
         level: f64,
     ) -> Result<(), SimError> {
-        let alloc = self
-            .allocations
-            .get(&id)
-            .ok_or_else(|| SimError::not_found("allocation", id.to_string()))?
-            .clone();
-        let node = self
-            .nodes
-            .iter_mut()
-            .find(|n| n.id == alloc.node)
-            .expect("allocation references an existing node");
+        let Self {
+            nodes, allocations, ..
+        } = self;
+        let alloc = slab_get(allocations, id)?;
+        let node = node_mut(nodes, alloc.node);
         if !node.up {
             return Ok(());
         }
@@ -436,14 +452,12 @@ impl ClusterManager {
         node.cpu.set_activity_level(now, 0.0);
         node.cpu.unreserve(node.cpu.reserved());
 
-        let killed: Vec<AllocationId> = self
-            .allocations
-            .values()
-            .filter(|a| a.node == id)
-            .map(|a| a.id)
-            .collect();
-        for k in &killed {
-            self.allocations.remove(k);
+        let mut killed = Vec::new();
+        for slot in &mut self.allocations {
+            if slot.as_ref().is_some_and(|a| a.node == id) {
+                killed.push(slot.take().expect("checked occupied").id);
+                self.live_allocations -= 1;
+            }
         }
         Ok(killed)
     }
@@ -497,14 +511,16 @@ impl ClusterManager {
         let mut squeezed = Vec::new();
         if f64::from(new_cores) < old_capacity && reserved > f64::from(new_cores) {
             let mut overflow = reserved - f64::from(new_cores);
-            for a in self.allocations.values() {
-                if a.node == id && a.cores > 0 && overflow > 0.0 {
+            for slot in &mut self.allocations {
+                let evict = slot
+                    .as_ref()
+                    .is_some_and(|a| a.node == id && a.cores > 0 && overflow > 0.0);
+                if evict {
+                    let a = slot.take().expect("checked occupied");
                     squeezed.push(a.id);
                     overflow -= f64::from(a.cores);
+                    self.live_allocations -= 1;
                 }
-            }
-            for sid in &squeezed {
-                self.allocations.remove(sid);
             }
         }
         let _ = now;
@@ -549,7 +565,7 @@ impl ClusterManager {
                 self.nodes.len()
             )));
         }
-        if !self.allocations.is_empty() {
+        if self.live_allocations != 0 {
             return Err(SimError::InvalidState(
                 "cannot partition a cluster with live allocations".into(),
             ));
@@ -589,7 +605,7 @@ impl ClusterManager {
     /// "Resource-Aware Workflow Orchestration").
     pub fn stats(&self, now: SimTime) -> ResourceStats {
         let mut per_label: BTreeMap<String, f64> = BTreeMap::new();
-        for a in self.allocations.values() {
+        for a in self.allocations.iter().flatten() {
             *per_label.entry(a.label.clone()).or_insert(0.0) +=
                 a.gpu_share * a.gpu_devices.len() as f64;
         }
@@ -732,9 +748,9 @@ impl ClusterManager {
         &self.nodes
     }
 
-    /// Live allocations in id order.
+    /// Live allocations in id order (vacant slab slots are skipped).
     pub fn allocations(&self) -> impl Iterator<Item = &Allocation> {
-        self.allocations.values()
+        self.allocations.iter().flatten()
     }
 }
 

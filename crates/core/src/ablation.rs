@@ -98,7 +98,7 @@ pub fn cpu_vs_gpu(seed: u64) -> Result<LeverRow, SimError> {
     let session = Session::new(&base)?;
     let gpu = session.execute(&base)?.into_closed_loop()?;
     let cpu = session
-        .execute(&base.clone().labeled("stt-cpu").stt(SttChoice::Cpu))?
+        .execute(&base.labeled("stt-cpu").stt(SttChoice::Cpu))?
         .into_closed_loop()?;
     Ok(LeverRow {
         lever: "CPU vs GPU",
@@ -125,7 +125,7 @@ pub fn task_parallelism(seed: u64) -> Result<LeverRow, SimError> {
     let session = Session::new(&narrow_sc)?;
     let narrow = session.execute(&narrow_sc)?.into_closed_loop()?;
     let wide = session
-        .execute(&narrow_sc.clone().labeled("fanout-16").parallelism(16))?
+        .execute(&narrow_sc.labeled("fanout-16").parallelism(16))?
         .into_closed_loop()?;
     Ok(LeverRow {
         lever: "Task Parallelism",

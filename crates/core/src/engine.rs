@@ -17,21 +17,36 @@
 //! policy-free: which agent/hardware serves each capability is decided by
 //! the caller (the Murakkab runtime or the imperative baseline executor)
 //! and passed in as [`RouteSpec`]s.
+//!
+//! # Hot-path layout
+//!
+//! [`Engine::new`] interns every route into dense indices: pools and
+//! endpoints live in `Vec`s (sorted by agent name, preserving the old
+//! `BTreeMap` iteration order), capabilities index a fixed
+//! `CompiledRoute` table, and per-task state lives in a `Vec` arena
+//! indexed by the dense [`TaskId`]. Event payloads carry those indices
+//! — `Event<EngineEvent>` is `Copy` — so the steady-state event loop
+//! does no string cloning, no tree walking and no per-event heap
+//! allocation.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use murakkab_agents::{AgentLibrary, Backend, Capability, Work};
+use murakkab_agents::{AgentLibrary, AgentSpec, Backend, Capability, Work};
 use murakkab_cluster::{AllocationId, ClusterManager};
 use murakkab_hardware::{catalog, EnergyScope, GpuSku, HardwareTarget};
 use murakkab_llmsim::{build_backend, BackendSpec, ModelSpec, Request, ServingBackend};
 use murakkab_orchestrator::OrchestratorCost;
-use murakkab_sim::{EventQueue, SimDuration, SimError, SimTime, TraceLog};
+use murakkab_sim::{Event, EventQueue, SimDuration, SimError, SimTime, TraceLog};
 use murakkab_workflow::{TaskGraph, TaskId};
 
 /// Effective interconnect fraction available to a disaggregated pair
 /// whose prefill and decode groups landed on different nodes (the KV
 /// transfer rides the datacenter fabric instead of NVLink).
 const CROSS_NODE_INTERCONNECT_FACTOR: f64 = 0.25;
+
+/// Number of [`Capability`] variants — the size of the per-capability
+/// route and lookahead tables.
+const N_CAPS: usize = Capability::ALL.len();
 
 /// How a capability's tasks are executed.
 #[derive(Debug, Clone)]
@@ -74,6 +89,22 @@ impl RouteSpec {
     }
 }
 
+/// A route compiled to dense indices at engine construction — what the
+/// per-event dispatch path consults instead of the `BTreeMap` of
+/// [`RouteSpec`]s.
+#[derive(Debug, Clone, Copy)]
+enum CompiledRoute {
+    /// Index into [`Engine::pools`].
+    Pool(u32),
+    /// Index into [`Engine::endpoints`].
+    Endpoint(u32),
+    /// External call: latency and dollar cost per call.
+    External {
+        latency_s: f64,
+        cost_per_call_usd: f64,
+    },
+}
+
 /// Engine-level options.
 #[derive(Debug, Clone)]
 pub struct EngineOptions {
@@ -94,6 +125,12 @@ pub struct EngineOptions {
     /// to the A100 calibration (≈ sqrt of the FLOPS ratio: media tools
     /// are partly memory/IO bound, so they do not scale with raw FLOPS).
     pub gpu_speed_factor: f64,
+    /// Record a per-task span into the outcome's [`TraceLog`]. On by
+    /// default (closed-loop reporting renders the trace); the fleet
+    /// driver turns it off — serve reports never read the trace, and
+    /// skipping it removes a `String` clone per completed task from the
+    /// hot path.
+    pub record_spans: bool,
 }
 
 impl Default for EngineOptions {
@@ -104,6 +141,7 @@ impl Default for EngineOptions {
             preemptions: Vec::new(),
             gpu_sku: catalog::a100_80g(),
             gpu_speed_factor: 1.0,
+            record_spans: true,
         }
     }
 }
@@ -156,16 +194,21 @@ impl EngineOutcome {
     }
 }
 
-#[derive(Debug)]
+/// Event payloads carry dense indices only, keeping `Event<EngineEvent>`
+/// `Copy` — nothing is cloned or freed per processed event.
+#[derive(Debug, Clone, Copy)]
 enum EngineEvent {
     ToolDone {
         task: TaskId,
-        cap: Capability,
-        worker: usize,
+        /// Index into [`Engine::pools`].
+        pool: u32,
+        /// Worker slot within the pool.
+        worker: u32,
         gpu_util: f64,
     },
     LlmStep {
-        agent: String,
+        /// Index into [`Engine::endpoints`].
+        endpoint: u32,
         generation: u64,
     },
     ExternalDone {
@@ -186,6 +229,12 @@ struct Worker {
 
 #[derive(Debug)]
 struct Pool {
+    /// Library agent name (cluster allocation label; sort key of
+    /// [`Engine::pools`]).
+    agent: String,
+    /// Cost-model snapshot of the agent (taken once at construction —
+    /// replaces the per-task-start spec clone of the map-keyed engine).
+    spec: AgentSpec,
     caps: Vec<Capability>,
     workers: Vec<Worker>,
     /// The originally requested worker targets — what a re-provision
@@ -197,16 +246,71 @@ struct Pool {
 
 #[derive(Debug)]
 struct EndpointHandle {
+    /// Library agent name (sort key of [`Engine::endpoints`]).
+    agent: String,
     backend: Box<dyn ServingBackend>,
+    /// Deployment shape from the route — consulted when a preemption
+    /// forces a re-placement.
+    spec_backend: BackendSpec,
     /// One allocation for a colocated replica; `[prefill, decode]` for a
     /// disaggregated pair.
     allocs: Vec<AllocationId>,
-    pending: BTreeMap<u64, TaskId>,
+    /// In-flight request slots: the request id IS the slot index, so a
+    /// completion resolves its task with one bounds-checked load. Freed
+    /// slots recycle LIFO; each entry remembers its submission sequence
+    /// so preemption resubmits in original submission order.
+    pending: Vec<Option<(TaskId, u64)>>,
+    free_slots: Vec<u32>,
+    /// Monotonic submission counter feeding `pending` entries.
+    submit_seq: u64,
     orchestration_req: Option<u64>,
-    next_req: u64,
     /// Bumped when the endpoint is re-placed after preemption; stale step
     /// events armed for an earlier incarnation are dropped on arrival.
     generation: u64,
+}
+
+impl EndpointHandle {
+    /// Claims a pending slot for `task` and returns the request id.
+    fn claim_slot(&mut self, task: TaskId) -> u64 {
+        let seq = self.submit_seq;
+        self.submit_seq += 1;
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.pending.push(None);
+            (self.pending.len() - 1) as u32
+        });
+        self.pending[slot as usize] = Some((task, seq));
+        u64::from(slot)
+    }
+}
+
+/// Per-task execution state, indexed by the dense [`TaskId`] — replaces
+/// the `completed`/`scheduled` sets and the `indegree`/`started_at`
+/// maps of the map-keyed engine.
+#[derive(Debug, Clone, Copy)]
+struct TaskState {
+    capability: Capability,
+    /// Remaining-predecessor count; hits zero exactly when the task
+    /// becomes schedulable (incremental ready tracking: dispatch is
+    /// O(newly ready), not O(graph) — fleet graphs grow to thousands of
+    /// tasks).
+    indegree: u32,
+    scheduled: bool,
+    completed: bool,
+    started_at: Option<SimTime>,
+}
+
+impl Default for TaskState {
+    fn default() -> Self {
+        TaskState {
+            // Placeholder — every arena slot is overwritten from its
+            // graph node before use.
+            capability: Capability::FrameExtraction,
+            indegree: 0,
+            scheduled: false,
+            completed: false,
+            started_at: None,
+        }
+    }
 }
 
 /// The execution engine (one run per instance).
@@ -214,39 +318,45 @@ struct EndpointHandle {
 pub struct Engine {
     cluster: ClusterManager,
     graph: TaskGraph,
-    routes: BTreeMap<Capability, RouteSpec>,
-    pools: BTreeMap<String, Pool>,
-    endpoints: BTreeMap<String, EndpointHandle>,
-    external_latency: BTreeMap<Capability, (f64, f64)>,
+    /// Per-capability compiled routes — the event loop's only routing
+    /// structure.
+    route_table: [Option<CompiledRoute>; N_CAPS],
+    /// Tool pools, sorted by agent name (the old `BTreeMap` iteration
+    /// order, which pump/release/report paths depend on).
+    pools: Vec<Pool>,
+    /// LLM endpoints, sorted by agent name.
+    endpoints: Vec<EndpointHandle>,
     options: EngineOptions,
     queue: EventQueue<EngineEvent>,
-    completed: BTreeSet<TaskId>,
-    scheduled: BTreeSet<TaskId>,
-    /// Remaining-predecessor counts; a task drops to zero exactly when it
-    /// becomes schedulable (incremental ready tracking: dispatch is
-    /// O(newly ready), not O(graph) — the fleet mode's graphs grow to
-    /// thousands of tasks).
-    indegree: BTreeMap<TaskId, usize>,
+    /// Dense per-task arena indexed by `TaskId::raw()`.
+    tasks: Vec<TaskState>,
+    completed_count: usize,
     /// Tasks whose last predecessor completed, awaiting dispatch.
-    ready_pending: BTreeSet<TaskId>,
+    ready_pending: Vec<TaskId>,
+    /// Recycled buffer for draining `ready_pending` without
+    /// re-allocating every dispatch.
+    ready_scratch: Vec<TaskId>,
     /// Not-yet-completed task counts per capability (incrementally
     /// maintained DAG lookahead for pool release and the rebalancer).
-    upcoming: BTreeMap<Capability, usize>,
-    started_at: BTreeMap<TaskId, SimTime>,
-    alloc_meta: BTreeMap<AllocationId, (SimTime, HardwareTarget)>,
-    library_snapshot: BTreeMap<String, murakkab_agents::AgentSpec>,
+    upcoming: [usize; N_CAPS],
+    /// `(created, target)` per allocation, indexed by the dense
+    /// [`AllocationId`]; entries stay after release (the settle paths
+    /// check liveness against the cluster, as before).
+    alloc_meta: Vec<Option<(SimTime, HardwareTarget)>>,
     /// `(task, ttft seconds, tpot seconds, absolute first-token
     /// instant seconds)` of finished endpoint tasks, drained by the
     /// fleet driver for per-class token-latency stats and capture.
     llm_metrics: Vec<(TaskId, f64, f64, f64)>,
     /// Tasks finished since the last [`Engine::take_completions`] drain,
     /// in completion order — the fleet driver maps these to jobs via a
-    /// per-job remaining-task counter instead of scanning
-    /// [`Engine::completed_tasks`].
+    /// per-job remaining-task counter.
     completions_log: Vec<TaskId>,
     /// Events popped off the queue so far (the sim-speed denominator).
     events_processed: u64,
     trace: TraceLog,
+    /// Latest task-completion instant — the makespan source when span
+    /// recording is off.
+    last_finish: SimTime,
     energy_ledger: f64,
     cost_ledger: f64,
     orchestrated: bool,
@@ -262,9 +372,23 @@ pub fn target_hourly_usd(target: &HardwareTarget, gpu: &murakkab_hardware::GpuSk
     target.gpu_units() * gpu.hourly_usd + f64::from(target.cpu_cores_used()) * core
 }
 
+/// Records `(created, target)` for `alloc` in the dense metadata arena.
+fn alloc_meta_set(
+    meta: &mut Vec<Option<(SimTime, HardwareTarget)>>,
+    alloc: AllocationId,
+    created: SimTime,
+    target: HardwareTarget,
+) {
+    let i = alloc.raw() as usize;
+    if meta.len() <= i {
+        meta.resize(i + 1, None);
+    }
+    meta[i] = Some((created, target));
+}
+
 impl Engine {
     /// Builds an engine: allocates pools and endpoints on `cluster` at
-    /// `start`.
+    /// `start`, interning every route into dense indices.
     ///
     /// # Errors
     ///
@@ -281,9 +405,8 @@ impl Engine {
     ) -> Result<Self, SimError> {
         let mut pools: BTreeMap<String, Pool> = BTreeMap::new();
         let mut endpoints: BTreeMap<String, EndpointHandle> = BTreeMap::new();
-        let mut external_latency = BTreeMap::new();
-        let mut alloc_meta = BTreeMap::new();
-        let library_snapshot = Self::snapshot_specs(library, &routes)?;
+        let mut external: BTreeMap<Capability, (f64, f64)> = BTreeMap::new();
+        let mut alloc_meta = Vec::new();
 
         // Validate that every capability in the graph has a route.
         for node in graph.tasks() {
@@ -322,6 +445,8 @@ impl Engine {
                         )));
                     }
                     let pool = pools.entry(agent.clone()).or_insert_with(|| Pool {
+                        agent: agent.clone(),
+                        spec: spec.clone(),
                         caps: Vec::new(),
                         workers: Vec::new(),
                         spec_workers: workers.clone(),
@@ -333,7 +458,7 @@ impl Engine {
                         for per_worker in workers {
                             match cluster.allocate(start, agent.clone(), *per_worker) {
                                 Ok(alloc) => {
-                                    alloc_meta.insert(alloc, (start, *per_worker));
+                                    alloc_meta_set(&mut alloc_meta, alloc, start, *per_worker);
                                     pool.workers.push(Worker {
                                         alloc,
                                         target: *per_worker,
@@ -370,11 +495,14 @@ impl Engine {
                         endpoints.insert(
                             agent.clone(),
                             EndpointHandle {
+                                agent: agent.clone(),
                                 backend: be,
+                                spec_backend: *backend,
                                 allocs,
-                                pending: BTreeMap::new(),
+                                pending: Vec::new(),
+                                free_slots: Vec::new(),
+                                submit_seq: 0,
                                 orchestration_req: None,
-                                next_req: 0,
                                 generation: 0,
                             },
                         );
@@ -390,44 +518,75 @@ impl Engine {
                             "{agent} is not external; bad route for {cap:?}"
                         )));
                     };
-                    external_latency.insert(cap, (*latency_s, *cost_per_call_usd));
+                    external.insert(cap, (*latency_s, *cost_per_call_usd));
                 }
             }
         }
 
-        let mut indegree = BTreeMap::new();
-        let mut ready_pending = BTreeSet::new();
-        let mut upcoming: BTreeMap<Capability, usize> = BTreeMap::new();
+        // Freeze the sorted maps into index arenas and compile the
+        // per-capability route table against them.
+        let pools: Vec<Pool> = pools.into_values().collect();
+        let endpoints: Vec<EndpointHandle> = endpoints.into_values().collect();
+        let index_of = |list: &[String], name: &str| -> u32 {
+            list.binary_search_by(|a| a.as_str().cmp(name))
+                .expect("route agent was provisioned") as u32
+        };
+        let pool_names: Vec<String> = pools.iter().map(|p| p.agent.clone()).collect();
+        let ep_names: Vec<String> = endpoints.iter().map(|h| h.agent.clone()).collect();
+        let mut route_table: [Option<CompiledRoute>; N_CAPS] = [None; N_CAPS];
+        for (cap, route) in &routes {
+            route_table[*cap as usize] = Some(match route {
+                RouteSpec::Pool { agent, .. } => CompiledRoute::Pool(index_of(&pool_names, agent)),
+                RouteSpec::Endpoint { agent, .. } => {
+                    CompiledRoute::Endpoint(index_of(&ep_names, agent))
+                }
+                RouteSpec::External { .. } => {
+                    let (latency_s, cost_per_call_usd) = external[cap];
+                    CompiledRoute::External {
+                        latency_s,
+                        cost_per_call_usd,
+                    }
+                }
+            });
+        }
+
+        let mut tasks = vec![TaskState::default(); graph.len()];
+        let mut ready_pending = Vec::new();
+        let mut upcoming = [0usize; N_CAPS];
         for node in graph.tasks() {
-            let preds = graph.predecessors(node.id).count();
-            indegree.insert(node.id, preds);
+            let preds = graph.predecessors(node.id).count() as u32;
+            tasks[node.id.raw() as usize] = TaskState {
+                capability: node.capability,
+                indegree: preds,
+                scheduled: false,
+                completed: false,
+                started_at: None,
+            };
             if preds == 0 {
-                ready_pending.insert(node.id);
+                ready_pending.push(node.id);
             }
-            *upcoming.entry(node.capability).or_insert(0) += 1;
+            upcoming[node.capability as usize] += 1;
         }
 
         Ok(Engine {
             cluster,
             graph,
-            routes,
+            route_table,
             pools,
             endpoints,
-            external_latency,
             options,
             queue: EventQueue::new(),
-            completed: BTreeSet::new(),
-            scheduled: BTreeSet::new(),
-            indegree,
+            tasks,
+            completed_count: 0,
             ready_pending,
+            ready_scratch: Vec::new(),
             upcoming,
-            started_at: BTreeMap::new(),
             alloc_meta,
-            library_snapshot,
             llm_metrics: Vec::new(),
             completions_log: Vec::new(),
             events_processed: 0,
             trace: TraceLog::new(),
+            last_finish: SimTime::ZERO,
             energy_ledger: 0.0,
             cost_ledger: 0.0,
             orchestrated: false,
@@ -461,33 +620,36 @@ impl Engine {
         let now = start;
         self.orch_end = start;
 
-        for &(at, node_idx) in &self.options.preemptions.clone() {
+        // Disjoint field borrows: options is read-only while the queue
+        // fills — no clone of the preemption schedule.
+        for &(at, node_idx) in &self.options.preemptions {
             self.queue
                 .schedule(at.max(start), EngineEvent::Preempt { node_idx });
         }
 
-        if let Some((cost, agent)) = self.options.orchestration.clone() {
-            let h = self
+        if let Some((cost, agent)) = &self.options.orchestration {
+            let (prompt, output) = (cost.prompt_tokens, cost.output_tokens);
+            let ei = self
                 .endpoints
-                .get_mut(&agent)
+                .iter()
+                .position(|h| h.agent == *agent)
                 .ok_or_else(|| SimError::not_found("orchestrator endpoint", agent.clone()))?;
-            let req = Request::new(
-                u64::MAX,
-                cost.prompt_tokens.max(1),
-                cost.output_tokens.max(1),
-            );
-            h.orchestration_req = Some(req.id);
-            if let Some(t) = h.backend.on_submit(req, now)? {
-                let generation = h.generation;
+            let req = Request::new(u64::MAX, prompt.max(1), output.max(1));
+            let armed = {
+                let h = &mut self.endpoints[ei];
+                h.orchestration_req = Some(req.id);
+                h.backend.on_submit(req, now)?.map(|t| (t, h.generation))
+            };
+            if let Some((t, generation)) = armed {
                 self.queue.schedule(
                     t,
                     EngineEvent::LlmStep {
-                        agent: agent.clone(),
+                        endpoint: ei as u32,
                         generation,
                     },
                 );
             }
-            self.sync_endpoint_activity(now, &agent)?;
+            self.sync_endpoint_activity(now, ei)?;
         } else {
             self.orchestrated = true;
             self.dispatch(now)?;
@@ -506,50 +668,49 @@ impl Engine {
         let Some(ev) = self.queue.pop() else {
             return Ok(None);
         };
+        self.process(ev).map(Some)
+    }
+
+    /// Applies one popped event.
+    fn process(&mut self, ev: Event<EngineEvent>) -> Result<SimTime, SimError> {
         self.events_processed += 1;
         let now = ev.at;
         match ev.payload {
             EngineEvent::ToolDone {
                 task,
-                cap,
+                pool,
                 worker,
                 gpu_util,
             } => {
-                let route_agent = self.routes[&cap].agent().to_string();
-                let (alloc, lost) = {
-                    let pool = self.pools.get_mut(&route_agent).expect("pool exists");
-                    let w = &mut pool.workers[worker];
-                    w.busy = false;
-                    (w.alloc, w.dead)
-                };
+                let p = &mut self.pools[pool as usize];
+                let w = &mut p.workers[worker as usize];
+                w.busy = false;
+                let (alloc, lost) = (w.alloc, w.dead);
                 if lost {
                     // The worker died mid-task: the work is lost and
                     // the task goes back to the queue (activity was
                     // zeroed when the node went down).
-                    let pool = self.pools.get_mut(&route_agent).expect("pool exists");
-                    pool.queue.push_front(task);
+                    p.queue.push_front(task);
                 } else {
                     self.cluster.activity_end(now, alloc, gpu_util)?;
                     self.finish_task(task, now)?;
                 }
                 self.dispatch(now)?;
             }
-            EngineEvent::LlmStep { agent, generation } => {
-                {
-                    let h = self.endpoints.get(&agent).expect("endpoint exists");
-                    if h.generation != generation {
-                        // Armed for an incarnation that died in a
-                        // preemption; the replacement has its own
-                        // step schedule.
-                        return Ok(Some(now));
-                    }
+            EngineEvent::LlmStep {
+                endpoint,
+                generation,
+            } => {
+                let ei = endpoint as usize;
+                if self.endpoints[ei].generation != generation {
+                    // Armed for an incarnation that died in a
+                    // preemption; the replacement has its own
+                    // step schedule.
+                    return Ok(now);
                 }
-                let outcome = {
-                    let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
-                    h.backend.on_step(now)
-                };
+                let outcome = self.endpoints[ei].backend.on_step(now);
                 for c in &outcome.completions {
-                    let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
+                    let h = &mut self.endpoints[ei];
                     if h.orchestration_req == Some(c.id) {
                         h.orchestration_req = None;
                         self.trace
@@ -558,11 +719,12 @@ impl Engine {
                         self.orchestrated = true;
                         continue;
                     }
-                    let task = h
-                        .pending
-                        .remove(&c.id)
+                    let slot = c.id as usize;
+                    let (task, _) = h.pending[slot]
+                        .take()
                         .expect("completion matches a pending task");
-                    self.started_at.insert(task, c.started);
+                    h.free_slots.push(c.id as u32);
+                    self.tasks[task.raw() as usize].started_at = Some(c.started);
                     self.llm_metrics.push((
                         task,
                         c.ttft().as_secs_f64(),
@@ -575,12 +737,12 @@ impl Engine {
                     self.queue.schedule(
                         t,
                         EngineEvent::LlmStep {
-                            agent: agent.clone(),
+                            endpoint,
                             generation,
                         },
                     );
                 }
-                self.sync_endpoint_activity(now, &agent)?;
+                self.sync_endpoint_activity(now, ei)?;
                 self.dispatch(now)?;
             }
             EngineEvent::ExternalDone { task } => {
@@ -592,7 +754,7 @@ impl Engine {
                 self.dispatch(now)?;
             }
         }
-        Ok(Some(now))
+        Ok(now)
     }
 
     /// Settles all ledgers after the queue has drained and hands back the
@@ -604,28 +766,33 @@ impl Engine {
     /// incomplete with no pending events) — a routing/scheduling bug.
     pub fn finish(mut self, start: SimTime) -> Result<EngineOutcome, SimError> {
         let orch_end = self.orch_end;
-        if self.completed.len() != self.graph.len() {
+        if self.completed_count != self.graph.len() {
             let stuck: Vec<String> = self
                 .graph
                 .tasks()
-                .filter(|t| !self.completed.contains(&t.id))
+                .filter(|t| !self.tasks[t.id.raw() as usize].completed)
                 .take(5)
                 .map(|t| t.name.clone())
                 .collect();
             return Err(SimError::InvalidState(format!(
                 "engine deadlock: {}/{} tasks done; stuck: {stuck:?}",
-                self.completed.len(),
+                self.completed_count,
                 self.graph.len()
             )));
         }
 
         // The makespan is the last task completion — not `now`, which a
         // trailing injected event (e.g. a post-completion preemption) may
-        // have advanced past it.
-        let makespan = self.trace.makespan().max(orch_end);
+        // have advanced past it. With span recording off the trace is
+        // empty, so the incrementally tracked completion instant stands
+        // in for it.
+        let makespan = self.trace.makespan().max(self.last_finish).max(orch_end);
         // Release everything still held, settling energy and cost.
-        let live: Vec<AllocationId> = self.alloc_meta.keys().copied().collect();
-        for alloc in live {
+        for i in 0..self.alloc_meta.len() {
+            if self.alloc_meta[i].is_none() {
+                continue;
+            }
+            let alloc = AllocationId::from_raw(i as u64);
             if self.cluster.allocation(alloc).is_ok() {
                 self.settle_allocation(alloc, makespan)?;
             }
@@ -639,7 +806,7 @@ impl Engine {
             orchestration: orch_end.saturating_duration_since(start),
             energy_allocated_wh: self.energy_ledger,
             cost_usd: self.cost_ledger,
-            tasks_completed: self.completed.len(),
+            tasks_completed: self.completed_count,
             pool_scale_ups: self.pool_scale_ups,
             pool_scale_downs: self.pool_scale_downs,
         })
@@ -665,16 +832,14 @@ impl Engine {
         bound: SimTime,
         inclusive: bool,
     ) -> Result<Option<SimTime>, SimError> {
+        // `pop_before` fuses the bound check into the pop — one bucket
+        // settle per event instead of a peek scan followed by a pop.
         loop {
-            let Some(t) = self.queue.peek_time() else {
+            let Some(ev) = self.queue.pop_before(bound, inclusive) else {
                 return Ok(None);
             };
-            let within = if inclusive { t <= bound } else { t < bound };
-            if !within {
-                return Ok(None);
-            }
             let before = self.completions_log.len();
-            let now = self.step()?.unwrap_or(t);
+            let now = self.process(ev)?;
             if self.completions_log.len() > before {
                 return Ok(Some(now));
             }
@@ -692,21 +857,20 @@ impl Engine {
         self.events_processed
     }
 
-    /// Tasks completed so far (the fleet driver matches these against
-    /// per-job id sets to detect workflow completions).
-    pub fn completed_tasks(&self) -> &BTreeSet<TaskId> {
-        &self.completed
-    }
-
     /// Total tasks in the (possibly growing) graph.
     pub fn task_count(&self) -> usize {
         self.graph.len()
     }
 
     /// Not-yet-completed task counts per capability (the DAG lookahead the
-    /// rebalancer consumes; maintained incrementally).
+    /// rebalancer consumes; maintained incrementally, materialized to a
+    /// map only at this advisory-cadence call).
     pub fn upcoming_by_capability(&self) -> BTreeMap<Capability, usize> {
-        self.upcoming.clone()
+        Capability::ALL
+            .iter()
+            .filter(|&&c| self.upcoming[c as usize] > 0)
+            .map(|&c| (c, self.upcoming[c as usize]))
+            .collect()
     }
 
     /// Live cluster stats at `now`.
@@ -718,7 +882,7 @@ impl Engine {
     pub fn endpoint_loads(&self) -> Vec<(String, u32, usize)> {
         self.endpoints
             .iter()
-            .map(|(agent, h)| (agent.clone(), h.backend.gpu_count(), h.backend.load()))
+            .map(|h| (h.agent.clone(), h.backend.gpu_count(), h.backend.load()))
             .collect()
     }
 
@@ -727,7 +891,7 @@ impl Engine {
     /// tiebreak signal.
     pub fn max_kv_occupancy(&self) -> f64 {
         self.endpoints
-            .values()
+            .iter()
             .map(|h| h.backend.kv_occupancy())
             .fold(0.0, f64::max)
     }
@@ -745,7 +909,7 @@ impl Engine {
     /// under both phases, split by where iteration time actually went.
     pub fn endpoint_phase_stats(&self) -> (f64, f64, f64, f64) {
         let mut out = (0.0, 0.0, 0.0, 0.0);
-        for h in self.endpoints.values() {
+        for h in &self.endpoints {
             let (pb, db) = h.backend.phase_busy();
             let (pg, dg) = h.backend.phase_gpus();
             out.0 += pb.as_secs_f64() * f64::from(pg);
@@ -762,7 +926,7 @@ impl Engine {
     /// as resident, not just LLM endpoints.
     pub fn pool_views(&self) -> Vec<(String, Capability, f64, usize)> {
         let mut out = Vec::new();
-        for (agent, pool) in &self.pools {
+        for pool in &self.pools {
             if pool.released {
                 continue;
             }
@@ -774,7 +938,7 @@ impl Engine {
                 .sum();
             let load = pool.queue.len() + pool.workers.iter().filter(|w| w.busy && !w.dead).count();
             for &cap in &pool.caps {
-                out.push((agent.clone(), cap, gpus, load));
+                out.push((pool.agent.clone(), cap, gpus, load));
             }
         }
         out
@@ -799,7 +963,7 @@ impl Engine {
     ) -> Result<BTreeMap<TaskId, TaskId>, SimError> {
         let mut caps_needed: BTreeSet<Capability> = BTreeSet::new();
         for node in sub.tasks() {
-            if !self.routes.contains_key(&node.capability) {
+            if self.route_table[node.capability as usize].is_none() {
                 return Err(SimError::InvalidInput(format!(
                     "no route for capability {:?} (task {})",
                     node.capability, node.name
@@ -809,26 +973,26 @@ impl Engine {
         }
 
         // Autoscale-up: bring back released pools the new job needs.
-        let agents: Vec<String> = self.pools.keys().cloned().collect();
-        for agent in agents {
-            let (needed, targets) = {
-                let pool = &self.pools[&agent];
-                (
-                    pool.released && pool.caps.iter().any(|c| caps_needed.contains(c)),
-                    pool.spec_workers.clone(),
-                )
+        for pi in 0..self.pools.len() {
+            let needed = {
+                let pool = &self.pools[pi];
+                pool.released && pool.caps.iter().any(|c| caps_needed.contains(c))
             };
             if !needed {
                 continue;
             }
             let mut fresh = Vec::new();
-            for target in &targets {
-                match self.cluster.allocate(now, agent.clone(), *target) {
+            for wi in 0..self.pools[pi].spec_workers.len() {
+                let target = self.pools[pi].spec_workers[wi];
+                match self
+                    .cluster
+                    .allocate(now, self.pools[pi].agent.clone(), target)
+                {
                     Ok(alloc) => {
-                        self.alloc_meta.insert(alloc, (now, *target));
+                        alloc_meta_set(&mut self.alloc_meta, alloc, now, target);
                         fresh.push(Worker {
                             alloc,
-                            target: *target,
+                            target,
                             busy: false,
                             dead: false,
                         });
@@ -845,7 +1009,7 @@ impl Engine {
             // in-flight ToolDone carrying its index) so the worker list
             // does not grow with every scale cycle of a long-running
             // serve engine.
-            let pool = self.pools.get_mut(&agent).expect("pool exists");
+            let pool = &mut self.pools[pi];
             let mut fresh = fresh.into_iter();
             for w in pool.workers.iter_mut() {
                 if w.dead && !w.busy {
@@ -861,14 +1025,23 @@ impl Engine {
         }
 
         let map = self.graph.absorb_prefixed(sub, prefix);
+        if self.tasks.len() < self.graph.len() {
+            self.tasks.resize(self.graph.len(), TaskState::default());
+        }
         for &new_id in map.values() {
-            let preds = self.graph.predecessors(new_id).count();
-            self.indegree.insert(new_id, preds);
-            if preds == 0 {
-                self.ready_pending.insert(new_id);
-            }
+            let preds = self.graph.predecessors(new_id).count() as u32;
             let cap = self.graph.task(new_id)?.capability;
-            *self.upcoming.entry(cap).or_insert(0) += 1;
+            self.tasks[new_id.raw() as usize] = TaskState {
+                capability: cap,
+                indegree: preds,
+                scheduled: false,
+                completed: false,
+                started_at: None,
+            };
+            if preds == 0 {
+                self.ready_pending.push(new_id);
+            }
+            self.upcoming[cap as usize] += 1;
         }
         self.dispatch(now)?;
         Ok(map)
@@ -877,26 +1050,38 @@ impl Engine {
     /// Marks a task complete, records its span and advances the
     /// incremental ready/lookahead state.
     fn finish_task(&mut self, task: TaskId, now: SimTime) -> Result<(), SimError> {
-        let node = self.graph.task(task)?;
-        let capability = node.capability;
-        let started = self.started_at.get(&task).copied().unwrap_or(now);
-        self.trace
-            .record(capability.lane_name(), node.name.clone(), started, now);
-        if self.completed.insert(task) {
-            self.completions_log.push(task);
-            if let Some(n) = self.upcoming.get_mut(&capability) {
-                *n -= 1;
-                if *n == 0 {
-                    self.upcoming.remove(&capability);
-                }
-            }
-            let succs: Vec<TaskId> = self.graph.successors(task).collect();
-            for s in succs {
-                let d = self.indegree.get_mut(&s).expect("successor indexed");
-                *d -= 1;
-                if *d == 0 {
-                    self.ready_pending.insert(s);
-                }
+        let ti = task.raw() as usize;
+        let capability = self.tasks[ti].capability;
+        if self.options.record_spans {
+            let started = self.tasks[ti].started_at.unwrap_or(now);
+            let name = self.graph.task(task)?.name.clone();
+            self.trace
+                .record(capability.lane_name(), name, started, now);
+        }
+        if self.tasks[ti].completed {
+            return Ok(());
+        }
+        self.tasks[ti].completed = true;
+        self.completed_count += 1;
+        if now > self.last_finish {
+            self.last_finish = now;
+        }
+        self.completions_log.push(task);
+        let ci = capability as usize;
+        self.upcoming[ci] = self.upcoming[ci].saturating_sub(1);
+        // Split borrow: walk the graph's successor list while mutating
+        // the task arena — no per-finish successor Vec.
+        let Engine {
+            graph,
+            tasks,
+            ready_pending,
+            ..
+        } = self;
+        for s in graph.successors(task) {
+            let st = &mut tasks[s.raw() as usize];
+            st.indegree -= 1;
+            if st.indegree == 0 {
+                ready_pending.push(s);
             }
         }
         Ok(())
@@ -907,55 +1092,65 @@ impl Engine {
         if !self.orchestrated {
             return Ok(());
         }
-        let ready: Vec<TaskId> = std::mem::take(&mut self.ready_pending)
-            .into_iter()
-            .filter(|t| !self.scheduled.contains(t))
-            .collect();
-        for tid in ready {
-            self.scheduled.insert(tid);
-            let node = self.graph.task(tid)?.clone();
-            let route = self.routes[&node.capability].clone();
-            match route {
-                RouteSpec::Pool { agent, .. } => {
-                    self.pools
-                        .get_mut(&agent)
-                        .expect("pool exists")
-                        .queue
-                        .push_back(tid);
+        if !self.ready_pending.is_empty() {
+            // Ping-pong the two buffers so steady-state dispatch never
+            // allocates; ascending id order matches the old
+            // `BTreeSet<TaskId>` iteration order.
+            let mut ready = std::mem::take(&mut self.ready_scratch);
+            std::mem::swap(&mut ready, &mut self.ready_pending);
+            ready.sort_unstable();
+            for &tid in &ready {
+                let ti = tid.raw() as usize;
+                if self.tasks[ti].scheduled {
+                    continue;
                 }
-                RouteSpec::Endpoint { agent, .. } => {
-                    let Work::Tokens { prompt, output } = node.work else {
-                        return Err(SimError::InvalidInput(format!(
-                            "endpoint task {} carries non-token work {}",
-                            node.name, node.work
-                        )));
-                    };
-                    let h = self.endpoints.get_mut(&agent).expect("endpoint exists");
-                    let req = Request::new(h.next_req, prompt, output.max(1));
-                    h.next_req += 1;
-                    h.pending.insert(req.id, tid);
-                    let generation = h.generation;
-                    if let Some(t) = h.backend.on_submit(req, now)? {
+                self.tasks[ti].scheduled = true;
+                let route = self.route_table[self.tasks[ti].capability as usize]
+                    .expect("routes validated at admission");
+                match route {
+                    CompiledRoute::Pool(pi) => {
+                        self.pools[pi as usize].queue.push_back(tid);
+                    }
+                    CompiledRoute::Endpoint(ei) => {
+                        let (prompt, output) = {
+                            let node = self.graph.task(tid)?;
+                            let Work::Tokens { prompt, output } = node.work else {
+                                return Err(SimError::InvalidInput(format!(
+                                    "endpoint task {} carries non-token work {}",
+                                    node.name, node.work
+                                )));
+                            };
+                            (prompt, output)
+                        };
+                        let h = &mut self.endpoints[ei as usize];
+                        let req = Request::new(h.claim_slot(tid), prompt, output.max(1));
+                        let generation = h.generation;
+                        if let Some(t) = h.backend.on_submit(req, now)? {
+                            self.queue.schedule(
+                                t,
+                                EngineEvent::LlmStep {
+                                    endpoint: ei,
+                                    generation,
+                                },
+                            );
+                        }
+                        self.sync_endpoint_activity(now, ei as usize)?;
+                    }
+                    CompiledRoute::External {
+                        latency_s,
+                        cost_per_call_usd,
+                    } => {
+                        self.cost_ledger += cost_per_call_usd;
+                        self.tasks[ti].started_at = Some(now);
                         self.queue.schedule(
-                            t,
-                            EngineEvent::LlmStep {
-                                agent: agent.clone(),
-                                generation,
-                            },
+                            now + SimDuration::from_secs_f64(latency_s),
+                            EngineEvent::ExternalDone { task: tid },
                         );
                     }
-                    self.sync_endpoint_activity(now, &agent)?;
-                }
-                RouteSpec::External { .. } => {
-                    let (latency_s, cost) = self.external_latency[&node.capability];
-                    self.cost_ledger += cost;
-                    self.started_at.insert(tid, now);
-                    self.queue.schedule(
-                        now + SimDuration::from_secs_f64(latency_s),
-                        EngineEvent::ExternalDone { task: tid },
-                    );
                 }
             }
+            ready.clear();
+            self.ready_scratch = ready;
         }
         self.pump_pools(now)?;
         if self.options.workflow_aware {
@@ -966,37 +1161,25 @@ impl Engine {
 
     /// Starts queued tasks on free workers.
     fn pump_pools(&mut self, now: SimTime) -> Result<(), SimError> {
-        let agents: Vec<String> = self.pools.keys().cloned().collect();
-        for agent in agents {
-            while let Some((tid, worker_idx, alloc, target, cap)) = {
-                let pool = self.pools.get_mut(&agent).expect("pool exists");
-                match (
-                    pool.queue.front().copied(),
-                    pool.workers
-                        .iter()
-                        .position(|w| !w.busy && !w.dead && !pool.released),
-                ) {
-                    (Some(tid), Some(i)) => {
-                        pool.queue.pop_front();
-                        pool.workers[i].busy = true;
-                        let node_cap = self.graph.task(tid)?.capability;
-                        Some((
-                            tid,
-                            i,
-                            pool.workers[i].alloc,
-                            pool.workers[i].target,
-                            node_cap,
-                        ))
+        for pi in 0..self.pools.len() {
+            loop {
+                let (tid, wi, alloc, target) = {
+                    let pool = &mut self.pools[pi];
+                    if pool.released || pool.queue.is_empty() {
+                        break;
                     }
-                    _ => None,
-                }
-            } {
-                let node = self.graph.task(tid)?.clone();
-                let spec_name = self.routes[&cap].agent().to_string();
-                // Borrow the library indirectly: the cost model lives on
-                // the spec; engines keep a private copy at routing time.
+                    let Some(wi) = pool.workers.iter().position(|w| !w.busy && !w.dead) else {
+                        break;
+                    };
+                    let tid = pool.queue.pop_front().expect("checked non-empty");
+                    pool.workers[wi].busy = true;
+                    (tid, wi, pool.workers[wi].alloc, pool.workers[wi].target)
+                };
                 let (duration, gpu_util) = {
-                    let spec = self.agent_spec(&spec_name)?;
+                    // The cost model lives on the pool's spec snapshot —
+                    // no library lookup or spec clone per task start.
+                    let node = self.graph.task(tid)?;
+                    let spec = &self.pools[pi].spec;
                     let mut d = spec.estimate_latency(&node.work, &target)?;
                     // Newer GPU generations speed up pure-GPU tool work.
                     if matches!(target, HardwareTarget::Gpu { .. })
@@ -1007,13 +1190,13 @@ impl Engine {
                     (d, spec.gpu_util())
                 };
                 self.cluster.activity_start(now, alloc, gpu_util)?;
-                self.started_at.insert(tid, now);
+                self.tasks[tid.raw() as usize].started_at = Some(now);
                 self.queue.schedule(
                     now + duration,
                     EngineEvent::ToolDone {
                         task: tid,
-                        cap,
-                        worker: worker_idx,
+                        pool: pi as u32,
+                        worker: wi as u32,
                         gpu_util,
                     },
                 );
@@ -1024,30 +1207,24 @@ impl Engine {
 
     /// Releases pools whose capabilities have no remaining work.
     fn release_idle_pools(&mut self, now: SimTime) -> Result<(), SimError> {
-        let upcoming = self.upcoming.clone();
-        let agents: Vec<String> = self.pools.keys().cloned().collect();
-        for agent in agents {
-            let (done, workers): (bool, Vec<AllocationId>) = {
-                let pool = &self.pools[&agent];
-                let no_demand = pool
-                    .caps
-                    .iter()
-                    .all(|c| upcoming.get(c).copied().unwrap_or(0) == 0);
+        for pi in 0..self.pools.len() {
+            let done = {
+                let pool = &self.pools[pi];
+                let no_demand = pool.caps.iter().all(|&c| self.upcoming[c as usize] == 0);
                 let idle = pool.queue.is_empty() && pool.workers.iter().all(|w| !w.busy || w.dead);
-                (
-                    !pool.released && no_demand && idle,
-                    pool.workers
-                        .iter()
-                        .filter(|w| !w.dead)
-                        .map(|w| w.alloc)
-                        .collect(),
-                )
+                !pool.released && no_demand && idle
             };
             if done {
+                let workers: Vec<AllocationId> = self.pools[pi]
+                    .workers
+                    .iter()
+                    .filter(|w| !w.dead)
+                    .map(|w| w.alloc)
+                    .collect();
                 for alloc in workers {
                     self.settle_allocation(alloc, now)?;
                 }
-                let pool = self.pools.get_mut(&agent).expect("pool exists");
+                let pool = &mut self.pools[pi];
                 pool.released = true;
                 // The settled workers' allocations are gone; mark them dead
                 // so a later re-provision (open-loop admission) never pumps
@@ -1089,9 +1266,10 @@ impl Engine {
             .filter(|a| a.node == node_id)
             .map(|a| a.id)
             .collect();
-        for alloc in &dying {
-            let (created, target) = self.alloc_meta[alloc];
-            self.energy_ledger += self.cluster.allocation_energy_wh(*alloc, created, now)?;
+        for &alloc in &dying {
+            let (created, target) =
+                self.alloc_meta[alloc.raw() as usize].expect("live allocation has metadata");
+            self.energy_ledger += self.cluster.allocation_energy_wh(alloc, created, now)?;
             self.cost_ledger += target_hourly_usd(&target, &self.options.gpu_sku)
                 * now.saturating_duration_since(created).as_hours_f64();
         }
@@ -1104,31 +1282,26 @@ impl Engine {
 
         // Pool workers on the dead node: mark dead and try to replace on
         // surviving capacity; queued work continues on what remains.
-        let agents: Vec<String> = self.pools.keys().cloned().collect();
-        for agent in agents {
+        for pi in 0..self.pools.len() {
             let mut replacements = Vec::new();
-            {
-                let pool = self.pools.get_mut(&agent).expect("pool exists");
-                for w in pool.workers.iter_mut() {
-                    if !w.dead && killed.contains(&w.alloc) {
-                        w.dead = true;
-                        replacements.push(w.target);
-                    }
+            for w in self.pools[pi].workers.iter_mut() {
+                if !w.dead && killed.contains(&w.alloc) {
+                    w.dead = true;
+                    replacements.push(w.target);
                 }
             }
             for target in replacements {
-                if let Ok(alloc) = self.cluster.allocate(now, agent.clone(), target) {
-                    self.alloc_meta.insert(alloc, (now, target));
-                    self.pools
-                        .get_mut(&agent)
-                        .expect("pool exists")
-                        .workers
-                        .push(Worker {
-                            alloc,
-                            target,
-                            busy: false,
-                            dead: false,
-                        });
+                if let Ok(alloc) = self
+                    .cluster
+                    .allocate(now, self.pools[pi].agent.clone(), target)
+                {
+                    alloc_meta_set(&mut self.alloc_meta, alloc, now, target);
+                    self.pools[pi].workers.push(Worker {
+                        alloc,
+                        target,
+                        busy: false,
+                        dead: false,
+                    });
                 }
             }
         }
@@ -1136,31 +1309,19 @@ impl Engine {
         // Endpoints touching the dead node: re-place the whole deployment
         // (both halves of a disaggregated pair — the KV cache died with
         // the GPUs) and resubmit everything that was in flight.
-        let ep_agents: Vec<String> = self.endpoints.keys().cloned().collect();
-        for agent in ep_agents {
-            let (dead, model) = {
-                let h = &self.endpoints[&agent];
-                (
-                    h.allocs.iter().any(|a| killed.contains(a)),
-                    h.backend.model().clone(),
-                )
-            };
+        for ei in 0..self.endpoints.len() {
+            let dead = self.endpoints[ei].allocs.iter().any(|a| killed.contains(a));
             if !dead {
                 continue;
             }
-            let spec = self
-                .routes
-                .values()
-                .find_map(|r| match r {
-                    RouteSpec::Endpoint { agent: a, backend } if *a == agent => Some(*backend),
-                    _ => None,
-                })
-                .expect("endpoint came from a route");
+            let model = self.endpoints[ei].backend.model().clone();
+            let spec = self.endpoints[ei].spec_backend;
             // A pair may lose only one half: give the surviving half
             // back (activity zeroed, then settled) before re-placing the
             // deployment whole — release() never clears activity, so a
             // mid-batch level would otherwise stick to the freed devices.
-            for alloc in self.endpoints[&agent].allocs.clone() {
+            for ai in 0..self.endpoints[ei].allocs.len() {
+                let alloc = self.endpoints[ei].allocs[ai];
                 if !killed.contains(&alloc) && self.cluster.allocation(alloc).is_ok() {
                     self.cluster.set_gpu_activity_level(now, alloc, 0.0)?;
                     self.settle_allocation(alloc, now)?;
@@ -1168,81 +1329,80 @@ impl Engine {
             }
             let (backend, allocs) = Self::provision_backend(
                 &mut self.cluster,
-                &agent,
+                &self.endpoints[ei].agent,
                 &model,
                 &spec,
                 &self.options.gpu_sku,
                 now,
                 &mut self.alloc_meta,
             )?;
-            let next_generation = self.endpoints[&agent].generation + 1;
-            let old = self
-                .endpoints
-                .insert(
-                    agent.clone(),
-                    EndpointHandle {
-                        backend,
-                        allocs,
-                        pending: BTreeMap::new(),
-                        orchestration_req: None,
-                        next_req: 0,
-                        generation: next_generation,
-                    },
-                )
-                .expect("endpoint existed");
-            // Resubmit lost work: pending tasks map to fresh request ids.
-            for (_, task) in old.pending {
-                let node = self.graph.task(task)?.clone();
-                let Work::Tokens { prompt, output } = node.work else {
-                    unreachable!("endpoint tasks carry token work");
+            let h = &mut self.endpoints[ei];
+            let old_pending = std::mem::take(&mut h.pending);
+            let had_orchestration = h.orchestration_req.take().is_some();
+            h.backend = backend;
+            h.allocs = allocs;
+            h.free_slots.clear();
+            h.submit_seq = 0;
+            h.generation += 1;
+            // Resubmit lost work in original submission order (the old
+            // monotonic-id iteration order): pending tasks map to fresh
+            // request slots.
+            let mut lost: Vec<(TaskId, u64)> = old_pending.into_iter().flatten().collect();
+            lost.sort_unstable_by_key(|&(_, seq)| seq);
+            for (task, _) in lost {
+                let (prompt, output) = {
+                    let node = self.graph.task(task)?;
+                    let Work::Tokens { prompt, output } = node.work else {
+                        unreachable!("endpoint tasks carry token work");
+                    };
+                    (prompt, output)
                 };
-                let h = self.endpoints.get_mut(&agent).expect("just inserted");
-                let req = Request::new(h.next_req, prompt, output.max(1));
-                h.next_req += 1;
-                h.pending.insert(req.id, task);
+                let h = &mut self.endpoints[ei];
+                let req = Request::new(h.claim_slot(task), prompt, output.max(1));
                 let generation = h.generation;
                 if let Some(t) = h.backend.on_submit(req, now)? {
                     self.queue.schedule(
                         t,
                         EngineEvent::LlmStep {
-                            agent: agent.clone(),
+                            endpoint: ei as u32,
                             generation,
                         },
                     );
                 }
             }
-            if old.orchestration_req.is_some() {
+            if had_orchestration {
                 let (cost, _) = self
                     .options
                     .orchestration
-                    .clone()
+                    .as_ref()
                     .expect("orchestration was configured");
-                let h = self.endpoints.get_mut(&agent).expect("just inserted");
                 let req = Request::new(
                     u64::MAX,
                     cost.prompt_tokens.max(1),
                     cost.output_tokens.max(1),
                 );
+                let h = &mut self.endpoints[ei];
                 h.orchestration_req = Some(req.id);
                 let generation = h.generation;
                 if let Some(t) = h.backend.on_submit(req, now)? {
                     self.queue.schedule(
                         t,
                         EngineEvent::LlmStep {
-                            agent: agent.clone(),
+                            endpoint: ei as u32,
                             generation,
                         },
                     );
                 }
             }
-            self.sync_endpoint_activity(now, &agent)?;
+            self.sync_endpoint_activity(now, ei)?;
         }
         Ok(())
     }
 
     /// Settles an allocation's energy/cost ledgers and releases it.
     fn settle_allocation(&mut self, alloc: AllocationId, now: SimTime) -> Result<(), SimError> {
-        let (created, target) = self.alloc_meta[&alloc];
+        let (created, target) =
+            self.alloc_meta[alloc.raw() as usize].expect("allocation has metadata");
         self.energy_ledger += self.cluster.allocation_energy_wh(alloc, created, now)?;
         self.cost_ledger += target_hourly_usd(&target, &self.options.gpu_sku)
             * now.saturating_duration_since(created).as_hours_f64();
@@ -1253,24 +1413,23 @@ impl Engine {
     /// Mirrors an endpoint's utilization level onto its GPU devices —
     /// per phase for a disaggregated pair, combined for a colocated
     /// replica.
-    fn sync_endpoint_activity(&mut self, now: SimTime, agent: &str) -> Result<(), SimError> {
-        let (allocs, combined, (prefill_level, decode_level)) = {
-            let h = &self.endpoints[agent];
-            (
-                h.allocs.clone(),
-                h.backend.util_level(),
-                h.backend.phase_levels(),
-            )
-        };
-        match allocs.as_slice() {
-            [one] => self.cluster.set_gpu_activity_level(now, *one, combined),
-            [prefill, decode] => {
-                self.cluster
-                    .set_gpu_activity_level(now, *prefill, prefill_level)?;
-                self.cluster
-                    .set_gpu_activity_level(now, *decode, decode_level)
+    fn sync_endpoint_activity(&mut self, now: SimTime, ei: usize) -> Result<(), SimError> {
+        // Disjoint field borrows: the handle is read while the cluster
+        // mutates — no clone of the allocation list.
+        let h = &self.endpoints[ei];
+        match *h.allocs.as_slice() {
+            [one] => {
+                let combined = h.backend.util_level();
+                self.cluster.set_gpu_activity_level(now, one, combined)
             }
-            other => {
+            [prefill, decode] => {
+                let (prefill_level, decode_level) = h.backend.phase_levels();
+                self.cluster
+                    .set_gpu_activity_level(now, prefill, prefill_level)?;
+                self.cluster
+                    .set_gpu_activity_level(now, decode, decode_level)
+            }
+            ref other => {
                 debug_assert!(other.is_empty(), "endpoints hold one or two allocations");
                 Ok(())
             }
@@ -1288,13 +1447,13 @@ impl Engine {
         spec: &BackendSpec,
         sku: &GpuSku,
         now: SimTime,
-        alloc_meta: &mut BTreeMap<AllocationId, (SimTime, HardwareTarget)>,
+        alloc_meta: &mut Vec<Option<(SimTime, HardwareTarget)>>,
     ) -> Result<(Box<dyn ServingBackend>, Vec<AllocationId>), SimError> {
         match *spec {
             BackendSpec::Colocated { gpus, .. } => {
                 let target = HardwareTarget::gpus(gpus);
                 let alloc = cluster.allocate(now, agent.to_string(), target)?;
-                alloc_meta.insert(alloc, (now, target));
+                alloc_meta_set(alloc_meta, alloc, now, target);
                 let be = build_backend(
                     agent,
                     model.clone(),
@@ -1312,8 +1471,8 @@ impl Engine {
                 let prefill = HardwareTarget::gpus(prefill_gpus);
                 let decode = HardwareTarget::gpus(decode_gpus);
                 let pair = cluster.allocate_paired(now, agent.to_string(), prefill, decode)?;
-                alloc_meta.insert(pair.prefill, (now, prefill));
-                alloc_meta.insert(pair.decode, (now, decode));
+                alloc_meta_set(alloc_meta, pair.prefill, now, prefill);
+                alloc_meta_set(alloc_meta, pair.decode, now, decode);
                 let bw = if pair.same_node {
                     sku.interconnect_gbps
                 } else {
@@ -1323,33 +1482,6 @@ impl Engine {
                 Ok((be, vec![pair.prefill, pair.decode]))
             }
         }
-    }
-
-    /// Looks up an agent spec by name (cloned out of the routes' library
-    /// snapshot held by the caller — engines only need cost models, which
-    /// are value types).
-    fn agent_spec(&self, name: &str) -> Result<murakkab_agents::AgentSpec, SimError> {
-        self.library_snapshot
-            .get(name)
-            .cloned()
-            .ok_or_else(|| SimError::not_found("agent", name))
-    }
-}
-
-// The engine needs agent cost models during the run without holding a
-// borrow on the caller's library; it snapshots the specs it routes to.
-impl Engine {
-    /// Internal: the spec snapshot, filled by [`Engine::new`].
-    fn snapshot_specs(
-        library: &AgentLibrary,
-        routes: &BTreeMap<Capability, RouteSpec>,
-    ) -> Result<BTreeMap<String, murakkab_agents::AgentSpec>, SimError> {
-        let mut out = BTreeMap::new();
-        for route in routes.values() {
-            let spec = library.get(route.agent())?;
-            out.insert(spec.name.clone(), spec.clone());
-        }
-        Ok(out)
     }
 }
 
@@ -1595,6 +1727,33 @@ mod tests {
             .agent(),
             "GPT-4o"
         );
+    }
+
+    #[test]
+    fn spans_can_be_disabled_without_changing_the_ledgers() {
+        let run = |record_spans: bool| {
+            let opts = EngineOptions {
+                record_spans,
+                ..EngineOptions::default()
+            };
+            let engine = Engine::new(
+                ClusterManager::paper_testbed(),
+                &stock_library(),
+                tiny_graph(),
+                routes(),
+                opts,
+                SimTime::ZERO,
+            )
+            .expect("builds");
+            engine.run(SimTime::ZERO).expect("runs")
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with.makespan, without.makespan);
+        assert_eq!(with.tasks_completed, without.tasks_completed);
+        assert!((with.energy_allocated_wh - without.energy_allocated_wh).abs() < 1e-12);
+        assert!((with.cost_usd - without.cost_usd).abs() < 1e-12);
+        assert!(without.trace.makespan() == SimTime::ZERO);
     }
 
     #[test]

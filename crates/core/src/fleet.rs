@@ -599,16 +599,51 @@ struct Cell {
     inflight: Vec<InflightJob>,
     /// Task → interned SLO-class index of the owning workflow, so
     /// endpoint-level token latencies (TTFT/TPOT) aggregate per class.
-    task_class: BTreeMap<murakkab_workflow::TaskId, usize>,
+    /// Dense arena indexed by the engine's sequential [`TaskId`]s
+    /// (`u32::MAX` = vacant) — the serve loop does a bounds-checked
+    /// load per completion instead of a tree lookup.
+    task_class: Vec<u32>,
     /// Task → planned-request index of the owning workflow (drives the
     /// per-job remaining counter and capture's first-token attribution).
-    task_job: BTreeMap<murakkab_workflow::TaskId, usize>,
+    /// Same dense layout as `task_class`.
+    task_job: Vec<u32>,
     assigned: u64,
     stolen_in: u64,
     migrated_out: u64,
     completed: u64,
     peak_backlog: u64,
     rebalance_actions: u64,
+}
+
+/// Vacant-slot sentinel of the cells' dense task → index arenas.
+const TASK_SLOT_VACANT: u32 = u32::MAX;
+
+/// Writes `val` into the dense task slot, growing the arena on demand.
+fn task_slot_set(slots: &mut Vec<u32>, tid: murakkab_workflow::TaskId, val: usize) {
+    let i = tid.raw() as usize;
+    if slots.len() <= i {
+        slots.resize(i + 1, TASK_SLOT_VACANT);
+    }
+    slots[i] = u32::try_from(val).expect("per-fleet index fits in u32");
+}
+
+/// Reads the dense task slot without vacating it.
+fn task_slot_get(slots: &[u32], tid: murakkab_workflow::TaskId) -> Option<usize> {
+    match slots.get(tid.raw() as usize) {
+        Some(&v) if v != TASK_SLOT_VACANT => Some(v as usize),
+        _ => None,
+    }
+}
+
+/// Takes the dense task slot, leaving it vacant.
+fn task_slot_take(slots: &mut [u32], tid: murakkab_workflow::TaskId) -> Option<usize> {
+    let v = slots.get_mut(tid.raw() as usize)?;
+    if *v == TASK_SLOT_VACANT {
+        return None;
+    }
+    let out = *v as usize;
+    *v = TASK_SLOT_VACANT;
+    Some(out)
 }
 
 impl Cell {
@@ -730,8 +765,8 @@ fn inject_ready(
             .admit_graph(now, &p.graph, &format!("r{}/", p.req.id))?;
         let remaining = map.len();
         for tid in map.into_values() {
-            cell.task_class.insert(tid, p.class_idx);
-            cell.task_job.insert(tid, idx);
+            task_slot_set(&mut cell.task_class, tid, p.class_idx);
+            task_slot_set(&mut cell.task_job, tid, idx);
         }
         cell.inflight.push(InflightJob {
             planned_idx: idx,
@@ -746,18 +781,18 @@ fn inject_ready(
 /// clock for workflows completing now).
 fn harvest_cell(cell: &mut Cell, capturing: bool, t: SimTime, batch: &mut CellBatch) {
     for (tid, ttft, tpot, first_abs) in cell.engine.take_llm_metrics() {
-        if let Some(class_idx) = cell.task_class.remove(&tid) {
+        if let Some(class_idx) = task_slot_take(&mut cell.task_class, tid) {
             batch.llm.push((class_idx, ttft, tpot));
         }
         if capturing {
-            if let Some(&idx) = cell.task_job.get(&tid) {
+            if let Some(idx) = task_slot_get(&cell.task_job, tid) {
                 batch.first_tokens.push((idx, first_abs));
             }
         }
     }
     for tid in cell.engine.take_completions() {
-        cell.task_class.remove(&tid);
-        let Some(job_idx) = cell.task_job.remove(&tid) else {
+        task_slot_take(&mut cell.task_class, tid);
+        let Some(job_idx) = task_slot_take(&mut cell.task_job, tid) else {
             continue;
         };
         let Some(k) = cell.inflight.iter().position(|j| j.planned_idx == job_idx) else {
@@ -1119,7 +1154,10 @@ impl Runtime {
                     routes
                 }
             };
-            let engine_opts = self.engine_options(&run_opts);
+            // Serve reports never render the span trace; skipping it
+            // removes a String clone per completed task from the loop.
+            let mut engine_opts = self.engine_options(&run_opts);
+            engine_opts.record_spans = false;
             let mut engine = Engine::new(
                 cluster,
                 self.library(),
@@ -1135,8 +1173,8 @@ impl Runtime {
                 nodes,
                 queue: murakkab_traffic::PriorityFifo::new(),
                 inflight: Vec::new(),
-                task_class: BTreeMap::new(),
-                task_job: BTreeMap::new(),
+                task_class: Vec::new(),
+                task_job: Vec::new(),
                 assigned: 0,
                 stolen_in: 0,
                 migrated_out: 0,

@@ -1133,7 +1133,7 @@ mod tests {
         let session = Session::new(&base).unwrap();
         let aware = session.execute(&base).unwrap().into_open_loop().unwrap();
         let blind = session
-            .execute(&base.clone().labeled("blind").workflow_aware(false))
+            .execute(&base.labeled("blind").workflow_aware(false))
             .unwrap()
             .into_open_loop()
             .unwrap();

@@ -314,16 +314,19 @@ impl Endpoint {
 
         // Every running request produced one token this iteration; a
         // request whose prefill was charged to this iteration saw its
-        // first token at the boundary.
+        // first token at the boundary. Finished requests are retained
+        // out in place (order-preserving) — no batch-sized scratch Vec
+        // per iteration.
         let mut completions = Vec::new();
-        let mut still_running = Vec::with_capacity(self.running.len());
-        for mut r in self.running.drain(..) {
+        let Self {
+            running, kv, stats, ..
+        } = self;
+        running.retain_mut(|r| {
             r.generated += 1;
             let first_token = *r.first_token.get_or_insert(now);
-            self.stats.tokens_out.incr();
+            stats.tokens_out.incr();
             if r.generated >= r.req.output_tokens {
-                self.kv
-                    .release(r.req.id)
+                kv.release(r.req.id)
                     .expect("running request must hold a KV reservation");
                 let c = Completion {
                     id: r.req.id,
@@ -333,13 +336,13 @@ impl Endpoint {
                     finished: now,
                     output_tokens: r.generated,
                 };
-                self.stats.observe_completion(&c);
+                stats.observe_completion(&c);
                 completions.push(c);
+                false
             } else {
-                still_running.push(r);
+                true
             }
-        }
-        self.running = still_running;
+        });
 
         let next_step = self.arm_next_step(now);
         StepOutcome {

@@ -556,7 +556,7 @@ mod tests {
         // the same bucket as the exact nearest-rank quantile, i.e. within
         // one bucket width below the next bound, for every probe.
         let bounds: Vec<f64> = (1..=20).map(|i| f64::from(i) * 5.0).collect();
-        let mut h = Histogram::new(bounds.clone());
+        let mut h = Histogram::new(bounds);
         let mut state = 0x2545_f491_4f6c_dd1du64;
         let mut values = Vec::new();
         for _ in 0..500 {

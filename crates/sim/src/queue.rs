@@ -1,17 +1,57 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper over [`BinaryHeap`] that breaks timestamp ties by a
-//! monotonically increasing sequence number. Determinism matters: two events
-//! scheduled for the same instant must always pop in insertion order, or the
-//! same seed could produce different traces across runs.
+//! A two-level bucketed (calendar-style) queue that breaks timestamp
+//! ties by a monotonically increasing sequence number. Determinism
+//! matters: two events scheduled for the same instant must always pop
+//! in insertion order, or the same seed could produce different traces
+//! across runs.
+//!
+//! # Structure
+//!
+//! Near-future events live in a ring of 256 time buckets (one
+//! "year"), each covering `width` microseconds. Only the current
+//! bucket is kept sorted — descending by `(at, seq)` so the earliest
+//! event is a `Vec::pop` off the tail; future buckets take unsorted
+//! `push`es and are sorted once, when the cursor reaches them. Events
+//! past the year boundary fall back to a [`BinaryHeap`] (heap order
+//! across bucket boundaries, exactly the pre-calendar behavior) and
+//! are dealt into a fresh year when the current one is exhausted. The
+//! bucket width adapts to an integer EWMA of observed inter-pop gaps,
+//! so a year tracks the workload's event density.
+//!
+//! The hot path this buys: `schedule` at-or-near "now" is an append to
+//! the current bucket's tail and `pop` is a tail `Vec::pop` — no
+//! sift-up/down over the whole pending set, and no per-event heap
+//! allocation.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// Buckets per calendar year.
+const BUCKETS: usize = 256;
+
+/// Lower bound of the adaptive bucket width, microseconds. Keeps
+/// all-ties workloads (EWMA gap ~0) from collapsing the year span to
+/// nothing.
+const MIN_WIDTH_US: u64 = 100;
+
+/// Bucket width before any pops have been observed, microseconds.
+const DEFAULT_WIDTH_US: u64 = 1024;
+
+/// Bucket width as a multiple of the EWMA inter-pop gap. Wider than
+/// the classic ~1-event-per-bucket calendar sizing: the engine
+/// schedules completions whole task-durations ahead, and a year must
+/// span that horizon or most schedules detour through the far heap.
+const WIDTH_GAP_MULT: u64 = 8;
+
+/// Cap on a single observed gap entering the width EWMA, microseconds
+/// (an idle stretch must not blow the next year up to centuries).
+const MAX_GAP_US: u64 = 1_000_000_000;
+
 /// A scheduled event: a payload tagged with its due time and sequence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Event<T> {
     /// The instant at which the event fires.
     pub at: SimTime,
@@ -61,7 +101,25 @@ impl<T> Ord for Event<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Event<T>>,
+    /// The current year's buckets. `buckets[cur]` is sorted descending
+    /// by `(at, seq)`; buckets past `cur` are unsorted until reached.
+    buckets: Vec<Vec<Event<T>>>,
+    /// Index of the bucket being drained.
+    cur: usize,
+    /// Start of the current year, microseconds.
+    year_start_us: u64,
+    /// Width of one bucket, microseconds.
+    width_us: u64,
+    /// Events at or past the year boundary, in heap order.
+    far: BinaryHeap<Event<T>>,
+    /// Total pending events across buckets and `far`.
+    len: usize,
+    /// Pending events residing in buckets (`len - far.len()`); lets
+    /// `peek_time` skip the bucket scan when everything is far.
+    in_buckets: usize,
+    /// Integer EWMA of inter-pop gaps, microseconds — the width of the
+    /// next year's buckets.
+    ewma_gap_us: u64,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -76,18 +134,122 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            cur: 0,
+            year_start_us: 0,
+            width_us: DEFAULT_WIDTH_US,
+            far: BinaryHeap::new(),
+            len: 0,
+            in_buckets: 0,
+            ewma_gap_us: DEFAULT_WIDTH_US,
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
+    }
+
+    /// End of the current year, microseconds (saturating: a huge
+    /// adaptive width must not wrap the boundary).
+    fn year_end_us(&self) -> u64 {
+        self.year_start_us
+            .saturating_add(self.width_us.saturating_mul(BUCKETS as u64))
     }
 
     /// Schedules `payload` to fire at `at` and returns its sequence number.
     pub fn schedule(&mut self, at: SimTime, payload: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, payload });
+        let ev = Event { at, seq, payload };
+        let at_us = at.as_micros();
+        if at_us >= self.year_end_us() {
+            self.far.push(ev);
+        } else {
+            // Buckets before the cursor are already drained; anything
+            // aimed there lands in the current bucket instead (the pop
+            // assert still catches genuinely backwards schedules).
+            let idx = ((at_us.saturating_sub(self.year_start_us) / self.width_us) as usize)
+                .clamp(self.cur, BUCKETS - 1);
+            if idx == self.cur {
+                // Keep the current bucket sorted descending by
+                // (at, seq): binary-search the slot. Scheduling at
+                // "now" — the common engine case — appends at the tail.
+                let v = &mut self.buckets[idx];
+                let pos = v.partition_point(|e| (e.at, e.seq) > (at, seq));
+                v.insert(pos, ev);
+            } else {
+                self.buckets[idx].push(ev);
+            }
+            self.in_buckets += 1;
+        }
+        self.len += 1;
         seq
+    }
+
+    /// Advances `cur` to the first non-empty bucket, sorting each
+    /// freshly reached bucket and dealing a new year out of `far` when
+    /// the current one is exhausted. Requires `self.len > 0`.
+    fn settle(&mut self) {
+        loop {
+            if !self.buckets[self.cur].is_empty() {
+                return;
+            }
+            if self.cur + 1 < BUCKETS {
+                self.cur += 1;
+                let v = &mut self.buckets[self.cur];
+                if v.len() > 1 {
+                    v.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+                }
+            } else {
+                self.refill();
+            }
+        }
+    }
+
+    /// Starts a fresh year at the earliest far event, re-sizing buckets
+    /// to the observed inter-pop gap and dealing every far event inside
+    /// the new span into its bucket.
+    fn refill(&mut self) {
+        let head = self
+            .far
+            .peek()
+            .expect("pending events with empty buckets must sit in far");
+        self.year_start_us = head.at.as_micros();
+        self.width_us = (self.ewma_gap_us.saturating_mul(WIDTH_GAP_MULT)).max(MIN_WIDTH_US);
+        self.cur = 0;
+        let year_end = self.year_end_us();
+        while let Some(head) = self.far.peek() {
+            if head.at.as_micros() >= year_end {
+                break;
+            }
+            let ev = self.far.pop().expect("peeked event pops");
+            let idx = (((ev.at.as_micros() - self.year_start_us) / self.width_us) as usize)
+                .min(BUCKETS - 1);
+            self.buckets[idx].push(ev);
+            self.in_buckets += 1;
+        }
+        let v = &mut self.buckets[0];
+        if v.len() > 1 {
+            v.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        }
+    }
+
+    /// Pops the tail of the settled current bucket, maintaining the
+    /// backwards-time assert and the gap EWMA.
+    fn pop_settled(&mut self) -> Event<T> {
+        let ev = self.buckets[self.cur]
+            .pop()
+            .expect("settle leaves a non-empty current bucket");
+        assert!(
+            ev.at >= self.last_popped,
+            "event queue time went backwards: {} < {}",
+            ev.at,
+            self.last_popped
+        );
+        let gap = (ev.at.as_micros() - self.last_popped.as_micros()).min(MAX_GAP_US);
+        self.ewma_gap_us = (self.ewma_gap_us * 7 + gap) / 8;
+        self.last_popped = ev.at;
+        self.len -= 1;
+        self.in_buckets -= 1;
+        ev
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -98,30 +260,69 @@ impl<T> EventQueue<T> {
     /// event's time — that would mean something scheduled into the past,
     /// which is a simulation logic error.
     pub fn pop(&mut self) -> Option<Event<T>> {
-        let ev = self.heap.pop()?;
-        assert!(
-            ev.at >= self.last_popped,
-            "event queue time went backwards: {} < {}",
-            ev.at,
-            self.last_popped
-        );
-        self.last_popped = ev.at;
-        Some(ev)
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        Some(self.pop_settled())
+    }
+
+    /// Removes and returns the earliest event if it fires within
+    /// `bound` — at or before it when `inclusive`, strictly before
+    /// otherwise. One settled check instead of a `peek_time` scan
+    /// followed by a `pop`, which is what makes wide `step_while`
+    /// drains cheap.
+    ///
+    /// # Panics
+    ///
+    /// As [`pop`](Self::pop).
+    pub fn pop_before(&mut self, bound: SimTime, inclusive: bool) -> Option<Event<T>> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        let at = self.buckets[self.cur]
+            .last()
+            .expect("settle leaves a non-empty current bucket")
+            .at;
+        let beyond = if inclusive { at > bound } else { at >= bound };
+        if beyond {
+            return None;
+        }
+        Some(self.pop_settled())
     }
 
     /// The due time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        if self.in_buckets == 0 {
+            return self.far.peek().map(|e| e.at);
+        }
+        for (i, bucket) in self.buckets.iter().enumerate().skip(self.cur) {
+            if bucket.is_empty() {
+                continue;
+            }
+            // The current bucket is sorted (tail = earliest); later
+            // buckets are unsorted until the cursor reaches them.
+            return if i == self.cur {
+                bucket.last().map(|e| e.at)
+            } else {
+                bucket.iter().map(|e| e.at).min()
+            };
+        }
+        self.far.peek().map(|e| e.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// The time of the last popped event (the queue's notion of "now").
@@ -131,7 +332,7 @@ impl<T> EventQueue<T> {
 
     /// Drains every pending event in firing order (useful in tests).
     pub fn drain_ordered(&mut self) -> Vec<Event<T>> {
-        let mut out = Vec::with_capacity(self.heap.len());
+        let mut out = Vec::with_capacity(self.len);
         while let Some(ev) = self.pop() {
             out.push(ev);
         }
@@ -196,5 +397,49 @@ mod tests {
         // Schedule relative to the popped time, as the engine does.
         q.schedule(e.at + SimDuration::from_secs(1), "b");
         assert_eq!(q.pop().unwrap().at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn far_events_survive_year_refills() {
+        // Spread events far past the initial year span so every one of
+        // them routes through `far` and at least one refill.
+        let mut q = EventQueue::new();
+        let span_s = 3600; // hours past the default ~260 ms year
+        for i in (0..50u64).rev() {
+            q.schedule(SimTime::from_secs(i * span_s), i);
+        }
+        let order: Vec<u64> = q.drain_ordered().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_before_respects_bound_and_inclusivity() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(3), "c");
+        let bound = SimTime::from_secs(2);
+        assert_eq!(q.pop_before(bound, false).unwrap().payload, "a");
+        // "b" sits exactly on the bound: excluded strictly, taken inclusively.
+        assert!(q.pop_before(bound, false).is_none());
+        assert_eq!(q.pop_before(bound, true).unwrap().payload, "b");
+        assert!(q.pop_before(bound, true).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "c");
+    }
+
+    #[test]
+    fn schedule_at_now_lands_in_the_drained_bucket() {
+        // Popping at t then scheduling at t again (the engine's
+        // zero-delay completion pattern) must pop FIFO, even though the
+        // bucket is mid-drain.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(100);
+        q.schedule(t, 0u32);
+        q.schedule(t, 1u32);
+        assert_eq!(q.pop().unwrap().payload, 0);
+        q.schedule(t, 2u32);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        assert_eq!(q.pop().unwrap().payload, 2);
     }
 }

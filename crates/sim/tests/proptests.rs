@@ -3,7 +3,108 @@
 use murakkab_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime, TimeSeries};
 use proptest::prelude::*;
 
+/// Reference model of the pre-calendar event queue: a flat list popped
+/// by minimum `(time, insertion sequence)` — exactly the binary heap
+/// ordering the calendar queue replaced, FIFO tie-break included.
+struct ModelQueue {
+    events: Vec<(SimTime, u64, usize)>,
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn new() -> Self {
+        ModelQueue {
+            events: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, payload: usize) {
+        self.events.push((at, self.next_seq, payload));
+        self.next_seq += 1;
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.events.iter().map(|&(at, _, _)| at).min()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let i = self
+            .events
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(at, seq, _))| (at, seq))
+            .map(|(i, _)| i)?;
+        let (at, _, payload) = self.events.remove(i);
+        Some((at, payload))
+    }
+
+    fn pop_before(&mut self, bound: SimTime, inclusive: bool) -> Option<(SimTime, usize)> {
+        let head = self.peek_time()?;
+        let within = if inclusive {
+            head <= bound
+        } else {
+            head < bound
+        };
+        if within {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
 proptest! {
+    /// The calendar queue agrees with the heap model over arbitrary
+    /// interleavings of schedules (near ties, far-future events crossing
+    /// year refills), plain pops, and bounded pops — including
+    /// re-schedules at the current instant after partial drains.
+    #[test]
+    fn calendar_queue_matches_heap_model(
+        ops in prop::collection::vec((0u8..4, 0u64..5_000), 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = ModelQueue::new();
+        let mut payload = 0usize;
+        for &(kind, dt) in &ops {
+            match kind {
+                0 => {
+                    // Near schedule: same-instant FIFO ties when dt = 0.
+                    let at = q.now() + SimDuration::from_micros(dt);
+                    q.schedule(at, payload);
+                    model.schedule(at, payload);
+                    payload += 1;
+                }
+                1 => {
+                    // Far schedule: lands beyond the current bucket year,
+                    // exercising the overflow heap and year refills.
+                    let at = q.now() + SimDuration::from_micros(dt * 1_000);
+                    q.schedule(at, payload);
+                    model.schedule(at, payload);
+                    payload += 1;
+                }
+                2 => {
+                    let got = q.pop();
+                    let want = model.pop();
+                    prop_assert_eq!(got.map(|e| (e.at, e.payload)), want);
+                }
+                _ => {
+                    let bound = q.now() + SimDuration::from_micros(dt / 2);
+                    let inclusive = dt % 2 == 0;
+                    let got = q.pop_before(bound, inclusive);
+                    let want = model.pop_before(bound, inclusive);
+                    prop_assert_eq!(got.map(|e| (e.at, e.payload)), want);
+                }
+            }
+            prop_assert_eq!(q.peek_time(), model.peek_time());
+            prop_assert_eq!(q.len(), model.events.len());
+        }
+        while let Some(e) = q.pop() {
+            prop_assert_eq!(Some((e.at, e.payload)), model.pop());
+        }
+        prop_assert!(model.events.is_empty());
+    }
+
     /// Popping the queue always yields non-decreasing timestamps, and ties
     /// preserve insertion order, for any schedule.
     #[test]

@@ -1,0 +1,62 @@
+//! Engine hot-path scoreboard: single-core events/sec and allocation
+//! counts of one engine cell, pinned against pre-change golden digests.
+//! The driver lives in `murakkab_bench::engine_hotpath_main`; the
+//! binary sits in the root package so
+//! `cargo run --release --bin engine_hotpath [seed] [--quick]`
+//! resolves. This binary installs a counting `#[global_allocator]` so
+//! the scoreboard's allocations column measures the real heap traffic
+//! of the steady-state event loop.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use murakkab_bench::SEED;
+
+/// Process-wide allocation counter: every `alloc`, `realloc` and
+/// `alloc_zeroed` bumps it (frees do not — the scoreboard counts
+/// allocation *events*, the thing the hot path is meant to avoid).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// bump is a relaxed atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let mut seed = SEED;
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Ok(s) = arg.parse() {
+            seed = s;
+        } else {
+            eprintln!("usage: engine_hotpath [seed] [--quick]");
+            std::process::exit(2);
+        }
+    }
+    murakkab_bench::engine_hotpath_main(seed, quick, Some(&|| ALLOCATIONS.load(Ordering::Relaxed)));
+}
