@@ -7,8 +7,10 @@
 //! writes its results to `BENCH_<name>.json` via [`write_bench_json`].
 
 pub mod engine_hotpath;
+pub mod geo;
 pub mod simspeed;
 pub use engine_hotpath::{engine_hotpath_main, HotpathRow};
+pub use geo::{geo_main, run_geo_sweep, GeoRow};
 pub use simspeed::{run_simspeed_grid, simspeed_main, SimSpeedRow};
 
 use std::path::PathBuf;

@@ -72,6 +72,16 @@ pub mod codes {
     pub const PLAN_FAILED: &str = "ANZ009";
     /// No agent/hardware config satisfies the constraint set.
     pub const CONSTRAINTS_UNSATISFIABLE: &str = "ANZ010";
+    /// The geo federation spec is self-contradictory (no regions, an
+    /// asymmetric or non-finite RTT matrix, degenerate epochs).
+    pub const GEO_INVALID: &str = "ANZ011";
+    /// A geo spec on a closed-loop scenario (federation is an
+    /// open-loop serving concept).
+    pub const GEO_MODE_MISMATCH: &str = "ANZ012";
+    /// The cluster node count differs from the geo footprint (the sum
+    /// of every region's on-demand nodes, plus spot nodes when elastic
+    /// capacity is enabled).
+    pub const GEO_NODES_MISMATCH: &str = "ANZ013";
 
     /// A deployment group (TP group or pool worker) fits no node.
     pub const NO_PLACEMENT: &str = "ANZ101";
@@ -86,6 +96,10 @@ pub mod codes {
     /// The token-bucket burst exceeds the bounded queue, so admitted
     /// bursts overflow into queue-full rejections.
     pub const BURST_EXCEEDS_QUEUE: &str = "ANZ105";
+    /// A geo federation with a single region: it executes, but every
+    /// routing policy degenerates to that region and the WAN model
+    /// never engages.
+    pub const GEO_DEGENERATE: &str = "ANZ106";
 
     /// Disaggregated serving was requested but the plan fell back to a
     /// colocated deployment.
@@ -98,6 +112,9 @@ pub mod codes {
     pub const ARCHETYPE_OVER_DEADLINE: &str = "ANZ204";
     /// A knob the selected execution mode ignores.
     pub const IGNORED_KNOB: &str = "ANZ205";
+    /// An open-loop knob the geo federation layer overrides (cell
+    /// layout comes from the per-region specs, not `shards`).
+    pub const GEO_IGNORED_KNOB: &str = "ANZ206";
 }
 
 /// How bad a finding is. Ordered: `Info < Warning < Error`.
@@ -582,6 +599,85 @@ pub(crate) fn scenario_structural(scenario: &Scenario) -> Vec<Diagnostic> {
             }
         }
         _ => {}
+    }
+    if let Some(geo) = &scenario.geo {
+        for (path, msg) in geo.problems() {
+            out.push(Diagnostic::error(codes::GEO_INVALID, &path, msg));
+        }
+        if matches!(scenario.mode, ExecutionMode::ClosedLoop) {
+            out.push(
+                Diagnostic::error(
+                    codes::GEO_MODE_MISMATCH,
+                    "geo",
+                    "multi-region federation needs ExecutionMode::OpenLoop",
+                )
+                .suggest("switch to ExecutionMode::OpenLoop or drop the geo spec"),
+            );
+        }
+        let spot: usize = geo.regions.iter().map(|r| r.spot_nodes).sum();
+        let footprint = geo.total_nodes() + if geo.elastic.is_some() { spot } else { 0 };
+        if footprint > 0 && scenario.cluster.nodes != footprint {
+            out.push(
+                Diagnostic::error(
+                    codes::GEO_NODES_MISMATCH,
+                    "cluster.nodes",
+                    format!(
+                        "cluster has {} node(s) but the geo footprint is {} \
+                         ({} on-demand{})",
+                        scenario.cluster.nodes,
+                        footprint,
+                        geo.total_nodes(),
+                        if geo.elastic.is_some() {
+                            format!(" + {spot} spot")
+                        } else {
+                            String::new()
+                        }
+                    ),
+                )
+                .suggest("set cluster.nodes to the sum of every region's nodes"),
+            );
+        }
+        if geo.elastic.is_some() {
+            for (i, r) in geo.regions.iter().enumerate() {
+                let cell_nodes = (r.nodes / r.shards.max(1)).max(1);
+                if r.spot_nodes % cell_nodes != 0 {
+                    out.push(
+                        Diagnostic::warning(
+                            codes::GEO_DEGENERATE,
+                            &format!("geo.regions[{i}].spot_nodes"),
+                            format!(
+                                "spot pool of {} node(s) materializes {} cell(s) of {} node(s); \
+                                 {} node(s) stay idle",
+                                r.spot_nodes,
+                                r.spot_nodes / cell_nodes,
+                                cell_nodes,
+                                r.spot_nodes % cell_nodes
+                            ),
+                        )
+                        .suggest("size spot_nodes as a multiple of the region's cell size"),
+                    );
+                }
+            }
+        }
+        if geo.regions.len() == 1 {
+            out.push(
+                Diagnostic::warning(
+                    codes::GEO_DEGENERATE,
+                    "geo.regions",
+                    "a single-region federation never engages the WAN model",
+                )
+                .suggest("add regions or drop the geo spec"),
+            );
+        }
+        if let ExecutionMode::OpenLoop(spec) = &scenario.mode {
+            if spec.shards != 1 {
+                out.push(Diagnostic::info(
+                    codes::GEO_IGNORED_KNOB,
+                    "mode.OpenLoop.shards",
+                    "geo federation lays out cells per region; the global shards knob is ignored",
+                ));
+            }
+        }
     }
     if matches!(scenario.mode, ExecutionMode::ClosedLoop) {
         for (i, p) in scenario.preemptions.iter().enumerate() {

@@ -347,7 +347,7 @@ pub struct Engine {
     /// instant seconds)` of finished endpoint tasks, drained by the
     /// fleet driver for per-class token-latency stats and capture.
     llm_metrics: Vec<(TaskId, f64, f64, f64)>,
-    /// Tasks finished since the last [`Engine::take_completions`] drain,
+    /// Tasks finished since the last [`Engine::clear_completions`],
     /// in completion order — the fleet driver maps these to jobs via a
     /// per-job remaining-task counter.
     completions_log: Vec<TaskId>,
@@ -846,10 +846,17 @@ impl Engine {
         }
     }
 
-    /// Drains the tasks finished since the last call, in completion
-    /// order.
-    pub fn take_completions(&mut self) -> Vec<TaskId> {
-        std::mem::take(&mut self.completions_log)
+    /// Tasks finished since the last [`Engine::clear_completions`], in
+    /// completion order. Paired with `clear_completions` instead of a
+    /// draining take so the log's buffer is reused across epochs — the
+    /// fleet's harvest path stays allocation-free in steady state.
+    pub fn completions(&self) -> &[TaskId] {
+        &self.completions_log
+    }
+
+    /// Resets the completion log, keeping its capacity.
+    pub fn clear_completions(&mut self) {
+        self.completions_log.clear();
     }
 
     /// Events popped off this engine's queue so far.
@@ -896,11 +903,16 @@ impl Engine {
             .fold(0.0, f64::max)
     }
 
-    /// Drains the accumulated `(task, ttft seconds, tpot seconds,
-    /// absolute first-token instant seconds)` token-latency samples of
-    /// finished endpoint tasks.
-    pub fn take_llm_metrics(&mut self) -> Vec<(TaskId, f64, f64, f64)> {
-        std::mem::take(&mut self.llm_metrics)
+    /// The accumulated `(task, ttft seconds, tpot seconds, absolute
+    /// first-token instant seconds)` token-latency samples of finished
+    /// endpoint tasks since the last [`Engine::clear_llm_metrics`].
+    pub fn llm_metrics(&self) -> &[(TaskId, f64, f64, f64)] {
+        &self.llm_metrics
+    }
+
+    /// Resets the token-latency sample log, keeping its capacity.
+    pub fn clear_llm_metrics(&mut self) {
+        self.llm_metrics.clear();
     }
 
     /// Aggregate per-phase serving effort across all endpoints:
@@ -961,6 +973,28 @@ impl Engine {
         sub: &TaskGraph,
         prefix: &str,
     ) -> Result<BTreeMap<TaskId, TaskId>, SimError> {
+        let mut ids = Vec::with_capacity(sub.len());
+        self.admit_graph_into(now, sub, prefix, &mut ids)?;
+        Ok(sub.tasks().map(|n| n.id).zip(ids).collect())
+    }
+
+    /// [`admit_graph`](Self::admit_graph) without the per-admission map
+    /// allocation: the engine-local ids of the admitted tasks are
+    /// appended to `out` in `sub`'s node order. The fleet serve loop
+    /// reuses one buffer (and one prefix `String`) across every
+    /// admission, so steady-state admission allocates only the graph's
+    /// own node storage.
+    ///
+    /// # Errors
+    ///
+    /// As [`admit_graph`](Self::admit_graph).
+    pub fn admit_graph_into(
+        &mut self,
+        now: SimTime,
+        sub: &TaskGraph,
+        prefix: &str,
+        out: &mut Vec<TaskId>,
+    ) -> Result<(), SimError> {
         let mut caps_needed: BTreeSet<Capability> = BTreeSet::new();
         for node in sub.tasks() {
             if self.route_table[node.capability as usize].is_none() {
@@ -1024,11 +1058,12 @@ impl Engine {
             self.pool_scale_ups += 1;
         }
 
-        let map = self.graph.absorb_prefixed(sub, prefix);
+        let start = out.len();
+        self.graph.absorb_prefixed_into(sub, prefix, out);
         if self.tasks.len() < self.graph.len() {
             self.tasks.resize(self.graph.len(), TaskState::default());
         }
-        for &new_id in map.values() {
+        for &new_id in &out[start..] {
             let preds = self.graph.predecessors(new_id).count() as u32;
             let cap = self.graph.task(new_id)?.capability;
             self.tasks[new_id.raw() as usize] = TaskState {
@@ -1044,7 +1079,7 @@ impl Engine {
             self.upcoming[cap as usize] += 1;
         }
         self.dispatch(now)?;
-        Ok(map)
+        Ok(())
     }
 
     /// Marks a task complete, records its span and advances the

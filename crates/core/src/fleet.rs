@@ -568,13 +568,20 @@ impl FleetReport {
 }
 
 /// A planned (decomposed + expanded) request waiting to execute.
-struct PlannedRequest {
-    req: RequestSpec,
-    graph: TaskGraph,
-    est_service_s: f64,
+pub(crate) struct PlannedRequest {
+    pub(crate) req: RequestSpec,
+    pub(crate) graph: TaskGraph,
+    pub(crate) est_service_s: f64,
     /// Index into the interned per-class aggregation table (no
     /// per-task class-name clones on the hot path).
-    class_idx: usize,
+    pub(crate) class_idx: usize,
+    /// Modeled WAN seconds the geo layer charges this request for a
+    /// cross-region assignment (RTT + payload transfer), added to its
+    /// latency and TTFT samples at apply time. `0.0` on the
+    /// single-region path — and `x + 0.0` is bitwise `x` for the
+    /// non-negative samples involved, so single-region reports are
+    /// untouched by the field's existence.
+    pub(crate) wan_s: f64,
 }
 
 /// A workflow currently executing in a cell's engine.
@@ -591,11 +598,11 @@ struct InflightJob {
 /// admission queue's order) and running stats. All per-task lookup
 /// state is cell-local, so a worker thread can step a cell between
 /// epochs without touching shared maps.
-struct Cell {
-    engine: Engine,
-    routes: BTreeMap<Capability, RouteSpec>,
-    nodes: usize,
-    queue: murakkab_traffic::PriorityFifo<usize>,
+pub(crate) struct Cell {
+    pub(crate) engine: Engine,
+    pub(crate) routes: BTreeMap<Capability, RouteSpec>,
+    pub(crate) nodes: usize,
+    pub(crate) queue: murakkab_traffic::PriorityFifo<usize>,
     inflight: Vec<InflightJob>,
     /// Task → interned SLO-class index of the owning workflow, so
     /// endpoint-level token latencies (TTFT/TPOT) aggregate per class.
@@ -604,15 +611,33 @@ struct Cell {
     /// load per completion instead of a tree lookup.
     task_class: Vec<u32>,
     /// Task → planned-request index of the owning workflow (drives the
-    /// per-job remaining counter and capture's first-token attribution).
-    /// Same dense layout as `task_class`.
+    /// per-job remaining counter, WAN latency attribution and capture's
+    /// first-token attribution). Same dense layout as `task_class`.
     task_job: Vec<u32>,
-    assigned: u64,
-    stolen_in: u64,
-    migrated_out: u64,
-    completed: u64,
-    peak_backlog: u64,
-    rebalance_actions: u64,
+    /// Reusable admission buffers: the engine-local ids of the last
+    /// admitted workflow and the `"r{id}/"` name prefix, reused across
+    /// admissions so steady-state injection does not allocate.
+    admit_ids: Vec<murakkab_workflow::TaskId>,
+    prefix_buf: String,
+    /// The cell's epoch harvest, drained at every apply point. Living
+    /// on the cell (instead of a fresh per-epoch allocation) keeps its
+    /// capacity across epochs.
+    batch: CellBatch,
+    /// Whether the region/fleet router may assign new work here. Always
+    /// `true` on the single-region path; the geo layer parks reclaimed
+    /// spot cells by clearing it (the engine keeps draining in-flight
+    /// work either way).
+    pub(crate) active: bool,
+    /// Multiplier applied to the cell's settled dollar cost (`1.0`
+    /// everywhere except geo spot cells, which bill at the elastic
+    /// pool's discounted price factor).
+    pub(crate) cost_scale: f64,
+    pub(crate) assigned: u64,
+    pub(crate) stolen_in: u64,
+    pub(crate) migrated_out: u64,
+    pub(crate) completed: u64,
+    pub(crate) peak_backlog: u64,
+    pub(crate) rebalance_actions: u64,
 }
 
 /// Vacant-slot sentinel of the cells' dense task → index arenas.
@@ -647,14 +672,47 @@ fn task_slot_take(slots: &mut [u32], tid: murakkab_workflow::TaskId) -> Option<u
 }
 
 impl Cell {
+    /// A fresh idle cell over `engine` (started by the caller).
+    pub(crate) fn new(
+        engine: Engine,
+        routes: BTreeMap<Capability, RouteSpec>,
+        nodes: usize,
+    ) -> Self {
+        Cell {
+            engine,
+            routes,
+            nodes,
+            queue: murakkab_traffic::PriorityFifo::new(),
+            inflight: Vec::new(),
+            task_class: Vec::new(),
+            task_job: Vec::new(),
+            admit_ids: Vec::new(),
+            prefix_buf: String::new(),
+            batch: CellBatch::default(),
+            active: true,
+            cost_scale: 1.0,
+            assigned: 0,
+            stolen_in: 0,
+            migrated_out: 0,
+            completed: 0,
+            peak_backlog: 0,
+            rebalance_actions: 0,
+        }
+    }
+
     /// Queued plus in-flight workflows — the router's and the stealing
     /// pass's hotness signal.
-    fn backlog(&self) -> usize {
+    pub(crate) fn backlog(&self) -> usize {
         self.queue.len() + self.inflight.len()
     }
 
-    fn note_backlog(&mut self) {
+    pub(crate) fn note_backlog(&mut self) {
         self.peak_backlog = self.peak_backlog.max(self.backlog() as u64);
+    }
+
+    /// Whether the cell still holds queued or executing workflows.
+    pub(crate) fn has_work(&self) -> bool {
+        !self.inflight.is_empty() || !self.queue.is_empty()
     }
 }
 
@@ -662,7 +720,11 @@ impl Cell {
 /// SLO-affine policy: `priority_ranks` (distinct priorities, highest
 /// first) carve the cell range into contiguous stripes, highest
 /// priority first.
-fn stripe_range(priority: u8, priority_ranks: &[u8], cells: usize) -> std::ops::Range<usize> {
+pub(crate) fn stripe_range(
+    priority: u8,
+    priority_ranks: &[u8],
+    cells: usize,
+) -> std::ops::Range<usize> {
     let ranks = priority_ranks.len().max(1);
     let rank = priority_ranks
         .iter()
@@ -675,7 +737,7 @@ fn stripe_range(priority: u8, priority_ranks: &[u8], cells: usize) -> std::ops::
 
 /// Picks the cell for an arriving request under the routing policy.
 /// Deterministic: ties always resolve to the lowest cell index.
-fn route_cell(
+pub(crate) fn route_cell(
     policy: CellPolicy,
     cells: &[Cell],
     request_id: u64,
@@ -683,7 +745,16 @@ fn route_cell(
     priority_ranks: &[u8],
 ) -> usize {
     match policy {
-        CellPolicy::Hashed => hashed_cell(request_id, cells.len()),
+        CellPolicy::Hashed => {
+            let i = hashed_cell(request_id, cells.len());
+            // A reclaimed (inactive) spot cell takes no new work; the
+            // hash falls back to load-aware placement among live cells.
+            if cells[i].active {
+                i
+            } else {
+                least_loaded(cells, 0..cells.len())
+            }
+        }
         CellPolicy::LeastLoaded => least_loaded(cells, 0..cells.len()),
         CellPolicy::SloAffine => {
             least_loaded(cells, stripe_range(priority, priority_ranks, cells.len()))
@@ -695,18 +766,28 @@ fn route_cell(
 /// multiply-shift: stable across runs and platforms (no process-random
 /// hasher state), and every hash bit influences the choice — a `%`
 /// reduction keys power-of-two cell counts off the low-order bits only.
-fn hashed_cell(request_id: u64, n: usize) -> usize {
+pub(crate) fn hashed_cell(request_id: u64, n: usize) -> usize {
     let h = request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     (((u128::from(h)) * (n as u128)) >> 64) as usize
 }
 
-/// The least-backlogged cell in `range`. Backlog ties break to the cell
-/// whose hottest admission-gating KV pool is emptiest (KV-aware routing:
-/// among equally backlogged cells, new context lands where decode memory
-/// is free), then to the lowest index.
-fn least_loaded(cells: &[Cell], range: std::ops::Range<usize>) -> usize {
+/// The least-backlogged **active** cell in `range` (an inactive —
+/// reclaimed spot — cell is chosen only if the whole range is
+/// inactive). Backlog ties break to the cell whose hottest
+/// admission-gating KV pool is emptiest (KV-aware routing: among
+/// equally backlogged cells, new context lands where decode memory is
+/// free), then to the lowest index. On the single-region path every
+/// cell is active, so the filter is a no-op.
+pub(crate) fn least_loaded(cells: &[Cell], range: std::ops::Range<usize>) -> usize {
     let mut best = range.start;
     for i in range {
+        if cells[i].active && !cells[best].active {
+            best = i;
+            continue;
+        }
+        if !cells[i].active && cells[best].active {
+            continue;
+        }
         let (b, kv) = (cells[i].backlog(), cells[i].engine.max_kv_occupancy());
         let (bb, bkv) = (cells[best].backlog(), cells[best].engine.max_kv_occupancy());
         if b < bb || (b == bb && kv < bkv) {
@@ -716,18 +797,33 @@ fn least_loaded(cells: &[Cell], range: std::ops::Range<usize>) -> usize {
     best
 }
 
-#[derive(Default)]
-struct ClassAgg {
-    name: String,
-    priority: u8,
-    deadline_s: f64,
-    offered: u64,
-    admitted: u64,
-    completed: u64,
-    slo_met: u64,
-    latencies: Vec<f64>,
-    ttfts: Vec<f64>,
-    tpots: Vec<f64>,
+#[derive(Default, Clone)]
+pub(crate) struct ClassAgg {
+    pub(crate) name: String,
+    pub(crate) priority: u8,
+    pub(crate) deadline_s: f64,
+    pub(crate) offered: u64,
+    pub(crate) admitted: u64,
+    pub(crate) completed: u64,
+    pub(crate) slo_met: u64,
+    pub(crate) latencies: Vec<f64>,
+    pub(crate) ttfts: Vec<f64>,
+    pub(crate) tpots: Vec<f64>,
+}
+
+impl ClassAgg {
+    /// Folds `other`'s counters and raw samples into `self` (the geo
+    /// layer's region → global merge; sample order is region-index
+    /// order, erased anyway by the settlement sort).
+    pub(crate) fn merge(&mut self, other: &ClassAgg) {
+        self.offered += other.offered;
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.slo_met += other.slo_met;
+        self.latencies.extend_from_slice(&other.latencies);
+        self.ttfts.extend_from_slice(&other.ttfts);
+        self.tpots.extend_from_slice(&other.tpots);
+    }
 }
 
 /// Everything a cell produced during one epoch, merged into the
@@ -736,9 +832,10 @@ struct ClassAgg {
 /// thread count.
 #[derive(Default)]
 struct CellBatch {
-    /// `(class index, ttft seconds, tpot seconds)` per finished
-    /// endpoint task.
-    llm: Vec<(usize, f64, f64)>,
+    /// `(planned index, class index, ttft seconds, tpot seconds)` per
+    /// finished endpoint task; the planned index carries the geo
+    /// layer's per-request WAN charge into the TTFT samples.
+    llm: Vec<(usize, usize, f64, f64)>,
     /// `(planned index, absolute first-token instant seconds)` per
     /// finished endpoint task, gathered only while capturing.
     first_tokens: Vec<(usize, f64)>,
@@ -755,16 +852,28 @@ fn inject_ready(
     per_cell_inflight: usize,
     now: SimTime,
 ) -> Result<(), SimError> {
+    use std::fmt::Write as _;
     while cell.inflight.len() < per_cell_inflight {
         let Some((_, _, idx)) = cell.queue.pop() else {
             break;
         };
         let p = &planned[idx];
-        let map = cell
-            .engine
-            .admit_graph(now, &p.graph, &format!("r{}/", p.req.id))?;
-        let remaining = map.len();
-        for tid in map.into_values() {
+        // Both admission buffers live on the cell and keep their
+        // capacity across admissions — steady-state injection allocates
+        // only the engine graph's own node storage.
+        let Cell {
+            engine,
+            admit_ids,
+            prefix_buf,
+            ..
+        } = &mut *cell;
+        prefix_buf.clear();
+        write!(prefix_buf, "r{}/", p.req.id).expect("write to String");
+        admit_ids.clear();
+        engine.admit_graph_into(now, &p.graph, prefix_buf, admit_ids)?;
+        let remaining = cell.admit_ids.len();
+        for i in 0..cell.admit_ids.len() {
+            let tid = cell.admit_ids[i];
             task_slot_set(&mut cell.task_class, tid, p.class_idx);
             task_slot_set(&mut cell.task_job, tid, idx);
         }
@@ -777,43 +886,55 @@ fn inject_ready(
 }
 
 /// Drains the cell engine's finished-task metrics and completions into
-/// `batch`. `t` is the engine instant that produced them (the latency
-/// clock for workflows completing now).
-fn harvest_cell(cell: &mut Cell, capturing: bool, t: SimTime, batch: &mut CellBatch) {
-    for (tid, ttft, tpot, first_abs) in cell.engine.take_llm_metrics() {
-        if let Some(class_idx) = task_slot_take(&mut cell.task_class, tid) {
-            batch.llm.push((class_idx, ttft, tpot));
-        }
-        if capturing {
-            if let Some(idx) = task_slot_get(&cell.task_job, tid) {
+/// the cell's own batch. `t` is the engine instant that produced them
+/// (the latency clock for workflows completing now). The engine logs
+/// are read in place and cleared (keeping their capacity) — no
+/// per-harvest Vec handoff.
+fn harvest_cell(cell: &mut Cell, capturing: bool, t: SimTime) {
+    let Cell {
+        engine,
+        task_class,
+        task_job,
+        inflight,
+        completed,
+        batch,
+        ..
+    } = &mut *cell;
+    for &(tid, ttft, tpot, first_abs) in engine.llm_metrics() {
+        if let Some(class_idx) = task_slot_take(task_class, tid) {
+            let idx = task_slot_get(task_job, tid).expect("classed task has a job slot");
+            batch.llm.push((idx, class_idx, ttft, tpot));
+            if capturing {
                 batch.first_tokens.push((idx, first_abs));
             }
         }
     }
-    for tid in cell.engine.take_completions() {
-        task_slot_take(&mut cell.task_class, tid);
-        let Some(job_idx) = task_slot_take(&mut cell.task_job, tid) else {
+    engine.clear_llm_metrics();
+    for &tid in engine.completions() {
+        task_slot_take(task_class, tid);
+        let Some(job_idx) = task_slot_take(task_job, tid) else {
             continue;
         };
-        let Some(k) = cell.inflight.iter().position(|j| j.planned_idx == job_idx) else {
+        let Some(k) = inflight.iter().position(|j| j.planned_idx == job_idx) else {
             continue;
         };
-        cell.inflight[k].remaining -= 1;
-        if cell.inflight[k].remaining == 0 {
-            let job = cell.inflight.swap_remove(k);
-            cell.completed += 1;
+        inflight[k].remaining -= 1;
+        if inflight[k].remaining == 0 {
+            let job = inflight.swap_remove(k);
+            *completed += 1;
             batch.done.push((job.planned_idx, t));
         }
     }
+    engine.clear_completions();
 }
 
 /// Steps one cell to the epoch boundary: inject queued work into free
 /// slots, drain engine events up to `bound` (stopping at every task
 /// completion so injection re-runs at that instant, exactly like the
-/// sequential loop), and collect the epoch's metrics into a
-/// [`CellBatch`]. Runs on a worker thread under parallel execution —
-/// touches only cell-local state.
-fn advance_cell(
+/// sequential loop), and collect the epoch's metrics into the cell's
+/// own batch (applied fleet-wide after the barrier). Runs on a worker
+/// thread under parallel execution — touches only cell-local state.
+pub(crate) fn advance_cell(
     cell: &mut Cell,
     planned: &[PlannedRequest],
     per_cell_inflight: usize,
@@ -821,30 +942,29 @@ fn advance_cell(
     start: SimTime,
     bound: SimTime,
     inclusive: bool,
-) -> Result<CellBatch, SimError> {
-    let mut batch = CellBatch::default();
+) -> Result<(), SimError> {
     let mut now = start;
     loop {
         inject_ready(cell, planned, per_cell_inflight, now)?;
         match cell.engine.step_while(bound, inclusive)? {
             Some(t) => {
-                harvest_cell(cell, capturing, t, &mut batch);
+                harvest_cell(cell, capturing, t);
                 now = t;
             }
             None => break,
         }
     }
-    Ok(batch)
+    Ok(())
 }
 
-/// Steps every cell to the epoch boundary and returns one
-/// [`CellBatch`] per cell, in cell-index order. With `threads > 1` and
-/// more than one cell active inside the epoch, cells run concurrently
-/// on scoped worker threads; cells only touch cell-local state between
-/// epochs, so the per-cell outcome — and the index-ordered merge — is
-/// identical to stepping them inline.
+/// Steps every cell to the epoch boundary, collecting each cell's
+/// harvest into its own batch. With `threads > 1` and more than one
+/// cell active inside the epoch, cells run concurrently on scoped
+/// worker threads; cells only touch cell-local state between epochs,
+/// so the per-cell outcome — and the index-ordered merge done by
+/// [`apply_cell_batches`] — is identical to stepping them inline.
 #[allow(clippy::too_many_arguments)]
-fn advance_cells(
+pub(crate) fn advance_cells(
     cells: &mut [Cell],
     planned: &[PlannedRequest],
     per_cell_inflight: usize,
@@ -853,7 +973,7 @@ fn advance_cells(
     start: SimTime,
     bound: SimTime,
     inclusive: bool,
-) -> Result<Vec<CellBatch>, SimError> {
+) -> Result<(), SimError> {
     let within = |t: SimTime| if inclusive { t <= bound } else { t < bound };
     let active = cells
         .iter()
@@ -863,38 +983,34 @@ fn advance_cells(
         })
         .count();
     if threads <= 1 || active <= 1 {
-        return cells
-            .iter_mut()
-            .map(|c| {
-                advance_cell(
-                    c,
-                    planned,
-                    per_cell_inflight,
-                    capturing,
-                    start,
-                    bound,
-                    inclusive,
-                )
-            })
-            .collect();
+        for c in cells.iter_mut() {
+            advance_cell(
+                c,
+                planned,
+                per_cell_inflight,
+                capturing,
+                start,
+                bound,
+                inclusive,
+            )?;
+        }
+        return Ok(());
     }
     let n = cells.len();
     let chunk = n.div_ceil(threads);
     let run_slice = |slice: &mut [Cell]| {
-        slice
-            .iter_mut()
-            .map(|c| {
-                advance_cell(
-                    c,
-                    planned,
-                    per_cell_inflight,
-                    capturing,
-                    start,
-                    bound,
-                    inclusive,
-                )
-            })
-            .collect::<Result<Vec<CellBatch>, SimError>>()
+        for c in slice.iter_mut() {
+            advance_cell(
+                c,
+                planned,
+                per_cell_inflight,
+                capturing,
+                start,
+                bound,
+                inclusive,
+            )?;
+        }
+        Ok::<(), SimError>(())
     };
     std::thread::scope(|s| {
         // The first chunk runs on this thread, overlapped with the
@@ -906,46 +1022,53 @@ fn advance_cells(
             .map(|slice| s.spawn(move || run_slice(slice)))
             .collect();
         let head = run_slice(first);
-        // Join in spawn order: batches stay in cell-index order and the
-        // first error (by cell index) wins deterministically.
-        let mut out = Vec::with_capacity(n);
-        out.extend(head?);
+        // Join in spawn order: the first error (by cell index) wins
+        // deterministically; batches live on the cells, already in
+        // index order.
+        head?;
         for h in handles {
             match h.join() {
-                Ok(r) => out.extend(r?),
+                Ok(r) => r?,
                 Err(p) => std::panic::resume_unwind(p),
             }
         }
-        Ok(out)
+        Ok(())
     })
 }
 
-/// Merges per-epoch cell batches into the fleet-level aggregates in
-/// cell-index order (the deterministic merge the parallel path shares
-/// with the sequential one).
-fn apply_batches(
-    batches: Vec<CellBatch>,
+/// Merges every cell's accumulated batch into the fleet-level
+/// aggregates in cell-index order (the deterministic merge the
+/// parallel path shares with the sequential one), draining the batches
+/// in place so their buffers are reused next epoch. A request's WAN
+/// charge ([`PlannedRequest::wan_s`]) lands here: on its end-to-end
+/// latency, its SLO verdict and its TTFT — the user-observed clocks —
+/// but not TPOT (token cadence is generated server-side).
+pub(crate) fn apply_cell_batches(
+    cells: &mut [Cell],
     planned: &[PlannedRequest],
     classes: &mut [ClassAgg],
     capture: &mut Option<&mut RunCapture>,
 ) {
-    for batch in batches {
-        for (class_idx, ttft, tpot) in batch.llm {
-            classes[class_idx].ttfts.push(ttft);
+    for cell in cells.iter_mut() {
+        let batch = &mut cell.batch;
+        for (idx, class_idx, ttft, tpot) in batch.llm.drain(..) {
+            classes[class_idx].ttfts.push(ttft + planned[idx].wan_s);
             classes[class_idx].tpots.push(tpot);
         }
         if let Some(cap) = capture.as_deref_mut() {
-            for (idx, first_abs) in batch.first_tokens {
+            for (idx, first_abs) in batch.first_tokens.drain(..) {
                 if let Some(o) = cap.requests[idx].outcome.as_mut() {
                     // Earliest first token across the workflow's
                     // endpoint tasks.
                     o.first_token_s = Some(o.first_token_s.map_or(first_abs, |v| v.min(first_abs)));
                 }
             }
+        } else {
+            batch.first_tokens.clear();
         }
-        for (idx, t) in batch.done {
+        for (idx, t) in batch.done.drain(..) {
             let p = &planned[idx];
-            let latency = t.saturating_duration_since(p.req.at).as_secs_f64();
+            let latency = t.saturating_duration_since(p.req.at).as_secs_f64() + p.wan_s;
             let agg = &mut classes[p.class_idx];
             agg.completed += 1;
             if p.req.class.met_by(latency) {
@@ -967,7 +1090,7 @@ fn apply_batches(
 /// routed cell's backlog, and an admitted workflow joins that cell's
 /// queue. Always sequential — routing reads every cell's backlog.
 #[allow(clippy::too_many_arguments)]
-fn process_arrival(
+pub(crate) fn process_arrival(
     at: SimTime,
     arr_idx: usize,
     planned: &[PlannedRequest],
@@ -1017,7 +1140,7 @@ fn process_arrival(
 /// Steps the one engine event that crosses a telemetry tick on cell
 /// `i` and merges its harvest through the shared apply path. Returns
 /// the event instant (the new global now).
-fn step_trigger(
+pub(crate) fn step_trigger(
     cells: &mut [Cell],
     i: usize,
     planned: &[PlannedRequest],
@@ -1025,9 +1148,8 @@ fn step_trigger(
     capture: &mut Option<&mut RunCapture>,
 ) -> Result<SimTime, SimError> {
     let t = cells[i].engine.step()?.expect("peeked event exists");
-    let mut batch = CellBatch::default();
-    harvest_cell(&mut cells[i], capture.is_some(), t, &mut batch);
-    apply_batches(vec![batch], planned, classes, capture);
+    harvest_cell(&mut cells[i], capture.is_some(), t);
+    apply_cell_batches(cells, planned, classes, capture);
     Ok(t)
 }
 
@@ -1092,40 +1214,7 @@ impl Runtime {
         // 2. Shared route selection over every archetype the tenant set
         //    can emit (fleet deployments are long-lived: capacity is laid
         //    out for the mix, not per request).
-        let archetypes: Vec<Archetype> = Archetype::ALL
-            .into_iter()
-            .filter(|a| {
-                opts.tenants
-                    .iter()
-                    .any(|t| t.mix.weights().iter().any(|&(m, w)| m == *a && w > 0.0))
-            })
-            .collect();
-        if archetypes.is_empty() {
-            return Err(SimError::InvalidInput("fleet tenant set is empty".into()));
-        }
-        let mut cap_archetypes: BTreeMap<Capability, Vec<String>> = BTreeMap::new();
-        let mut constraints = murakkab_workflow::ConstraintSet::new();
-        for &arch in &archetypes {
-            let job = canonical_job(arch);
-            let (plan, _) = Planner.decompose(&job, self.library())?;
-            for c in job.constraints.all() {
-                constraints = constraints.and(*c);
-            }
-            for cap in plan.capabilities() {
-                cap_archetypes
-                    .entry(cap)
-                    .or_default()
-                    .push(plan.archetype.clone());
-            }
-        }
-        for &c in &opts.constraints {
-            constraints = constraints.and(c);
-        }
-        let run_opts = RunOptions::labeled(&opts.label)
-            .parallelism(opts.parallelism)
-            .pin_paper_agents(false)
-            .serving(opts.serving)
-            .workflow_aware(opts.workflow_aware);
+        let prep = self.serve_prep(&opts)?;
 
         // 3. Partition the cluster into cells, each with its own
         //    resource-aware route selection (against the cell's capacity,
@@ -1134,55 +1223,8 @@ impl Runtime {
         //    (§3.3 puts it under 1% of workflow time; the closed-loop
         //    entry points measure it).
         let clusters = self.build_cluster().partition(shards)?;
-        let mut cells: Vec<Cell> = Vec::with_capacity(shards);
-        // Selection only depends on the cell's capacity, and the fleet
-        // is homogeneous (one VM shape), so cells with the same node
-        // count share one selection pass.
         let mut routes_by_nodes: BTreeMap<usize, BTreeMap<Capability, RouteSpec>> = BTreeMap::new();
-        for cluster in clusters {
-            let nodes = cluster.nodes().len();
-            let routes = match routes_by_nodes.get(&nodes) {
-                Some(routes) => routes.clone(),
-                None => {
-                    let mut stats = cluster.stats(SimTime::ZERO);
-                    let RoutePlan {
-                        routes,
-                        selections: _,
-                        orchestrator_agent: _,
-                    } = self.select_routes(&cap_archetypes, &constraints, &mut stats, &run_opts)?;
-                    routes_by_nodes.insert(nodes, routes.clone());
-                    routes
-                }
-            };
-            // Serve reports never render the span trace; skipping it
-            // removes a String clone per completed task from the loop.
-            let mut engine_opts = self.engine_options(&run_opts);
-            engine_opts.record_spans = false;
-            let mut engine = Engine::new(
-                cluster,
-                self.library(),
-                TaskGraph::new(),
-                routes.clone(),
-                engine_opts,
-                SimTime::ZERO,
-            )?;
-            engine.start(SimTime::ZERO)?;
-            cells.push(Cell {
-                engine,
-                routes,
-                nodes,
-                queue: murakkab_traffic::PriorityFifo::new(),
-                inflight: Vec::new(),
-                task_class: Vec::new(),
-                task_job: Vec::new(),
-                assigned: 0,
-                stolen_in: 0,
-                migrated_out: 0,
-                completed: 0,
-                peak_backlog: 0,
-                rebalance_actions: 0,
-            });
-        }
+        let mut cells = self.build_cells(clusters, &prep, &mut routes_by_nodes)?;
 
         // 4. Plan every request up front (decomposition is input-size
         //    independent, so this is equivalent to planning on arrival and
@@ -1190,41 +1232,17 @@ impl Runtime {
         //    cell 0's routes: equal node slices select identical routes,
         //    and the estimate is a front-door heuristic either way.
         let est_routes = cells[0].routes.clone();
-        // Interned class table: requests carry an index into it, so the
-        // serve loop never clones a class name. Report order is fixed
-        // by the final (priority, name) sort, so first-seen insertion
-        // order here is fine.
         let mut class_index: BTreeMap<String, usize> = BTreeMap::new();
         let mut classes: Vec<ClassAgg> = Vec::new();
         let mut planned = Vec::with_capacity(requests.len());
-        for req in requests {
-            let mut job_rng = fleet_rng.fork(&format!("job-{}", req.id));
-            let (job, inputs) = fleet_job(req.archetype, &req.tenant, &mut job_rng);
-            let (plan, _) = Planner.decompose(&job, self.library())?;
-            let graph = expand(&plan, &inputs)?;
-            let est_service_s = estimate_service_s(&graph, &est_routes, self.library())?;
-            let class_idx = match class_index.get(&req.class.name) {
-                Some(&i) => i,
-                None => {
-                    let i = classes.len();
-                    class_index.insert(req.class.name.clone(), i);
-                    classes.push(ClassAgg {
-                        name: req.class.name.clone(),
-                        priority: req.class.priority,
-                        deadline_s: req.class.deadline_s,
-                        ..ClassAgg::default()
-                    });
-                    i
-                }
-            };
-            classes[class_idx].offered += 1;
-            planned.push(PlannedRequest {
-                req,
-                graph,
-                est_service_s,
-                class_idx,
-            });
-        }
+        self.plan_requests(
+            requests,
+            &est_routes,
+            &fleet_rng,
+            &mut class_index,
+            &mut classes,
+            &mut planned,
+        )?;
         if let Some(cap) = capture.as_deref_mut() {
             cap.requests.clear();
             cap.steals.clear();
@@ -1277,7 +1295,7 @@ impl Runtime {
             // bound), then the arrival routes against the merged backlog
             // picture. No tick can fire: now stays short of it.
             if let Some(at) = next_arr.filter(|&at| at < next_rebalance) {
-                let batches = advance_cells(
+                advance_cells(
                     &mut cells,
                     &planned,
                     per_cell_inflight,
@@ -1287,7 +1305,7 @@ impl Runtime {
                     at,
                     true,
                 )?;
-                apply_batches(batches, &planned, &mut classes, &mut capture);
+                apply_cell_batches(&mut cells, &planned, &mut classes, &mut capture);
                 now = at;
                 process_arrival(
                     at,
@@ -1311,7 +1329,7 @@ impl Runtime {
             // engine events beat simultaneous arrivals; cross-cell ties
             // go to the lowest cell index) — the rebalancer fires after
             // that item, not at the tick instant.
-            let batches = advance_cells(
+            advance_cells(
                 &mut cells,
                 &planned,
                 per_cell_inflight,
@@ -1321,7 +1339,7 @@ impl Runtime {
                 next_rebalance,
                 false,
             )?;
-            apply_batches(batches, &planned, &mut classes, &mut capture);
+            apply_cell_batches(&mut cells, &planned, &mut classes, &mut capture);
             let next_event = cells
                 .iter()
                 .enumerate()
@@ -1399,271 +1417,27 @@ impl Runtime {
                         rebalancer.plan(&cluster_stats, &upcoming, &views).len() as u64;
                 }
 
-                // The migration pass rides the same telemetry tick: hot
-                // cells shed queued-but-unstarted workflows to cold ones
-                // until no eligible gap exceeds the steal margin. The
-                // shed item is the hot cell's *last-to-run* queued
-                // workflow (lowest priority, youngest) — it gains the
-                // most from a colder queue and its class loses nothing.
-                // Under the SLO-affine router the cold-cell choice is
-                // confined to the item's priority stripe, so stealing
-                // never mixes interactive and batch traffic; a hot cell
-                // whose stripe is already balanced is skipped so other
-                // stripes still drain. Every move re-scores, so the pass
-                // converges (each steal shrinks some gap by two).
-                loop {
-                    // Hot candidates in descending backlog order, ties
-                    // to the lowest index; take the first that can shed.
-                    let mut order: Vec<usize> = (0..cells.len())
-                        .filter(|&i| !cells[i].queue.is_empty())
-                        .collect();
-                    order.sort_by_key(|&i| (std::cmp::Reverse(cells[i].backlog()), i));
-                    let mut moved = false;
-                    for &hot in &order {
-                        let priority = cells[hot]
-                            .queue
-                            .last_priority()
-                            .expect("hot cell has queued work");
-                        let eligible = match opts.router {
-                            CellPolicy::SloAffine => {
-                                stripe_range(priority, &priority_ranks, cells.len())
-                            }
-                            _ => 0..cells.len(),
-                        };
-                        let cold = least_loaded(&cells, eligible);
-                        if hot == cold
-                            || cells[hot].backlog()
-                                < cells[cold].backlog() + opts.steal_margin.max(1)
-                        {
-                            continue;
-                        }
-                        let (prio, seq, idx) = cells[hot]
-                            .queue
-                            .pop_last()
-                            .expect("hot cell has queued work");
-                        cells[hot].migrated_out += 1;
-                        cells[cold].queue.push(prio, seq, idx);
-                        cells[cold].stolen_in += 1;
-                        cells[cold].note_backlog();
-                        steals += 1;
-                        if let Some(cap) = capture.as_deref_mut() {
-                            cap.steals.push(StealRecord {
-                                at_s: now.as_secs_f64(),
-                                request_id: planned[idx].req.id,
-                                from_cell: hot,
-                                to_cell: cold,
-                            });
-                        }
-                        moved = true;
-                        break;
-                    }
-                    if !moved {
-                        break;
-                    }
-                }
+                steal_pass(
+                    &mut cells,
+                    opts.router,
+                    &priority_ranks,
+                    opts.steal_margin,
+                    now,
+                    &planned,
+                    &mut steals,
+                    &mut capture,
+                );
                 next_rebalance += rebalance_every;
             }
         }
 
         let admission_stats = ctrl.stats();
 
-        // 6. Per-cell settlement, then fleet-level report assembly.
-        struct CellDone {
-            outcome: crate::engine::EngineOutcome,
-            nodes: usize,
-            assigned: u64,
-            stolen_in: u64,
-            migrated_out: u64,
-            completed: u64,
-            peak_backlog: u64,
-            rebalance_actions: u64,
-            events_processed: u64,
-            /// `(prefill busy GPU-s, prefill GPUs, decode busy GPU-s,
-            /// decode GPUs)` across the cell's endpoints.
-            phase: (f64, f64, f64, f64),
-        }
-        let mut finished = Vec::with_capacity(cells.len());
+        // 6. Per-cell settlement, then fleet-level report assembly —
+        //    both shared with the geo layer's per-region reports.
         let mut makespan = SimTime::ZERO;
-        for cell in cells {
-            let Cell {
-                engine,
-                nodes,
-                assigned,
-                stolen_in,
-                migrated_out,
-                completed,
-                peak_backlog,
-                rebalance_actions,
-                ..
-            } = cell;
-            let phase = engine.endpoint_phase_stats();
-            let events_processed = engine.events_processed();
-            let outcome = engine.finish(SimTime::ZERO)?;
-            makespan = makespan.max(outcome.makespan);
-            finished.push(CellDone {
-                outcome,
-                nodes,
-                assigned,
-                stolen_in,
-                migrated_out,
-                completed,
-                peak_backlog,
-                rebalance_actions,
-                events_processed,
-                phase,
-            });
-        }
-
-        let sample = SimDuration::from_secs(1);
-        let makespan_s = makespan.as_secs_f64();
-        let avg = |samples: &[(f64, f64)]| {
-            if samples.is_empty() {
-                0.0
-            } else {
-                samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64
-            }
-        };
-        // Utilization is sampled per cell over the *fleet* window so idle
-        // tails count against a cell, then capacity-weighted into the
-        // fleet aggregate.
-        let mut cell_reports: Vec<FleetCellReport> = Vec::with_capacity(finished.len());
-        let (mut gpu_w, mut gpu_cap, mut cpu_w, mut cpu_cap) = (0.0, 0.0, 0.0, 0.0);
-        let (mut pf_busy, mut pf_cap, mut dc_busy, mut dc_cap) = (0.0, 0.0, 0.0, 0.0);
-        let mut tasks_completed = 0u64;
-        let mut energy_allocated_wh = 0.0;
-        let mut cost_usd = 0.0;
-        let (mut pool_scale_ups, mut pool_scale_downs) = (0u64, 0u64);
-        let mut rebalance_actions = 0u64;
-        let mut events_processed = 0u64;
-        for (i, done) in finished.iter().enumerate() {
-            let gpu = avg(&done.outcome.cluster.aggregate_util(
-                DeviceKind::Gpu,
-                SimTime::ZERO,
-                makespan,
-                sample,
-            ));
-            let cpu = avg(&done.outcome.cluster.aggregate_util(
-                DeviceKind::CpuPool,
-                SimTime::ZERO,
-                makespan,
-                sample,
-            ));
-            let cap = done.outcome.cluster.stats(SimTime::ZERO);
-            gpu_w += gpu * cap.gpus_total;
-            gpu_cap += cap.gpus_total;
-            cpu_w += cpu * cap.cores_total;
-            cpu_cap += cap.cores_total;
-            tasks_completed += done.outcome.tasks_completed as u64;
-            energy_allocated_wh += done.outcome.energy_allocated_wh;
-            cost_usd += done.outcome.cost_usd;
-            pool_scale_ups += done.outcome.pool_scale_ups;
-            pool_scale_downs += done.outcome.pool_scale_downs;
-            rebalance_actions += done.rebalance_actions;
-            events_processed += done.events_processed;
-            let (cell_pf_busy, cell_pf_gpus, cell_dc_busy, cell_dc_gpus) = done.phase;
-            pf_busy += cell_pf_busy;
-            pf_cap += cell_pf_gpus;
-            dc_busy += cell_dc_busy;
-            dc_cap += cell_dc_gpus;
-            let phase_pct = |busy_gpu_s: f64, gpus: f64| {
-                if gpus > 0.0 && makespan_s > 0.0 {
-                    100.0 * busy_gpu_s / (gpus * makespan_s)
-                } else {
-                    0.0
-                }
-            };
-            cell_reports.push(FleetCellReport {
-                cell: i,
-                nodes: done.nodes,
-                assigned: done.assigned,
-                stolen_in: done.stolen_in,
-                migrated_out: done.migrated_out,
-                completed: done.completed,
-                tasks_completed: done.outcome.tasks_completed as u64,
-                peak_backlog: done.peak_backlog,
-                gpu_util_avg_pct: gpu,
-                cpu_util_avg_pct: cpu,
-                prefill_util_avg_pct: phase_pct(cell_pf_busy, cell_pf_gpus),
-                decode_util_avg_pct: phase_pct(cell_dc_busy, cell_dc_gpus),
-                energy_allocated_wh: done.outcome.energy_allocated_wh,
-                cost_usd: done.outcome.cost_usd,
-                pool_scale_ups: done.outcome.pool_scale_ups,
-                pool_scale_downs: done.outcome.pool_scale_downs,
-                rebalance_actions: done.rebalance_actions,
-                events_processed: done.events_processed,
-                makespan_s: done.outcome.makespan.as_secs_f64(),
-            });
-        }
-
-        let mut class_reports: Vec<FleetClassReport> = classes
-            .into_iter()
-            .map(|mut agg| {
-                // Every sample is retained, so percentiles are exact
-                // (nearest-rank), not histogram-bucket estimates. An
-                // empty sample set is `None` (serialized `null`), never
-                // a fake 0-second percentile.
-                agg.latencies.sort_by(f64::total_cmp);
-                let mean = if agg.latencies.is_empty() {
-                    None
-                } else {
-                    Some(agg.latencies.iter().sum::<f64>() / agg.latencies.len() as f64)
-                };
-                agg.ttfts.sort_by(f64::total_cmp);
-                agg.tpots.sort_by(f64::total_cmp);
-                let pct_of = |v: &[f64], q: f64| -> Option<f64> {
-                    if v.is_empty() {
-                        None
-                    } else {
-                        let rank = (q * v.len() as f64).ceil() as usize;
-                        Some(v[rank.clamp(1, v.len()) - 1])
-                    }
-                };
-                FleetClassReport {
-                    class: agg.name.clone(),
-                    priority: agg.priority,
-                    deadline_s: agg.deadline_s,
-                    offered: agg.offered,
-                    admitted: agg.admitted,
-                    completed: agg.completed,
-                    slo_met: agg.slo_met,
-                    // Attainment is over admitted work only: a fully
-                    // shed class is degraded (0.0), not vacuously
-                    // perfect; only the no-traffic case reads 1.0.
-                    attainment: if agg.admitted == 0 {
-                        if agg.offered == 0 {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    } else {
-                        agg.slo_met as f64 / agg.admitted as f64
-                    },
-                    shed_rate: if agg.offered == 0 {
-                        0.0
-                    } else {
-                        (agg.offered - agg.admitted) as f64 / agg.offered as f64
-                    },
-                    p50_s: pct_of(&agg.latencies, 0.5),
-                    p95_s: pct_of(&agg.latencies, 0.95),
-                    p99_s: pct_of(&agg.latencies, 0.99),
-                    mean_s: mean,
-                    max_s: agg.latencies.last().copied(),
-                    ttft_p50_s: pct_of(&agg.ttfts, 0.5),
-                    ttft_p95_s: pct_of(&agg.ttfts, 0.95),
-                    ttft_p99_s: pct_of(&agg.ttfts, 0.99),
-                    tpot_p50_s: pct_of(&agg.tpots, 0.5),
-                    tpot_p95_s: pct_of(&agg.tpots, 0.95),
-                }
-            })
-            .collect();
-        class_reports.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.class.cmp(&b.class)));
-
-        let offered = planned.len() as u64;
-        let admitted = admission_stats.admitted;
-        let completed: u64 = class_reports.iter().map(|c| c.completed).sum();
-        let slo_met: u64 = class_reports.iter().map(|c| c.slo_met).sum();
-        let horizon_min = (opts.horizon_s / 60.0).max(1e-9);
-        Ok(FleetReport {
+        let finished = settle_cells(cells, &mut makespan)?;
+        let params = ReportParams {
             label: opts.label,
             seed: self.seed(),
             shards,
@@ -1673,53 +1447,540 @@ impl Runtime {
             offered_rate_per_s: opts.process.mean_rate_per_s(),
             horizon_s: opts.horizon_s,
             admission_enabled: opts.admission.enabled,
-            offered,
-            admitted,
-            rejected_rate: admission_stats.rejected_rate,
-            rejected_deadline: admission_stats.rejected_deadline,
-            rejected_queue_full: admission_stats.rejected_queue_full,
-            completed,
-            slo_met,
-            slo_attainment: if admitted == 0 {
-                if offered == 0 {
-                    1.0
-                } else {
-                    0.0
+            offered: planned.len() as u64,
+            admission: admission_stats,
+            steals,
+        };
+        Ok(assemble_fleet_report(params, classes, &finished, makespan))
+    }
+
+    /// Route-selection inputs shared by every cell — and, under geo
+    /// federation, by every region: the capability → archetype demand
+    /// map over every archetype the tenant set can emit, the folded
+    /// constraint set and the engine run options.
+    pub(crate) fn serve_prep(&self, opts: &FleetOptions) -> Result<ServePrep, SimError> {
+        let archetypes: Vec<Archetype> = Archetype::ALL
+            .into_iter()
+            .filter(|a| {
+                opts.tenants
+                    .iter()
+                    .any(|t| t.mix.weights().iter().any(|&(m, w)| m == *a && w > 0.0))
+            })
+            .collect();
+        if archetypes.is_empty() {
+            return Err(SimError::InvalidInput("fleet tenant set is empty".into()));
+        }
+        let mut cap_archetypes: BTreeMap<Capability, Vec<String>> = BTreeMap::new();
+        let mut constraints = murakkab_workflow::ConstraintSet::new();
+        for &arch in &archetypes {
+            let job = canonical_job(arch);
+            let (plan, _) = Planner.decompose(&job, self.library())?;
+            for c in job.constraints.all() {
+                constraints = constraints.and(*c);
+            }
+            for cap in plan.capabilities() {
+                cap_archetypes
+                    .entry(cap)
+                    .or_default()
+                    .push(plan.archetype.clone());
+            }
+        }
+        for &c in &opts.constraints {
+            constraints = constraints.and(c);
+        }
+        let run_opts = RunOptions::labeled(&opts.label)
+            .parallelism(opts.parallelism)
+            .pin_paper_agents(false)
+            .serving(opts.serving)
+            .workflow_aware(opts.workflow_aware);
+        Ok(ServePrep {
+            cap_archetypes,
+            constraints,
+            run_opts,
+        })
+    }
+
+    /// Builds one started, idle engine cell per cluster slice. Route
+    /// selection only depends on a cell's capacity and the fleet is
+    /// homogeneous (one VM shape), so slices with the same node count
+    /// share one selection pass through `routes_by_nodes` — callers
+    /// building several cell groups (the geo regions) pass the same
+    /// cache to every call.
+    pub(crate) fn build_cells(
+        &self,
+        clusters: Vec<murakkab_cluster::ClusterManager>,
+        prep: &ServePrep,
+        routes_by_nodes: &mut BTreeMap<usize, BTreeMap<Capability, RouteSpec>>,
+    ) -> Result<Vec<Cell>, SimError> {
+        let mut cells = Vec::with_capacity(clusters.len());
+        for cluster in clusters {
+            let nodes = cluster.nodes().len();
+            let routes = match routes_by_nodes.get(&nodes) {
+                Some(routes) => routes.clone(),
+                None => {
+                    let mut stats = cluster.stats(SimTime::ZERO);
+                    let RoutePlan {
+                        routes,
+                        selections: _,
+                        orchestrator_agent: _,
+                    } = self.select_routes(
+                        &prep.cap_archetypes,
+                        &prep.constraints,
+                        &mut stats,
+                        &prep.run_opts,
+                    )?;
+                    routes_by_nodes.insert(nodes, routes.clone());
+                    routes
                 }
-            } else {
-                slo_met as f64 / admitted as f64
-            },
-            shed_rate: if offered == 0 {
-                0.0
-            } else {
-                (offered - admitted) as f64 / offered as f64
-            },
-            throughput_per_min: completed as f64 / horizon_min,
-            goodput_per_min: slo_met as f64 / horizon_min,
-            classes: class_reports,
-            tasks_completed,
-            makespan_s: makespan.as_secs_f64(),
-            gpu_util_avg_pct: if gpu_cap > 0.0 { gpu_w / gpu_cap } else { 0.0 },
-            cpu_util_avg_pct: if cpu_cap > 0.0 { cpu_w / cpu_cap } else { 0.0 },
-            prefill_util_avg_pct: if pf_cap > 0.0 && makespan_s > 0.0 {
-                100.0 * pf_busy / (pf_cap * makespan_s)
-            } else {
-                0.0
-            },
-            decode_util_avg_pct: if dc_cap > 0.0 && makespan_s > 0.0 {
-                100.0 * dc_busy / (dc_cap * makespan_s)
-            } else {
-                0.0
-            },
-            energy_allocated_wh,
-            cost_usd,
-            pool_scale_ups,
-            pool_scale_downs,
+            };
+            // Serve reports never render the span trace; skipping it
+            // removes a String clone per completed task from the loop.
+            let mut engine_opts = self.engine_options(&prep.run_opts);
+            engine_opts.record_spans = false;
+            let mut engine = Engine::new(
+                cluster,
+                self.library(),
+                TaskGraph::new(),
+                routes.clone(),
+                engine_opts,
+                SimTime::ZERO,
+            )?;
+            engine.start(SimTime::ZERO)?;
+            cells.push(Cell::new(engine, routes, nodes));
+        }
+        Ok(cells)
+    }
+
+    /// Plans every request up front (decomposition is input-size
+    /// independent, so this is equivalent to planning on arrival and
+    /// keeps the serve loop allocation-free), interning each SLO class
+    /// into `classes`/`class_index` so requests carry a dense index
+    /// instead of a name. Report order is fixed by the final
+    /// (priority, name) sort, so first-seen insertion order is fine.
+    /// Appends to the three collections in place so the geo layer can
+    /// plan several origin streams against one shared class table.
+    pub(crate) fn plan_requests(
+        &self,
+        requests: Vec<RequestSpec>,
+        est_routes: &BTreeMap<Capability, RouteSpec>,
+        fleet_rng: &SimRng,
+        class_index: &mut BTreeMap<String, usize>,
+        classes: &mut Vec<ClassAgg>,
+        planned: &mut Vec<PlannedRequest>,
+    ) -> Result<(), SimError> {
+        for req in requests {
+            let mut job_rng = fleet_rng.fork(&format!("job-{}", req.id));
+            let (job, inputs) = fleet_job(req.archetype, &req.tenant, &mut job_rng);
+            let (plan, _) = Planner.decompose(&job, self.library())?;
+            let graph = expand(&plan, &inputs)?;
+            let est_service_s = estimate_service_s(&graph, est_routes, self.library())?;
+            let class_idx = match class_index.get(&req.class.name) {
+                Some(&i) => i,
+                None => {
+                    let i = classes.len();
+                    class_index.insert(req.class.name.clone(), i);
+                    classes.push(ClassAgg {
+                        name: req.class.name.clone(),
+                        priority: req.class.priority,
+                        deadline_s: req.class.deadline_s,
+                        ..ClassAgg::default()
+                    });
+                    i
+                }
+            };
+            classes[class_idx].offered += 1;
+            planned.push(PlannedRequest {
+                req,
+                graph,
+                est_service_s,
+                class_idx,
+                wan_s: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The migration pass riding the telemetry tick: hot cells shed
+/// queued-but-unstarted workflows to cold ones until no eligible gap
+/// exceeds the steal margin. The shed item is the hot cell's
+/// *last-to-run* queued workflow (lowest priority, youngest) — it
+/// gains the most from a colder queue and its class loses nothing.
+/// Under the SLO-affine router the cold-cell choice is confined to the
+/// item's priority stripe, so stealing never mixes interactive and
+/// batch traffic; a hot cell whose stripe is already balanced is
+/// skipped so other stripes still drain. Every move re-scores, so the
+/// pass converges (each steal shrinks some gap by two). Shared with
+/// the geo layer, which runs it per region at sync-epoch boundaries.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn steal_pass(
+    cells: &mut [Cell],
+    router: CellPolicy,
+    priority_ranks: &[u8],
+    steal_margin: usize,
+    now: SimTime,
+    planned: &[PlannedRequest],
+    steals: &mut u64,
+    capture: &mut Option<&mut RunCapture>,
+) {
+    loop {
+        // Hot candidates in descending backlog order, ties to the
+        // lowest index; take the first that can shed.
+        let mut order: Vec<usize> = (0..cells.len())
+            .filter(|&i| !cells[i].queue.is_empty())
+            .collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(cells[i].backlog()), i));
+        let mut moved = false;
+        for &hot in &order {
+            let priority = cells[hot]
+                .queue
+                .last_priority()
+                .expect("hot cell has queued work");
+            let eligible = match router {
+                CellPolicy::SloAffine => stripe_range(priority, priority_ranks, cells.len()),
+                _ => 0..cells.len(),
+            };
+            let cold = least_loaded(cells, eligible);
+            if hot == cold || cells[hot].backlog() < cells[cold].backlog() + steal_margin.max(1) {
+                continue;
+            }
+            let (prio, seq, idx) = cells[hot]
+                .queue
+                .pop_last()
+                .expect("hot cell has queued work");
+            cells[hot].migrated_out += 1;
+            cells[cold].queue.push(prio, seq, idx);
+            cells[cold].stolen_in += 1;
+            cells[cold].note_backlog();
+            *steals += 1;
+            if let Some(cap) = capture.as_deref_mut() {
+                cap.steals.push(StealRecord {
+                    at_s: now.as_secs_f64(),
+                    request_id: planned[idx].req.id,
+                    from_cell: hot,
+                    to_cell: cold,
+                });
+            }
+            moved = true;
+            break;
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// The shared route-selection inputs produced by
+/// [`Runtime::serve_prep`].
+pub(crate) struct ServePrep {
+    pub(crate) cap_archetypes: BTreeMap<Capability, Vec<String>>,
+    pub(crate) constraints: murakkab_workflow::ConstraintSet,
+    pub(crate) run_opts: RunOptions,
+}
+
+/// A settled cell: its engine outcome plus the serve-loop counters,
+/// ready for report assembly.
+pub(crate) struct CellDone {
+    pub(crate) outcome: crate::engine::EngineOutcome,
+    pub(crate) nodes: usize,
+    pub(crate) assigned: u64,
+    pub(crate) stolen_in: u64,
+    pub(crate) migrated_out: u64,
+    pub(crate) completed: u64,
+    pub(crate) peak_backlog: u64,
+    pub(crate) rebalance_actions: u64,
+    pub(crate) events_processed: u64,
+    /// `(prefill busy GPU-s, prefill GPUs, decode busy GPU-s,
+    /// decode GPUs)` across the cell's endpoints.
+    pub(crate) phase: (f64, f64, f64, f64),
+    /// The cell's dollar-cost multiplier (geo spot discount).
+    pub(crate) cost_scale: f64,
+}
+
+/// Finishes every cell's engine and folds the per-cell makespan into
+/// `makespan` (callers settling several regions pass the same
+/// accumulator to every call so utilization windows agree).
+pub(crate) fn settle_cells(
+    cells: Vec<Cell>,
+    makespan: &mut SimTime,
+) -> Result<Vec<CellDone>, SimError> {
+    let mut finished = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let Cell {
+            engine,
+            nodes,
+            cost_scale,
+            assigned,
+            stolen_in,
+            migrated_out,
+            completed,
+            peak_backlog,
+            rebalance_actions,
+            ..
+        } = cell;
+        let phase = engine.endpoint_phase_stats();
+        let events_processed = engine.events_processed();
+        let outcome = engine.finish(SimTime::ZERO)?;
+        *makespan = (*makespan).max(outcome.makespan);
+        finished.push(CellDone {
+            outcome,
+            nodes,
+            assigned,
+            stolen_in,
+            migrated_out,
+            completed,
+            peak_backlog,
             rebalance_actions,
             events_processed,
-            steals,
-            cells: cell_reports,
+            phase,
+            cost_scale,
+        });
+    }
+    Ok(finished)
+}
+
+/// The report-identity fields [`assemble_fleet_report`] copies through
+/// verbatim — everything not derived from the settled cells or the
+/// class aggregates.
+pub(crate) struct ReportParams {
+    pub(crate) label: String,
+    pub(crate) seed: u64,
+    pub(crate) shards: usize,
+    pub(crate) router: String,
+    pub(crate) serving: String,
+    pub(crate) arrival_process: String,
+    pub(crate) offered_rate_per_s: f64,
+    pub(crate) horizon_s: f64,
+    pub(crate) admission_enabled: bool,
+    pub(crate) offered: u64,
+    pub(crate) admission: murakkab_traffic::AdmissionStats,
+    pub(crate) steals: u64,
+}
+
+/// Sorts every class's retained samples and renders its report row.
+/// Percentiles are exact (nearest-rank), not histogram-bucket
+/// estimates; an empty sample set is `None` (serialized `null`), never
+/// a fake 0-second percentile.
+pub(crate) fn class_reports(classes: Vec<ClassAgg>) -> Vec<FleetClassReport> {
+    let mut reports: Vec<FleetClassReport> = classes
+        .into_iter()
+        .map(|mut agg| {
+            agg.latencies.sort_by(f64::total_cmp);
+            let mean = if agg.latencies.is_empty() {
+                None
+            } else {
+                Some(agg.latencies.iter().sum::<f64>() / agg.latencies.len() as f64)
+            };
+            agg.ttfts.sort_by(f64::total_cmp);
+            agg.tpots.sort_by(f64::total_cmp);
+            let pct_of = |v: &[f64], q: f64| -> Option<f64> {
+                if v.is_empty() {
+                    None
+                } else {
+                    let rank = (q * v.len() as f64).ceil() as usize;
+                    Some(v[rank.clamp(1, v.len()) - 1])
+                }
+            };
+            FleetClassReport {
+                class: agg.name.clone(),
+                priority: agg.priority,
+                deadline_s: agg.deadline_s,
+                offered: agg.offered,
+                admitted: agg.admitted,
+                completed: agg.completed,
+                slo_met: agg.slo_met,
+                // Attainment is over admitted work only: a fully
+                // shed class is degraded (0.0), not vacuously
+                // perfect; only the no-traffic case reads 1.0.
+                attainment: if agg.admitted == 0 {
+                    if agg.offered == 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    agg.slo_met as f64 / agg.admitted as f64
+                },
+                // Saturating: a geo region's class row counts origins
+                // as offered but serves inbound spillover too, so it
+                // can admit more than it originates.
+                shed_rate: if agg.offered == 0 {
+                    0.0
+                } else {
+                    agg.offered.saturating_sub(agg.admitted) as f64 / agg.offered as f64
+                },
+                p50_s: pct_of(&agg.latencies, 0.5),
+                p95_s: pct_of(&agg.latencies, 0.95),
+                p99_s: pct_of(&agg.latencies, 0.99),
+                mean_s: mean,
+                max_s: agg.latencies.last().copied(),
+                ttft_p50_s: pct_of(&agg.ttfts, 0.5),
+                ttft_p95_s: pct_of(&agg.ttfts, 0.95),
+                ttft_p99_s: pct_of(&agg.ttfts, 0.99),
+                tpot_p50_s: pct_of(&agg.tpots, 0.5),
+                tpot_p95_s: pct_of(&agg.tpots, 0.95),
+            }
         })
+        .collect();
+    reports.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.class.cmp(&b.class)));
+    reports
+}
+
+/// Assembles a [`FleetReport`] from settled cells and class
+/// aggregates. Utilization is sampled per cell over the window ending
+/// at `makespan` (the *fleet* window, so idle tails count against a
+/// cell), then capacity-weighted into the fleet aggregate — under geo,
+/// passing one region's cells yields that region's report and passing
+/// every region's cells yields the global one, with identical
+/// weighting rules.
+pub(crate) fn assemble_fleet_report(
+    params: ReportParams,
+    classes: Vec<ClassAgg>,
+    finished: &[CellDone],
+    makespan: SimTime,
+) -> FleetReport {
+    let sample = SimDuration::from_secs(1);
+    let makespan_s = makespan.as_secs_f64();
+    let avg = |samples: &[(f64, f64)]| {
+        if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64
+        }
+    };
+    let mut cell_reports: Vec<FleetCellReport> = Vec::with_capacity(finished.len());
+    let (mut gpu_w, mut gpu_cap, mut cpu_w, mut cpu_cap) = (0.0, 0.0, 0.0, 0.0);
+    let (mut pf_busy, mut pf_cap, mut dc_busy, mut dc_cap) = (0.0, 0.0, 0.0, 0.0);
+    let mut tasks_completed = 0u64;
+    let mut energy_allocated_wh = 0.0;
+    let mut cost_usd = 0.0;
+    let (mut pool_scale_ups, mut pool_scale_downs) = (0u64, 0u64);
+    let mut rebalance_actions = 0u64;
+    let mut events_processed = 0u64;
+    for (i, done) in finished.iter().enumerate() {
+        let gpu = avg(&done.outcome.cluster.aggregate_util(
+            DeviceKind::Gpu,
+            SimTime::ZERO,
+            makespan,
+            sample,
+        ));
+        let cpu = avg(&done.outcome.cluster.aggregate_util(
+            DeviceKind::CpuPool,
+            SimTime::ZERO,
+            makespan,
+            sample,
+        ));
+        let cap = done.outcome.cluster.stats(SimTime::ZERO);
+        gpu_w += gpu * cap.gpus_total;
+        gpu_cap += cap.gpus_total;
+        cpu_w += cpu * cap.cores_total;
+        cpu_cap += cap.cores_total;
+        tasks_completed += done.outcome.tasks_completed as u64;
+        energy_allocated_wh += done.outcome.energy_allocated_wh;
+        cost_usd += done.outcome.cost_usd * done.cost_scale;
+        pool_scale_ups += done.outcome.pool_scale_ups;
+        pool_scale_downs += done.outcome.pool_scale_downs;
+        rebalance_actions += done.rebalance_actions;
+        events_processed += done.events_processed;
+        let (cell_pf_busy, cell_pf_gpus, cell_dc_busy, cell_dc_gpus) = done.phase;
+        pf_busy += cell_pf_busy;
+        pf_cap += cell_pf_gpus;
+        dc_busy += cell_dc_busy;
+        dc_cap += cell_dc_gpus;
+        let phase_pct = |busy_gpu_s: f64, gpus: f64| {
+            if gpus > 0.0 && makespan_s > 0.0 {
+                100.0 * busy_gpu_s / (gpus * makespan_s)
+            } else {
+                0.0
+            }
+        };
+        cell_reports.push(FleetCellReport {
+            cell: i,
+            nodes: done.nodes,
+            assigned: done.assigned,
+            stolen_in: done.stolen_in,
+            migrated_out: done.migrated_out,
+            completed: done.completed,
+            tasks_completed: done.outcome.tasks_completed as u64,
+            peak_backlog: done.peak_backlog,
+            gpu_util_avg_pct: gpu,
+            cpu_util_avg_pct: cpu,
+            prefill_util_avg_pct: phase_pct(cell_pf_busy, cell_pf_gpus),
+            decode_util_avg_pct: phase_pct(cell_dc_busy, cell_dc_gpus),
+            energy_allocated_wh: done.outcome.energy_allocated_wh,
+            cost_usd: done.outcome.cost_usd * done.cost_scale,
+            pool_scale_ups: done.outcome.pool_scale_ups,
+            pool_scale_downs: done.outcome.pool_scale_downs,
+            rebalance_actions: done.rebalance_actions,
+            events_processed: done.events_processed,
+            makespan_s: done.outcome.makespan.as_secs_f64(),
+        });
+    }
+
+    let class_rows = class_reports(classes);
+    let offered = params.offered;
+    let admitted = params.admission.admitted;
+    let completed: u64 = class_rows.iter().map(|c| c.completed).sum();
+    let slo_met: u64 = class_rows.iter().map(|c| c.slo_met).sum();
+    let horizon_min = (params.horizon_s / 60.0).max(1e-9);
+    FleetReport {
+        label: params.label,
+        seed: params.seed,
+        shards: params.shards,
+        router: params.router,
+        serving: params.serving,
+        arrival_process: params.arrival_process,
+        offered_rate_per_s: params.offered_rate_per_s,
+        horizon_s: params.horizon_s,
+        admission_enabled: params.admission_enabled,
+        offered,
+        admitted,
+        rejected_rate: params.admission.rejected_rate,
+        rejected_deadline: params.admission.rejected_deadline,
+        rejected_queue_full: params.admission.rejected_queue_full,
+        completed,
+        slo_met,
+        slo_attainment: if admitted == 0 {
+            if offered == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            slo_met as f64 / admitted as f64
+        },
+        // Saturating: a geo region's report counts origins as offered
+        // but admits inbound spillover too.
+        shed_rate: if offered == 0 {
+            0.0
+        } else {
+            offered.saturating_sub(admitted) as f64 / offered as f64
+        },
+        throughput_per_min: completed as f64 / horizon_min,
+        goodput_per_min: slo_met as f64 / horizon_min,
+        classes: class_rows,
+        tasks_completed,
+        makespan_s: makespan.as_secs_f64(),
+        gpu_util_avg_pct: if gpu_cap > 0.0 { gpu_w / gpu_cap } else { 0.0 },
+        cpu_util_avg_pct: if cpu_cap > 0.0 { cpu_w / cpu_cap } else { 0.0 },
+        prefill_util_avg_pct: if pf_cap > 0.0 && makespan_s > 0.0 {
+            100.0 * pf_busy / (pf_cap * makespan_s)
+        } else {
+            0.0
+        },
+        decode_util_avg_pct: if dc_cap > 0.0 && makespan_s > 0.0 {
+            100.0 * dc_busy / (dc_cap * makespan_s)
+        } else {
+            0.0
+        },
+        energy_allocated_wh,
+        cost_usd,
+        pool_scale_ups,
+        pool_scale_downs,
+        rebalance_actions,
+        events_processed,
+        steals: params.steals,
+        cells: cell_reports,
     }
 }
 

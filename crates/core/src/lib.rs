@@ -27,6 +27,9 @@
 //!   [`ExecutionMode::OpenLoop`](scenario::ExecutionMode): an arriving
 //!   request stream (`murakkab_traffic`) admitted into sharded
 //!   long-running engine cells, reported per SLO class;
+//! - [`mod@geo`] — multi-region federation over the fleet layer:
+//!   geo-routed regional fleets under a WAN cost model with elastic
+//!   spot capacity, behind [`Scenario::geo`](scenario::Scenario::geo);
 //! - [`baseline`] — the imperative (Listing 1 / OmAgent-style) executor:
 //!   fixed agents, fixed resources, fully serialized execution;
 //! - [`report`] — run reports: makespan, energy (both scopes), cost,
@@ -53,6 +56,7 @@ pub mod baseline;
 pub mod capture;
 pub mod engine;
 pub mod fleet;
+pub mod geo;
 pub mod report;
 pub mod runtime;
 pub mod scenario;
@@ -62,6 +66,8 @@ pub use analyze::{analyze, AnalysisReport, Diagnostic, Severity};
 pub use baseline::run_baseline_video_understanding;
 pub use capture::{RequestOutcome, RequestRecord, RunCapture, StealRecord};
 pub use fleet::{CellPolicy, FleetCellReport, FleetOptions, FleetReport};
+pub use geo::{GeoRegionReport, GeoReport};
+pub use murakkab_geo::{ElasticSpec, GeoPolicy, GeoSpec, RegionSpec, WanModel};
 pub use murakkab_llmsim::{BackendSpec, ServingBackend, ServingMode};
 pub use report::RunReport;
 pub use runtime::{RunOptions, Runtime, SttChoice};

@@ -208,8 +208,15 @@ impl Runtime {
     }
 
     pub(crate) fn build_cluster(&self) -> ClusterManager {
+        self.build_cluster_of(self.nodes)
+    }
+
+    /// A fresh cluster of `nodes` VMs of this runtime's shape — the geo
+    /// layer builds one per region slice (and per spot node) instead of
+    /// partitioning the single scenario cluster evenly.
+    pub(crate) fn build_cluster_of(&self, nodes: usize) -> ClusterManager {
         let mut cm = ClusterManager::new(murakkab_cluster::PlacementPolicy::BestFit);
-        for _ in 0..self.nodes {
+        for _ in 0..nodes {
             cm.add_node(self.shape.clone());
         }
         cm

@@ -333,6 +333,12 @@ pub struct Scenario {
     pub serving: ServingMode,
     /// Weight [`Session::execute`] gives the static preflight analysis.
     pub preflight: PreflightMode,
+    /// Multi-region federation (open loop only): geo-routed regional
+    /// fleets joined by a WAN model, with optional elastic spot
+    /// capacity. `None` — the default, and how every scenario captured
+    /// before the field existed reads — serves the whole cluster as one
+    /// region.
+    pub geo: Option<murakkab_geo::GeoSpec>,
 }
 
 impl Scenario {
@@ -356,6 +362,7 @@ impl Scenario {
             preemptions: Vec::new(),
             serving: ServingMode::Colocated,
             preflight: PreflightMode::Off,
+            geo: None,
         }
     }
 
@@ -380,7 +387,53 @@ impl Scenario {
             preemptions: Vec::new(),
             serving: ServingMode::Colocated,
             preflight: PreflightMode::Off,
+            geo: None,
         }
+    }
+
+    /// Materializes a configuration-search winner as a runnable
+    /// scenario: the [`LeverSettings`](murakkab_orchestrator::LeverSettings)
+    /// a [`ConfigSearch`](murakkab_orchestrator::ConfigSearch) returned,
+    /// emitted as the closed-loop scenario that executes them. The
+    /// scenario is plain serde data, so `to_json` makes the winner a
+    /// shippable artifact: commit it, diff it, re-run it.
+    ///
+    /// Lever mapping: `parallelism` drives the per-stage fan-out; the
+    /// SpeechToText choice pins [`SttChoice::Gpu`]/[`SttChoice::Cpu`]
+    /// by the winning target (absent → `Auto`); `paths` materializes
+    /// through the `cot` catalog entry's size parameter (other entries
+    /// have no path lever and ignore it); the remaining per-capability
+    /// choices re-derive at run time from `constraints` — paper-agent
+    /// pinning is disabled so free selection under the same constraint
+    /// set reproduces them.
+    pub fn from_lever_settings(
+        label: &str,
+        entry: CatalogRef,
+        settings: &murakkab_orchestrator::LeverSettings,
+        constraints: Vec<murakkab_workflow::Constraint>,
+    ) -> Self {
+        let stt = match settings
+            .choices
+            .get(&murakkab_agents::Capability::SpeechToText)
+        {
+            Some((_, target)) if target.needs_gpu() => SttChoice::Gpu,
+            Some(_) => SttChoice::Cpu,
+            None => SttChoice::Auto,
+        };
+        let entry = if entry.entry == "cot" && entry.size.is_none() && settings.paths > 1 {
+            entry.sized(settings.paths)
+        } else {
+            entry
+        };
+        let mut scenario = Scenario::closed_loop(label)
+            .stt(stt)
+            .parallelism(settings.parallelism)
+            .pin_paper_agents(false);
+        scenario.workload = WorkloadSource::Catalog {
+            entries: vec![entry],
+        };
+        scenario.constraints = constraints;
+        scenario
     }
 
     /// Sets the label.
@@ -506,6 +559,16 @@ impl Scenario {
     #[must_use]
     pub fn preflight(mut self, mode: PreflightMode) -> Self {
         self.preflight = mode;
+        self
+    }
+
+    /// Federates an open-loop scenario across the given regions. The
+    /// scenario's cluster node count must equal the spec's total
+    /// on-demand plus spot nodes (the regions *are* the cluster's
+    /// layout, not extra capacity).
+    #[must_use]
+    pub fn geo(mut self, spec: murakkab_geo::GeoSpec) -> Self {
+        self.geo = Some(spec);
         self
     }
 
@@ -640,7 +703,7 @@ impl Scenario {
     }
 
     /// The fleet options this scenario implies (open-loop mode).
-    fn fleet_options(
+    pub(crate) fn fleet_options(
         &self,
         spec: &OpenLoopSpec,
         process: &ArrivalProcess,
@@ -707,6 +770,9 @@ pub enum ReportDetail {
     /// The full open-loop fleet report (per-class and per-cell
     /// breakdowns).
     OpenLoop(FleetReport),
+    /// The multi-region federated report (per-region fleets, WAN and
+    /// elastic-spot accounting, global roll-up).
+    Geo(crate::geo::GeoReport),
 }
 
 /// What one [`Session::execute`] measured: a mode-independent
@@ -769,19 +835,53 @@ impl Report {
         }
     }
 
+    fn from_geo(report: crate::geo::GeoReport) -> Self {
+        Report {
+            core: ReportCore {
+                label: report.global.label.clone(),
+                seed: report.global.seed,
+                mode: "open-loop".into(),
+                makespan_s: report.global.makespan_s,
+                tasks_completed: report.global.tasks_completed,
+                energy_allocated_wh: report.global.energy_allocated_wh,
+                // Compute at regional prices plus WAN egress — not the
+                // global fleet figure alone.
+                cost_usd: report.cost_usd,
+                gpu_util_avg_pct: report.global.gpu_util_avg_pct,
+                cpu_util_avg_pct: report.global.cpu_util_avg_pct,
+                quality: None,
+                slo_attainment: Some(report.global.slo_attainment),
+                goodput_per_min: Some(report.global.goodput_per_min),
+                classes: report.global.classes.clone(),
+            },
+            detail: ReportDetail::Geo(report),
+        }
+    }
+
     /// The closed-loop detail, if this was a closed-loop run.
     pub fn closed_loop(&self) -> Option<&RunReport> {
         match &self.detail {
             ReportDetail::ClosedLoop(r) => Some(r),
-            ReportDetail::OpenLoop(_) => None,
+            ReportDetail::OpenLoop(_) | ReportDetail::Geo(_) => None,
         }
     }
 
-    /// The open-loop detail, if this was an open-loop run.
+    /// The open-loop detail, if this was an open-loop run. For a
+    /// federated run this is the global roll-up, so downstream
+    /// consumers (trace diffs, what-if comparisons) work unchanged.
     pub fn open_loop(&self) -> Option<&FleetReport> {
         match &self.detail {
             ReportDetail::OpenLoop(r) => Some(r),
+            ReportDetail::Geo(r) => Some(&r.global),
             ReportDetail::ClosedLoop(_) => None,
+        }
+    }
+
+    /// The federated detail, if this was a multi-region run.
+    pub fn geo(&self) -> Option<&crate::geo::GeoReport> {
+        match &self.detail {
+            ReportDetail::Geo(r) => Some(r),
+            _ => None,
         }
     }
 
@@ -793,7 +893,7 @@ impl Report {
     pub fn into_closed_loop(self) -> Result<RunReport, SimError> {
         match self.detail {
             ReportDetail::ClosedLoop(r) => Ok(r),
-            ReportDetail::OpenLoop(_) => Err(SimError::InvalidState(
+            ReportDetail::OpenLoop(_) | ReportDetail::Geo(_) => Err(SimError::InvalidState(
                 "open-loop report has no closed-loop detail".into(),
             )),
         }
@@ -807,6 +907,7 @@ impl Report {
     pub fn into_open_loop(self) -> Result<FleetReport, SimError> {
         match self.detail {
             ReportDetail::OpenLoop(r) => Ok(r),
+            ReportDetail::Geo(r) => Ok(r.global),
             ReportDetail::ClosedLoop(_) => Err(SimError::InvalidState(
                 "closed-loop report has no open-loop detail".into(),
             )),
@@ -818,6 +919,7 @@ impl Report {
         match &self.detail {
             ReportDetail::ClosedLoop(r) => r.summary_line(),
             ReportDetail::OpenLoop(r) => r.summary_line(),
+            ReportDetail::Geo(r) => r.summary_line(),
         }
     }
 
@@ -930,6 +1032,13 @@ impl Session {
                 "per-request capture needs an open-loop scenario".into(),
             ));
         }
+        if scenario.geo.is_some() {
+            return Err(SimError::InvalidInput(
+                "per-request capture is single-region; capture without `geo`, \
+                 then replay the capture across regions with a what-if geo knob"
+                    .into(),
+            ));
+        }
         let mut capture = crate::capture::RunCapture::default();
         let report = self.execute_inner(scenario, Some(&mut capture))?;
         Ok((report, capture))
@@ -988,6 +1097,22 @@ impl Session {
                 let WorkloadSource::Traffic { process, tenants } = &scenario.workload else {
                     unreachable!("validated: open loop implies a traffic source");
                 };
+                if let Some(geo) = &scenario.geo {
+                    if capture.is_some() {
+                        return Err(SimError::InvalidInput(
+                            "per-request capture is single-region; drop `geo` to capture".into(),
+                        ));
+                    }
+                    let report = crate::geo::execute_geo(
+                        &self.runtime,
+                        scenario,
+                        spec,
+                        process,
+                        tenants,
+                        geo,
+                    )?;
+                    return Ok(Report::from_geo(report));
+                }
                 let report = self
                     .runtime
                     .serve_captured(scenario.fleet_options(spec, process, tenants), capture)?;

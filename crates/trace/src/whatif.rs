@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use murakkab::scenario::WorkloadSource;
-use murakkab::{CellPolicy, Report, Scenario, ServingMode};
+use murakkab::{CellPolicy, GeoSpec, Report, Scenario, ServingMode};
 use murakkab_sim::SimError;
 use murakkab_traffic::{AdmissionConfig, ArrivalProcess};
 
@@ -42,6 +42,9 @@ pub struct WhatIf {
     pub max_inflight: Option<usize>,
     /// Swap the admission configuration.
     pub admission: Option<AdmissionConfig>,
+    /// Federate the replay across regions: the captured (single-region)
+    /// traffic re-served by a multi-region fleet under a WAN model.
+    pub geo: Option<GeoSpec>,
 }
 
 impl WhatIf {
@@ -95,6 +98,17 @@ impl WhatIf {
         self
     }
 
+    /// Federates the counterfactual across `spec`'s regions. The
+    /// cluster is resized to the spec's footprint (every region's
+    /// on-demand nodes, plus spot nodes when elastic capacity is on),
+    /// so the comparison is capacity-explicit: the diff answers "what
+    /// if this traffic had been served by this global fleet".
+    #[must_use]
+    pub fn geo(mut self, spec: GeoSpec) -> Self {
+        self.geo = Some(spec);
+        self
+    }
+
     /// Builds the counterfactual scenario: the trace's scenario with
     /// its arrival process pinned to the captured instants and these
     /// modifications applied.
@@ -134,6 +148,12 @@ impl WhatIf {
         }
         if let Some(nodes) = self.nodes {
             scenario.cluster.nodes = nodes;
+        }
+        if let Some(spec) = &self.geo {
+            let spot: usize = spec.regions.iter().map(|r| r.spot_nodes).sum();
+            scenario.cluster.nodes =
+                spec.total_nodes() + if spec.elastic.is_some() { spot } else { 0 };
+            scenario = scenario.geo(spec.clone());
         }
         scenario.validate()?;
         Ok(scenario)

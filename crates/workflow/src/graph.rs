@@ -288,7 +288,26 @@ impl TaskGraph {
     /// stage names (multi-tenant merges keep workflows distinguishable in
     /// traces and lookups).
     pub fn absorb_prefixed(&mut self, other: &TaskGraph, prefix: &str) -> BTreeMap<TaskId, TaskId> {
-        let mut map = BTreeMap::new();
+        let mut ids = Vec::with_capacity(other.nodes.len());
+        self.absorb_prefixed_into(other, prefix, &mut ids);
+        other.nodes.keys().copied().zip(ids).collect()
+    }
+
+    /// [`absorb_prefixed`](Self::absorb_prefixed) without the per-call
+    /// map allocation: the new ids are appended to `out` in `other`'s
+    /// node order (ascending old id). The serve loop's admission path
+    /// reuses one `out` buffer across every admitted workflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an absorbed edge would create a cycle (impossible for
+    /// a valid `other`).
+    pub fn absorb_prefixed_into(&mut self, other: &TaskGraph, prefix: &str, out: &mut Vec<TaskId>) {
+        let start = out.len();
+        // Sub-graphs built by the planner have dense ids 0..len (the
+        // graph API only ever appends), so old-id → new-id lookup is
+        // direct indexing; fall back to position search otherwise.
+        let dense = other.next_id == other.nodes.len() as u64;
         for node in other.nodes.values() {
             let new = self.add_task(
                 format!("{prefix}{}", node.name),
@@ -299,15 +318,26 @@ impl TaskGraph {
             if let Some(p) = &node.pinned {
                 self.pin(new, p.clone()).expect("freshly added");
             }
-            map.insert(node.id, new);
+            out.push(new);
         }
+        let lookup = |old: TaskId| -> TaskId {
+            if dense {
+                out[start + old.raw() as usize]
+            } else {
+                let pos = other
+                    .nodes
+                    .keys()
+                    .position(|&k| k == old)
+                    .expect("edge endpoint exists");
+                out[start + pos]
+            }
+        };
         for (from, succs) in &other.succ {
             for to in succs {
-                self.add_edge(map[from], map[to])
+                self.add_edge(lookup(*from), lookup(*to))
                     .expect("absorbed edges cannot cycle");
             }
         }
-        map
     }
 }
 

@@ -50,6 +50,26 @@ fn stock_scenarios() -> Vec<(&'static str, Scenario)> {
             "disagg_ab_disaggregated.json",
             disagg_ab("disagg-ab-disaggregated", ServingMode::Disaggregated),
         ),
+        (
+            "geo_three_region.json",
+            Scenario::open_loop(
+                "geo-three-region",
+                ArrivalProcess::Poisson { rate_per_s: 1.2 },
+                240.0,
+            )
+            .seed(42)
+            .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), 24)
+            .admission(murakkab_traffic::AdmissionConfig {
+                rate_per_s: 1.5,
+                max_queue: 48,
+                ..Default::default()
+            })
+            .geo(
+                murakkab::GeoSpec::three_region(6, 3, 2)
+                    .day_s(600.0)
+                    .sync_epoch_s(20.0),
+            ),
+        ),
     ]
 }
 

@@ -1,0 +1,24 @@
+//! Multi-region federation sweep: one consolidated region versus a
+//! three-region geo-routed fleet under each routing policy, at equal
+//! elastic-spot node-hours. The driver lives in
+//! `murakkab_bench::geo_main`; the binary sits in the root package so
+//! `cargo run --release --bin geo [seed] [--quick]` resolves.
+//! `--quick` trims the horizon (CI mode).
+
+use murakkab_bench::SEED;
+
+fn main() {
+    let mut seed = SEED;
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Ok(s) = arg.parse() {
+            seed = s;
+        } else {
+            eprintln!("usage: geo [seed] [--quick]");
+            std::process::exit(2);
+        }
+    }
+    murakkab_bench::geo_main(seed, quick);
+}

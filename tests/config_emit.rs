@@ -1,0 +1,75 @@
+//! Config-search → scenario emission: the winning lever assignment
+//! round-trips through Scenario JSON and executes.
+
+use murakkab::scenario::{CatalogRef, Scenario};
+use murakkab_agents::library::stock_library;
+use murakkab_agents::Profiler;
+use murakkab_orchestrator::{ConfigSearch, DemandModel, SearchMode};
+use murakkab_workflow::{Constraint, ConstraintSet};
+
+/// The emitted scenario is a faithful, runnable artifact: it survives
+/// a JSON round-trip bit-for-bit, validates, and executes with the
+/// winning levers applied.
+#[test]
+fn winning_config_round_trips_as_scenario_json() {
+    let store = Profiler::default().profile_library(&stock_library());
+    let demand = DemandModel::video_understanding();
+    let constraints = ConstraintSet::single(Constraint::MinCost);
+    let (settings, _, _) = ConfigSearch::new(SearchMode::Greedy)
+        .search(&demand, &store, &constraints)
+        .expect("search finds a config");
+
+    let scenario = Scenario::from_lever_settings(
+        "search-winner",
+        CatalogRef::named("paper-video"),
+        &settings,
+        vec![Constraint::MinCost],
+    );
+    scenario.validate().expect("emitted scenario validates");
+
+    let json = scenario.to_json().expect("serializes");
+    let back = Scenario::from_json(&json).expect("deserializes");
+    assert_eq!(scenario, back, "scenario JSON round-trips exactly");
+
+    assert_eq!(back.parallelism, settings.parallelism);
+    let report = back.run().expect("emitted scenario executes");
+    assert!(report.core.tasks_completed > 0);
+}
+
+/// The paths lever lands in the `cot` entry's size override, and the
+/// SpeechToText hardware choice pins the STT knob.
+#[test]
+fn levers_map_onto_scenario_knobs() {
+    let store = Profiler::default().profile_library(&stock_library());
+    let demand = DemandModel {
+        counts: std::collections::BTreeMap::from([
+            (murakkab_agents::Capability::TextGeneration, 1),
+            (murakkab_agents::Capability::SpeechToText, 1),
+        ]),
+        chain: vec![
+            murakkab_agents::Capability::SpeechToText,
+            murakkab_agents::Capability::TextGeneration,
+        ],
+    };
+    let constraints = ConstraintSet::single(Constraint::MaxQuality);
+    let (settings, _, _) = ConfigSearch::new(SearchMode::Greedy)
+        .search(&demand, &store, &constraints)
+        .expect("search finds a config");
+    assert!(settings.paths > 1, "quality objective buys extra paths");
+
+    let scenario = Scenario::from_lever_settings(
+        "cot-winner",
+        CatalogRef::named("cot"),
+        &settings,
+        vec![Constraint::MaxQuality],
+    );
+    let murakkab::scenario::WorkloadSource::Catalog { entries } = &scenario.workload else {
+        panic!("emitter produces a catalog workload");
+    };
+    assert_eq!(entries[0].size, Some(settings.paths));
+    assert!(
+        !matches!(scenario.stt, murakkab::SttChoice::Auto),
+        "a concrete STT choice pins the knob"
+    );
+    scenario.validate().expect("validates");
+}

@@ -1,0 +1,181 @@
+//! Multi-region federation invariants: accounting identities on the
+//! geo report, bit-identical digests across worker-thread counts and
+//! region counts, and the capture/geo exclusion.
+
+use murakkab::scenario::{Report, Scenario, Session};
+use murakkab::{GeoPolicy, GeoSpec};
+use murakkab_traffic::ArrivalProcess;
+
+const HORIZON_S: f64 = 120.0;
+// Compressed day: the 120s horizon sees a fifth of a diurnal cycle and
+// the follow-the-sun weights actually move between sync epochs.
+const DAY_S: f64 = 600.0;
+
+fn geo_scenario(label: &str, seed: u64, spec: GeoSpec) -> Scenario {
+    let nodes = spec.regions.iter().map(|r| r.nodes).sum::<usize>()
+        + if spec.elastic.is_some() {
+            spec.regions.iter().map(|r| r.spot_nodes).sum::<usize>()
+        } else {
+            0
+        };
+    Scenario::open_loop(
+        label,
+        ArrivalProcess::Poisson { rate_per_s: 0.4 },
+        HORIZON_S,
+    )
+    .seed(seed)
+    .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), nodes)
+    .geo(spec)
+}
+
+fn run(scenario: &Scenario) -> Report {
+    Session::new(scenario)
+        .expect("session builds")
+        .execute(scenario)
+        .expect("geo scenario serves")
+}
+
+/// The federated report's books balance: every planned request
+/// originates in exactly one region and is served in exactly one,
+/// cross-region traffic is counted identically from both ends, and the
+/// headline cost is compute plus WAN egress.
+#[test]
+fn three_region_accounting_identities() {
+    let spec = GeoSpec::three_region(2, 1, 2)
+        .policy(GeoPolicy::FollowTheSun)
+        .day_s(DAY_S)
+        .sync_epoch_s(30.0);
+    let report = run(&geo_scenario("geo-accounting", 7, spec));
+    let geo = report.geo().expect("geo detail");
+
+    assert_eq!(geo.regions.len(), 3);
+    let origins: u64 = geo.regions.iter().map(|r| r.origin_requests).sum();
+    let served: u64 = geo.regions.iter().map(|r| r.served_requests).sum();
+    assert_eq!(origins, geo.global.offered, "every request originates once");
+    assert_eq!(origins, served, "every request is served exactly once");
+
+    let out: u64 = geo.regions.iter().map(|r| r.escaped_out).sum();
+    let inn: u64 = geo.regions.iter().map(|r| r.escaped_in).sum();
+    assert_eq!(out, inn, "cross-region flows agree from both ends");
+    assert_eq!(out, geo.cross_region_requests);
+
+    let egress: f64 = geo.regions.iter().map(|r| r.wan_egress_usd).sum();
+    assert!((egress - geo.wan_egress_usd).abs() < 1e-9);
+    assert!(
+        (geo.cost_usd - (geo.global.cost_usd + geo.wan_egress_usd)).abs() < 1e-9,
+        "headline cost is compute plus WAN egress"
+    );
+
+    // The mode-independent core mirrors the global roll-up, so every
+    // downstream consumer (trace diffs, score tables) works unchanged.
+    assert_eq!(report.core.cost_usd, geo.cost_usd);
+    assert_eq!(
+        report.open_loop().expect("global roll-up").offered,
+        geo.global.offered
+    );
+}
+
+/// Same seed, same spec → the same digest at every worker-thread count
+/// and for each region count: regions only interact at sync-epoch
+/// boundaries and merge in region-index order, so thread scheduling is
+/// unobservable.
+#[test]
+fn geo_digest_is_thread_count_invariant() {
+    for (regions, spec) in [
+        (2usize, {
+            let mut s = GeoSpec::three_region(2, 1, 0)
+                .day_s(DAY_S)
+                .sync_epoch_s(30.0);
+            s.regions.truncate(2);
+            s.wan.rtt_ms = vec![vec![0.0, 80.0], vec![80.0, 0.0]];
+            s
+        }),
+        (3usize, {
+            GeoSpec::three_region(2, 1, 2)
+                .policy(GeoPolicy::LatencyWeighted)
+                .day_s(DAY_S)
+                .sync_epoch_s(30.0)
+        }),
+    ] {
+        let base = geo_scenario("geo-threads", 42, spec);
+        let sequential = run(&base.clone().threads(1)).digest();
+        for threads in 2..=4 {
+            let digest = run(&base.clone().threads(threads)).digest();
+            assert_eq!(
+                sequential, digest,
+                "threads={threads} moved the digest with {regions} regions"
+            );
+        }
+    }
+}
+
+/// Every routing policy serves the same arrival stream at the same
+/// spot schedule — the equal-cost contract behind policy sweeps.
+#[test]
+fn policies_share_offered_load_and_spot_hours() {
+    let mut baseline: Option<(u64, f64)> = None;
+    for policy in GeoPolicy::ALL {
+        let spec = GeoSpec::three_region(2, 1, 2)
+            .policy(policy)
+            .day_s(DAY_S)
+            .sync_epoch_s(30.0);
+        let report = run(&geo_scenario("geo-policies", 11, spec));
+        let geo = report.geo().unwrap();
+        let key = (geo.global.offered, geo.spot_node_hours);
+        match &baseline {
+            None => baseline = Some(key),
+            Some(prev) => {
+                assert_eq!(prev.0, key.0, "{policy:?} saw different offered load");
+                assert!(
+                    (prev.1 - key.1).abs() < 1e-9,
+                    "{policy:?} got a different spot schedule"
+                );
+            }
+        }
+    }
+}
+
+/// A single-region capture replays counterfactually across three
+/// regions: the what-if geo knob pins the captured arrival instants,
+/// resizes the cluster to the federation footprint, and the diff
+/// compares the same request stream under both fleets.
+#[test]
+fn whatif_federates_a_single_region_capture() {
+    use murakkab_trace::{whatif, RunTrace, WhatIf};
+
+    let scenario = Scenario::open_loop(
+        "geo-whatif",
+        ArrivalProcess::Poisson { rate_per_s: 0.4 },
+        HORIZON_S,
+    )
+    .seed(9)
+    .cluster(murakkab_hardware::catalog::nd96amsr_a100_v4(), 6);
+    let trace = RunTrace::capture(&scenario).expect("single-region capture");
+
+    let spec = GeoSpec::three_region(2, 1, 0)
+        .policy(GeoPolicy::NearestRegion)
+        .day_s(DAY_S)
+        .sync_epoch_s(30.0);
+    let report = whatif(&trace, &WhatIf::named("three-region").geo(spec))
+        .expect("federated counterfactual runs");
+
+    let geo = report.variant.geo().expect("variant is federated");
+    assert_eq!(geo.regions.len(), 3);
+    assert_eq!(
+        geo.global.offered,
+        report.baseline.open_loop().unwrap().offered,
+        "the counterfactual replays the captured stream verbatim"
+    );
+}
+
+/// Per-request capture stays single-region: a geo scenario must be
+/// captured without its `geo` spec and replayed across regions via a
+/// what-if knob instead.
+#[test]
+fn capture_rejects_geo_scenarios() {
+    let spec = GeoSpec::three_region(2, 1, 0).day_s(DAY_S);
+    let scenario = geo_scenario("geo-capture", 3, spec);
+    let session = Session::new(&scenario).expect("session builds");
+    let err = session.execute_captured(&scenario);
+    assert!(err.is_err(), "capture must reject federated scenarios");
+}

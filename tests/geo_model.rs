@@ -1,0 +1,173 @@
+//! Property tests over the geo federation model: RTT-matrix
+//! validation (symmetry, finiteness), geo-router bounds and
+//! determinism, and the origin draw's distribution.
+
+use murakkab_geo::{
+    origin_region, route_region, GeoPolicy, GeoSpec, RegionLoad, RegionSpec, WanModel,
+};
+use proptest::prelude::*;
+
+fn wan_for(n: usize, rtt: f64) -> WanModel {
+    WanModel::uniform(n, rtt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A symmetric, finite, zero-diagonal RTT matrix validates; the
+    /// same matrix with one asymmetric entry or an injected NaN is
+    /// rejected with a `wan.rtt_ms` finding.
+    #[test]
+    fn rtt_matrix_validation(
+        n in 2usize..5,
+        entries in proptest::collection::vec(1.0f64..400.0, 16),
+        i in 0usize..4,
+        j in 0usize..4,
+        poison_nan in any::<bool>(),
+    ) {
+        let (i, j) = (i % n, j % n);
+        let mut wan = wan_for(n, 0.0);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let v = entries[(a * 4 + b) % entries.len()];
+                wan.rtt_ms[a][b] = v;
+                wan.rtt_ms[b][a] = v;
+            }
+        }
+        prop_assert!(wan.problems(n).is_empty(), "symmetric matrix validates");
+
+        if i != j {
+            let mut bad = wan.clone();
+            if poison_nan {
+                bad.rtt_ms[i][j] = f64::NAN;
+            } else {
+                bad.rtt_ms[i][j] += 17.0;
+            }
+            let problems = bad.problems(n);
+            prop_assert!(
+                problems.iter().any(|(path, _)| path == "wan.rtt_ms"),
+                "poisoned matrix must be rejected, got {problems:?}"
+            );
+        }
+    }
+
+    /// The router always picks a declared region, never a reclaimed
+    /// (zero-capacity) one while an active region exists, and obeys
+    /// each policy's contract: NearestRegion stays home, Spillover
+    /// stays home under the margin, FollowTheSun picks a
+    /// pressure-argmin.
+    #[test]
+    fn router_bounds_and_policy_contracts(
+        backlogs in proptest::collection::vec(0usize..400, 2..6),
+        nodes in proptest::collection::vec(0usize..8, 2..6),
+        origin in 0usize..6,
+        rtt in 1.0f64..300.0,
+        spill_margin in 0.5f64..8.0,
+    ) {
+        let n = backlogs.len().min(nodes.len());
+        let origin = origin % n;
+        let loads: Vec<RegionLoad> = (0..n)
+            .map(|i| RegionLoad { backlog: backlogs[i], active_nodes: nodes[i] })
+            .collect();
+        let wan = wan_for(n, rtt);
+
+        for policy in GeoPolicy::ALL {
+            let pick = route_region(policy, origin, &wan, &loads, spill_margin);
+            prop_assert!(pick < n, "{policy:?} routed out of bounds");
+            prop_assert_eq!(
+                pick,
+                route_region(policy, origin, &wan, &loads, spill_margin),
+                "routing must be deterministic"
+            );
+            if loads.iter().any(|l| l.active_nodes > 0)
+                && !matches!(policy, GeoPolicy::NearestRegion)
+                && !(matches!(policy, GeoPolicy::Spillover)
+                    && loads[origin].pressure() <= spill_margin)
+            {
+                prop_assert!(
+                    loads[pick].active_nodes > 0,
+                    "{policy:?} picked a fully-reclaimed region"
+                );
+            }
+        }
+
+        prop_assert_eq!(
+            route_region(GeoPolicy::NearestRegion, origin, &wan, &loads, spill_margin),
+            origin
+        );
+        if loads[origin].pressure() <= spill_margin {
+            prop_assert_eq!(
+                route_region(GeoPolicy::Spillover, origin, &wan, &loads, spill_margin),
+                origin,
+                "spillover must stay home under the margin"
+            );
+        }
+        let sun = route_region(GeoPolicy::FollowTheSun, origin, &wan, &loads, spill_margin);
+        for (i, l) in loads.iter().enumerate() {
+            prop_assert!(
+                loads[sun].pressure() <= l.pressure() + 1e-9,
+                "follow-the-sun picked pressure {} over region {i}'s {}",
+                loads[sun].pressure(),
+                l.pressure()
+            );
+        }
+    }
+
+    /// The origin draw is a pure function of (request id, instant):
+    /// always a declared region, and stable across calls.
+    #[test]
+    fn origin_draw_is_pure_and_bounded(id in 0u64..1_000_000, t in 0.0f64..86_400.0) {
+        let spec = GeoSpec::three_region(2, 1, 0);
+        let o = origin_region(id, t, &spec.regions, spec.day_s);
+        prop_assert!(o < spec.regions.len());
+        prop_assert_eq!(o, origin_region(id, t, &spec.regions, spec.day_s));
+    }
+}
+
+/// Over many request ids at one instant, origin shares track the
+/// diurnal weights: the region at local midday originates the most,
+/// and every region keeps at least the activity floor's share.
+#[test]
+fn origin_distribution_follows_the_sun() {
+    let spec = GeoSpec::three_region(2, 1, 0);
+    // us-east (offset 0) peaks at t/day = 0.5.
+    let t = spec.day_s * 0.5;
+    let mut counts = vec![0usize; spec.regions.len()];
+    let draws = 20_000;
+    for id in 0..draws {
+        counts[origin_region(id, t, &spec.regions, spec.day_s)] += 1;
+    }
+    assert!(
+        counts[0] > counts[1] && counts[0] > counts[2],
+        "midday region must dominate: {counts:?}"
+    );
+    for (i, &c) in counts.iter().enumerate() {
+        let share = c as f64 / draws as f64;
+        assert!(
+            share > 0.02,
+            "region {i} starved ({share:.3}): the floor keeps every region warm"
+        );
+    }
+}
+
+/// Weighted regions scale their origin share: doubling a region's
+/// arrival weight roughly doubles its share at equal local time.
+#[test]
+fn origin_distribution_respects_arrival_weights() {
+    // Two regions at the same local time, 2:1 arrival weight.
+    let regions = vec![
+        RegionSpec::new("big", 2, 1).arrival_weight(2.0),
+        RegionSpec::new("small", 2, 1).arrival_weight(1.0),
+    ];
+    let day_s = 86_400.0;
+    let mut counts = [0usize; 2];
+    let draws = 30_000;
+    for id in 0..draws {
+        counts[origin_region(id, day_s * 0.5, &regions, day_s)] += 1;
+    }
+    let ratio = counts[0] as f64 / counts[1] as f64;
+    assert!(
+        (1.7..2.3).contains(&ratio),
+        "2:1 weights should give ~2:1 origins, got {ratio:.2} ({counts:?})"
+    );
+}
